@@ -1,0 +1,333 @@
+package repro
+
+// The benchmark harness: one testing.B benchmark per table and figure of
+// the paper's evaluation section, plus micro-benchmarks of the underlying
+// kernels. The table/figure benchmarks drive the full simulation at the
+// paper's workload (energy cutoff 80 Ry, lattice parameter 20 bohr, 128
+// bands, 8 task groups) in cost mode and report the simulated FFT-phase
+// runtime as the custom metric "sim-s/run" — the quantity the paper plots —
+// next to the usual host-side ns/op.
+//
+// Regenerate everything at once with:
+//
+//	go test -bench=. -benchmem
+//
+// or a single experiment, e.g. go test -bench=Fig6.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fft"
+	"repro/internal/fftx"
+	"repro/internal/knl"
+	"repro/internal/mpi"
+	"repro/internal/pop"
+	"repro/internal/qe"
+	"repro/internal/vtime"
+)
+
+func benchConfig(engine fftx.Engine, ranks int) fftx.Config {
+	return fftx.Config{
+		Ecut: 80, Alat: 20, NB: 128, Ranks: ranks, NTG: 8,
+		Engine: engine, Mode: fftx.ModeCost,
+	}
+}
+
+func runSim(b *testing.B, cfg fftx.Config) {
+	b.Helper()
+	var sim float64
+	for i := 0; i < b.N; i++ {
+		res, err := fftx.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim = res.Runtime
+	}
+	b.ReportMetric(sim, "sim-s/run")
+}
+
+// --- Figure 2: runtime of the original version vs rank count ---
+
+func BenchmarkFig2_Original_1x8(b *testing.B)  { runSim(b, benchConfig(fftx.EngineOriginal, 1)) }
+func BenchmarkFig2_Original_2x8(b *testing.B)  { runSim(b, benchConfig(fftx.EngineOriginal, 2)) }
+func BenchmarkFig2_Original_4x8(b *testing.B)  { runSim(b, benchConfig(fftx.EngineOriginal, 4)) }
+func BenchmarkFig2_Original_8x8(b *testing.B)  { runSim(b, benchConfig(fftx.EngineOriginal, 8)) }
+func BenchmarkFig2_Original_16x8(b *testing.B) { runSim(b, benchConfig(fftx.EngineOriginal, 16)) }
+func BenchmarkFig2_Original_32x8(b *testing.B) { runSim(b, benchConfig(fftx.EngineOriginal, 32)) }
+
+// --- Figure 6: the task version across the same sweep ---
+
+func BenchmarkFig6_TaskIter_1x8(b *testing.B)  { runSim(b, benchConfig(fftx.EngineTaskIter, 1)) }
+func BenchmarkFig6_TaskIter_2x8(b *testing.B)  { runSim(b, benchConfig(fftx.EngineTaskIter, 2)) }
+func BenchmarkFig6_TaskIter_4x8(b *testing.B)  { runSim(b, benchConfig(fftx.EngineTaskIter, 4)) }
+func BenchmarkFig6_TaskIter_8x8(b *testing.B)  { runSim(b, benchConfig(fftx.EngineTaskIter, 8)) }
+func BenchmarkFig6_TaskIter_16x8(b *testing.B) { runSim(b, benchConfig(fftx.EngineTaskIter, 16)) }
+func BenchmarkFig6_TaskIter_32x8(b *testing.B) { runSim(b, benchConfig(fftx.EngineTaskIter, 32)) }
+
+// --- Tables I and II: the full POP factor tables ---
+
+func BenchmarkTable1_Original(b *testing.B) {
+	s := core.PaperSuite()
+	var global float64
+	for i := 0; i < b.N; i++ {
+		r, err := s.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		global = r.Factors[len(r.Factors)-1].GlobalEff
+	}
+	b.ReportMetric(100*global, "globaleff-16x8-%")
+}
+
+func BenchmarkTable2_TaskIter(b *testing.B) {
+	s := core.PaperSuite()
+	var global float64
+	for i := 0; i < b.N; i++ {
+		r, err := s.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		global = r.Factors[len(r.Factors)-1].GlobalEff
+	}
+	b.ReportMetric(100*global, "globaleff-16x8-%")
+}
+
+// --- Figure 3: phase structure of the original version at 8x8 ---
+
+func BenchmarkFig3_PhaseIPCs(b *testing.B) {
+	s := core.PaperSuite()
+	var xy float64
+	for i := 0; i < b.N; i++ {
+		r, err := s.Fig3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		xy = r.XYIPC
+	}
+	b.ReportMetric(xy, "xy-ipc")
+}
+
+// --- Figure 7: de-synchronization at 8x8 ---
+
+func BenchmarkFig7_Desync(b *testing.B) {
+	s := core.PaperSuite()
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		r, err := s.Fig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		gain = r.XYTask / r.XYOrig
+	}
+	b.ReportMetric(gain, "xy-ipc-ratio")
+}
+
+// --- Section II: the task-group sweep ---
+
+func BenchmarkSweepNTG_16(b *testing.B) {
+	s := core.PaperSuite()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.SweepNTG(16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Section IV: engine and model ablations at 8x8 ---
+
+func BenchmarkAblation_8x8(b *testing.B) {
+	s := core.PaperSuite()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Ablation(8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Section V headline: best task vs best original ---
+
+func BenchmarkHeadline_BestVsBest(b *testing.B) {
+	s := core.PaperSuite()
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		r, err := s.Fig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		gain = r.BestGain()
+	}
+	b.ReportMetric(100*gain, "gain-%")
+}
+
+// --- Micro-benchmarks of the substrates (real computation) ---
+
+func BenchmarkFFT1D_120(b *testing.B) {
+	p := fft.NewPlan(120)
+	x := make([]complex128, 120)
+	rng := rand.New(rand.NewSource(1))
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Transform(x, fft.Forward)
+	}
+}
+
+func BenchmarkFFT1D_Prime97(b *testing.B) {
+	p := fft.NewPlan(97) // Bluestein path
+	x := make([]complex128, 97)
+	for i := range x {
+		x[i] = complex(float64(i), 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Transform(x, fft.Forward)
+	}
+}
+
+func BenchmarkFFT2D_120x120(b *testing.B) {
+	p := fft.NewPlan2D(120, 120)
+	x := make([]complex128, 120*120)
+	for i := range x {
+		x[i] = complex(float64(i%7), float64(i%11))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Transform(x, fft.Forward)
+	}
+}
+
+func BenchmarkFFT3D_60(b *testing.B) {
+	p := fft.NewPlan3D(60, 60, 60)
+	x := make([]complex128, 60*60*60)
+	for i := range x {
+		x[i] = complex(float64(i%13), 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Transform(x, fft.Forward)
+	}
+}
+
+func BenchmarkMPI_Alltoallv_64ranks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		params := knl.DefaultParams()
+		node := knl.NewNode(params, 64)
+		eng := vtime.NewEngine(node)
+		w := mpi.NewWorld(eng, node, nil, 64, 1)
+		for r := 0; r < 64; r++ {
+			w.Spawn(r, 0, func(ctx *mpi.Ctx) {
+				send := make([][]float64, 64)
+				for j := range send {
+					send[j] = make([]float64, 16)
+				}
+				for it := 0; it < 4; it++ {
+					mpi.Alltoallv(ctx, ctx.W.CommWorld(), it, send, mpi.BytesFloat64)
+				}
+			})
+		}
+		if err := eng.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineReal_Small(b *testing.B) {
+	cfg := fftx.Config{
+		Ecut: 8, Alat: 8, NB: 8, Ranks: 2, NTG: 2,
+		Engine: fftx.EngineTaskIter, Mode: fftx.ModeReal,
+	}
+	var f pop.Factors
+	for i := 0; i < b.N; i++ {
+		res, err := fftx.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f = pop.Analyze(res.Trace)
+	}
+	b.ReportMetric(f.AvgIPC, "avg-ipc")
+}
+
+// --- Extensions beyond the paper's evaluation ---
+
+// Gamma-point mode (gamma_only): two bands per FFT, half the sphere.
+func BenchmarkGamma_TaskIter_8x8(b *testing.B) {
+	cfg := benchConfig(fftx.EngineTaskIter, 8)
+	cfg.Gamma = true
+	runSim(b, cfg)
+}
+
+// The future-work combination: async communication threads + per-band tasks.
+func BenchmarkCombined_TaskCombined_8x8(b *testing.B) {
+	runSim(b, benchConfig(fftx.EngineTaskCombined, 8))
+}
+
+// The per-step task engine with the paper's nested task loops (Figure 4).
+func BenchmarkTaskSteps_Nested_4x8x2(b *testing.B) {
+	cfg := benchConfig(fftx.EngineTaskSteps, 4)
+	cfg.StepWorkers = 2
+	cfg.NestedLoops = true
+	runSim(b, cfg)
+}
+
+func BenchmarkRealFFT_120(b *testing.B) {
+	p := fft.NewRealPlan(120)
+	x := make([]float64, 120)
+	for i := range x {
+		x[i] = float64(i % 17)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Forward(x)
+	}
+}
+
+func BenchmarkSensitivity_Quick(b *testing.B) {
+	s := core.QuickSuite()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Sensitivity(2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredict_Quick(b *testing.B) {
+	s := core.QuickSuite()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.PredictScaling(fftx.EngineOriginal); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Multi-node outlook (beyond the paper): the same configuration on 4 nodes.
+func BenchmarkMultiNode_Combined_8x8x4nodes(b *testing.B) {
+	cfg := benchConfig(fftx.EngineTaskCombined, 8)
+	cfg.NodesCount = 4
+	runSim(b, cfg)
+}
+
+func BenchmarkWeakScaling_Combined_4nodes(b *testing.B) {
+	s := core.PaperSuite()
+	var last float64
+	for i := 0; i < b.N; i++ {
+		r, err := s.WeakScaling(fftx.EngineTaskCombined, 8, []int{1, 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r.Rows[len(r.Rows)-1].Runtime
+	}
+	b.ReportMetric(last, "sim-s/run")
+}
+
+func BenchmarkEigensolve(b *testing.B) {
+	h := qe.NewHamiltonian(8, 7, nil)
+	for i := 0; i < b.N; i++ {
+		if _, err := qe.Solve(h, 4, 100, 1e-8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

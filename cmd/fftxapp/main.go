@@ -1,0 +1,93 @@
+// Command fftxapp mirrors the command-line interface of the real FFTXlib
+// test program (fftx.x): it runs the FFT phase -niter times at the given
+// plane-wave parameters on the simulated KNL node and reports per-iteration
+// wall times with min/max/average statistics, the way the miniapp does for
+// benchmarking and co-design studies.
+//
+// Usage:
+//
+//	fftxapp -ecutwfc 80 -alat 20 -nbnd 128 -ntg 8 -nranks 8 \
+//	        -engine original|task-steps|task-iter|task-combined \
+//	        [-gamma] [-niter 5] [-real]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/fftx"
+	"repro/internal/pop"
+)
+
+func main() {
+	var (
+		ecut   = flag.Float64("ecutwfc", 80, "plane-wave energy cutoff in Ry")
+		alat   = flag.Float64("alat", 20, "lattice parameter in bohr")
+		nbnd   = flag.Int("nbnd", 128, "number of bands")
+		ntg    = flag.Int("ntg", 8, "task groups / threads per rank")
+		nranks = flag.Int("nranks", 8, "ranks per task group (positions)")
+		engine = flag.String("engine", "original", "original|task-steps|task-iter|task-combined")
+		gamma  = flag.Bool("gamma", false, "gamma-point mode (half sphere, 2 bands per FFT)")
+		niter  = flag.Int("niter", 5, "repetitions of the FFT phase")
+		real   = flag.Bool("real", false, "transform real data (keep the grid small)")
+	)
+	flag.Parse()
+
+	var eng fftx.Engine
+	switch *engine {
+	case "original":
+		eng = fftx.EngineOriginal
+	case "task-steps":
+		eng = fftx.EngineTaskSteps
+	case "task-iter":
+		eng = fftx.EngineTaskIter
+	case "task-combined":
+		eng = fftx.EngineTaskCombined
+	default:
+		fmt.Fprintf(os.Stderr, "fftxapp: unknown engine %q\n", *engine)
+		os.Exit(2)
+	}
+	cfg := fftx.Config{
+		Ecut: *ecut, Alat: *alat, NB: *nbnd, Ranks: *nranks, NTG: *ntg,
+		Engine: eng, Mode: fftx.ModeCost, Gamma: *gamma,
+	}
+	if *real {
+		cfg.Mode = fftx.ModeReal
+	}
+
+	var first *fftx.Result
+	times := make([]float64, 0, *niter)
+	for it := 0; it < *niter; it++ {
+		cfg.Seed = it
+		res, err := fftx.Run(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fftxapp:", err)
+			os.Exit(1)
+		}
+		if it == 0 {
+			first = res
+			fmt.Printf("grid %d %d %d, %d G-vectors on %d sticks, %d lanes, engine %v\n",
+				res.Sphere.Grid.Nx, res.Sphere.Grid.Ny, res.Sphere.Grid.Nz,
+				res.Sphere.NG(), res.Sphere.NSticks(), cfg.Lanes(), eng)
+		}
+		times = append(times, res.Runtime)
+		fmt.Printf("iteration %3d: FFT phase wall time %10.6f s\n", it+1, res.Runtime)
+	}
+
+	min, max, sum := math.Inf(1), math.Inf(-1), 0.0
+	for _, t := range times {
+		min = math.Min(min, t)
+		max = math.Max(max, t)
+		sum += t
+	}
+	fmt.Printf("\nFFT phase over %d iterations: min %.6f s, max %.6f s, avg %.6f s\n",
+		*niter, min, max, sum/float64(len(times)))
+
+	f := pop.Analyze(first.Trace)
+	f.AddScalability(f)
+	fmt.Printf("parallel efficiency %.2f%%, load balance %.2f%%, avg IPC %.3f, main-phase IPC %.3f\n",
+		100*f.ParallelEff, 100*f.LoadBalance, f.AvgIPC,
+		first.Trace.PhaseAvgIPC("fft-xy", "vofr"))
+}

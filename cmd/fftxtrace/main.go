@@ -1,0 +1,120 @@
+// Command fftxtrace inspects a saved simulation trace (JSON, as written by
+// fftxbench -save-trace or trace.Trace.Save): it renders the Paraver-style
+// timeline, the IPC histogram, the per-phase statistics and the POP
+// efficiency factors.
+//
+// Usage:
+//
+//	fftxtrace [flags] trace.json [other.json]
+//
+// With one trace: render the selected views. With two traces: print a
+// comparison (runtime, POP factors, per-phase IPC deltas) — the tool the
+// original-vs-task analyses of Figures 6/7 boil down to.
+//
+//	-view timeline|duration|histogram|phases|comms|pop|all   what to render
+//	-width 100                                timeline width in characters
+//	-bins 40 -max-ipc 1.6                     histogram shape
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/knl"
+	"repro/internal/pop"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		view    = flag.String("view", "all", "timeline|duration|phasemap|histogram|phases|comms|pop|all")
+		width   = flag.Int("width", 100, "timeline width in characters")
+		bins    = flag.Int("bins", 40, "IPC histogram bins")
+		maxIPC  = flag.Float64("max-ipc", 1.6, "IPC histogram upper bound")
+		paraver = flag.String("paraver", "", "export as Paraver trace (base path; writes .prv/.pcf/.row)")
+	)
+	flag.Parse()
+	if flag.NArg() < 1 || flag.NArg() > 2 {
+		fmt.Fprintln(os.Stderr, "usage: fftxtrace [flags] trace.json [other.json]")
+		os.Exit(2)
+	}
+	tr, err := trace.Load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fftxtrace:", err)
+		os.Exit(1)
+	}
+	if flag.NArg() == 2 {
+		other, err := trace.Load(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fftxtrace:", err)
+			os.Exit(1)
+		}
+		diff(tr, other)
+		return
+	}
+	if *paraver != "" {
+		if err := tr.ExportParaver(*paraver); err != nil {
+			fmt.Fprintln(os.Stderr, "fftxtrace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s.prv, %s.pcf, %s.row\n", *paraver, *paraver, *paraver)
+	}
+	show := func(name string) bool { return *view == "all" || *view == name }
+	if show("timeline") {
+		fmt.Println(tr.Timeline(*width, int(knl.ClassVector)))
+	}
+	if show("duration") {
+		fmt.Println(tr.DurationTimeline(*width))
+	}
+	if show("phasemap") {
+		fmt.Println(tr.PhaseTimeline(*width))
+	}
+	if show("histogram") {
+		fmt.Println(tr.RenderIPCHistogram(*bins, *maxIPC))
+	}
+	if show("phases") {
+		fmt.Println(tr.FormatPhaseBreakdown())
+	}
+	if show("comms") {
+		fmt.Println(tr.FormatCommStats())
+	}
+	if show("pop") {
+		f := pop.Analyze(tr)
+		f.AddScalability(f) // single-run view: scalability vs itself
+		fmt.Print(pop.FormatTable([]string{"run"}, []pop.Factors{f}))
+	}
+}
+
+// diff prints a side-by-side comparison of two traces.
+func diff(a, b *trace.Trace) {
+	fa, fb := pop.Analyze(a), pop.Analyze(b)
+	fa.AddScalability(fa)
+	fb.AddScalability(fb)
+	fmt.Printf("%-28s %12s %12s %10s\n", "", "trace A", "trace B", "B vs A")
+	row := func(name string, va, vb float64, pct bool) {
+		if pct {
+			fmt.Printf("%-28s %11.2f%% %11.2f%% %+9.2f%%\n", name, 100*va, 100*vb, 100*(vb-va))
+			return
+		}
+		rel := 0.0
+		if va != 0 {
+			rel = 100 * (vb - va) / va
+		}
+		fmt.Printf("%-28s %12.4f %12.4f %+9.1f%%\n", name, va, vb, rel)
+	}
+	row("Runtime [s]", fa.Runtime, fb.Runtime, false)
+	row("Parallel efficiency", fa.ParallelEff, fb.ParallelEff, true)
+	row("Load balance", fa.LoadBalance, fb.LoadBalance, true)
+	row("Communication efficiency", fa.CommEff, fb.CommEff, true)
+	row("Average IPC", fa.AvgIPC, fb.AvgIPC, false)
+	fmt.Println("\nper-phase IPC:")
+	seen := map[string]bool{}
+	for _, ph := range append(a.Phases(), b.Phases()...) {
+		if seen[ph] {
+			continue
+		}
+		seen[ph] = true
+		fmt.Printf("%-28s %12.3f %12.3f\n", ph, a.PhaseAvgIPC(ph), b.PhaseAvgIPC(ph))
+	}
+}

@@ -1,0 +1,70 @@
+// Codesign: the paper presents the FFTXlib as "a simple tool for a future
+// activity of co-design and benchmarking of novel architectures". This
+// example plays that game with the node model: sweep hypothetical machines
+// between the KNL (many slow, contention-limited cores) and a fat-core
+// design, and watch which execution strategy — static task groups,
+// de-synchronized tasks or async-communication tasks — a designer should
+// ship for each point of the design space.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/fftx"
+	"repro/internal/knl"
+)
+
+func main() {
+	type machine struct {
+		name  string
+		cores int
+		freq  float64
+		ipcX  float64 // base-IPC multiplier vs the KNL calibration
+		contA float64
+	}
+	machines := []machine{
+		{"KNL-like (68c @ 1.4GHz)", 68, 1.4e9, 1.0, 0.0019},
+		{"mid-core (48c @ 2.0GHz)", 48, 2.0e9, 1.4, 0.0016},
+		{"fat-core (24c @ 2.6GHz)", 24, 2.6e9, 1.8, 0.0012},
+		{"huge-node (96c @ 1.2GHz)", 96, 1.2e9, 0.9, 0.0022},
+	}
+	engines := []fftx.Engine{fftx.EngineOriginal, fftx.EngineTaskIter, fftx.EngineTaskCombined}
+
+	fmt.Printf("%-26s", "machine")
+	for _, e := range engines {
+		fmt.Printf(" %14s", e)
+	}
+	fmt.Printf(" %16s\n", "best strategy")
+	for _, m := range machines {
+		params := knl.DefaultParams()
+		params.Cores = m.cores
+		params.Freq = m.freq
+		params.ContA = m.contA
+		for c := range params.BaseIPC {
+			params.BaseIPC[c] *= m.ipcX
+		}
+		// Fill the node: ranks*8 lanes ≈ cores.
+		ranks := m.cores / 8
+		if ranks < 1 {
+			ranks = 1
+		}
+		fmt.Printf("%-26s", m.name)
+		best, bestT := "", 0.0
+		for _, e := range engines {
+			cfg := fftx.Config{
+				Ecut: 80, Alat: 20, NB: 128, Ranks: ranks, NTG: 8,
+				Engine: e, Mode: fftx.ModeCost, Params: &params,
+			}
+			res, err := fftx.Run(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %13.4fs", res.Runtime)
+			if best == "" || res.Runtime < bestT {
+				best, bestT = e.String(), res.Runtime
+			}
+		}
+		fmt.Printf(" %16s\n", best)
+	}
+}

@@ -1,0 +1,44 @@
+// Eigensolve: the downstream physics the FFTXlib serves — find the lowest
+// Kohn-Sham-like eigenstates of a periodic local potential with a
+// plane-wave basis. The Hamiltonian is applied exactly the way Quantum
+// ESPRESSO's vloc_psi does it (kinetic term in G-space, potential through
+// the FFT round trip the paper's kernel implements), the subspace
+// eigenproblem is solved with the built-in Jacobi diagonalizer, and the
+// result is verified against an explicit dense diagonalization.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/qe"
+)
+
+func main() {
+	const (
+		ecut = 8.0 // Ry
+		alat = 7.0 // bohr
+		nb   = 6   // states
+	)
+	h := qe.NewHamiltonian(ecut, alat, nil)
+	fmt.Printf("plane-wave basis: %d G-vectors, grid %d³, cell %0.f bohr\n",
+		h.NG(), h.Sphere.Grid.Nx, alat)
+
+	res, err := qe.Solve(h, nb, 300, 1e-9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("converged in %d iterations, max residual %.2e\n\n", res.Iterations, res.Residual)
+
+	// Dense verification (feasible at this basis size).
+	dense, _ := qe.EigHermitian(h.Dense())
+	fmt.Printf("%6s %14s %14s %12s\n", "state", "iterative [Ry]", "dense [Ry]", "diff")
+	var maxDiff float64
+	for b := 0; b < nb; b++ {
+		d := math.Abs(res.Eigenvalues[b] - dense[b])
+		maxDiff = math.Max(maxDiff, d)
+		fmt.Printf("%6d %14.8f %14.8f %12.2e\n", b, res.Eigenvalues[b], dense[b], d)
+	}
+	fmt.Printf("\nmax eigenvalue deviation: %.2e Ry\n", maxDiff)
+}

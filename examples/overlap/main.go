@@ -1,0 +1,54 @@
+// Overlap: run the three execution engines — the static task-group
+// original, the per-step task version (communication/computation overlap,
+// paper Figure 4) and the per-iteration task version (de-synchronization,
+// paper Figure 5) — on one configuration of the paper's workload and
+// compare runtimes, main-phase IPC and POP efficiency factors side by side.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/fftx"
+	"repro/internal/pop"
+)
+
+func main() {
+	base := fftx.Config{
+		Ecut: 80, Alat: 20, NB: 128, // the paper's workload
+		Ranks: 8, NTG: 8, // the 8 x 8 configuration of Figure 7
+		Mode: fftx.ModeCost, // cost-only: full problem size, instant run
+	}
+	engines := []fftx.Engine{fftx.EngineOriginal, fftx.EngineTaskSteps, fftx.EngineTaskIter}
+
+	var names []string
+	var factors []pop.Factors
+	fmt.Printf("%-12s %7s %12s %10s %10s\n", "engine", "lanes", "runtime[s]", "xy IPC", "avg IPC")
+	var origRuntime float64
+	for _, e := range engines {
+		cfg := base
+		cfg.Engine = e
+		if e == fftx.EngineTaskSteps {
+			cfg.StepWorkers = 2 // two worker threads per rank overlap comm with compute
+			cfg.Ranks = 4       // halve ranks so the lane budget stays at 64
+		}
+		res, err := fftx.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if e == fftx.EngineOriginal {
+			origRuntime = res.Runtime
+		}
+		f := pop.Analyze(res.Trace)
+		f.AddScalability(f)
+		names = append(names, e.String())
+		factors = append(factors, f)
+		fmt.Printf("%-12s %7d %12.4f %10.3f %10.3f\n",
+			e, cfg.Lanes(), res.Runtime,
+			res.Trace.PhaseAvgIPC("fft-xy", "vofr"), f.AvgIPC)
+	}
+	fmt.Printf("\ntask-iter vs original: %.1f%% runtime reduction (paper: 7-10%%)\n",
+		100*(origRuntime-factors[2].Runtime)/origRuntime)
+	fmt.Println("\nPOP factors:")
+	fmt.Print(pop.FormatTable(names, factors))
+}

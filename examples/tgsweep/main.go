@@ -1,0 +1,24 @@
+// Tgsweep: reproduce the Section II discussion of the FFT task groups — at
+// a fixed total process count, sweep the number of task groups between the
+// two extremes and watch the communication cost shift from the scatter
+// (NTG=1: one huge all-ranks Alltoall) to the pack/unpack (NTG=P: the
+// G-vector redistribution carries everything), with the optimum in between.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+func main() {
+	suite := core.PaperSuite()
+	for _, total := range []int{16, 32, 64} {
+		r, err := suite.SweepNTG(total)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(r.Format())
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/fftx"
+)
+
+// MultiNodeRow is one (node count, engine) measurement.
+type MultiNodeRow struct {
+	Nodes   int
+	Engine  fftx.Engine
+	Runtime float64
+	Gain    float64 // vs the same node count's original
+}
+
+// MultiNodeResult is the beyond-the-paper outlook: the same total lane
+// count spread over more nodes, so the scatters cross an interconnect.
+type MultiNodeResult struct {
+	Ranks int
+	Rows  []MultiNodeRow
+}
+
+// MultiNode runs the engines at a fixed total configuration on 1, 2 and 4
+// nodes. The paper's Section IV expectation is that the value of hiding
+// communication grows as communication gets more expensive — the
+// asynchronous-communication engine should hold its runtime where the
+// synchronous engines degrade.
+func (s Suite) MultiNode(ranks int, nodeCounts []int) (*MultiNodeResult, error) {
+	out := &MultiNodeResult{Ranks: ranks}
+	engines := []fftx.Engine{fftx.EngineOriginal, fftx.EngineTaskIter, fftx.EngineTaskCombined}
+	for _, nodes := range nodeCounts {
+		var orig float64
+		for _, e := range engines {
+			cfg := s.config(e, ranks)
+			cfg.NodesCount = nodes
+			res, err := fftx.Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("core: multinode %d/%v: %w", nodes, e, err)
+			}
+			row := MultiNodeRow{Nodes: nodes, Engine: e, Runtime: res.Runtime}
+			if e == fftx.EngineOriginal {
+				orig = res.Runtime
+			} else {
+				row.Gain = (orig - res.Runtime) / orig
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+// Format renders the multi-node outlook.
+func (r *MultiNodeResult) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Multi-node outlook at %d ranks x NTG (beyond the paper; Section IV motivation)\n", r.Ranks)
+	fmt.Fprintf(&sb, "%6s %-16s %12s %8s\n", "nodes", "engine", "runtime[s]", "gain")
+	for _, row := range r.Rows {
+		gain := ""
+		if row.Engine != fftx.EngineOriginal {
+			gain = fmt.Sprintf("%+.1f%%", 100*row.Gain)
+		}
+		fmt.Fprintf(&sb, "%6d %-16s %12.4f %8s\n", row.Nodes, row.Engine.String(), row.Runtime, gain)
+	}
+	sb.WriteString("expectation: hiding communication pays more as the interconnect slows the scatters\n")
+	return sb.String()
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/fftx"
+	"repro/internal/pop"
+)
+
+// ScalingRow is one point of a multi-node scaling study.
+type ScalingRow struct {
+	Nodes   int
+	Ranks   int
+	NB      int
+	Runtime float64
+	ParEff  float64
+	CommEff float64
+}
+
+// ScalingResult holds a strong- or weak-scaling study over node counts.
+type ScalingResult struct {
+	Engine fftx.Engine
+	Weak   bool
+	Rows   []ScalingRow
+}
+
+// StrongScaling keeps the total work fixed and spreads baseRanks·nodes
+// ranks over the node counts: the classic strong-scaling curve, with the
+// POP parallel-efficiency factors alongside.
+func (s Suite) StrongScaling(engine fftx.Engine, baseRanks int, nodeCounts []int) (*ScalingResult, error) {
+	out := &ScalingResult{Engine: engine}
+	for _, nodes := range nodeCounts {
+		cfg := s.config(engine, baseRanks*nodes)
+		cfg.NodesCount = nodes
+		res, err := fftx.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: strong scaling %d nodes: %w", nodes, err)
+		}
+		f := pop.Analyze(res.Trace)
+		out.Rows = append(out.Rows, ScalingRow{
+			Nodes: nodes, Ranks: cfg.Ranks, NB: cfg.NB, Runtime: res.Runtime,
+			ParEff: f.ParallelEff, CommEff: f.CommEff,
+		})
+	}
+	return out, nil
+}
+
+// WeakScaling grows the work with the machine: bands scale with the node
+// count at fixed ranks per node, so perfect scaling keeps the runtime flat.
+func (s Suite) WeakScaling(engine fftx.Engine, baseRanks int, nodeCounts []int) (*ScalingResult, error) {
+	out := &ScalingResult{Engine: engine, Weak: true}
+	for _, nodes := range nodeCounts {
+		cfg := s.config(engine, baseRanks*nodes)
+		cfg.NodesCount = nodes
+		cfg.NB = s.NB * nodes
+		res, err := fftx.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: weak scaling %d nodes: %w", nodes, err)
+		}
+		f := pop.Analyze(res.Trace)
+		out.Rows = append(out.Rows, ScalingRow{
+			Nodes: nodes, Ranks: cfg.Ranks, NB: cfg.NB, Runtime: res.Runtime,
+			ParEff: f.ParallelEff, CommEff: f.CommEff,
+		})
+	}
+	return out, nil
+}
+
+// Format renders the scaling study, including the speedup or weak-scaling
+// efficiency relative to the first row.
+func (r *ScalingResult) Format() string {
+	var sb strings.Builder
+	kind := "Strong"
+	if r.Weak {
+		kind = "Weak"
+	}
+	fmt.Fprintf(&sb, "%s scaling, engine %v (beyond the paper: multi-node)\n", kind, r.Engine)
+	fmt.Fprintf(&sb, "%6s %7s %7s %12s %10s %9s %9s\n", "nodes", "ranks", "bands", "runtime[s]", "scaling", "ParEff", "CommEff")
+	base := r.Rows[0]
+	for _, row := range r.Rows {
+		var scal float64
+		if r.Weak {
+			scal = base.Runtime / row.Runtime // flat = 1.0
+		} else {
+			scal = base.Runtime / row.Runtime / (float64(row.Nodes) / float64(base.Nodes))
+		}
+		fmt.Fprintf(&sb, "%6d %7d %7d %12.4f %9.2fx %8.1f%% %8.1f%%\n",
+			row.Nodes, row.Ranks, row.NB, row.Runtime, scal, 100*row.ParEff, 100*row.CommEff)
+	}
+	if r.Weak {
+		sb.WriteString("scaling column: runtime(1 node)/runtime(N nodes); 1.00x = perfect weak scaling\n")
+	} else {
+		sb.WriteString("scaling column: parallel efficiency of the speedup; 1.00x = perfect strong scaling\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/fftx"
+	"repro/internal/knl"
+)
+
+// SensitivityRow records the headline result (the task version's gain over
+// the original at one configuration) under one node-model perturbation.
+type SensitivityRow struct {
+	Name     string
+	Original float64
+	Task     float64
+	Gain     float64
+	XYShift  float64 // main-phase IPC, task minus original
+}
+
+// SensitivityResult is the model-robustness study: the paper's conclusion
+// (the de-synchronized task version wins) should survive reasonable
+// perturbations of the calibration constants.
+type SensitivityResult struct {
+	Ranks int
+	Rows  []SensitivityRow
+}
+
+// Sensitivity re-runs the original-vs-task comparison at the given rank
+// count under perturbed node models: work variance off/doubled, endpoint
+// bandwidth halved/doubled, contention coefficient ±50 %, task-runtime
+// overhead excluded (Overhead is an ompss property, approximated here by
+// the unperturbed row).
+func (s Suite) Sensitivity(ranks int) (*SensitivityResult, error) {
+	base := knl.DefaultParams()
+	if s.Params != nil {
+		base = *s.Params
+	}
+	variants := []struct {
+		name string
+		mod  func(p *knl.Params)
+	}{
+		{"calibrated model", func(p *knl.Params) {}},
+		{"no work variance", func(p *knl.Params) { p.Jitter = 0 }},
+		{"work variance x2", func(p *knl.Params) { p.Jitter *= 2 }},
+		{"endpoint bandwidth /2", func(p *knl.Params) { p.EndpointBandwidth /= 2 }},
+		{"endpoint bandwidth x2", func(p *knl.Params) { p.EndpointBandwidth *= 2 }},
+		{"contention -50%", func(p *knl.Params) { p.ContA *= 0.5 }},
+		{"contention +50%", func(p *knl.Params) { p.ContA *= 1.5 }},
+		{"node bandwidth /2", func(p *knl.Params) { p.NodeBandwidth /= 2 }},
+		{"comm latency x4", func(p *knl.Params) { p.CommLatency *= 4 }},
+		{"tile L2 sharing on", func(p *knl.Params) {
+			p.TileDemand[knl.ClassMem] = 0.45
+			p.TileDemand[knl.ClassStream] = 0.55
+			p.TileDemand[knl.ClassVector] = 0.60
+		}},
+	}
+	out := &SensitivityResult{Ranks: ranks}
+	for _, v := range variants {
+		params := base
+		v.mod(&params)
+		cfgO := s.config(fftx.EngineOriginal, ranks)
+		cfgO.Params = &params
+		ro, err := fftx.Run(cfgO)
+		if err != nil {
+			return nil, fmt.Errorf("core: sensitivity %s: %w", v.name, err)
+		}
+		cfgT := s.config(fftx.EngineTaskIter, ranks)
+		cfgT.Params = &params
+		rt, err := fftx.Run(cfgT)
+		if err != nil {
+			return nil, fmt.Errorf("core: sensitivity %s: %w", v.name, err)
+		}
+		out.Rows = append(out.Rows, SensitivityRow{
+			Name:     v.name,
+			Original: ro.Runtime,
+			Task:     rt.Runtime,
+			Gain:     (ro.Runtime - rt.Runtime) / ro.Runtime,
+			XYShift: rt.Trace.PhaseAvgIPC("fft-xy", "vofr") -
+				ro.Trace.PhaseAvgIPC("fft-xy", "vofr"),
+		})
+	}
+	return out, nil
+}
+
+// Format renders the sensitivity table.
+func (r *SensitivityResult) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Model sensitivity of the headline result at %d x NTG\n", r.Ranks)
+	fmt.Fprintf(&sb, "%-24s %12s %12s %8s %10s\n", "model variant", "original[s]", "task[s]", "gain", "xyIPC +")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-24s %12.4f %12.4f %+7.1f%% %+10.3f\n",
+			row.Name, row.Original, row.Task, 100*row.Gain, row.XYShift)
+	}
+	return sb.String()
+}
+
+// BandSweepRow is one band-count measurement.
+type BandSweepRow struct {
+	NB       int
+	Original float64
+	Task     float64
+	Gain     float64
+}
+
+// BandSweepResult shows how the task version's advantage depends on the
+// computational load (Section IV: "the second optimization is especially
+// targeting scenarios with high computational load").
+type BandSweepResult struct {
+	Ranks int
+	Rows  []BandSweepRow
+}
+
+// BandSweep varies the number of bands at a fixed configuration and
+// measures the original-vs-task gain.
+func (s Suite) BandSweep(ranks int, bandCounts []int) (*BandSweepResult, error) {
+	out := &BandSweepResult{Ranks: ranks}
+	for _, nb := range bandCounts {
+		if nb%s.NTG != 0 {
+			continue
+		}
+		cfgO := s.config(fftx.EngineOriginal, ranks)
+		cfgO.NB = nb
+		ro, err := fftx.Run(cfgO)
+		if err != nil {
+			return nil, fmt.Errorf("core: bandsweep nb=%d: %w", nb, err)
+		}
+		cfgT := s.config(fftx.EngineTaskIter, ranks)
+		cfgT.NB = nb
+		rt, err := fftx.Run(cfgT)
+		if err != nil {
+			return nil, fmt.Errorf("core: bandsweep nb=%d: %w", nb, err)
+		}
+		out.Rows = append(out.Rows, BandSweepRow{
+			NB: nb, Original: ro.Runtime, Task: rt.Runtime,
+			Gain: (ro.Runtime - rt.Runtime) / ro.Runtime,
+		})
+	}
+	return out, nil
+}
+
+// Format renders the band sweep.
+func (r *BandSweepResult) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Computational-load dependence at %d ranks (Section IV)\n", r.Ranks)
+	fmt.Fprintf(&sb, "%8s %12s %12s %8s\n", "bands", "original[s]", "task[s]", "gain")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%8d %12.4f %12.4f %+7.1f%%\n", row.NB, row.Original, row.Task, 100*row.Gain)
+	}
+	return sb.String()
+}

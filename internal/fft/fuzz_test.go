@@ -1,0 +1,107 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+// Fuzz targets double as regression suites: `go test` runs the seed corpus;
+// `go test -fuzz=FuzzRoundTrip ./internal/fft` explores further.
+
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(8, int64(1))
+	f.Add(12, int64(2))
+	f.Add(97, int64(3))
+	f.Add(120, int64(4))
+	f.Add(1, int64(5))
+	f.Fuzz(func(t *testing.T, n int, seed int64) {
+		if n < 1 || n > 512 {
+			t.Skip()
+		}
+		p := NewPlan(n)
+		x := make([]complex128, n)
+		s := uint64(seed)
+		next := func() float64 {
+			s = s*6364136223846793005 + 1442695040888963407
+			return float64(int64(s>>11))/float64(1<<52) - 1
+		}
+		for i := range x {
+			x[i] = complex(next(), next())
+		}
+		y := append([]complex128(nil), x...)
+		p.Transform(y, Forward)
+		p.Transform(y, Backward)
+		Scale(y, 1/float64(n))
+		for i := range x {
+			if cmplx.Abs(y[i]-x[i]) > 1e-8*(1+cmplx.Abs(x[i]))*float64(n) {
+				t.Fatalf("n=%d: roundtrip mismatch at %d: %v vs %v", n, i, y[i], x[i])
+			}
+		}
+	})
+}
+
+func FuzzRealPlanConsistency(f *testing.F) {
+	f.Add(8, int64(1))
+	f.Add(30, int64(2))
+	f.Add(202, int64(3))
+	f.Fuzz(func(t *testing.T, n int, seed int64) {
+		if n < 2 || n > 512 || n%2 != 0 {
+			t.Skip()
+		}
+		rp := NewRealPlan(n)
+		cp := NewPlan(n)
+		x := make([]float64, n)
+		cx := make([]complex128, n)
+		s := uint64(seed)
+		for i := range x {
+			s = s*6364136223846793005 + 1442695040888963407
+			x[i] = float64(int64(s>>11)) / float64(1<<52)
+			cx[i] = complex(x[i], 0)
+		}
+		spec := rp.Forward(x)
+		cp.Transform(cx, Forward)
+		for k := 0; k <= n/2; k++ {
+			if cmplx.Abs(spec[k]-cx[k]) > 1e-8*float64(n) {
+				t.Fatalf("n=%d: real/complex disagree at %d", n, k)
+			}
+		}
+	})
+}
+
+func FuzzGoodSize(f *testing.F) {
+	f.Add(1)
+	f.Add(97)
+	f.Add(4096)
+	f.Fuzz(func(t *testing.T, n int) {
+		if n < 1 || n > 1<<16 {
+			t.Skip()
+		}
+		m := GoodSize(n)
+		if m < n {
+			t.Fatalf("GoodSize(%d) = %d < n", n, m)
+		}
+		k := m
+		for _, fac := range []int{2, 3, 5} {
+			for k%fac == 0 {
+				k /= fac
+			}
+		}
+		if k != 1 {
+			t.Fatalf("GoodSize(%d) = %d not 5-smooth", n, m)
+		}
+		// Minimality: no 5-smooth number in [n, m).
+		for c := n; c < m; c++ {
+			j := c
+			for _, fac := range []int{2, 3, 5} {
+				for j%fac == 0 {
+					j /= fac
+				}
+			}
+			if j == 1 {
+				t.Fatalf("GoodSize(%d) = %d skipped smaller smooth %d", n, m, c)
+			}
+		}
+		_ = math.MaxInt
+	})
+}

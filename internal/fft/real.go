@@ -1,0 +1,101 @@
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Real-input transforms (the r2c/c2r half of the FFTW API): a length-n real
+// sequence has a Hermitian spectrum, so only n/2+1 complex coefficients are
+// stored. The implementation uses the classic half-length complex trick:
+// the even/odd interleaving of the real input is transformed as one
+// length-n/2 complex sequence and untangled with twiddle factors, so an r2c
+// transform costs roughly half a c2c transform of the same length — the
+// same economy the gamma-point mode exploits at the 3-D level.
+type RealPlan struct {
+	n    int
+	half *Plan
+	// tw[k] = exp(-2πi k/n) for the untangling stage.
+	tw []complex128
+}
+
+// NewRealPlan creates a real-input plan for even lengths n >= 2.
+func NewRealPlan(n int) *RealPlan {
+	if n < 2 || n%2 != 0 {
+		panic(fmt.Sprintf("fft: real plan needs even n >= 2, got %d", n))
+	}
+	p := &RealPlan{n: n, half: NewPlan(n / 2)}
+	p.tw = make([]complex128, n/2+1)
+	for k := range p.tw {
+		p.tw[k] = cmplx.Exp(complex(0, -2*math.Pi*float64(k)/float64(n)))
+	}
+	return p
+}
+
+// N returns the real sequence length.
+func (p *RealPlan) N() int { return p.n }
+
+// SpectrumLen returns the stored spectrum length, n/2+1.
+func (p *RealPlan) SpectrumLen() int { return p.n/2 + 1 }
+
+// Flops returns the analytic flop count of one transform.
+func (p *RealPlan) Flops() float64 { return p.half.Flops() + 10*float64(p.n/2) }
+
+// Forward computes the half spectrum X[0..n/2] of the real input x:
+// X[k] = sum_j x[j]·exp(-2πi jk/n). X[0] and X[n/2] are real.
+func (p *RealPlan) Forward(x []float64) []complex128 {
+	if len(x) != p.n {
+		panic(fmt.Sprintf("fft: real Forward on %d samples, plan is %d", len(x), p.n))
+	}
+	m := p.n / 2
+	z := make([]complex128, m)
+	for j := 0; j < m; j++ {
+		z[j] = complex(x[2*j], x[2*j+1])
+	}
+	p.half.Transform(z, Forward)
+	out := make([]complex128, m+1)
+	// Untangle: with E[k] the even-sample spectrum and O[k] the odd-sample
+	// spectrum, X[k] = E[k] + w^k O[k]; E and O follow from Z = FFT(e+io)
+	// via Hermitian splitting.
+	for k := 0; k <= m; k++ {
+		zk := z[k%m]
+		zmk := cmplx.Conj(z[(m-k)%m])
+		e := (zk + zmk) * 0.5
+		o := (zk - zmk) * complex(0, -0.5)
+		out[k] = e + p.tw[k]*o
+	}
+	return out
+}
+
+// Backward reconstructs the real sequence from its half spectrum
+// (unscaled: Backward(Forward(x)) = n·x, matching the complex plans).
+func (p *RealPlan) Backward(spec []complex128) []float64 {
+	if len(spec) != p.n/2+1 {
+		panic(fmt.Sprintf("fft: real Backward on %d coefficients, want %d", len(spec), p.n/2+1))
+	}
+	m := p.n / 2
+	// Retangle into the half-length complex sequence.
+	z := make([]complex128, m)
+	for k := 0; k < m; k++ {
+		xk := spec[k]
+		var xmk complex128
+		if k == 0 {
+			xmk = cmplx.Conj(spec[m])
+		} else {
+			xmk = cmplx.Conj(spec[m-k])
+		}
+		e := (xk + xmk) * 0.5
+		o := (xk - xmk) * 0.5 * cmplx.Conj(p.tw[k])
+		z[k] = e + complex(0, 1)*o
+	}
+	p.half.Transform(z, Backward)
+	out := make([]float64, p.n)
+	// The unscaled half-length inverse yields m·(even,odd) pairs; the
+	// factor 2 restores the n·x convention of the complex plans.
+	for j := 0; j < m; j++ {
+		out[2*j] = 2 * real(z[j])
+		out[2*j+1] = 2 * imag(z[j])
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package fft
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Strided and cached-plan utilities.
+
+// TransformStrided computes the in-place transform of the N elements
+// data[offset], data[offset+stride], ..., gathering into a contiguous
+// scratch buffer, transforming and scattering back. It lets callers
+// transform columns of row-major planes without managing scratch
+// themselves.
+func (p *Plan) TransformStrided(data []complex128, offset, stride int, sign Sign) {
+	if stride <= 0 {
+		panic(fmt.Sprintf("fft: invalid stride %d", stride))
+	}
+	if stride == 1 {
+		p.Transform(data[offset:offset+p.n], sign)
+		return
+	}
+	need := offset + (p.n-1)*stride
+	if need >= len(data) {
+		panic(fmt.Sprintf("fft: strided transform reads index %d of %d", need, len(data)))
+	}
+	sp := p.scratch.Get().(*[]complex128)
+	buf := *sp
+	for i := 0; i < p.n; i++ {
+		buf[i] = data[offset+i*stride]
+	}
+	p.Transform(buf, sign)
+	for i := 0; i < p.n; i++ {
+		data[offset+i*stride] = buf[i]
+	}
+	p.scratch.Put(sp)
+}
+
+// Cache is a concurrency-safe plan cache keyed by length — the "wisdom"
+// reuse pattern of FFTW. The zero value is ready to use.
+type Cache struct {
+	mu    sync.Mutex
+	plans map[int]*Plan
+	real  map[int]*RealPlan
+}
+
+// Get returns the cached plan for length n, creating it on first use.
+func (c *Cache) Get(n int) *Plan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.plans == nil {
+		c.plans = map[int]*Plan{}
+	}
+	p := c.plans[n]
+	if p == nil {
+		p = NewPlan(n)
+		c.plans[n] = p
+	}
+	return p
+}
+
+// GetReal returns the cached real plan for length n, creating it on first
+// use.
+func (c *Cache) GetReal(n int) *RealPlan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.real == nil {
+		c.real = map[int]*RealPlan{}
+	}
+	p := c.real[n]
+	if p == nil {
+		p = NewRealPlan(n)
+		c.real[n] = p
+	}
+	return p
+}
+
+// DefaultCache is the package-level plan cache.
+var DefaultCache Cache

@@ -1,0 +1,410 @@
+// Package fftx reproduces the FFTXlib miniapp: the FFT kernel of Quantum
+// ESPRESSO that applies a real-space local potential to a set of bands
+// (forward FFT of each wavefunction from reciprocal to real space, multiply
+// by V(r), backward FFT), distributed with the two-layer MPI scheme of the
+// paper's Figure 1 (task-group pack/unpack + sticks→planes scatter).
+//
+// Three execution engines share one numerical kernel:
+//
+//   - EngineOriginal — the baseline: R·T single-threaded MPI ranks arranged
+//     as T FFT task groups of R positions each, statically synchronized by
+//     the collectives (paper Figure 1).
+//   - EngineTaskSteps — optimization 1 (paper Figure 4): the same MPI
+//     layout, but every step of the pipeline is an OmpSs task with flow
+//     dependencies; several loop iterations are in flight per rank, so
+//     communication overlaps computation.
+//   - EngineTaskIter — optimization 2 (paper Figure 5): the task-group MPI
+//     layer is replaced by threads (R ranks × T workers, NTG = 1); every
+//     band's whole pipeline is one task, scheduled asynchronously, which
+//     de-synchronizes the compute phases and softens resource contention.
+//
+// In ModeReal the engines move and transform actual wavefunction data and
+// all three produce identical results (verified against a serial
+// reference); in ModeCost they charge identical instruction counts and
+// communication volumes without touching data, which is what the paper
+// reproduction benchmarks use at full problem size.
+package fftx
+
+import (
+	"fmt"
+
+	"repro/internal/fft"
+	"repro/internal/knl"
+	"repro/internal/pw"
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+// Engine selects the execution strategy.
+type Engine int
+
+const (
+	// EngineOriginal is the static task-group baseline (Figure 1).
+	EngineOriginal Engine = iota
+	// EngineTaskSteps is the per-step task version (Figure 4).
+	EngineTaskSteps
+	// EngineTaskIter is the per-iteration task version (Figure 5).
+	EngineTaskIter
+	// EngineTaskCombined is the paper's future-work combination: per-band
+	// tasks with asynchronous, communication-thread-driven scatters, so
+	// communication overlaps computation AND phases de-synchronize.
+	EngineTaskCombined
+)
+
+// String names the engine.
+func (e Engine) String() string {
+	switch e {
+	case EngineOriginal:
+		return "original"
+	case EngineTaskSteps:
+		return "task-steps"
+	case EngineTaskIter:
+		return "task-iter"
+	case EngineTaskCombined:
+		return "task-combined"
+	}
+	return fmt.Sprintf("engine(%d)", int(e))
+}
+
+// Mode selects real numerics or cost-only simulation.
+type Mode int
+
+const (
+	// ModeReal transforms actual wavefunction data (used by the
+	// correctness tests and the examples; keep the grid small).
+	ModeReal Mode = iota
+	// ModeCost charges instruction counts and communication volumes
+	// without allocating band data (used at the paper's problem size).
+	ModeCost
+)
+
+// Config describes one FFT-phase run.
+type Config struct {
+	// Ecut is the plane-wave energy cutoff in Ry (paper: 80).
+	Ecut float64
+	// Alat is the lattice parameter in bohr (paper: 20).
+	Alat float64
+	// NB is the number of bands (paper: 128).
+	NB int
+	// Ranks is R: the ranks inside one task group (the positions a band's
+	// FFT is distributed over). For EngineTaskIter it is the number of MPI
+	// ranks.
+	Ranks int
+	// NTG is T: the number of FFT task groups (paper: 8). EngineOriginal
+	// and EngineTaskSteps spawn Ranks·NTG MPI processes; EngineTaskIter
+	// replaces the groups with NTG worker threads per rank.
+	NTG int
+	// StepWorkers is the per-rank worker-thread count of EngineTaskSteps
+	// (0 means 2). The other engines ignore it.
+	StepWorkers int
+	// NestedLoops makes EngineTaskSteps split the XY-FFT and Z-FFT compute
+	// steps into nested task loops executed by all of the rank's workers,
+	// as the paper's Figure 4 version does for cft_2xy and cft_1z.
+	NestedLoops bool
+	// NestedGrainXY and NestedGrainZ are the nested task-loop grain sizes
+	// (planes per task, sticks per task). Zero means the paper's values,
+	// 10 and 200.
+	NestedGrainXY int
+	NestedGrainZ  int
+	// Gamma enables gamma-point mode: only the Hermitian half of the
+	// G-sphere is stored and two bands are transformed per FFT (Quantum
+	// ESPRESSO's gamma_only). NB must be even. Supported by EngineOriginal
+	// and EngineTaskIter.
+	Gamma bool
+	// UnitPotential replaces V(r) by 1, making the whole kernel the
+	// identity operator — the strongest end-to-end invariant the tests
+	// exercise (ModeReal only).
+	UnitPotential bool
+	// Engine selects the execution strategy.
+	Engine Engine
+	// Mode selects real numerics or cost-only accounting.
+	Mode Mode
+	// Params is the KNL node model; zero value means knl.DefaultParams.
+	Params *knl.Params
+	// NodesCount spreads the lanes over several nodes joined by the Net
+	// interconnect (0 or 1 = the paper's single-node setting). Lanes are
+	// block-distributed: consecutive ranks share a node.
+	NodesCount int
+	// Net is the inter-node interconnect; the zero value means
+	// knl.DefaultNet when NodesCount > 1.
+	Net knl.NetParams
+	// Seed offsets the deterministic per-phase work-variance draws, so
+	// repeated runs of one configuration (the miniapp's iterations) see
+	// different execution noise while staying fully reproducible.
+	Seed int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Params == nil {
+		p := knl.DefaultParams()
+		c.Params = &p
+	}
+	if c.StepWorkers <= 0 {
+		c.StepWorkers = 2
+	}
+	if c.NestedGrainXY <= 0 {
+		c.NestedGrainXY = 10
+	}
+	if c.NestedGrainZ <= 0 {
+		c.NestedGrainZ = 200
+	}
+	if c.NodesCount < 1 {
+		c.NodesCount = 1
+	}
+	if c.NodesCount > 1 && c.Net == (knl.NetParams{}) {
+		c.Net = knl.DefaultNet()
+	}
+	return c
+}
+
+// buildMachine returns the compute machine and communication fabric of the
+// configuration: a single node, or a cluster when NodesCount > 1.
+func (c Config) buildMachine(lanes int) (vtime.Machine, knl.Fabric) {
+	if c.NodesCount > 1 {
+		cl := knl.NewCluster(*c.Params, c.Net, c.NodesCount, lanes)
+		return cl, cl
+	}
+	n := knl.NewNode(*c.Params, lanes)
+	return n, n
+}
+
+// Lanes returns the hardware-lane count the configuration occupies.
+func (c Config) Lanes() int {
+	switch c.Engine {
+	case EngineTaskSteps:
+		sw := c.StepWorkers
+		if sw <= 0 {
+			sw = 2
+		}
+		return c.Ranks * c.NTG * sw
+	default:
+		return c.Ranks * c.NTG
+	}
+}
+
+func (c Config) validate() error {
+	if c.Ecut <= 0 || c.Alat <= 0 {
+		return fmt.Errorf("fftx: invalid ecut=%g alat=%g", c.Ecut, c.Alat)
+	}
+	if c.NB <= 0 || c.Ranks <= 0 || c.NTG <= 0 {
+		return fmt.Errorf("fftx: invalid NB=%d Ranks=%d NTG=%d", c.NB, c.Ranks, c.NTG)
+	}
+	if c.NB%c.NTG != 0 {
+		return fmt.Errorf("fftx: NB=%d not divisible by NTG=%d", c.NB, c.NTG)
+	}
+	if c.Gamma {
+		if c.NB%2 != 0 || (c.NB/2)%c.NTG != 0 {
+			return fmt.Errorf("fftx: gamma mode needs NB even and NB/2 divisible by NTG (NB=%d NTG=%d)", c.NB, c.NTG)
+		}
+		if c.Engine != EngineOriginal && c.Engine != EngineTaskIter {
+			return fmt.Errorf("fftx: gamma mode not supported by engine %v", c.Engine)
+		}
+	}
+	nodes := c.NodesCount
+	if nodes < 1 {
+		nodes = 1
+	}
+	perNode := (c.Lanes() + nodes - 1) / nodes
+	if perNode > 4*c.Params.Cores {
+		return fmt.Errorf("fftx: %d lanes per node exceed 4-way hyper-threading on %d cores", perNode, c.Params.Cores)
+	}
+	return nil
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Config  Config
+	Runtime float64      // virtual seconds of the FFT phase
+	Trace   *trace.Trace // full state trace of the run
+	// Bands holds the transformed band coefficients (full sphere ordering)
+	// in ModeReal; nil in ModeCost.
+	Bands [][]complex128
+	// Sphere and Layout expose the problem geometry of the run.
+	Sphere *pw.Sphere
+	Layout *pw.Layout
+}
+
+// kernel bundles the problem geometry, FFT plans and precomputed index maps
+// shared by all engines. All fields are read-only after newKernel.
+type kernel struct {
+	cfg    Config
+	sphere *pw.Sphere
+	layout *pw.Layout
+	planZ  *fft.Plan
+	plan2D *fft.Plan2D
+	pot    []float64   // V(r), z-fastest volume (ModeReal)
+	potPl  [][]float64 // V per z-plane, row-major (ModeReal)
+
+	// stickFill[p][i] is the target index in position p's stick buffer
+	// (stick-major, full Nz per stick) of local coefficient i.
+	stickFill [][]int
+	// groupSticks is the stick order after the scatter (position-major).
+	groupSticks []int
+	// stickPlaneIdx[gs] is the row-major (ix·Ny+iy) cell of group stick gs.
+	stickPlaneIdx []int
+	// groupStickOffset[q] is the first group-stick index of position q.
+	groupStickOffset []int
+	// gammaMinus caches the -column plane cells (gamma mode), built lazily.
+	gammaMinus []int
+}
+
+func newKernel(cfg Config) *kernel {
+	var s *pw.Sphere
+	if cfg.Gamma {
+		s = pw.NewSphereGamma(cfg.Ecut, cfg.Alat)
+	} else {
+		s = pw.NewSphere(cfg.Ecut, cfg.Alat)
+	}
+	l := pw.NewLayout(s, cfg.Ranks)
+	k := &kernel{
+		cfg:    cfg,
+		sphere: s,
+		layout: l,
+		planZ:  fft.NewPlan(s.Grid.Nz),
+		plan2D: fft.NewPlan2D(s.Grid.Nx, s.Grid.Ny),
+	}
+	if cfg.Mode == ModeReal {
+		if cfg.UnitPotential {
+			k.pot = make([]float64, s.Grid.Size())
+			for i := range k.pot {
+				k.pot[i] = 1
+			}
+		} else {
+			k.pot = pw.Potential(s.Grid)
+		}
+		k.potPl = make([][]float64, s.Grid.Nz)
+		for z := 0; z < s.Grid.Nz; z++ {
+			k.potPl[z] = pw.PotentialPlane(s.Grid, k.pot, z)
+		}
+	}
+	nz := s.Grid.Nz
+	k.stickFill = make([][]int, cfg.Ranks)
+	for p := 0; p < cfg.Ranks; p++ {
+		fill := make([]int, 0, l.NGOf[p])
+		for sl, si := range l.SticksOf[p] {
+			st := s.Stick[si]
+			for _, kz := range st.Zs {
+				iz := kz % nz
+				if iz < 0 {
+					iz += nz
+				}
+				fill = append(fill, sl*nz+iz)
+			}
+		}
+		k.stickFill[p] = fill
+	}
+	k.groupSticks = l.GroupStickOrder()
+	k.stickPlaneIdx = make([]int, len(k.groupSticks))
+	for gs, si := range k.groupSticks {
+		k.stickPlaneIdx[gs] = s.PlaneIndex(s.Stick[si])
+	}
+	k.groupStickOffset = make([]int, cfg.Ranks+1)
+	off := 0
+	for q := 0; q < cfg.Ranks; q++ {
+		k.groupStickOffset[q] = off
+		off += l.NSticksOf(q)
+	}
+	k.groupStickOffset[cfg.Ranks] = off
+	return k
+}
+
+// computer abstracts the two compute contexts (mpi.Ctx and ompss.Worker).
+type computer interface {
+	Compute(phase string, class knl.Class, instr float64)
+}
+
+// fixedPhaseInstr is the fixed per-phase bookkeeping cost (loop and call
+// overhead, descriptor upkeep). It replicates with the process count, which
+// is what keeps the paper's instruction scalability slightly below 100 %.
+const fixedPhaseInstr = 4e4
+
+// jitter returns the deterministic work-variance factor of one phase
+// instance, in [1-Jitter, 1+Jitter], keyed by (band, position, phase name).
+// It models the run-to-run execution-time variance of real compute phases;
+// the same (band, position, phase) triple gets the same factor in every
+// engine, so instruction totals stay engine-invariant.
+func (k *kernel) jitter(band, p int, name string) float64 {
+	j := k.cfg.Params.Jitter
+	if j == 0 {
+		return 1
+	}
+	// FNV-1a over the identifying triple (plus the run seed, so repeated
+	// miniapp iterations see different variance draws).
+	h := uint64(1469598103934665603)
+	mix := func(x uint64) {
+		h ^= x
+		h *= 1099511628211
+	}
+	mix(uint64(k.cfg.Seed) + 1)
+	mix(uint64(band) + 1)
+	mix(uint64(p) + 1)
+	for i := 0; i < len(name); i++ {
+		mix(uint64(name[i]))
+	}
+	u := float64(h>>11) / float64(1<<53) // uniform in [0,1)
+	return 1 + j*(2*u-1)
+}
+
+// phase charges one compute phase of one band: the real data transform
+// (ModeReal) plus the modeled, jittered instruction count on the calling
+// lane.
+func (k *kernel) phase(c computer, band, p int, name string, class knl.Class, instr float64, work func()) {
+	if work != nil && k.cfg.Mode == ModeReal {
+		work()
+	}
+	c.Compute(name, class, instr*k.jitter(band, p, name)+fixedPhaseInstr)
+}
+
+// --- instruction counts (position p, one band) ---
+
+func (k *kernel) instrPack(p int) float64 {
+	// Chunk reassembly: read + write of the local coefficients.
+	return float64(k.layout.NGOf[p]) * 2 * 16 * k.cfg.Params.InstrPerByte
+}
+
+func (k *kernel) instrPrep(p int) float64 {
+	// Zero-fill of the stick buffer plus scatter of the coefficients.
+	bytes := float64(k.layout.NSticksOf(p)*k.sphere.Grid.Nz)*16 + float64(k.layout.NGOf[p])*2*16
+	return bytes * k.cfg.Params.InstrPerByte
+}
+
+func (k *kernel) instrFFTZ(p int) float64 {
+	return float64(k.layout.NSticksOf(p)) * k.planZ.Flops() * k.cfg.Params.InstrPerFlop
+}
+
+func (k *kernel) instrXYFill(p int) float64 {
+	g := k.sphere.Grid
+	bytes := float64(k.layout.NPlanesOf(p)) * (float64(g.Nx*g.Ny)*16 + float64(len(k.groupSticks))*2*16)
+	return bytes * k.cfg.Params.InstrPerByte
+}
+
+func (k *kernel) instrFFTXY(p int) float64 {
+	return float64(k.layout.NPlanesOf(p)) * k.plan2D.Flops() * k.cfg.Params.InstrPerFlop
+}
+
+func (k *kernel) instrVOfR(p int) float64 {
+	g := k.sphere.Grid
+	// complex × real multiply: 2 flops per point.
+	return float64(k.layout.NPlanesOf(p)) * float64(g.Nx*g.Ny) * 2 * k.cfg.Params.InstrPerFlop
+}
+
+func (k *kernel) instrXYExtract(p int) float64 {
+	bytes := float64(k.layout.NPlanesOf(p)) * float64(len(k.groupSticks)) * 2 * 16
+	return bytes * k.cfg.Params.InstrPerByte
+}
+
+func (k *kernel) instrUnpack(p int) float64 {
+	// Sphere extraction with backward scaling plus chunk split.
+	return float64(k.layout.NGOf[p])*2*k.cfg.Params.InstrPerFlop +
+		float64(k.layout.NGOf[p])*2*16*k.cfg.Params.InstrPerByte
+}
+
+// --- communication volumes (bytes per rank, one band) ---
+
+func (k *kernel) bytesPack(p int) float64 {
+	return float64(k.layout.NGOf[p]) * 16
+}
+
+func (k *kernel) bytesScatter(p int) float64 {
+	return float64(k.layout.NSticksOf(p)*k.sphere.Grid.Nz) * 16
+}

@@ -1,0 +1,219 @@
+package fftx
+
+import (
+	"math/cmplx"
+
+	"repro/internal/fft"
+	"repro/internal/knl"
+)
+
+// Gamma-point mode (Quantum ESPRESSO's gamma_only): wavefunctions are real
+// in real space, so only the Hermitian half of the G-sphere is stored and
+// TWO bands are transformed per FFT by packing them as psi = c1 + i·c2.
+// The real-space field then carries band 1 in its real part and band 2 in
+// its imaginary part; after applying the (real) potential, the two bands
+// separate again through the Hermitian split
+//
+//	c1'(G) = (F(+G) + conj(F(-G))) / 2
+//	c2'(G) = (F(+G) - conj(F(-G))) / (2i).
+//
+// In stick space every half-stick (i,j) expands to two columns: the +column
+// holds c1+i·c2 and the -column (at grid cell (-i,-j)) holds
+// conj(c1 - i·c2), which is the packed field's value at -G. The (0,0)
+// stick is self-conjugate: its negative-K half lands in the same column.
+// All pipeline stages below mirror the standard ones with two columns per
+// stick; the FFT count per pair of bands equals the standard count for one
+// band — the factor-two saving gamma_only exists for.
+
+// gammaCols returns the stick-buffer column count of position p.
+func (k *kernel) gammaCols(p int) int { return 2 * k.layout.NSticksOf(p) }
+
+// gammaMinusCell lazily builds the plane cell of each group stick's
+// -column (-1 for the self-conjugate zero stick).
+func (k *kernel) gammaMinusCellTable() []int {
+	if k.gammaMinus != nil {
+		return k.gammaMinus
+	}
+	k.gammaMinus = make([]int, len(k.groupSticks))
+	for gs, si := range k.groupSticks {
+		st := k.sphere.Stick[si]
+		if st.IsZeroStick() {
+			k.gammaMinus[gs] = -1
+			continue
+		}
+		k.gammaMinus[gs] = k.sphere.MinusPlaneIndex(st)
+	}
+	return k.gammaMinus
+}
+
+// prepSticksGamma packs a band pair into the two-columns-per-stick buffer.
+func (k *kernel) prepSticksGamma(p int, c1, c2 []complex128) []complex128 {
+	nz := k.sphere.Grid.Nz
+	buf := make([]complex128, k.gammaCols(p)*nz)
+	fill := k.stickFill[p]
+	sticksOf := k.layout.SticksOf[p]
+	for i, tgt := range fill {
+		s, iz := tgt/nz, tgt%nz
+		mz := (nz - iz) % nz
+		vp := c1[i] + complex(0, 1)*c2[i]
+		vm := cmplx.Conj(c1[i] - complex(0, 1)*c2[i])
+		if k.sphere.Stick[sticksOf[s]].IsZeroStick() {
+			buf[2*s*nz+iz] = vp
+			if iz != 0 {
+				buf[2*s*nz+mz] = vm
+			}
+			continue
+		}
+		buf[2*s*nz+iz] = vp
+		buf[(2*s+1)*nz+mz] = vm
+	}
+	return buf
+}
+
+// extractCoeffsGamma separates the band pair back out of the stick buffer,
+// applying the backward 1/N normalization.
+func (k *kernel) extractCoeffsGamma(p int, buf []complex128) (c1, c2 []complex128) {
+	nz := k.sphere.Grid.Nz
+	fill := k.stickFill[p]
+	sticksOf := k.layout.SticksOf[p]
+	c1 = make([]complex128, len(fill))
+	c2 = make([]complex128, len(fill))
+	scale := complex(1/float64(k.sphere.Grid.Size()), 0)
+	for i, tgt := range fill {
+		s, iz := tgt/nz, tgt%nz
+		mz := (nz - iz) % nz
+		vP := buf[2*s*nz+iz]
+		var vM complex128
+		if k.sphere.Stick[sticksOf[s]].IsZeroStick() {
+			vM = buf[2*s*nz+mz]
+		} else {
+			vM = buf[(2*s+1)*nz+mz]
+		}
+		c1[i] = (vP + cmplx.Conj(vM)) * 0.5 * scale
+		c2[i] = (vP - cmplx.Conj(vM)) * complex(0, -0.5) * scale
+	}
+	return c1, c2
+}
+
+// fftZGamma transforms all columns (two per stick) along z.
+func (k *kernel) fftZGamma(p int, buf []complex128, sign fft.Sign) {
+	k.planZ.TransformMany(buf, k.gammaCols(p), sign)
+}
+
+// scatterSplitGamma builds the forward-scatter send chunks over the doubled
+// column set.
+func (k *kernel) scatterSplitGamma(p int, buf []complex128) [][]complex128 {
+	return k.splitCols(p, buf, k.gammaCols(p))
+}
+
+// sticksFromScatterGamma reassembles the doubled column set.
+func (k *kernel) sticksFromScatterGamma(p int, recv [][]complex128) []complex128 {
+	return k.joinCols(p, recv, k.gammaCols(p))
+}
+
+// planesFromScatterGamma assembles the planes, placing each stick's +column
+// at its cell and its -column at the Hermitian partner cell.
+func (k *kernel) planesFromScatterGamma(p int, recv [][]complex128) []complex128 {
+	l := k.layout
+	g := k.sphere.Grid
+	minus := k.gammaMinusCellTable()
+	npl := l.NPlanesOf(p)
+	nxy := g.Nx * g.Ny
+	planes := make([]complex128, npl*nxy)
+	for q := 0; q < l.R; q++ {
+		nsq := l.NSticksOf(q)
+		for t := 0; t < nsq; t++ {
+			gs := k.groupStickOffset[q] + t
+			cellP := k.stickPlaneIdx[gs]
+			cellM := minus[gs]
+			for z := 0; z < npl; z++ {
+				planes[z*nxy+cellP] = recv[q][(2*t)*npl+z]
+				if cellM >= 0 {
+					planes[z*nxy+cellM] = recv[q][(2*t+1)*npl+z]
+				}
+			}
+		}
+	}
+	return planes
+}
+
+// planesToScatterGamma is the inverse of planesFromScatterGamma.
+func (k *kernel) planesToScatterGamma(p int, planes []complex128) [][]complex128 {
+	l := k.layout
+	g := k.sphere.Grid
+	minus := k.gammaMinusCellTable()
+	npl := l.NPlanesOf(p)
+	nxy := g.Nx * g.Ny
+	out := make([][]complex128, l.R)
+	for q := 0; q < l.R; q++ {
+		nsq := l.NSticksOf(q)
+		chunk := make([]complex128, 2*nsq*npl)
+		for t := 0; t < nsq; t++ {
+			gs := k.groupStickOffset[q] + t
+			cellP := k.stickPlaneIdx[gs]
+			cellM := minus[gs]
+			for z := 0; z < npl; z++ {
+				chunk[(2*t)*npl+z] = planes[z*nxy+cellP]
+				if cellM >= 0 {
+					chunk[(2*t+1)*npl+z] = planes[z*nxy+cellM]
+				}
+			}
+		}
+		out[q] = chunk
+	}
+	return out
+}
+
+// --- pipeline fragments (gamma) ---
+
+// gammaFactor scales the column-proportional instruction counts.
+const gammaFactor = 2
+
+func (k *kernel) zForwardGamma(c computer, job, p int, c1, c2 []complex128) [][]complex128 {
+	var buf []complex128
+	k.phase(c, job, p, "prep", knl.ClassMem, gammaFactor*k.instrPrep(p), func() {
+		buf = k.prepSticksGamma(p, c1, c2)
+	})
+	k.phase(c, job, p, "fft-z", knl.ClassStream, gammaFactor*k.instrFFTZ(p), func() {
+		k.fftZGamma(p, buf, fft.Backward)
+	})
+	var send [][]complex128
+	k.phase(c, job, p, "z-split", knl.ClassMem, gammaFactor*k.instrZSplit(p), func() {
+		send = k.scatterSplitGamma(p, buf)
+	})
+	return send
+}
+
+func (k *kernel) xyPartGamma(c computer, job, p int, recv [][]complex128) [][]complex128 {
+	var planes []complex128
+	k.phase(c, job, p, "xy-fill", knl.ClassMem, gammaFactor*k.instrXYFill(p), func() {
+		planes = k.planesFromScatterGamma(p, recv)
+	})
+	k.xyFFT(c, job, p, planes, fft.Backward)
+	k.vofr(c, job, p, planes)
+	k.xyFFT(c, job, p, planes, fft.Forward)
+	var send [][]complex128
+	k.phase(c, job, p, "xy-extract", knl.ClassMem, gammaFactor*k.instrXYExtract(p), func() {
+		send = k.planesToScatterGamma(p, planes)
+	})
+	return send
+}
+
+func (k *kernel) zBackwardGamma(c computer, job, p int, recv [][]complex128) (c1, c2 []complex128) {
+	var buf []complex128
+	k.phase(c, job, p, "z-fill", knl.ClassMem, gammaFactor*k.instrZFill(p), func() {
+		buf = k.sticksFromScatterGamma(p, recv)
+	})
+	k.phase(c, job, p, "fft-z", knl.ClassStream, gammaFactor*k.instrFFTZ(p), func() {
+		k.fftZGamma(p, buf, fft.Forward)
+	})
+	k.phase(c, job, p, "g-extract", knl.ClassMem, gammaFactor*k.instrUnpack(p), func() {
+		c1, c2 = k.extractCoeffsGamma(p, buf)
+	})
+	return c1, c2
+}
+
+// bytesScatterGamma is the gamma scatter volume per rank per band pair.
+func (k *kernel) bytesScatterGamma(p int) float64 {
+	return gammaFactor * k.bytesScatter(p)
+}

@@ -1,0 +1,184 @@
+package fftx
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/fft"
+	"repro/internal/pw"
+)
+
+// gammaReference applies the operator serially to the gamma-mode bands:
+// expand each half-sphere band pair to the full sphere, run the full 3-D
+// transform pipeline, reduce back.
+func gammaReference(t *testing.T, cfg Config) [][]complex128 {
+	t.Helper()
+	half := pw.NewSphereGamma(cfg.Ecut, cfg.Alat)
+	full := pw.NewSphere(cfg.Ecut, cfg.Alat)
+	bands := pw.WavefunctionBandsGamma(half, cfg.NB)
+	pot := pw.Potential(full.Grid)
+	plan := fft.NewPlan3D(full.Grid.Nx, full.Grid.Ny, full.Grid.Nz)
+	box := make([]complex128, full.Grid.Size())
+	out := make([][]complex128, cfg.NB)
+	for b, c := range bands {
+		fullC := pw.ExpandGammaCoeffs(half, full, c)
+		full.FillBox(box, fullC)
+		plan.Transform(box, fft.Backward)
+		for i := range box {
+			box[i] *= complex(pot[i], 0)
+		}
+		plan.Transform(box, fft.Forward)
+		res := make([]complex128, full.NG())
+		full.ExtractBox(res, box)
+		for i := range res {
+			res[i] *= complex(1/float64(full.Grid.Size()), 0)
+		}
+		out[b] = pw.ReduceGammaCoeffs(half, full, res)
+	}
+	return out
+}
+
+func gammaConfig(engine Engine, ranks, ntg, nb int) Config {
+	cfg := testConfig(engine, ranks, ntg, nb)
+	cfg.Gamma = true
+	return cfg
+}
+
+// Gamma-mode engines must reproduce the full-sphere serial reference: the
+// half-sphere representation with band pairing is mathematically identical.
+func TestGammaEnginesMatchReference(t *testing.T) {
+	ref := gammaReference(t, Config{Ecut: testEcut, Alat: testAlat, NB: 8})
+	cases := []Config{
+		gammaConfig(EngineOriginal, 1, 1, 8),
+		gammaConfig(EngineOriginal, 1, 4, 8),
+		gammaConfig(EngineOriginal, 2, 2, 8),
+		gammaConfig(EngineOriginal, 3, 2, 8),
+		gammaConfig(EngineOriginal, 2, 4, 8),
+		gammaConfig(EngineTaskIter, 1, 1, 8),
+		gammaConfig(EngineTaskIter, 1, 4, 8),
+		gammaConfig(EngineTaskIter, 2, 2, 8),
+		gammaConfig(EngineTaskIter, 3, 2, 8),
+		gammaConfig(EngineTaskIter, 2, 4, 8),
+	}
+	for _, cfg := range cases {
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%v %dx%d gamma: %v", cfg.Engine, cfg.Ranks, cfg.NTG, err)
+		}
+		if d := maxBandDiff(t, res.Bands, ref); d > 1e-10 {
+			t.Errorf("%v %dx%d gamma: max deviation %g", cfg.Engine, cfg.Ranks, cfg.NTG, d)
+		}
+	}
+}
+
+// Gamma mode halves the FFT count, so the simulated runtime must drop
+// substantially versus the standard mode at the same configuration (the
+// sphere is half, so per-job compute matches a standard single band's).
+func TestGammaHalvesRuntime(t *testing.T) {
+	std := Config{Ecut: 20, Alat: 12, NB: 32, Ranks: 4, NTG: 4,
+		Engine: EngineTaskIter, Mode: ModeCost}
+	gam := std
+	gam.Gamma = true
+	rs, err := Run(std)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg, err := Run(gam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := rg.Runtime / rs.Runtime
+	if ratio > 0.75 || ratio < 0.35 {
+		t.Fatalf("gamma/standard runtime ratio %.3f, expected ~0.5", ratio)
+	}
+}
+
+func TestGammaValidation(t *testing.T) {
+	bad := []Config{
+		// odd band count
+		{Ecut: testEcut, Alat: testAlat, NB: 7, Ranks: 1, NTG: 1, Gamma: true, Engine: EngineOriginal},
+		// unsupported engine
+		{Ecut: testEcut, Alat: testAlat, NB: 8, Ranks: 1, NTG: 2, Gamma: true, Engine: EngineTaskCombined},
+		// NB/2 not divisible by NTG
+		{Ecut: testEcut, Alat: testAlat, NB: 8, Ranks: 1, NTG: 8, Gamma: true, Engine: EngineOriginal},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestGammaDeterministic(t *testing.T) {
+	cfg := gammaConfig(EngineTaskIter, 2, 2, 4)
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Runtime != b.Runtime {
+		t.Fatalf("nondeterministic: %v vs %v", a.Runtime, b.Runtime)
+	}
+	for bd := range a.Bands {
+		for i := range a.Bands[bd] {
+			if a.Bands[bd][i] != b.Bands[bd][i] {
+				t.Fatalf("band data differs at %d/%d", bd, i)
+			}
+		}
+	}
+}
+
+// The gamma engines must agree with each other bit for bit.
+func TestGammaEnginesAgree(t *testing.T) {
+	a, err := Run(gammaConfig(EngineOriginal, 2, 2, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(gammaConfig(EngineTaskIter, 2, 2, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxBandDiff(t, a.Bands, b.Bands); d > 1e-12 {
+		t.Fatalf("engines disagree by %g", d)
+	}
+}
+
+// Hermiticity invariant on the output: <psi_i|V|psi_j> must be Hermitian in
+// the half-sphere inner product (2·Re(sum) - G=0 term).
+func TestGammaOutputHermitian(t *testing.T) {
+	cfg := gammaConfig(EngineTaskIter, 2, 2, 4)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := pw.WavefunctionBandsGamma(res.Sphere, cfg.NB)
+	dot := func(a, b []complex128) float64 {
+		// gamma inner product: sum over half sphere of 2*Re(conj(a)*b),
+		// minus the double-counted G=0 term.
+		var s float64
+		for i := range a {
+			s += 2 * real(cmplx.Conj(a[i])*b[i])
+		}
+		// subtract the G=0 overcount (it is the first coefficient of the
+		// (0,0) stick at K=0; find it)
+		for i, g := range res.Sphere.G {
+			if g.I == 0 && g.J == 0 && g.K == 0 {
+				s -= real(cmplx.Conj(a[i]) * b[i])
+				break
+			}
+		}
+		return s
+	}
+	for i := 0; i < cfg.NB; i++ {
+		for j := i; j < cfg.NB; j++ {
+			mij := dot(in[i], res.Bands[j])
+			mji := dot(in[j], res.Bands[i])
+			if d := mij - mji; d > 1e-10 || d < -1e-10 {
+				t.Fatalf("<%d|V|%d> asymmetry %g", i, j, d)
+			}
+		}
+	}
+}

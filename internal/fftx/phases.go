@@ -1,0 +1,180 @@
+package fftx
+
+import (
+	"repro/internal/fft"
+	"repro/internal/pw"
+)
+
+// The data transforms of the pipeline, shared by every engine in ModeReal.
+// Each operates on one position p of the layout (the rank inside a task
+// group that owns a subset of sticks and a contiguous block of planes).
+
+// prepSticks builds the zero-padded stick buffer (stick-major, full Nz per
+// stick) from position p's local sphere coefficients — the "preparation of
+// the Psis" phase with very low IPC in Figure 3.
+func (k *kernel) prepSticks(p int, coeffs []complex128) []complex128 {
+	buf := make([]complex128, k.layout.NSticksOf(p)*k.sphere.Grid.Nz)
+	fill := k.stickFill[p]
+	for i, c := range coeffs {
+		buf[fill[i]] = c
+	}
+	return buf
+}
+
+// fftZ transforms every local stick along z in place.
+func (k *kernel) fftZ(p int, buf []complex128, sign fft.Sign) {
+	k.planZ.TransformMany(buf, k.layout.NSticksOf(p), sign)
+}
+
+// splitCols builds the sticks→planes Alltoallv send chunks over nCols
+// columns of the stick buffer: send[q] holds, column-major, the values at
+// q's plane range.
+func (k *kernel) splitCols(p int, buf []complex128, nCols int) [][]complex128 {
+	l := k.layout
+	nz := k.sphere.Grid.Nz
+	out := make([][]complex128, l.R)
+	for q := 0; q < l.R; q++ {
+		lo, hi := l.PlaneLo[q], l.PlaneHi[q]
+		chunk := make([]complex128, 0, nCols*(hi-lo))
+		for s := 0; s < nCols; s++ {
+			chunk = append(chunk, buf[s*nz+lo:s*nz+hi]...)
+		}
+		out[q] = chunk
+	}
+	return out
+}
+
+// joinCols is the inverse of splitCols.
+func (k *kernel) joinCols(p int, recv [][]complex128, nCols int) []complex128 {
+	l := k.layout
+	nz := k.sphere.Grid.Nz
+	buf := make([]complex128, nCols*nz)
+	for q := 0; q < l.R; q++ {
+		lo, hi := l.PlaneLo[q], l.PlaneHi[q]
+		w := hi - lo
+		for s := 0; s < nCols; s++ {
+			copy(buf[s*nz+lo:s*nz+hi], recv[q][s*w:(s+1)*w])
+		}
+	}
+	return buf
+}
+
+// scatterSplit builds the sticks→planes Alltoallv send chunks: send[q]
+// holds, stick-major, the values of my sticks at q's plane range.
+func (k *kernel) scatterSplit(p int, buf []complex128) [][]complex128 {
+	return k.splitCols(p, buf, k.layout.NSticksOf(p))
+}
+
+// planesFromScatter assembles position p's full XY planes (plane-major,
+// row-major within a plane) from the forward-scatter receive chunks: the
+// "xy-fill" memory phase.
+func (k *kernel) planesFromScatter(p int, recv [][]complex128) []complex128 {
+	l := k.layout
+	g := k.sphere.Grid
+	npl := l.NPlanesOf(p)
+	nxy := g.Nx * g.Ny
+	planes := make([]complex128, npl*nxy)
+	for q := 0; q < l.R; q++ {
+		nsq := l.NSticksOf(q)
+		for t := 0; t < nsq; t++ {
+			cell := k.stickPlaneIdx[k.groupStickOffset[q]+t]
+			base := t * npl
+			for z := 0; z < npl; z++ {
+				planes[z*nxy+cell] = recv[q][base+z]
+			}
+		}
+	}
+	return planes
+}
+
+// fftXY transforms every owned plane in place.
+func (k *kernel) fftXY(p int, planes []complex128, sign fft.Sign) {
+	g := k.sphere.Grid
+	nxy := g.Nx * g.Ny
+	for z := 0; z < k.layout.NPlanesOf(p); z++ {
+		k.plan2D.Transform(planes[z*nxy:(z+1)*nxy], sign)
+	}
+}
+
+// vOfR multiplies the owned real-space planes by the local potential — the
+// operator the miniapp exists to apply.
+func (k *kernel) vOfR(p int, planes []complex128) {
+	g := k.sphere.Grid
+	nxy := g.Nx * g.Ny
+	for z := 0; z < k.layout.NPlanesOf(p); z++ {
+		vp := k.potPl[k.layout.PlaneLo[p]+z]
+		pl := planes[z*nxy : (z+1)*nxy]
+		for i := range pl {
+			pl[i] *= complex(vp[i], 0)
+		}
+	}
+}
+
+// planesToScatter is the inverse of planesFromScatter: it builds the
+// backward-scatter send chunks (send[q] = q's sticks' values at my planes).
+func (k *kernel) planesToScatter(p int, planes []complex128) [][]complex128 {
+	l := k.layout
+	g := k.sphere.Grid
+	npl := l.NPlanesOf(p)
+	nxy := g.Nx * g.Ny
+	out := make([][]complex128, l.R)
+	for q := 0; q < l.R; q++ {
+		nsq := l.NSticksOf(q)
+		chunk := make([]complex128, nsq*npl)
+		for t := 0; t < nsq; t++ {
+			cell := k.stickPlaneIdx[k.groupStickOffset[q]+t]
+			for z := 0; z < npl; z++ {
+				chunk[t*npl+z] = planes[z*nxy+cell]
+			}
+		}
+		out[q] = chunk
+	}
+	return out
+}
+
+// sticksFromScatter is the inverse of scatterSplit: it reassembles the full
+// stick buffer from the backward-scatter receive chunks.
+func (k *kernel) sticksFromScatter(p int, recv [][]complex128) []complex128 {
+	return k.joinCols(p, recv, k.layout.NSticksOf(p))
+}
+
+// extractCoeffs gathers the sphere coefficients back out of the stick
+// buffer, applying the backward 1/N normalization of the full 3-D
+// transform.
+func (k *kernel) extractCoeffs(p int, buf []complex128) []complex128 {
+	fill := k.stickFill[p]
+	out := make([]complex128, k.layout.NGOf[p])
+	scale := complex(1/float64(k.sphere.Grid.Size()), 0)
+	for i := range out {
+		out[i] = buf[fill[i]] * scale
+	}
+	return out
+}
+
+// Reference computes the result of the miniapp serially: for every band,
+// fill the full 3-D box, backward-transform to real space, multiply by
+// V(r), forward-transform back and extract the sphere with 1/N scaling.
+// Every engine's ModeReal output must match it to rounding error.
+func Reference(cfg Config) [][]complex128 {
+	s := pw.NewSphere(cfg.Ecut, cfg.Alat)
+	bands := pw.WavefunctionBands(s, cfg.NB)
+	pot := pw.Potential(s.Grid)
+	plan := fft.NewPlan3D(s.Grid.Nx, s.Grid.Ny, s.Grid.Nz)
+	box := make([]complex128, s.Grid.Size())
+	out := make([][]complex128, cfg.NB)
+	for b, coeffs := range bands {
+		s.FillBox(box, coeffs)
+		plan.Transform(box, fft.Backward) // G -> r, unscaled
+		for i := range box {
+			box[i] *= complex(pot[i], 0)
+		}
+		plan.Transform(box, fft.Forward) // r -> G
+		res := make([]complex128, s.NG())
+		s.ExtractBox(res, box)
+		for i := range res {
+			res[i] *= complex(1/float64(s.Grid.Size()), 0)
+		}
+		out[b] = res
+	}
+	return out
+}

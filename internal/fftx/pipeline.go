@@ -1,0 +1,162 @@
+package fftx
+
+import (
+	"repro/internal/fft"
+	"repro/internal/knl"
+	"repro/internal/mpi"
+)
+
+// Pipeline fragments shared by the engines. Each fragment bundles the real
+// data transform (skipped in ModeCost) with its compute-phase accounting.
+// The miniapp's "forward" direction (reciprocal → real space) is the
+// exp(+iGr) kernel, i.e. fft.Backward in this library's convention; the
+// return leg applies fft.Forward with the 1/N scaling in gExtract.
+
+func (k *kernel) instrZSplit(p int) float64 {
+	return float64(k.layout.NSticksOf(p)*k.sphere.Grid.Nz) * 2 * 16 * k.cfg.Params.InstrPerByte
+}
+
+func (k *kernel) instrZFill(p int) float64 {
+	return k.instrZSplit(p)
+}
+
+// zForward runs psi preparation, the forward Z FFTs and the scatter-send
+// split for position p, returning the scatter send chunks (nil in
+// ModeCost).
+func (k *kernel) zForward(c computer, band, p int, coeffs []complex128) [][]complex128 {
+	var buf []complex128
+	k.phase(c, band, p, "prep", knl.ClassMem, k.instrPrep(p), func() {
+		buf = k.prepSticks(p, coeffs)
+	})
+	k.phase(c, band, p, "fft-z", knl.ClassStream, k.instrFFTZ(p), func() {
+		k.fftZ(p, buf, fft.Backward)
+	})
+	var send [][]complex128
+	k.phase(c, band, p, "z-split", knl.ClassMem, k.instrZSplit(p), func() {
+		send = k.scatterSplit(p, buf)
+	})
+	return send
+}
+
+// xyFill assembles the received stick fragments into full planes.
+func (k *kernel) xyFill(c computer, band, p int, recv [][]complex128) []complex128 {
+	var planes []complex128
+	k.phase(c, band, p, "xy-fill", knl.ClassMem, k.instrXYFill(p), func() {
+		planes = k.planesFromScatter(p, recv)
+	})
+	return planes
+}
+
+// xyFFT transforms the owned planes in the given direction.
+func (k *kernel) xyFFT(c computer, band, p int, planes []complex128, sign fft.Sign) {
+	k.phase(c, band, p, "fft-xy", knl.ClassVector, k.instrFFTXY(p), func() {
+		k.fftXY(p, planes, sign)
+	})
+}
+
+// vofr applies the real-space potential to the owned planes.
+func (k *kernel) vofr(c computer, band, p int, planes []complex128) {
+	k.phase(c, band, p, "vofr", knl.ClassVector, k.instrVOfR(p), func() {
+		k.vOfR(p, planes)
+	})
+}
+
+// xyExtract disassembles the planes into backward-scatter send chunks.
+func (k *kernel) xyExtract(c computer, band, p int, planes []complex128) [][]complex128 {
+	var send [][]complex128
+	k.phase(c, band, p, "xy-extract", knl.ClassMem, k.instrXYExtract(p), func() {
+		send = k.planesToScatter(p, planes)
+	})
+	return send
+}
+
+// xyFFTPart transforms the plane range [lo,hi) of position p, charging the
+// proportional share of the phase's instructions. It is the body of the
+// nested task loop over cft_2xy calls (paper Figure 4, grain 10).
+func (k *kernel) xyFFTPart(c computer, band, p int, planes []complex128, sign fft.Sign, lo, hi int) {
+	n := k.layout.NPlanesOf(p)
+	frac := float64(hi-lo) / float64(n)
+	k.phase(c, band, p, "fft-xy", knl.ClassVector, k.instrFFTXY(p)*frac, func() {
+		g := k.sphere.Grid
+		nxy := g.Nx * g.Ny
+		for z := lo; z < hi; z++ {
+			k.plan2D.Transform(planes[z*nxy:(z+1)*nxy], sign)
+		}
+	})
+}
+
+// zFFTPart transforms the stick range [lo,hi) of position p's stick buffer,
+// the body of the nested task loop over cft_1z calls (grain 200).
+func (k *kernel) zFFTPart(c computer, band, p int, buf []complex128, sign fft.Sign, lo, hi int) {
+	n := k.layout.NSticksOf(p)
+	frac := float64(hi-lo) / float64(n)
+	nz := k.sphere.Grid.Nz
+	k.phase(c, band, p, "fft-z", knl.ClassStream, k.instrFFTZ(p)*frac, func() {
+		k.planZ.TransformMany(buf[lo*nz:hi*nz], hi-lo, sign)
+	})
+}
+
+// xyPart runs the central high-intensity block of Figure 3 — plane
+// assembly, forward XY FFTs, the V(r) application, backward XY FFTs and
+// plane disassembly — returning the backward-scatter send chunks.
+func (k *kernel) xyPart(c computer, band, p int, recv [][]complex128) [][]complex128 {
+	planes := k.xyFill(c, band, p, recv)
+	k.xyFFT(c, band, p, planes, fft.Backward)
+	k.vofr(c, band, p, planes)
+	k.xyFFT(c, band, p, planes, fft.Forward)
+	return k.xyExtract(c, band, p, planes)
+}
+
+// zBackward reassembles the sticks from the backward scatter, runs the
+// backward Z FFTs and extracts the normalized sphere coefficients.
+func (k *kernel) zBackward(c computer, band, p int, recv [][]complex128) []complex128 {
+	var buf []complex128
+	k.phase(c, band, p, "z-fill", knl.ClassMem, k.instrZFill(p), func() {
+		buf = k.sticksFromScatter(p, recv)
+	})
+	k.phase(c, band, p, "fft-z", knl.ClassStream, k.instrFFTZ(p), func() {
+		k.fftZ(p, buf, fft.Forward)
+	})
+	var out []complex128
+	k.phase(c, band, p, "g-extract", knl.ClassMem, k.instrUnpack(p), func() {
+		out = k.extractCoeffs(p, buf)
+	})
+	return out
+}
+
+// alltoall performs the engines' Alltoallv: real data in ModeReal, the
+// equivalent synchronization and transfer cost without payload in ModeCost.
+// bytesPerRank is the cost-model volume (ignored in ModeReal, where the
+// actual payload sizes drive the cost).
+func (k *kernel) alltoall(ctx *mpi.Ctx, comm *mpi.Comm, tag int, send [][]complex128, bytesPerRank float64) [][]complex128 {
+	if k.cfg.Mode == ModeReal {
+		return mpi.Alltoallv(ctx, comm, tag, send, mpi.BytesComplex128)
+	}
+	comm.CollectiveCost(ctx, "Alltoallv", tag, bytesPerRank)
+	return nil
+}
+
+// Run executes the configured engine and returns its result.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	switch cfg.Engine {
+	case EngineOriginal:
+		return runOriginal(cfg)
+	case EngineTaskSteps:
+		return runTaskSteps(cfg)
+	case EngineTaskIter:
+		return runTaskIter(cfg)
+	case EngineTaskCombined:
+		return runTaskCombined(cfg)
+	}
+	return nil, errUnknownEngine(cfg.Engine)
+}
+
+type errUnknownEngine Engine
+
+func (e errUnknownEngine) Error() string {
+	return "fftx: unknown engine " + Engine(e).String()
+}

@@ -1,0 +1,172 @@
+package fftx
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/knl"
+	"repro/internal/trace"
+)
+
+// Property: ANY valid (engine, ranks, ntg, nb, gamma) combination matches
+// the serial reference. Randomized over the full configuration space with a
+// fixed seed for reproducibility.
+func TestPropertyRandomConfigsMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	refCache := map[int][][]complex128{}
+	gammaRefCache := map[int][][]complex128{}
+	for trial := 0; trial < 25; trial++ {
+		engine := []Engine{EngineOriginal, EngineTaskSteps, EngineTaskIter, EngineTaskCombined}[rng.Intn(4)]
+		ranks := 1 + rng.Intn(4)
+		ntg := []int{1, 2, 4}[rng.Intn(3)]
+		nb := ntg * (1 + rng.Intn(3)) * 2 // even and divisible by ntg
+		gamma := rng.Intn(3) == 0 &&
+			(engine == EngineOriginal || engine == EngineTaskIter) &&
+			(nb/2)%ntg == 0
+		cfg := Config{
+			Ecut: testEcut, Alat: testAlat, NB: nb, Ranks: ranks, NTG: ntg,
+			Engine: engine, Mode: ModeReal, Gamma: gamma,
+		}
+		if engine == EngineTaskSteps {
+			cfg.StepWorkers = 1 + rng.Intn(3)
+			cfg.NestedLoops = rng.Intn(2) == 0
+			cfg.NestedGrainXY = 1 + rng.Intn(5)
+			cfg.NestedGrainZ = 1 + rng.Intn(8)
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("trial %d %+v: %v", trial, cfg, err)
+		}
+		var ref [][]complex128
+		if gamma {
+			if gammaRefCache[nb] == nil {
+				gammaRefCache[nb] = gammaReference(t, Config{Ecut: testEcut, Alat: testAlat, NB: nb})
+			}
+			ref = gammaRefCache[nb]
+		} else {
+			if refCache[nb] == nil {
+				refCache[nb] = Reference(Config{Ecut: testEcut, Alat: testAlat, NB: nb})
+			}
+			ref = refCache[nb]
+		}
+		if d := maxBandDiff(t, res.Bands, ref); d > 1e-10 {
+			t.Errorf("trial %d: engine=%v ranks=%d ntg=%d nb=%d gamma=%v workers=%d nested=%v: deviation %g",
+				trial, engine, ranks, ntg, nb, gamma, cfg.StepWorkers, cfg.NestedLoops, d)
+		}
+	}
+}
+
+// Property: the simulated runtime is positive and decreases (or at least
+// does not explode) when lanes are added at fixed work, across engines.
+func TestPropertyRuntimeSaneAcrossScales(t *testing.T) {
+	for _, engine := range []Engine{EngineOriginal, EngineTaskIter, EngineTaskCombined} {
+		prev := 0.0
+		for i, ranks := range []int{1, 2, 4} {
+			cfg := Config{Ecut: 20, Alat: 12, NB: 16, Ranks: ranks, NTG: 4,
+				Engine: engine, Mode: ModeCost}
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Runtime <= 0 {
+				t.Fatalf("%v ranks=%d: runtime %v", engine, ranks, res.Runtime)
+			}
+			if i > 0 && res.Runtime > prev*1.1 {
+				t.Fatalf("%v: runtime grew from %v to %v when doubling ranks", engine, prev, res.Runtime)
+			}
+			prev = res.Runtime
+		}
+	}
+}
+
+// Property: the useful modeled instructions (net of the per-phase fixed
+// bookkeeping term, which intentionally replicates with the process count)
+// are independent of the rank/NTG decomposition — distribution neither
+// loses nor duplicates work.
+func TestPropertyInstructionsDecompositionInvariant(t *testing.T) {
+	useful := func(res *Result) float64 {
+		var instr float64
+		var phases int
+		for _, iv := range res.Trace.Intervals {
+			if iv.Kind == trace.KindCompute {
+				instr += iv.Instr
+				phases++
+			}
+		}
+		return instr - float64(phases)*fixedPhaseInstr
+	}
+	var base float64
+	for i, tc := range []struct{ ranks, ntg int }{{1, 1}, {2, 2}, {4, 1}, {1, 4}, {2, 4}} {
+		cfg := Config{Ecut: testEcut, Alat: testAlat, NB: 8, Ranks: tc.ranks, NTG: tc.ntg,
+			Engine: EngineOriginal, Mode: ModeCost}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		instr := useful(res)
+		if i == 0 {
+			base = instr
+			continue
+		}
+		rel := (instr - base) / base
+		// Jitter draws differ per (band, position, phase), so allow its
+		// ±6 % plus stick-imbalance slack.
+		if rel < -0.08 || rel > 0.08 {
+			t.Fatalf("ranks=%d ntg=%d: useful instructions %g deviate %.1f%% from %g",
+				tc.ranks, tc.ntg, instr, 100*rel, base)
+		}
+	}
+}
+
+// Property: the node model influences ONLY timing, never numerics — band
+// results are bit-identical under wildly different machine parameters.
+func TestPropertyNumericsIndependentOfNodeModel(t *testing.T) {
+	base := testConfig(EngineTaskIter, 2, 2, 4)
+	ref, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := []func(*knl.Params){
+		func(p *knl.Params) { p.Jitter = 0.3 },
+		func(p *knl.Params) { p.Freq = 3e9; p.NodeBandwidth = 1e9 },
+		func(p *knl.Params) { p.ContA = 0.02; p.EndpointBandwidth = 1e8 },
+		func(p *knl.Params) { p.CommLatency = 1e-3 },
+	}
+	for i, mod := range variants {
+		params := knl.DefaultParams()
+		mod(&params)
+		cfg := base
+		cfg.Params = &params
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := maxBandDiff(t, res.Bands, ref.Bands); d != 0 {
+			t.Errorf("variant %d: numerics changed by %g under a timing-only perturbation", i, d)
+		}
+		if res.Runtime == ref.Runtime {
+			t.Errorf("variant %d: runtime unchanged — the perturbation did nothing", i)
+		}
+	}
+}
+
+// Property: the Seed affects timing draws only, never numerics.
+func TestPropertySeedTimingOnly(t *testing.T) {
+	base := testConfig(EngineOriginal, 2, 2, 4)
+	a, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeded := base
+	seeded.Seed = 42
+	b, err := Run(seeded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxBandDiff(t, a.Bands, b.Bands); d != 0 {
+		t.Fatalf("seed changed numerics by %g", d)
+	}
+	if a.Runtime == b.Runtime {
+		t.Fatal("seed did not change the timing draws")
+	}
+}

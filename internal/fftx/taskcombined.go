@@ -1,0 +1,131 @@
+package fftx
+
+import (
+	"fmt"
+
+	"repro/internal/knl"
+	"repro/internal/mpi"
+	"repro/internal/ompss"
+	"repro/internal/pw"
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+// runTaskCombined executes the paper's future-work direction (Section VI:
+// "combine the approaches to overlap communication and computation with
+// asynchronously scheduled tasks", referencing the hybrid MPI/SMPSs
+// communication-thread technique): the per-band task structure of the
+// per-iteration version, but with the two scatter collectives posted
+// asynchronously from communication threads. A band's pipeline becomes
+// three compute tasks (forward Z part, XY part, backward Z part) chained
+// through dependency promises that the communication threads fulfill, so a
+// worker thread never blocks inside MPI — while band b's scatter is in
+// flight, the worker immediately picks up another band's compute task.
+func runTaskCombined(cfg Config) (*Result, error) {
+	k := newKernel(cfg)
+	R, T := cfg.Ranks, cfg.NTG
+	lanes := R * T
+	machine, fabric := cfg.buildMachine(lanes)
+	eng := vtime.NewEngine(machine)
+	tr := trace.New(lanes, cfg.Params.Freq)
+	w := mpi.NewWorld(eng, fabric, tr, R, T)
+
+	var in, out [][][]complex128
+	if cfg.Mode == ModeReal {
+		in = make([][][]complex128, R)
+		out = make([][][]complex128, R)
+		for p := 0; p < R; p++ {
+			in[p] = make([][]complex128, cfg.NB)
+			out[p] = make([][]complex128, cfg.NB)
+		}
+		bands := pw.WavefunctionBands(k.sphere, cfg.NB)
+		for b, coeffs := range bands {
+			locals := k.layout.Distribute(coeffs)
+			for p := 0; p < R; p++ {
+				in[p][b] = locals[p]
+			}
+		}
+	}
+
+	type fwdKey struct{ b int }
+	type bwdKey struct{ b int }
+	type bandState struct {
+		recvZ  [][]complex128
+		recvXY [][]complex128
+	}
+
+	worldComm := w.CommWorld()
+	for p := 0; p < R; p++ {
+		p := p
+		workerLanes := make([]int, T)
+		for t := 0; t < T; t++ {
+			workerLanes[t] = p*T + t
+		}
+		rt := ompss.New(eng, tr, workerLanes)
+		eng.Spawn(fmt.Sprintf("rank%d.main", p), func(mp *vtime.Proc) {
+			for b := 0; b < cfg.NB; b++ {
+				b := b
+				st := &bandState{}
+				prFwd := rt.NewPromise(fmt.Sprintf("scat-fwd%d", b), fwdKey{b})
+				prBwd := rt.NewPromise(fmt.Sprintf("scat-bwd%d", b), bwdKey{b})
+
+				rt.Submit(mp, fmt.Sprintf("fwd%d", b), nil, 0, func(wk *ompss.Worker) {
+					ctx := &mpi.Ctx{W: w, Proc: wk.Proc, Rank: p, Lane: wk.Lane}
+					var coeffs []complex128
+					k.phase(wk, b, p, "pack", knl.ClassMem, k.instrPack(p), func() {
+						coeffs = append([]complex128(nil), in[p][b]...)
+					})
+					sendZ := k.zForward(wk, b, p, coeffs)
+					if cfg.Mode == ModeReal {
+						mpi.IAlltoallv(ctx, worldComm, 2*b, sendZ, mpi.BytesComplex128,
+							func(hp *vtime.Proc, recv [][]complex128) {
+								st.recvZ = recv
+								prFwd.Fulfill(hp)
+							})
+					} else {
+						mpi.ICollectiveCost(ctx, worldComm, "Alltoallv", 2*b, k.bytesScatter(p),
+							func(hp *vtime.Proc) { prFwd.Fulfill(hp) })
+					}
+				})
+				rt.Submit(mp, fmt.Sprintf("xy%d", b), []ompss.Dep{ompss.In(fwdKey{b})}, 0, func(wk *ompss.Worker) {
+					ctx := &mpi.Ctx{W: w, Proc: wk.Proc, Rank: p, Lane: wk.Lane}
+					sendXY := k.xyPart(wk, b, p, st.recvZ)
+					if cfg.Mode == ModeReal {
+						mpi.IAlltoallv(ctx, worldComm, 2*b+1, sendXY, mpi.BytesComplex128,
+							func(hp *vtime.Proc, recv [][]complex128) {
+								st.recvXY = recv
+								prBwd.Fulfill(hp)
+							})
+					} else {
+						mpi.ICollectiveCost(ctx, worldComm, "Alltoallv", 2*b+1, k.bytesScatter(p),
+							func(hp *vtime.Proc) { prBwd.Fulfill(hp) })
+					}
+				})
+				rt.Submit(mp, fmt.Sprintf("bwd%d", b), []ompss.Dep{ompss.In(bwdKey{b})}, 0, func(wk *ompss.Worker) {
+					res := k.zBackward(wk, b, p, st.recvXY)
+					k.phase(wk, b, p, "unpack", knl.ClassMem, k.instrPack(p), func() {
+						out[p][b] = res
+					})
+				})
+			}
+			rt.Taskwait(mp)
+			rt.Shutdown(mp)
+		})
+	}
+	if err := eng.Run(); err != nil {
+		return nil, fmt.Errorf("fftx: task-combined engine: %w", err)
+	}
+
+	res := &Result{Config: cfg, Runtime: tr.Runtime(), Trace: tr, Sphere: k.sphere, Layout: k.layout}
+	if cfg.Mode == ModeReal {
+		res.Bands = make([][]complex128, cfg.NB)
+		for b := 0; b < cfg.NB; b++ {
+			locals := make([][]complex128, R)
+			for p := 0; p < R; p++ {
+				locals[p] = out[p][b]
+			}
+			res.Bands[b] = k.layout.Collect(locals)
+		}
+	}
+	return res, nil
+}

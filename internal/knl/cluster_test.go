@@ -1,0 +1,81 @@
+package knl
+
+import (
+	"testing"
+
+	"repro/internal/vtime"
+)
+
+func TestClusterLaneAssignment(t *testing.T) {
+	c := NewCluster(DefaultParams(), DefaultNet(), 2, 128)
+	if c.TotalLanes() != 128 {
+		t.Fatalf("lanes %d", c.TotalLanes())
+	}
+	if c.LaneNode(0) != 0 || c.LaneNode(63) != 0 || c.LaneNode(64) != 1 || c.LaneNode(127) != 1 {
+		t.Fatalf("block distribution broken: %d %d %d %d",
+			c.LaneNode(0), c.LaneNode(63), c.LaneNode(64), c.LaneNode(127))
+	}
+}
+
+func TestClusterContentionIsPerNode(t *testing.T) {
+	p := DefaultParams()
+	// 64 vector lanes on one node vs 64 spread over two nodes: the spread
+	// case has half the per-node load, so each lane runs faster.
+	one := NewCluster(p, DefaultNet(), 1, 64)
+	two := NewCluster(p, DefaultNet(), 2, 64)
+	mk := func(n int) []*vtime.ActiveJob {
+		jobs := make([]*vtime.ActiveJob, n)
+		for i := range jobs {
+			jobs[i] = &vtime.ActiveJob{Job: vtime.Job{Work: 1, Class: int(ClassVector), Lane: i}}
+		}
+		return jobs
+	}
+	j1 := mk(64)
+	one.Rates(j1)
+	j2 := mk(64)
+	two.Rates(j2)
+	if j2[0].Rate <= j1[0].Rate {
+		t.Fatalf("two-node lane rate %g not above one-node %g", j2[0].Rate, j1[0].Rate)
+	}
+	// Single-node cluster must agree exactly with the plain node model.
+	n := NewNode(p, 64)
+	jn := mk(64)
+	n.Rates(jn)
+	if j1[0].Rate != jn[0].Rate {
+		t.Fatalf("1-node cluster rate %g differs from node %g", j1[0].Rate, jn[0].Rate)
+	}
+}
+
+func TestClusterCommCostsGrowAcrossNodes(t *testing.T) {
+	p := DefaultParams()
+	// A deliberately slow interconnect so the inter-node path dominates.
+	net := NetParams{Latency: 2e-6, Bandwidth: 0.5e9}
+	c := NewCluster(p, net, 4, 128)
+	const bytes = 4 << 20
+	intra := c.AlltoallTime(32, bytes, 32, 1)
+	inter := c.AlltoallTime(32, bytes, 32, 4)
+	if inter <= intra {
+		t.Fatalf("spanning 4 nodes (%g) not costlier than on-node (%g)", inter, intra)
+	}
+	if c.P2PTime(64<<20, 2, 2) <= c.P2PTime(64<<20, 2, 1) {
+		t.Fatal("cross-node p2p not costlier")
+	}
+	if c.BcastTime(8, 1<<20, 8, 2) <= 0 || c.ReduceTime(8, 1<<20, 8, 2) <= 0 {
+		t.Fatal("cluster collective times must be positive")
+	}
+	// With the default (fast) fabric the on-node path may dominate: the
+	// cluster must never report less than the single-node cost.
+	fast := NewCluster(p, DefaultNet(), 4, 128)
+	if fast.AlltoallTime(32, bytes, 32, 4) < fast.AlltoallTime(32, bytes, 32, 1) {
+		t.Fatal("spanning nodes reduced the cost")
+	}
+}
+
+func TestClusterRejectsOverfullNodes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCluster(DefaultParams(), DefaultNet(), 1, 4*68+1)
+}

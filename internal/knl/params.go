@@ -1,0 +1,100 @@
+package knl
+
+// DefaultParams returns the node parameters calibrated against the paper's
+// KNL test system (68 cores at 1.4 GHz, 4-way hyper-threading).
+//
+// Calibration anchors:
+//
+//   - Figure 3 phase IPCs at the 8x8 configuration (64 busy lanes, fully
+//     synchronized phases): psi preparation ~0.06, Z-FFT ~0.52, main
+//     XY-FFT/VOFR phase ~0.77. With 64 synchronized ClassVector lanes the
+//     capped per-core load is 64, S(64) = 1/(1+0.0019*64^1.5) ~ 0.507, so
+//     BaseIPC[vector] = 0.77/0.507 ~ 1.5. ClassStream and ClassMem bases
+//     follow the same inversion using their demands and sensitivities.
+//
+//   - Table I IPC-scalability column (100 / 92.8 / 78.7 / 56.3 / 28.3 % for
+//     8/16/32/64/128 synchronized lanes): the exponent ContP = 1.5 and
+//     coefficient ContA = 0.0019 reproduce the curve's shape, and the
+//     128-lane point follows from 2-way hyper-threading halving the issue
+//     share while the capped core load stays at 64.
+//
+//   - Section V: average IPC 1.1 at 1x8 falling to 0.6 at 8x8 for the
+//     original version, 0.8 for the task version; 0.3 vs 0.5 under 2-way
+//     hyper-threading.
+//
+// The communication constants are generic on-node MPI values (shared-memory
+// transport): they are not fitted to the paper (which reports no absolute
+// communication times), only chosen so that communication costs grow with
+// participant count the way Table I's communication efficiency column does.
+func DefaultParams() Params {
+	p := Params{
+		Cores: 68,
+		Freq:  1.4e9,
+
+		ContA: 0.0019,
+		ContP: 1.5,
+
+		CommLatency:       8e-6,
+		NodeBandwidth:     32e9,
+		EndpointBandwidth: 1e9,
+
+		InstrPerFlop: 0.9,
+		InstrPerByte: 0.04,
+
+		Jitter: 0.06,
+	}
+	// Base IPCs are inverted from the Figure 3 phase IPCs at the fully
+	// synchronized 8x8 point: vector 0.77 = base * S(64); stream
+	// 0.52 = base * S(48)^0.9 (64 lanes at demand 0.75); mem
+	// 0.06 = base * S(32) (64 lanes at demand 0.5).
+	p.BaseIPC[ClassMem] = 0.081
+	p.BaseIPC[ClassStream] = 0.81
+	p.BaseIPC[ClassVector] = 1.52
+
+	// A vector thread saturates a core's issue slots, so two of them halve
+	// (the original version's hyper-threading behaviour: aggregate flat,
+	// per-rank IPC halved — Figure 2 / Table I). Memory-bound threads
+	// leave slots idle while waiting on loads, so a de-synchronized
+	// vector+mem pairing lets the vector thread keep more than half — the
+	// task version's extra ~3 % gain from 2-way hyper-threading.
+	p.IssueDemand[ClassMem] = 0.42
+	p.IssueDemand[ClassStream] = 0.78
+	p.IssueDemand[ClassVector] = 1.00
+
+	// The node-shared (mesh/MCDRAM) demand differs per class: that is what
+	// de-synchronizing phases exploits — a vector phase coinciding with
+	// memory phases on other cores sees a lower total load, hence the
+	// higher IPC of the task version (Figure 7, ~0.75 -> ~0.85).
+	p.BWDemand[ClassMem] = 0.50
+	p.BWDemand[ClassStream] = 0.75
+	p.BWDemand[ClassVector] = 1.00
+
+	p.Sens[ClassMem] = 1.00
+	p.Sens[ClassStream] = 0.90
+	p.Sens[ClassVector] = 1.00
+	return p
+}
+
+// XeonParams returns a contrasting "standard CPU" node in the spirit of the
+// paper's Section IV discussion: the step-task (communication-overlap)
+// strategy targets machines where communication dominates, while the
+// per-iteration (de-synchronization) strategy targets the KNL's
+// contention-limited compute. A dual-socket Xeon-like node has far fewer
+// but faster cores (here 24 at 2.6 GHz with roughly twice the per-core
+// IPC), 2-way SMT, a gentler contention curve (large shared L3, fewer cores
+// stressing the memory system) and a similar interconnect — so compute
+// shrinks relative to communication and the trade-off flips. These values
+// are NOT fitted to any measurement; they exist to exercise the
+// machine-dependence of the engine choice.
+func XeonParams() Params {
+	p := DefaultParams()
+	p.Cores = 24
+	p.Freq = 2.6e9
+	p.BaseIPC[ClassMem] = 0.15
+	p.BaseIPC[ClassStream] = 1.6
+	p.BaseIPC[ClassVector] = 2.6
+	// Fewer cores load the shared resource less steeply.
+	p.ContA = 0.0012
+	p.ContP = 1.4
+	return p
+}

@@ -1,0 +1,220 @@
+package mpi
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/knl"
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+func TestIAlltoallvOverlapsWithCompute(t *testing.T) {
+	// Each rank posts an async alltoall, computes while it is in flight,
+	// and then consumes the result. The compute must not wait for the
+	// exchange; the callback must see the right data.
+	const n = 4
+	got := make([][][]int, n)
+	computeEnd := make([]float64, n)
+	commEnd := make([]float64, n)
+	runWorld(t, n, func(ctx *Ctx) {
+		c := ctx.W.CommWorld()
+		send := make([][]int, n)
+		for j := 0; j < n; j++ {
+			send[j] = []int{ctx.Rank*10 + j}
+		}
+		doneCh := false
+		IAlltoallv(ctx, c, 0, send, BytesInt, func(p *vtime.Proc, recv [][]int) {
+			got[ctx.Rank] = recv
+			commEnd[ctx.Rank] = p.Now()
+			doneCh = true
+		})
+		ctx.Compute("work", knl.ClassVector, 1e9) // long compute, overlaps comm
+		computeEnd[ctx.Rank] = ctx.Proc.Now()
+		if !doneCh {
+			t.Errorf("rank %d: comm not complete after long compute", ctx.Rank)
+		}
+	})
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if got[i][j][0] != j*10+i {
+				t.Fatalf("recv[%d][%d] = %v", i, j, got[i][j])
+			}
+		}
+		// The communication completed strictly before the compute did:
+		// it was hidden.
+		if commEnd[i] >= computeEnd[i] {
+			t.Fatalf("rank %d: comm ended at %v, compute at %v — no overlap", i, commEnd[i], computeEnd[i])
+		}
+	}
+}
+
+func TestIAlltoallvSilentInTrace(t *testing.T) {
+	_, tr := runWorld(t, 2, func(ctx *Ctx) {
+		c := ctx.W.CommWorld()
+		send := [][]float64{make([]float64, 100), make([]float64, 100)}
+		fulfilled := false
+		IAlltoallv(ctx, c, 0, send, BytesFloat64, func(p *vtime.Proc, _ [][]float64) {
+			fulfilled = true
+		})
+		ctx.Compute("work", knl.ClassVector, 1e8)
+		if !fulfilled {
+			t.Error("async comm incomplete")
+		}
+	})
+	for _, iv := range tr.Intervals {
+		if iv.Kind == trace.KindMPISync || iv.Kind == trace.KindMPITransfer {
+			t.Fatalf("async collective recorded on a lane: %+v", iv)
+		}
+	}
+}
+
+func TestICollectiveCostCompletes(t *testing.T) {
+	ends := make([]float64, 3)
+	runWorld(t, 3, func(ctx *Ctx) {
+		c := ctx.W.CommWorld()
+		ICollectiveCost(ctx, c, "Alltoallv", 0, 1<<20, func(p *vtime.Proc) {
+			ends[ctx.Rank] = p.Now()
+		})
+		ctx.Compute("work", knl.ClassVector, 1e9)
+	})
+	for r, e := range ends {
+		if e <= 0 {
+			t.Fatalf("rank %d: async cost collective never completed", r)
+		}
+	}
+}
+
+// Concurrent collectives from threads of the same rank serialize their
+// transfers on the rank's MPI endpoint: with two tagged alltoalls in flight
+// per rank, one of the two transfers must end strictly after the other.
+func TestEndpointSerializesConcurrentTransfers(t *testing.T) {
+	p := knl.DefaultParams()
+	node := knl.NewNode(p, 4)
+	eng := vtime.NewEngine(node)
+	tr := trace.New(4, p.Freq)
+	w := NewWorld(eng, node, tr, 2, 2)
+	for r := 0; r < 2; r++ {
+		for th := 0; th < 2; th++ {
+			r, th := r, th
+			w.Spawn(r, th, func(ctx *Ctx) {
+				c := ctx.W.CommWorld()
+				send := [][]float64{make([]float64, 50000), make([]float64, 50000)}
+				Alltoallv(ctx, c, 100+th, send, BytesFloat64)
+			})
+		}
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Collect per-lane transfer intervals of rank 0 (lanes 0 and 1).
+	var xfers []trace.Interval
+	for _, iv := range tr.Intervals {
+		if iv.Kind == trace.KindMPITransfer && iv.Lane < 2 {
+			xfers = append(xfers, iv)
+		}
+	}
+	if len(xfers) != 2 {
+		t.Fatalf("expected 2 transfers on rank 0, got %d", len(xfers))
+	}
+	a, b := xfers[0], xfers[1]
+	if a.Start > b.Start {
+		a, b = b, a
+	}
+	if b.Start < a.End-1e-15 {
+		t.Fatalf("transfers overlap on one endpoint: [%g,%g] and [%g,%g]",
+			a.Start, a.End, b.Start, b.End)
+	}
+}
+
+func TestAsyncAndBlockingMixMatchByTag(t *testing.T) {
+	// Rank 0 posts async, rank 1 calls blocking — same tag, must match.
+	var asyncGot, blockGot [][]int
+	runWorld(t, 2, func(ctx *Ctx) {
+		c := ctx.W.CommWorld()
+		send := [][]int{{ctx.Rank}, {ctx.Rank * 100}}
+		if ctx.Rank == 0 {
+			done := false
+			IAlltoallv(ctx, c, 5, send, BytesInt, func(p *vtime.Proc, recv [][]int) {
+				asyncGot = recv
+				done = true
+			})
+			ctx.Compute("w", knl.ClassVector, 1e8)
+			if !done {
+				t.Error("async incomplete")
+			}
+		} else {
+			blockGot = Alltoallv(ctx, c, 5, send, BytesInt)
+		}
+	})
+	if !reflect.DeepEqual(asyncGot, [][]int{{0}, {1}}) {
+		t.Fatalf("async got %v", asyncGot)
+	}
+	if !reflect.DeepEqual(blockGot, [][]int{{0}, {100}}) {
+		t.Fatalf("blocking got %v", blockGot)
+	}
+}
+
+func TestIsendIrecvOverlap(t *testing.T) {
+	var got []int
+	runWorld(t, 2, func(ctx *Ctx) {
+		c := ctx.W.CommWorld()
+		if ctx.Rank == 0 {
+			req := Isend(ctx, c, 1, 9, []int{1, 2, 3}, BytesInt)
+			ctx.Compute("work", knl.ClassVector, 1e8) // overlaps the send
+			req.Wait(ctx)
+			if !req.Test() {
+				t.Error("request not done after Wait")
+			}
+		} else {
+			req := Irecv[int](ctx, c, 0, 9)
+			ctx.Compute("work", knl.ClassVector, 1e8)
+			got = req.Wait(ctx)
+		}
+	})
+	if !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestWaitall(t *testing.T) {
+	results := make([][]int, 3)
+	runWorld(t, 4, func(ctx *Ctx) {
+		c := ctx.W.CommWorld()
+		if ctx.Rank == 0 {
+			reqs := make([]*Request[int], 3)
+			for r := 1; r <= 3; r++ {
+				reqs[r-1] = Irecv[int](ctx, c, r, 0)
+			}
+			Waitall(ctx, reqs...)
+			for i, r := range reqs {
+				results[i] = r.data
+			}
+		} else {
+			ctx.Proc.Sleep(float64(ctx.Rank)) // staggered sends
+			Send(ctx, c, 0, 0, []int{ctx.Rank * 11}, BytesInt)
+		}
+	})
+	for i, r := range results {
+		if len(r) != 1 || r[0] != (i+1)*11 {
+			t.Fatalf("results %v", results)
+		}
+	}
+}
+
+func TestSendrecvExchange(t *testing.T) {
+	// Ring exchange among 4 ranks: everyone sends right, receives from left.
+	got := make([]int, 4)
+	runWorld(t, 4, func(ctx *Ctx) {
+		c := ctx.W.CommWorld()
+		dst := (ctx.Rank + 1) % 4
+		src := (ctx.Rank + 3) % 4
+		recv := Sendrecv(ctx, c, dst, 0, []int{ctx.Rank}, src, 0, BytesInt)
+		got[ctx.Rank] = recv[0]
+	})
+	for r := 0; r < 4; r++ {
+		if got[r] != (r+3)%4 {
+			t.Fatalf("rank %d got %d", r, got[r])
+		}
+	}
+}

@@ -1,0 +1,363 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/knl"
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+// Element sizes for the cost model, in bytes.
+const (
+	BytesComplex128 = 16
+	BytesFloat64    = 8
+	BytesInt        = 8
+)
+
+type rvKey struct {
+	comm string
+	op   string
+	tag  int
+	gen  int
+}
+
+type seqKey struct {
+	comm string
+	op   string
+	tag  int
+	rank int
+}
+
+// rendezvous is the meeting point of one collective call instance.
+type rendezvous struct {
+	need     int
+	payload  []any
+	arrived  int
+	lastAt   float64
+	result   any
+	transfer float64
+	picked   int
+	wq       vtime.WaitQueue
+}
+
+// costFn computes the transfer duration of a completed collective from the
+// fabric model, the participant count k, the number of lanes currently
+// inside MPI calls (for bandwidth sharing), the number of nodes the
+// communicator spans and the gathered payloads (indexed by communicator
+// rank).
+type costFn func(fabric knl.Fabric, k, commLanes, nodesSpanned int, payloads []any) float64
+
+// exchange is the generic collective rendezvous: every member of c
+// contributes payload; the last arriver runs reduce over the payloads
+// (indexed by communicator rank) and computes the transfer cost; everyone
+// then pays the transfer time and returns the shared result. Calls with the
+// same (comm, op, tag) match across ranks in per-rank call order, so
+// concurrent collectives from different task threads are safe as long as
+// they use distinct tags.
+func (c *Comm) exchange(ctx *Ctx, op string, tag int, payload any, cost costFn, reduce func([]any) any) any {
+	w := c.w
+	me := c.RankIn(ctx)
+	sk := seqKey{c.id, op, tag, me}
+	gen := w.callSeq[sk]
+	w.callSeq[sk] = gen + 1
+	key := rvKey{c.id, op, tag, gen}
+	rv := w.rendezvous[key]
+	if rv == nil {
+		rv = &rendezvous{need: len(c.ranks), payload: make([]any, len(c.ranks))}
+		w.rendezvous[key] = rv
+	}
+	if rv.payload[me] != nil {
+		panic(fmt.Sprintf("mpi: duplicate arrival of rank %d in %s/%s tag %d", ctx.Rank, c.id, op, tag))
+	}
+	rv.payload[me] = payload
+	rv.arrived++
+	w.inComm++
+	start := ctx.Proc.Now()
+
+	if rv.arrived < rv.need {
+		rv.wq.Wait(ctx.Proc)
+	} else {
+		rv.lastAt = ctx.Proc.Now()
+		rv.result = reduce(rv.payload)
+		if cost != nil && w.Node != nil {
+			// Bandwidth is shared among concurrently communicating lanes,
+			// but per-rank endpoint serialization means at most one
+			// transfer per rank is in flight, so the sharing degree never
+			// exceeds the rank count (threads and communication helpers
+			// queued on their endpoint must not dilute the bandwidth).
+			lanes := w.inComm
+			if lanes > w.Size {
+				lanes = w.Size
+			}
+			rv.transfer = cost(w.Node, rv.need, lanes, c.nodesSpanned(), rv.payload)
+		}
+		rv.wq.WakeAll(ctx.Proc)
+	}
+	// Per-rank endpoint serialization: concurrent transfers issued by
+	// threads of the same rank queue on the rank's MPI endpoint.
+	ep := w.endpoints[ctx.Rank]
+	ep.Acquire(ctx.Proc)
+	syncEnd := ctx.Proc.Now()
+	if rv.transfer > 0 {
+		ctx.Proc.Sleep(rv.transfer)
+	}
+	ep.Release(ctx.Proc)
+	w.inComm--
+	if w.Trace != nil && !ctx.Silent {
+		trace.Recorder{T: w.Trace, Lane: ctx.Lane}.MPI(op, c.id, tag, start, syncEnd, ctx.Proc.Now())
+	}
+	res := rv.result
+	rv.picked++
+	if rv.picked == rv.need {
+		delete(w.rendezvous, key)
+	}
+	return res
+}
+
+// nonNil wraps payloads so that "no payload" participants still mark arrival.
+type nonNil struct{ v any }
+
+// Barrier synchronizes all members of c.
+func (c *Comm) Barrier(ctx *Ctx, tag int) {
+	c.exchange(ctx, "Barrier", tag, nonNil{},
+		func(n knl.Fabric, k, lanes, span int, _ []any) float64 { return n.BcastTime(k, 0, lanes, span) },
+		func([]any) any { return nil })
+}
+
+// Bcast distributes root's slice (communicator rank) to all members; only
+// the root's data argument is consulted. elemBytes sizes the cost model.
+func Bcast[T any](ctx *Ctx, c *Comm, tag, root int, data []T, elemBytes int) []T {
+	res := c.exchange(ctx, "Bcast", tag, nonNil{data},
+		func(n knl.Fabric, k, lanes, span int, payloads []any) float64 {
+			rootData := payloads[root].(nonNil).v.([]T)
+			return n.BcastTime(k, float64(len(rootData)*elemBytes), lanes, span)
+		},
+		func(all []any) any { return all[root].(nonNil).v })
+	return res.([]T)
+}
+
+// Reduce combines the members' float64 vectors element-wise with op; only
+// the root (communicator rank) receives the result, others get nil.
+func (c *Comm) Reduce(ctx *Ctx, tag, root int, data []float64, op func(a, b float64) float64) []float64 {
+	res := c.exchange(ctx, "Reduce", tag, nonNil{data},
+		func(n knl.Fabric, k, lanes, span int, _ []any) float64 {
+			return n.ReduceTime(k, float64(len(data))*BytesFloat64, lanes, span)
+		},
+		func(all []any) any { return reduceVecs(all, op) })
+	if c.RankIn(ctx) == root {
+		return res.([]float64)
+	}
+	return nil
+}
+
+// Allreduce combines the members' float64 vectors element-wise with op and
+// returns the result on every rank.
+func (c *Comm) Allreduce(ctx *Ctx, tag int, data []float64, op func(a, b float64) float64) []float64 {
+	res := c.exchange(ctx, "Allreduce", tag, nonNil{data},
+		func(n knl.Fabric, k, lanes, span int, _ []any) float64 {
+			return n.ReduceTime(k, float64(len(data))*BytesFloat64, lanes, span)
+		},
+		func(all []any) any { return reduceVecs(all, op) })
+	return res.([]float64)
+}
+
+func reduceVecs(all []any, op func(a, b float64) float64) []float64 {
+	var acc []float64
+	for _, v := range all {
+		vec := v.(nonNil).v.([]float64)
+		if acc == nil {
+			acc = append([]float64(nil), vec...)
+			continue
+		}
+		if len(vec) != len(acc) {
+			panic("mpi: reduce length mismatch")
+		}
+		for i := range acc {
+			acc[i] = op(acc[i], vec[i])
+		}
+	}
+	return acc
+}
+
+// Sum is the element-wise addition reduction operator.
+func Sum(a, b float64) float64 { return a + b }
+
+// Max is the element-wise maximum reduction operator.
+func Max(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Allgatherv gathers every member's slice on every member, indexed by
+// communicator rank.
+func Allgatherv[T any](ctx *Ctx, c *Comm, tag int, data []T, elemBytes int) [][]T {
+	res := c.exchange(ctx, "Allgatherv", tag, nonNil{data},
+		func(n knl.Fabric, k, lanes, span int, payloads []any) float64 {
+			var total float64
+			for _, p := range payloads {
+				total += float64(len(p.(nonNil).v.([]T)) * elemBytes)
+			}
+			return n.AlltoallTime(k, total, lanes, span)
+		},
+		func(all []any) any {
+			out := make([][]T, len(all))
+			for i, v := range all {
+				out[i] = v.(nonNil).v.([]T)
+			}
+			return out
+		})
+	return res.([][]T)
+}
+
+// Gatherv gathers every member's slice on root (communicator rank), which
+// receives the slices indexed by communicator rank; other ranks receive nil.
+func Gatherv[T any](ctx *Ctx, c *Comm, tag, root int, data []T, elemBytes int) [][]T {
+	all := Allgatherv(ctx, c, tag, data, elemBytes)
+	if c.RankIn(ctx) == root {
+		return all
+	}
+	return nil
+}
+
+// Scatterv distributes root's per-rank slices: rank i receives send[i].
+// Only the root's send argument is consulted; others may pass nil.
+func Scatterv[T any](ctx *Ctx, c *Comm, tag, root int, send [][]T, elemBytes int) []T {
+	res := c.exchange(ctx, "Scatterv", tag, nonNil{send},
+		func(n knl.Fabric, k, lanes, span int, payloads []any) float64 {
+			var total float64
+			for _, s := range payloads[root].(nonNil).v.([][]T) {
+				total += float64(len(s) * elemBytes)
+			}
+			return n.AlltoallTime(k, total, lanes, span)
+		},
+		func(all []any) any { return all[root].(nonNil).v })
+	rootSend := res.([][]T)
+	return rootSend[c.RankIn(ctx)]
+}
+
+// Alltoallv is the workhorse of the FFT kernel: every member sends send[j]
+// to communicator rank j and receives recv[j] from j. The charged volume is
+// the maximum per-rank send volume, matching the bulk-synchronous behaviour
+// of an on-node Alltoall. The returned slices alias the senders' buffers;
+// receivers must not mutate them (the kernel copies into its own layout).
+func Alltoallv[T any](ctx *Ctx, c *Comm, tag int, send [][]T, elemBytes int) [][]T {
+	if len(send) != c.Size() {
+		panic(fmt.Sprintf("mpi: Alltoallv send has %d chunks for comm of size %d", len(send), c.Size()))
+	}
+	res := c.exchange(ctx, "Alltoallv", tag, nonNil{send},
+		func(n knl.Fabric, k, lanes, span int, payloads []any) float64 {
+			var maxBytes float64
+			for _, p := range payloads {
+				var b float64
+				for _, s := range p.(nonNil).v.([][]T) {
+					b += float64(len(s) * elemBytes)
+				}
+				if b > maxBytes {
+					maxBytes = b
+				}
+			}
+			return n.AlltoallTime(k, maxBytes, lanes, span)
+		},
+		func(all []any) any {
+			mat := make([][][]T, len(all))
+			for i, v := range all {
+				mat[i] = v.(nonNil).v.([][]T)
+			}
+			return mat
+		})
+	mat := res.([][][]T)
+	me := c.RankIn(ctx)
+	out := make([][]T, c.Size())
+	for j := range out {
+		out[j] = mat[j][me]
+	}
+	return out
+}
+
+// Alltoall exchanges equal-sized chunks: send must contain Size() chunks of
+// identical length.
+func Alltoall[T any](ctx *Ctx, c *Comm, tag int, send [][]T, elemBytes int) [][]T {
+	for _, s := range send {
+		if len(s) != len(send[0]) {
+			panic("mpi: Alltoall requires equal chunk sizes; use Alltoallv")
+		}
+	}
+	return Alltoallv(ctx, c, tag, send, elemBytes)
+}
+
+// CollectiveCost performs a data-free collective: it synchronizes the
+// members of c like an Alltoallv carrying bytesPerRank per rank, charging
+// sync and transfer time without moving payload. The cost-only execution
+// mode of the FFT engines uses it so that cost-mode and real-mode runs have
+// identical timing behaviour.
+func (c *Comm) CollectiveCost(ctx *Ctx, op string, tag int, bytesPerRank float64) {
+	c.exchange(ctx, op, tag, nonNil{bytesPerRank},
+		func(n knl.Fabric, k, lanes, span int, payloads []any) float64 {
+			var maxBytes float64
+			for _, p := range payloads {
+				if b := p.(nonNil).v.(float64); b > maxBytes {
+					maxBytes = b
+				}
+			}
+			return n.AlltoallTime(k, maxBytes, lanes, span)
+		},
+		func(all []any) any { return nil })
+}
+
+// ReduceScatter combines the members' vectors element-wise and scatters the
+// result: each rank receives its contiguous share of the reduced vector
+// (shares are as equal as possible, remainder to the low ranks).
+func (c *Comm) ReduceScatter(ctx *Ctx, tag int, data []float64, op func(a, b float64) float64) []float64 {
+	res := c.exchange(ctx, "ReduceScatter", tag, nonNil{data},
+		func(n knl.Fabric, k, lanes, span int, _ []any) float64 {
+			return n.ReduceTime(k, float64(len(data))*BytesFloat64, lanes, span)
+		},
+		func(all []any) any { return reduceVecs(all, op) })
+	full := res.([]float64)
+	k := c.Size()
+	base, rem := len(full)/k, len(full)%k
+	me := c.RankIn(ctx)
+	lo := me*base + min(me, rem)
+	sz := base
+	if me < rem {
+		sz++
+	}
+	return full[lo : lo+sz]
+}
+
+// Scan computes the inclusive prefix reduction: rank i receives the
+// element-wise combination of ranks 0..i's vectors.
+func (c *Comm) Scan(ctx *Ctx, tag int, data []float64, op func(a, b float64) float64) []float64 {
+	res := c.exchange(ctx, "Scan", tag, nonNil{data},
+		func(n knl.Fabric, k, lanes, span int, _ []any) float64 {
+			return n.ReduceTime(k, float64(len(data))*BytesFloat64, lanes, span)
+		},
+		func(all []any) any {
+			// Prefix-reduce into a matrix indexed by comm rank.
+			out := make([][]float64, len(all))
+			var acc []float64
+			for i, v := range all {
+				vec := v.(nonNil).v.([]float64)
+				if acc == nil {
+					acc = append([]float64(nil), vec...)
+				} else {
+					for j := range acc {
+						acc[j] = op(acc[j], vec[j])
+					}
+				}
+				out[i] = append([]float64(nil), acc...)
+			}
+			return out
+		})
+	return res.([][]float64)[c.RankIn(ctx)]
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

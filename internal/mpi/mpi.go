@@ -1,0 +1,237 @@
+// Package mpi is an in-process message-passing library executing inside the
+// vtime discrete-event simulator. It provides the MPI surface the FFTXlib
+// kernel needs — communicators, sub-communicator splits, point-to-point
+// messages and the collectives (Barrier, Bcast, Reduce, Allreduce,
+// Gather(v), Allgather(v), Scatter(v), Alltoall(v)) — with real data
+// movement between rank buffers and virtual-time costs from the KNL node
+// model.
+//
+// Ranks (and, in MPI+tasks mode, the task-runtime worker threads that issue
+// MPI calls on a rank's behalf) are simulated processes; each MPI call is
+// split into a synchronization part (waiting for the other participants,
+// recorded as trace.KindMPISync) and a transfer part (the data movement,
+// recorded as trace.KindMPITransfer), which is exactly the decomposition the
+// POP efficiency model of Tables I/II needs.
+//
+// Collective calls carry an explicit matching tag so that multiple
+// collectives on the same communicator can be in flight concurrently from
+// different task threads (the per-band Alltoalls of the task-based engines);
+// calls with the same (communicator, operation, tag) match across ranks in
+// call order.
+package mpi
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/knl"
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+// World is one simulated MPI job: a fixed set of ranks on one node.
+type World struct {
+	Eng            *vtime.Engine
+	Node           knl.Fabric
+	Trace          *trace.Trace // may be nil
+	Size           int
+	ThreadsPerRank int
+
+	rendezvous map[rvKey]*rendezvous
+	callSeq    map[seqKey]int
+	p2p        map[p2pKey]*p2pQueue
+	commSeq    int
+	asyncSeq   int // helper-process counter for asynchronous collectives
+	inComm     int // lanes currently inside an MPI call, for bandwidth sharing
+	// endpoints serialize the transfer part of concurrent MPI calls issued
+	// by different threads of the same rank (the MPI_THREAD_MULTIPLE
+	// endpoint lock). Single-threaded ranks never contend on it; in
+	// MPI+tasks mode it staggers the completion of the per-band
+	// collectives, which is one of the physical sources of the phase
+	// de-synchronization visible in Figure 7 of the paper.
+	endpoints []*vtime.Semaphore
+}
+
+// NewWorld creates a world of size ranks with threadsPerRank hardware lanes
+// each. The fabric (a knl.Node or knl.Cluster) must have been created with
+// size*threadsPerRank lanes.
+func NewWorld(eng *vtime.Engine, node knl.Fabric, tr *trace.Trace, size, threadsPerRank int) *World {
+	if threadsPerRank < 1 {
+		threadsPerRank = 1
+	}
+	if node != nil && node.TotalLanes() != size*threadsPerRank {
+		panic(fmt.Sprintf("mpi: fabric has %d lanes, world needs %d", node.TotalLanes(), size*threadsPerRank))
+	}
+	w := &World{
+		Eng:            eng,
+		Node:           node,
+		Trace:          tr,
+		Size:           size,
+		ThreadsPerRank: threadsPerRank,
+		rendezvous:     map[rvKey]*rendezvous{},
+		callSeq:        map[seqKey]int{},
+		p2p:            map[p2pKey]*p2pQueue{},
+		endpoints:      make([]*vtime.Semaphore, size),
+	}
+	for r := range w.endpoints {
+		w.endpoints[r] = vtime.NewSemaphore(1)
+	}
+	return w
+}
+
+// Lanes returns the total hardware lane count of the world.
+func (w *World) Lanes() int { return w.Size * w.ThreadsPerRank }
+
+// Lane returns the global lane index of a (rank, thread) pair.
+func (w *World) Lane(rank, thread int) int { return rank*w.ThreadsPerRank + thread }
+
+// Ctx identifies a calling thread: the simulated process, its MPI rank and
+// its hardware lane. All MPI operations take a Ctx.
+type Ctx struct {
+	W    *World
+	Proc *vtime.Proc
+	Rank int
+	Lane int
+	// Silent suppresses trace recording for this context's MPI calls.
+	// Communication-thread contexts (the asynchronous collectives) use it:
+	// their wait and transfer time is hidden behind computation and must
+	// not be attributed to a compute lane.
+	Silent bool
+}
+
+// Spawn creates the simulated process for one (rank, thread) slot and runs
+// fn on it with a ready Ctx.
+func (w *World) Spawn(rank, thread int, fn func(ctx *Ctx)) {
+	lane := w.Lane(rank, thread)
+	name := fmt.Sprintf("rank%d.t%d", rank, thread)
+	w.Eng.Spawn(name, func(p *vtime.Proc) {
+		fn(&Ctx{W: w, Proc: p, Rank: rank, Lane: lane})
+	})
+}
+
+// Compute runs a compute phase of the given KNL class and instruction count
+// on the caller's lane, recording a trace interval.
+func (ctx *Ctx) Compute(phase string, class knl.Class, instr float64) {
+	start := ctx.Proc.Now()
+	ctx.Proc.Compute(vtime.Job{Work: instr, Class: int(class), Lane: ctx.Lane})
+	if ctx.W.Trace != nil {
+		ctx.W.Trace.Record(trace.Interval{
+			Lane: ctx.Lane, Start: start, End: ctx.Proc.Now(),
+			Kind: trace.KindCompute, Phase: phase, Class: int(class), Instr: instr,
+		})
+	}
+}
+
+// Comm is a communicator: an ordered subset of world ranks.
+type Comm struct {
+	w     *World
+	id    string
+	ranks []int       // world ranks, in communicator order
+	index map[int]int // world rank -> comm rank
+	span  int         // cached distinct-node count, 0 = not yet computed
+}
+
+// nodesSpanned returns the number of distinct nodes the communicator's
+// ranks live on (cached after the first call).
+func (c *Comm) nodesSpanned() int {
+	if c.span == 0 {
+		nodes := map[int]bool{}
+		for _, r := range c.ranks {
+			nodes[c.w.Node.LaneNode(c.w.Lane(r, 0))] = true
+		}
+		c.span = len(nodes)
+	}
+	return c.span
+}
+
+// CommWorld returns the communicator containing every rank.
+func (w *World) CommWorld() *Comm {
+	ranks := make([]int, w.Size)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	return w.newComm("world", ranks)
+}
+
+func (w *World) newComm(id string, ranks []int) *Comm {
+	c := &Comm{w: w, id: id, ranks: ranks, index: make(map[int]int, len(ranks))}
+	for i, r := range ranks {
+		c.index[r] = i
+	}
+	return c
+}
+
+// ID returns the communicator's unique identifier.
+func (c *Comm) ID() string { return c.id }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return len(c.ranks) }
+
+// Ranks returns the world ranks of the communicator in order.
+func (c *Comm) Ranks() []int { return c.ranks }
+
+// RankIn returns the communicator rank of the calling context. It panics if
+// the caller is not a member.
+func (c *Comm) RankIn(ctx *Ctx) int {
+	r, ok := c.index[ctx.Rank]
+	if !ok {
+		panic(fmt.Sprintf("mpi: rank %d not in comm %s", ctx.Rank, c.id))
+	}
+	return r
+}
+
+// WorldRank translates a communicator rank to a world rank.
+func (c *Comm) WorldRank(commRank int) int { return c.ranks[commRank] }
+
+// NewSubComm deterministically builds a sub-communicator from explicit world
+// ranks. All members must create it with identical arguments (it performs no
+// communication); the id must be unique per distinct group.
+func (w *World) NewSubComm(id string, ranks []int) *Comm {
+	return w.newComm(id, ranks)
+}
+
+// Split is the collective MPI_Comm_split: ranks passing the same color end
+// up in the same new communicator, ordered by key (ties by world rank).
+// Ranks passing a negative color receive nil.
+func (c *Comm) Split(ctx *Ctx, tag int, color, key int) *Comm {
+	type ck struct{ color, key, rank int }
+	res := c.exchange(ctx, "split", tag, ck{color, key, ctx.Rank},
+		func(n knl.Fabric, k, lanes, span int, _ []any) float64 { return n.BcastTime(k, 64, lanes, span) },
+		func(all []any) any {
+			groups := map[int][]ck{}
+			for _, v := range all {
+				e := v.(ck)
+				if e.color >= 0 {
+					groups[e.color] = append(groups[e.color], e)
+				}
+			}
+			out := map[int]*Comm{} // world rank -> comm
+			colors := make([]int, 0, len(groups))
+			for col := range groups {
+				colors = append(colors, col)
+			}
+			sort.Ints(colors)
+			c.w.commSeq++
+			base := c.w.commSeq
+			for _, col := range colors {
+				g := groups[col]
+				sort.Slice(g, func(i, j int) bool {
+					if g[i].key != g[j].key {
+						return g[i].key < g[j].key
+					}
+					return g[i].rank < g[j].rank
+				})
+				ranks := make([]int, len(g))
+				for i, e := range g {
+					ranks[i] = e.rank
+				}
+				nc := c.w.newComm(fmt.Sprintf("%s/s%d.c%d", c.id, base, col), ranks)
+				for _, r := range ranks {
+					out[r] = nc
+				}
+			}
+			return out
+		})
+	m := res.(map[int]*Comm)
+	return m[ctx.Rank]
+}

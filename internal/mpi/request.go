@@ -1,0 +1,81 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/vtime"
+)
+
+// Nonblocking point-to-point (Isend/Irecv/Wait): the request is serviced by
+// a communication helper process, so the posting thread continues
+// immediately; Wait blocks until the operation completes. Matching follows
+// the same (communicator, source, destination, tag) ordering as the
+// blocking calls.
+
+// Request tracks one outstanding nonblocking operation.
+type Request[T any] struct {
+	done bool
+	data []T
+	wq   vtime.WaitQueue
+}
+
+// Test reports whether the operation has completed.
+func (r *Request[T]) Test() bool { return r.done }
+
+// Wait blocks the calling context until the operation completes and returns
+// the received data (nil for sends).
+func (r *Request[T]) Wait(ctx *Ctx) []T {
+	for !r.done {
+		r.wq.Wait(ctx.Proc)
+	}
+	return r.data
+}
+
+func spawnHelper(ctx *Ctx, kind string, body func(hc *Ctx)) {
+	hc := helperCtx(ctx)
+	ctx.W.asyncSeq++
+	name := fmt.Sprintf("%s.r%d.%d", kind, ctx.Rank, ctx.W.asyncSeq)
+	ctx.Proc.Engine().Spawn(name, func(p *vtime.Proc) {
+		hc.Proc = p
+		body(hc)
+	})
+}
+
+// Isend posts a nonblocking send of data to communicator rank dst.
+func Isend[T any](ctx *Ctx, c *Comm, dst, tag int, data []T, elemBytes int) *Request[T] {
+	req := &Request[T]{}
+	spawnHelper(ctx, "isend", func(hc *Ctx) {
+		Send(hc, c, dst, tag, data, elemBytes)
+		req.done = true
+		req.wq.WakeAll(hc.Proc)
+	})
+	return req
+}
+
+// Irecv posts a nonblocking receive from communicator rank src.
+func Irecv[T any](ctx *Ctx, c *Comm, src, tag int) *Request[T] {
+	req := &Request[T]{}
+	spawnHelper(ctx, "irecv", func(hc *Ctx) {
+		req.data = Recv[T](hc, c, src, tag)
+		req.done = true
+		req.wq.WakeAll(hc.Proc)
+	})
+	return req
+}
+
+// Waitall blocks until every request completes.
+func Waitall[T any](ctx *Ctx, reqs ...*Request[T]) {
+	for _, r := range reqs {
+		r.Wait(ctx)
+	}
+}
+
+// Sendrecv performs the combined send+receive (the classic exchange used by
+// halo swaps): it posts the send nonblocking, performs the receive and then
+// completes the send.
+func Sendrecv[T any](ctx *Ctx, c *Comm, dst, sendTag int, data []T, src, recvTag int, elemBytes int) []T {
+	sreq := Isend(ctx, c, dst, sendTag, data, elemBytes)
+	recv := Recv[T](ctx, c, src, recvTag)
+	sreq.Wait(ctx)
+	return recv
+}

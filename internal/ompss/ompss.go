@@ -1,0 +1,297 @@
+// Package ompss is a task-based parallel runtime in the spirit of
+// OmpSs/Nanos++, executing inside the vtime discrete-event simulator. Tasks
+// are annotated with in/out/inout dependencies over region keys; the runtime
+// builds the dependency graph dynamically at submission time and schedules
+// ready tasks onto worker threads (hardware lanes of the KNL node model).
+//
+// This is the substrate for the paper's two optimizations: the per-step
+// task version (Figure 4: every FFT step is a task connected by flow
+// dependencies, overlapping communication with computation) and the
+// per-iteration task version (Figure 5: every FFT is one task, scheduled
+// asynchronously to de-synchronize compute phases and soften resource
+// contention).
+package ompss
+
+import (
+	"fmt"
+
+	"repro/internal/knl"
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+// Mode is a dependency direction.
+type Mode int
+
+const (
+	// ModeIn is a read dependency: the task runs after the region's last
+	// writer.
+	ModeIn Mode = iota
+	// ModeOut is a write dependency: the task runs after the region's
+	// last writer and all readers since (anti-dependency).
+	ModeOut
+	// ModeInout combines both.
+	ModeInout
+)
+
+// Dep is one dependency clause: a direction over a comparable region key.
+type Dep struct {
+	Region any
+	Mode   Mode
+}
+
+// In returns a read dependency on the region.
+func In(region any) Dep { return Dep{Region: region, Mode: ModeIn} }
+
+// Out returns a write dependency on the region.
+func Out(region any) Dep { return Dep{Region: region, Mode: ModeOut} }
+
+// Inout returns a read-write dependency on the region.
+func Inout(region any) Dep { return Dep{Region: region, Mode: ModeInout} }
+
+// Worker is the execution context handed to a task body: the simulated
+// process of the worker thread and its hardware lane.
+type Worker struct {
+	Proc *vtime.Proc
+	Lane int
+	rt   *Runtime
+}
+
+// Compute runs a compute phase of the given class and instruction count on
+// the worker's lane, recording a trace interval.
+func (w *Worker) Compute(phase string, class knl.Class, instr float64) {
+	start := w.Proc.Now()
+	w.Proc.Compute(vtime.Job{Work: instr, Class: int(class), Lane: w.Lane})
+	if w.rt.tr != nil {
+		w.rt.tr.Record(trace.Interval{
+			Lane: w.Lane, Start: start, End: w.Proc.Now(),
+			Kind: trace.KindCompute, Phase: phase, Class: int(class), Instr: instr,
+		})
+	}
+}
+
+// Task is one schedulable unit of work.
+type Task struct {
+	id       int
+	label    string
+	fn       func(w *Worker)
+	priority int
+	npred    int
+	succs    []*Task
+	done     bool
+	group    *Group // non-nil for group members
+}
+
+type regionState struct {
+	lastWriter *Task
+	readers    []*Task // readers since the last write
+}
+
+// Runtime is one task runtime instance (one per MPI rank in the kernel).
+type Runtime struct {
+	eng     *vtime.Engine
+	tr      *trace.Trace
+	lanes   []int
+	ready   []*Task
+	readyWQ vtime.WaitQueue
+	regions map[any]*regionState
+	nextID  int
+	pending int
+	waitWQ  vtime.WaitQueue
+	closed  bool
+
+	// Overhead is the runtime cost charged per task execution (dependency
+	// upkeep and scheduling in Nanos++), recorded as trace.KindRuntime.
+	Overhead float64
+}
+
+// New creates a runtime whose workers run on the given hardware lanes. The
+// worker processes are spawned immediately; call Shutdown (usually after a
+// final Taskwait) to let them exit.
+func New(eng *vtime.Engine, tr *trace.Trace, lanes []int) *Runtime {
+	rt := &Runtime{
+		eng:      eng,
+		tr:       tr,
+		lanes:    lanes,
+		regions:  map[any]*regionState{},
+		Overhead: 3e-6,
+	}
+	for i, lane := range lanes {
+		lane := lane
+		eng.Spawn(fmt.Sprintf("worker%d.lane%d", i, lane), func(p *vtime.Proc) {
+			rt.workerLoop(&Worker{Proc: p, Lane: lane, rt: rt})
+		})
+	}
+	return rt
+}
+
+// Workers returns the number of worker threads.
+func (rt *Runtime) Workers() int { return len(rt.lanes) }
+
+// Submit creates a task with the given dependencies and priority (higher
+// runs first among ready tasks) and enqueues it once its predecessors
+// complete. It must be called from a simulated process.
+func (rt *Runtime) Submit(p *vtime.Proc, label string, deps []Dep, priority int, fn func(w *Worker)) *Task {
+	if rt.closed {
+		panic("ompss: submit after shutdown")
+	}
+	t := &Task{id: rt.nextID, label: label, fn: fn, priority: priority}
+	rt.nextID++
+	rt.pending++
+	for _, d := range deps {
+		rs := rt.regions[d.Region]
+		if rs == nil {
+			rs = &regionState{}
+			rt.regions[d.Region] = rs
+		}
+		switch d.Mode {
+		case ModeIn:
+			rt.addEdge(rs.lastWriter, t)
+			rs.readers = append(rs.readers, t)
+		case ModeOut, ModeInout:
+			rt.addEdge(rs.lastWriter, t)
+			for _, r := range rs.readers {
+				rt.addEdge(r, t)
+			}
+			rs.lastWriter = t
+			rs.readers = nil
+		}
+	}
+	if t.npred == 0 {
+		rt.enqueue(p, t)
+	}
+	return t
+}
+
+func (rt *Runtime) addEdge(from, to *Task) {
+	if from == nil || from.done || from == to {
+		return
+	}
+	// A task may already depend on from via another region; duplicate
+	// edges are harmless but inflate npred bookkeeping, so dedupe cheaply.
+	for _, s := range from.succs {
+		if s == to {
+			return
+		}
+	}
+	from.succs = append(from.succs, to)
+	to.npred++
+}
+
+func (rt *Runtime) enqueue(p *vtime.Proc, t *Task) {
+	rt.ready = append(rt.ready, t)
+	rt.readyWQ.WakeOne(p)
+}
+
+// popReadyInGroup removes the best ready task belonging to the group.
+func (rt *Runtime) popReadyInGroup(g *Group) *Task {
+	best := -1
+	for i, t := range rt.ready {
+		if t.group != g {
+			continue
+		}
+		if best < 0 || t.priority > rt.ready[best].priority ||
+			(t.priority == rt.ready[best].priority && t.id < rt.ready[best].id) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	t := rt.ready[best]
+	rt.ready = append(rt.ready[:best], rt.ready[best+1:]...)
+	return t
+}
+
+// popReady removes the best ready task: highest priority, then lowest id.
+func (rt *Runtime) popReady() *Task {
+	best := -1
+	for i, t := range rt.ready {
+		if best < 0 || t.priority > rt.ready[best].priority ||
+			(t.priority == rt.ready[best].priority && t.id < rt.ready[best].id) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	t := rt.ready[best]
+	rt.ready = append(rt.ready[:best], rt.ready[best+1:]...)
+	return t
+}
+
+func (rt *Runtime) workerLoop(w *Worker) {
+	for {
+		idleStart := w.Proc.Now()
+		for len(rt.ready) == 0 {
+			if rt.closed {
+				return
+			}
+			rt.readyWQ.Wait(w.Proc)
+		}
+		t := rt.popReady()
+		if rt.tr != nil && w.Proc.Now() > idleStart {
+			trace.Recorder{T: rt.tr, Lane: w.Lane}.Idle(idleStart, w.Proc.Now())
+		}
+		if rt.Overhead > 0 {
+			ovStart := w.Proc.Now()
+			w.Proc.Sleep(rt.Overhead)
+			if rt.tr != nil {
+				trace.Recorder{T: rt.tr, Lane: w.Lane}.Runtime(ovStart, w.Proc.Now())
+			}
+		}
+		t.fn(w)
+		rt.complete(w.Proc, t)
+	}
+}
+
+func (rt *Runtime) complete(p *vtime.Proc, t *Task) {
+	t.done = true
+	for _, s := range t.succs {
+		s.npred--
+		if s.npred == 0 {
+			rt.enqueue(p, s)
+		}
+	}
+	rt.pending--
+	if rt.pending == 0 {
+		rt.waitWQ.WakeAll(p)
+	}
+}
+
+// Taskwait blocks the calling process until every submitted task has
+// completed.
+func (rt *Runtime) Taskwait(p *vtime.Proc) {
+	for rt.pending > 0 {
+		rt.waitWQ.Wait(p)
+	}
+}
+
+// Shutdown lets the worker processes exit once the ready queue drains. Call
+// after the final Taskwait.
+func (rt *Runtime) Shutdown(p *vtime.Proc) {
+	if rt.pending > 0 {
+		panic("ompss: shutdown with pending tasks")
+	}
+	rt.closed = true
+	rt.readyWQ.WakeAll(p)
+}
+
+// TaskLoop submits one task per grain-sized chunk of [0,n), mirroring the
+// OmpSs taskloop construct with a grain size; body receives the chunk
+// bounds. The chunks share no dependencies.
+func (rt *Runtime) TaskLoop(p *vtime.Proc, label string, n, grain int, body func(w *Worker, lo, hi int)) {
+	if grain <= 0 {
+		grain = 1
+	}
+	for lo := 0; lo < n; lo += grain {
+		hi := lo + grain
+		if hi > n {
+			hi = n
+		}
+		lo, hi := lo, hi
+		rt.Submit(p, fmt.Sprintf("%s[%d:%d]", label, lo, hi), nil, 0, func(w *Worker) {
+			body(w, lo, hi)
+		})
+	}
+}

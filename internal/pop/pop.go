@@ -1,0 +1,168 @@
+// Package pop implements the multiplicative efficiency model of the POP
+// project (Rosas, Giménez, Labarta: "Scalability Prediction for Fundamental
+// Performance Factors"), the analysis the paper uses for Tables I and II:
+//
+//	Global efficiency   = Parallel efficiency × Computation scalability
+//	Parallel efficiency = Load balance × Communication efficiency
+//	Comm efficiency     = Synchronization efficiency × Transfer efficiency
+//	Computation scal.   = IPC scalability × Instruction scalability
+//
+// All factors derive from a trace: load balance is the average over maximum
+// compute time across lanes; communication efficiency is the maximum
+// compute time over the runtime; synchronization and transfer split the MPI
+// time into waiting-for-partners versus data movement; the scalability
+// factors compare accumulated compute time, instruction count and average
+// IPC against a reference (smallest) run.
+package pop
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// Factors holds the efficiency model of one run. The parallel factors are
+// absolute; the scalability factors are relative to a reference run and are
+// zero until AddScalability is called (they equal 1 for the reference run
+// itself).
+type Factors struct {
+	Runtime     float64
+	ParallelEff float64
+	LoadBalance float64
+	CommEff     float64
+	SyncEff     float64
+	TransferEff float64
+
+	CompScal  float64
+	IPCScal   float64
+	InstrScal float64
+	GlobalEff float64
+
+	AvgIPC float64
+
+	// Totals kept for scalability comparisons.
+	TotalComputeTime float64
+	TotalInstr       float64
+}
+
+// Analyze computes the parallel-efficiency factors of a trace. Lanes that
+// recorded no intervals at all are ignored.
+func Analyze(tr *trace.Trace) Factors {
+	var f Factors
+	f.Runtime = tr.Runtime()
+	comp := tr.TimeByKind(trace.KindCompute)
+	xfer := tr.TimeByKind(trace.KindMPITransfer)
+
+	var sumComp, maxComp float64
+	active := 0
+	for lane := 0; lane < tr.Lanes; lane++ {
+		c := comp[lane]
+		sumComp += c
+		if c > maxComp {
+			maxComp = c
+		}
+		if c > 0 || xfer[lane] > 0 {
+			active++
+		}
+	}
+	if active == 0 || f.Runtime == 0 {
+		return f
+	}
+	avgComp := sumComp / float64(active)
+	f.LoadBalance = avgComp / maxComp
+	f.CommEff = maxComp / f.Runtime
+	f.ParallelEff = f.LoadBalance * f.CommEff
+
+	// Transfer efficiency: the runtime that would remain with instantaneous
+	// data transfer, approximated by removing the average per-lane transfer
+	// time from the critical path. Synchronization efficiency is the
+	// remaining communication loss.
+	var sumXfer float64
+	for _, x := range xfer {
+		sumXfer += x
+	}
+	avgXfer := sumXfer / float64(active)
+	f.TransferEff = (f.Runtime - avgXfer) / f.Runtime
+	if f.TransferEff > 0 {
+		f.SyncEff = f.CommEff / f.TransferEff
+	}
+	if f.SyncEff > 1 {
+		f.SyncEff = 1
+	}
+
+	f.TotalComputeTime = tr.TotalComputeTime()
+	f.TotalInstr = tr.TotalInstr()
+	f.AvgIPC = tr.AvgIPC()
+	return f
+}
+
+// AddScalability fills the computation-scalability factors of f relative to
+// the reference run (usually the smallest configuration).
+func (f *Factors) AddScalability(ref Factors) {
+	if f.TotalComputeTime > 0 {
+		f.CompScal = ref.TotalComputeTime / f.TotalComputeTime
+	}
+	if f.TotalInstr > 0 {
+		f.InstrScal = ref.TotalInstr / f.TotalInstr
+	}
+	if ref.AvgIPC > 0 {
+		f.IPCScal = f.AvgIPC / ref.AvgIPC
+	}
+	f.GlobalEff = f.ParallelEff * f.CompScal
+}
+
+// row describes one line of the formatted factor table.
+type row struct {
+	label  string
+	indent bool
+	get    func(Factors) float64
+}
+
+var tableRows = []row{
+	{"Parallel efficiency", false, func(f Factors) float64 { return f.ParallelEff }},
+	{"Load Balance", true, func(f Factors) float64 { return f.LoadBalance }},
+	{"Communication Efficiency", true, func(f Factors) float64 { return f.CommEff }},
+	{"Synchronization", true, func(f Factors) float64 { return f.SyncEff }},
+	{"Transfer", true, func(f Factors) float64 { return f.TransferEff }},
+	{"Computation Scalability", false, func(f Factors) float64 { return f.CompScal }},
+	{"IPC Scalability", true, func(f Factors) float64 { return f.IPCScal }},
+	{"Instructions Scalability", true, func(f Factors) float64 { return f.InstrScal }},
+	{"Global Efficiency", false, func(f Factors) float64 { return f.GlobalEff }},
+}
+
+// FormatTable renders the factors of several configurations side by side in
+// the layout of Tables I and II of the paper.
+func FormatTable(configs []string, fs []Factors) string {
+	if len(configs) != len(fs) {
+		panic("pop: configs and factors length mismatch")
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-28s", "")
+	for _, c := range configs {
+		fmt.Fprintf(&sb, "%10s", c)
+	}
+	sb.WriteString("\n")
+	for _, r := range tableRows {
+		label := r.label
+		if r.indent {
+			label = "-> " + label
+		}
+		fmt.Fprintf(&sb, "%-28s", label)
+		for _, f := range fs {
+			fmt.Fprintf(&sb, "%9.2f%%", 100*r.get(f))
+		}
+		sb.WriteString("\n")
+	}
+	fmt.Fprintf(&sb, "%-28s", "Average IPC")
+	for _, f := range fs {
+		fmt.Fprintf(&sb, "%10.2f", f.AvgIPC)
+	}
+	sb.WriteString("\n")
+	fmt.Fprintf(&sb, "%-28s", "Runtime [s]")
+	for _, f := range fs {
+		fmt.Fprintf(&sb, "%10.4f", f.Runtime)
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}

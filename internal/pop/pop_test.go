@@ -1,0 +1,158 @@
+package pop
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// perfectTrace: 2 lanes, pure compute, identical loads, no MPI.
+func perfectTrace() *trace.Trace {
+	tr := trace.New(2, 1e9)
+	for lane := 0; lane < 2; lane++ {
+		trace.Recorder{T: tr, Lane: lane}.Compute(0, 10, "work", 2, 8e9)
+	}
+	return tr
+}
+
+func TestPerfectRunHasUnitFactors(t *testing.T) {
+	f := Analyze(perfectTrace())
+	for name, v := range map[string]float64{
+		"LB": f.LoadBalance, "CommEff": f.CommEff, "ParEff": f.ParallelEff,
+		"Sync": f.SyncEff, "Transfer": f.TransferEff,
+	} {
+		if math.Abs(v-1) > 1e-12 {
+			t.Fatalf("%s = %v, want 1", name, v)
+		}
+	}
+	if math.Abs(f.AvgIPC-0.8) > 1e-12 {
+		t.Fatalf("AvgIPC = %v, want 0.8", f.AvgIPC)
+	}
+}
+
+func TestLoadImbalanceDetected(t *testing.T) {
+	tr := trace.New(2, 1e9)
+	trace.Recorder{T: tr, Lane: 0}.Compute(0, 10, "w", 2, 1e9)
+	trace.Recorder{T: tr, Lane: 1}.Compute(0, 5, "w", 2, 0.5e9)
+	trace.Recorder{T: tr, Lane: 1}.MPI("Barrier", "world", 0, 5, 10, 10)
+	f := Analyze(tr)
+	want := 7.5 / 10.0 // avg/max
+	if math.Abs(f.LoadBalance-want) > 1e-12 {
+		t.Fatalf("LB = %v, want %v", f.LoadBalance, want)
+	}
+	if math.Abs(f.CommEff-1) > 1e-12 {
+		t.Fatalf("CommEff = %v, want 1 (critical path fully computing)", f.CommEff)
+	}
+}
+
+func TestTransferLossDetected(t *testing.T) {
+	tr := trace.New(2, 1e9)
+	for lane := 0; lane < 2; lane++ {
+		r := trace.Recorder{T: tr, Lane: lane}
+		r.Compute(0, 8, "w", 2, 8e9)
+		r.MPI("Alltoall", "world", 0, 8, 8, 10) // 2s pure transfer
+	}
+	f := Analyze(tr)
+	if math.Abs(f.CommEff-0.8) > 1e-12 {
+		t.Fatalf("CommEff = %v, want 0.8", f.CommEff)
+	}
+	if math.Abs(f.TransferEff-0.8) > 1e-12 {
+		t.Fatalf("TransferEff = %v, want 0.8", f.TransferEff)
+	}
+	if math.Abs(f.SyncEff-1) > 1e-9 {
+		t.Fatalf("SyncEff = %v, want 1", f.SyncEff)
+	}
+}
+
+func TestSyncLossDetected(t *testing.T) {
+	// Lane 1 computes 6s then waits 4s for lane 0's 10s compute: pure
+	// synchronization loss, no transfer.
+	tr := trace.New(2, 1e9)
+	trace.Recorder{T: tr, Lane: 0}.Compute(0, 10, "w", 2, 10e9)
+	trace.Recorder{T: tr, Lane: 1}.Compute(0, 6, "w", 2, 6e9)
+	trace.Recorder{T: tr, Lane: 1}.MPI("Barrier", "world", 0, 6, 10, 10)
+	f := Analyze(tr)
+	if math.Abs(f.TransferEff-1) > 1e-12 {
+		t.Fatalf("TransferEff = %v, want 1", f.TransferEff)
+	}
+	if math.Abs(f.SyncEff-1.0) > 1e-12 { // max compute spans runtime
+		t.Fatalf("SyncEff = %v", f.SyncEff)
+	}
+	if math.Abs(f.LoadBalance-0.8) > 1e-12 {
+		t.Fatalf("LB = %v, want 0.8", f.LoadBalance)
+	}
+}
+
+func TestMultiplicativeIdentity(t *testing.T) {
+	// ParEff = LB * CommEff must hold by construction on any trace.
+	tr := trace.New(3, 1e9)
+	trace.Recorder{T: tr, Lane: 0}.Compute(0, 4, "w", 2, 3e9)
+	trace.Recorder{T: tr, Lane: 0}.MPI("A", "c", 0, 4, 5, 6)
+	trace.Recorder{T: tr, Lane: 1}.Compute(0, 6, "w", 2, 5e9)
+	trace.Recorder{T: tr, Lane: 2}.Compute(1, 3, "w", 2, 2e9)
+	trace.Recorder{T: tr, Lane: 2}.MPI("A", "c", 0, 4, 4.5, 6)
+	f := Analyze(tr)
+	if math.Abs(f.ParallelEff-f.LoadBalance*f.CommEff) > 1e-12 {
+		t.Fatalf("ParEff %v != LB %v * CommEff %v", f.ParallelEff, f.LoadBalance, f.CommEff)
+	}
+}
+
+func TestScalabilityAgainstReference(t *testing.T) {
+	ref := Analyze(perfectTrace())
+	// Scaled run: same total instructions, lower IPC -> more compute time.
+	tr := trace.New(4, 1e9)
+	for lane := 0; lane < 4; lane++ {
+		// 4e9 instr per lane at IPC 0.4 -> 10s each.
+		trace.Recorder{T: tr, Lane: lane}.Compute(0, 10, "w", 2, 4e9)
+	}
+	f := Analyze(tr)
+	f.AddScalability(ref)
+	// Total instr unchanged (16e9): InstrScal = 1.
+	if math.Abs(f.InstrScal-1) > 1e-12 {
+		t.Fatalf("InstrScal = %v", f.InstrScal)
+	}
+	// IPC dropped 0.8 -> 0.4: IPCScal = 0.5.
+	if math.Abs(f.IPCScal-0.5) > 1e-12 {
+		t.Fatalf("IPCScal = %v", f.IPCScal)
+	}
+	// Compute time doubled: CompScal = 0.5 = IPCScal * InstrScal.
+	if math.Abs(f.CompScal-0.5) > 1e-12 {
+		t.Fatalf("CompScal = %v", f.CompScal)
+	}
+	if math.Abs(f.CompScal-f.IPCScal*f.InstrScal) > 1e-9 {
+		t.Fatal("CompScal != IPCScal * InstrScal")
+	}
+	if math.Abs(f.GlobalEff-f.ParallelEff*f.CompScal) > 1e-12 {
+		t.Fatal("GlobalEff != ParEff * CompScal")
+	}
+}
+
+func TestReferenceRunScalabilityIsUnity(t *testing.T) {
+	ref := Analyze(perfectTrace())
+	f := ref
+	f.AddScalability(ref)
+	if math.Abs(f.CompScal-1) > 1e-12 || math.Abs(f.IPCScal-1) > 1e-12 || math.Abs(f.InstrScal-1) > 1e-12 {
+		t.Fatalf("reference scalability not unity: %+v", f)
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	ref := Analyze(perfectTrace())
+	f := ref
+	f.AddScalability(ref)
+	out := FormatTable([]string{"1 x 8"}, []Factors{f})
+	for _, want := range []string{"Parallel efficiency", "Load Balance", "IPC Scalability", "Global Efficiency", "100.00%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEmptyTraceSafe(t *testing.T) {
+	f := Analyze(trace.New(2, 1e9))
+	if f.ParallelEff != 0 || f.Runtime != 0 {
+		t.Fatalf("empty trace gave %+v", f)
+	}
+}

@@ -1,0 +1,153 @@
+package pop
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Scalability prediction in the spirit of Rosas, Giménez and Labarta,
+// "Scalability Prediction for Fundamental Performance Factors" (the
+// methodology paper behind Tables I/II): each fundamental factor is fitted
+// with a simple growth law over the measured scales and extrapolated to a
+// target scale; the predicted global efficiency and runtime follow from the
+// multiplicative model.
+//
+// Fits (P = lane count, P0 = reference):
+//
+//	load balance:        constant (mean of measurements)
+//	sync/transfer eff.:  eff(P) = 1 - m·log2(P/P0), least-squares m
+//	instruction scal.:   1/instr(P) = 1 + a·(P - P0), least-squares a
+//	IPC scalability:     1/ipc(P) = 1 + c·(P^1.5 - P0^1.5), least-squares c
+//	                     (the saturating-contention shape of the node model)
+//
+// The runtime prediction assumes fixed total work:
+// T(P) = T(P0) · (P0/P) · GE(P0)/GE(P).
+type Prediction struct {
+	TargetLanes int
+	Factors     Factors
+	Runtime     float64
+}
+
+// Predict extrapolates the measured factor tables to targetLanes. lanes and
+// fs must be parallel, ordered ascending, with at least two entries; fs[0]
+// is the reference run (scalabilities 1.0).
+func Predict(lanes []int, fs []Factors, targetLanes int) (Prediction, error) {
+	if len(lanes) != len(fs) || len(lanes) < 2 {
+		return Prediction{}, fmt.Errorf("pop: predict needs >=2 parallel measurements, got %d/%d", len(lanes), len(fs))
+	}
+	p0 := float64(lanes[0])
+	pt := float64(targetLanes)
+
+	// Load balance: mean.
+	var lb float64
+	for _, f := range fs {
+		lb += f.LoadBalance
+	}
+	lb /= float64(len(fs))
+
+	// Sync and transfer: least-squares slope of (1 - eff) vs log2(P/P0).
+	logSlope := func(get func(Factors) float64) float64 {
+		var sxx, sxy float64
+		for i, f := range fs {
+			x := math.Log2(float64(lanes[i]) / p0)
+			y := 1 - get(f)
+			sxx += x * x
+			sxy += x * y
+		}
+		if sxx == 0 {
+			return 0
+		}
+		return sxy / sxx
+	}
+	mSync := logSlope(func(f Factors) float64 { return f.SyncEff })
+	mXfer := logSlope(func(f Factors) float64 { return f.TransferEff })
+	clamp := func(v float64) float64 { return math.Max(0.01, math.Min(1, v)) }
+	syncT := clamp(1 - mSync*math.Log2(pt/p0))
+	xferT := clamp(1 - mXfer*math.Log2(pt/p0))
+
+	// Instruction scalability: 1/instr linear in (P - P0).
+	var sxx, sxy float64
+	for i, f := range fs {
+		if f.InstrScal <= 0 {
+			continue
+		}
+		x := float64(lanes[i]) - p0
+		y := 1/f.InstrScal - 1
+		sxx += x * x
+		sxy += x * y
+	}
+	aInstr := 0.0
+	if sxx > 0 {
+		aInstr = sxy / sxx
+	}
+	instrT := clamp(1 / (1 + aInstr*(pt-p0)))
+
+	// IPC scalability: 1/ipc = 1 + c·(P^1.5 - P0^1.5).
+	sxx, sxy = 0, 0
+	for i, f := range fs {
+		if f.IPCScal <= 0 {
+			continue
+		}
+		x := math.Pow(float64(lanes[i]), 1.5) - math.Pow(p0, 1.5)
+		y := 1/f.IPCScal - 1
+		sxx += x * x
+		sxy += x * y
+	}
+	cIPC := 0.0
+	if sxx > 0 {
+		cIPC = sxy / sxx
+	}
+	ipcT := clamp(1 / (1 + cIPC*(math.Pow(pt, 1.5)-math.Pow(p0, 1.5))))
+
+	var out Factors
+	out.LoadBalance = clamp(lb)
+	out.SyncEff = syncT
+	out.TransferEff = xferT
+	out.CommEff = syncT * xferT
+	out.ParallelEff = out.LoadBalance * out.CommEff
+	out.IPCScal = ipcT
+	out.InstrScal = instrT
+	out.CompScal = ipcT * instrT
+	out.GlobalEff = out.ParallelEff * out.CompScal
+
+	pred := Prediction{TargetLanes: targetLanes, Factors: out}
+	ge0 := fs[0].GlobalEff
+	if ge0 == 0 {
+		ge0 = fs[0].ParallelEff // reference run: CompScal not yet applied
+	}
+	if out.GlobalEff > 0 && fs[0].Runtime > 0 {
+		pred.Runtime = fs[0].Runtime * (p0 / pt) * ge0 / out.GlobalEff
+	}
+	return pred, nil
+}
+
+// FormatPrediction renders a prediction next to an optional measured value.
+func FormatPrediction(p Prediction, measured *Factors) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "prediction for %d lanes:\n", p.TargetLanes)
+	rows := []struct {
+		name string
+		pred float64
+		get  func(Factors) float64
+	}{
+		{"Parallel efficiency", p.Factors.ParallelEff, func(f Factors) float64 { return f.ParallelEff }},
+		{"Load Balance", p.Factors.LoadBalance, func(f Factors) float64 { return f.LoadBalance }},
+		{"Synchronization", p.Factors.SyncEff, func(f Factors) float64 { return f.SyncEff }},
+		{"Transfer", p.Factors.TransferEff, func(f Factors) float64 { return f.TransferEff }},
+		{"IPC Scalability", p.Factors.IPCScal, func(f Factors) float64 { return f.IPCScal }},
+		{"Instructions Scalability", p.Factors.InstrScal, func(f Factors) float64 { return f.InstrScal }},
+		{"Global Efficiency", p.Factors.GlobalEff, func(f Factors) float64 { return f.GlobalEff }},
+	}
+	for _, r := range rows {
+		if measured != nil {
+			fmt.Fprintf(&sb, "%-26s %8.2f%%   (measured %8.2f%%)\n", r.name, 100*r.pred, 100*r.get(*measured))
+		} else {
+			fmt.Fprintf(&sb, "%-26s %8.2f%%\n", r.name, 100*r.pred)
+		}
+	}
+	if p.Runtime > 0 {
+		fmt.Fprintf(&sb, "%-26s %9.4fs\n", "Runtime", p.Runtime)
+	}
+	return sb.String()
+}

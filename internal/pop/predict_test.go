@@ -1,0 +1,115 @@
+package pop
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// synthetic builds factor tables following known laws so the fits can be
+// verified exactly.
+func synthetic(lanes []int) []Factors {
+	p0 := float64(lanes[0])
+	out := make([]Factors, len(lanes))
+	for i, l := range lanes {
+		p := float64(l)
+		var f Factors
+		f.LoadBalance = 0.97
+		f.SyncEff = 1 - 0.01*math.Log2(p/p0)
+		f.TransferEff = 1 - 0.02*math.Log2(p/p0)
+		f.CommEff = f.SyncEff * f.TransferEff
+		f.ParallelEff = f.LoadBalance * f.CommEff
+		f.InstrScal = 1 / (1 + 1e-4*(p-p0))
+		f.IPCScal = 1 / (1 + 2e-3*(math.Pow(p, 1.5)-math.Pow(p0, 1.5)))
+		f.CompScal = f.InstrScal * f.IPCScal
+		f.GlobalEff = f.ParallelEff * f.CompScal
+		f.Runtime = 10 * (p0 / p) / f.GlobalEff * f.GlobalEff // placeholder
+		out[i] = f
+	}
+	out[0].Runtime = 10
+	return out
+}
+
+func TestPredictRecoversSyntheticLaws(t *testing.T) {
+	lanes := []int{8, 16, 32, 64}
+	fs := synthetic(lanes)
+	pred, err := Predict(lanes, fs, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := synthetic([]int{8, 16, 32, 64, 128})[4]
+	checks := map[string][2]float64{
+		"LB":    {pred.Factors.LoadBalance, want.LoadBalance},
+		"Sync":  {pred.Factors.SyncEff, want.SyncEff},
+		"Xfer":  {pred.Factors.TransferEff, want.TransferEff},
+		"Instr": {pred.Factors.InstrScal, want.InstrScal},
+		"IPC":   {pred.Factors.IPCScal, want.IPCScal},
+		"GE":    {pred.Factors.GlobalEff, want.GlobalEff},
+	}
+	for name, v := range checks {
+		if math.Abs(v[0]-v[1]) > 5e-3 {
+			t.Errorf("%s predicted %.4f, law gives %.4f", name, v[0], v[1])
+		}
+	}
+}
+
+func TestPredictNeedsTwoPoints(t *testing.T) {
+	if _, err := Predict([]int{8}, synthetic([]int{8}), 16); err == nil {
+		t.Fatal("expected error for single measurement")
+	}
+}
+
+func TestPredictRuntimePositive(t *testing.T) {
+	lanes := []int{8, 16, 32}
+	fs := synthetic(lanes)
+	fs[0].Runtime = 10
+	pred, err := Predict(lanes, fs, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Runtime <= 0 {
+		t.Fatalf("runtime %v", pred.Runtime)
+	}
+	// More lanes with imperfect efficiency: runtime must not fall faster
+	// than ideally.
+	ideal := 10.0 * 8 / 64
+	if pred.Runtime < ideal {
+		t.Fatalf("predicted runtime %v below ideal %v", pred.Runtime, ideal)
+	}
+}
+
+func TestPredictClampsToSane(t *testing.T) {
+	// Pathological inputs with collapsing efficiencies must stay in (0,1].
+	lanes := []int{2, 4}
+	fs := synthetic(lanes)
+	fs[1].SyncEff = 0.1
+	fs[1].TransferEff = 0.1
+	fs[1].IPCScal = 0.05
+	pred, err := Predict(lanes, fs, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := pred.Factors
+	for name, v := range map[string]float64{"sync": f.SyncEff, "xfer": f.TransferEff,
+		"ipc": f.IPCScal, "instr": f.InstrScal, "ge": f.GlobalEff} {
+		if v <= 0 || v > 1 {
+			t.Errorf("%s = %v out of (0,1]", name, v)
+		}
+	}
+}
+
+func TestFormatPrediction(t *testing.T) {
+	lanes := []int{8, 16}
+	fs := synthetic(lanes)
+	pred, err := Predict(lanes, fs, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured := synthetic([]int{8, 16, 32})[2]
+	out := FormatPrediction(pred, &measured)
+	for _, want := range []string{"prediction for 32 lanes", "measured", "Global Efficiency"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("format missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package pw
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Gamma-point helpers: conversions between the Hermitian half-sphere
+// representation (gamma-only mode) and the full sphere.
+
+// WavefunctionBandsGamma builds nb deterministic normalized bands of
+// half-sphere coefficients. The G=0 coefficient is forced real, as the
+// Hermitian symmetry of a real wavefunction requires.
+func WavefunctionBandsGamma(s *Sphere, nb int) [][]complex128 {
+	if !s.Gamma {
+		panic("pw: WavefunctionBandsGamma on a full sphere")
+	}
+	bands := make([][]complex128, nb)
+	for b := range bands {
+		c := make([]complex128, s.NG())
+		var norm float64
+		for i, g := range s.G {
+			amp := 1.0 / (1.0 + g.G2)
+			ph := 0.37*float64(i%97) + 1.17*float64(b+1)
+			re := amp * math.Cos(ph)
+			im := amp * math.Sin(ph+0.5*float64(b))
+			if g.I == 0 && g.J == 0 && g.K == 0 {
+				im = 0 // self-conjugate coefficient must be real
+			}
+			c[i] = complex(re, im)
+			// The implied full wavefunction carries conj(c) at -G, so the
+			// half coefficients count twice in the norm (except G=0).
+			w := 2.0
+			if g.I == 0 && g.J == 0 && g.K == 0 {
+				w = 1.0
+			}
+			norm += w * (re*re + im*im)
+		}
+		inv := complex(1/math.Sqrt(norm), 0)
+		for i := range c {
+			c[i] *= inv
+		}
+		bands[b] = c
+	}
+	return bands
+}
+
+// ExpandGammaCoeffs maps half-sphere coefficients onto the corresponding
+// full sphere: c(+G) as stored, c(-G) = conj(c(+G)). The two spheres must
+// come from the same cutoff and cell.
+func ExpandGammaCoeffs(half, full *Sphere, c []complex128) []complex128 {
+	if !half.Gamma || full.Gamma {
+		panic("pw: ExpandGammaCoeffs needs a half and a full sphere")
+	}
+	if len(c) != half.NG() {
+		panic(fmt.Sprintf("pw: expand with %d coeffs, half sphere has %d", len(c), half.NG()))
+	}
+	idx := make(map[[3]int]int, full.NG())
+	for i, g := range full.G {
+		idx[[3]int{g.I, g.J, g.K}] = i
+	}
+	out := make([]complex128, full.NG())
+	for i, g := range half.G {
+		pi, ok := idx[[3]int{g.I, g.J, g.K}]
+		if !ok {
+			panic(fmt.Sprintf("pw: half G (%d,%d,%d) missing from full sphere", g.I, g.J, g.K))
+		}
+		out[pi] = c[i]
+		mi, ok := idx[[3]int{-g.I, -g.J, -g.K}]
+		if !ok {
+			panic(fmt.Sprintf("pw: -G of (%d,%d,%d) missing from full sphere", g.I, g.J, g.K))
+		}
+		out[mi] = cmplx.Conj(c[i])
+	}
+	return out
+}
+
+// ReduceGammaCoeffs is the inverse of ExpandGammaCoeffs: it extracts the
+// half-sphere coefficients from full-sphere ones (which must be Hermitian;
+// the -G values are ignored).
+func ReduceGammaCoeffs(half, full *Sphere, c []complex128) []complex128 {
+	if !half.Gamma || full.Gamma {
+		panic("pw: ReduceGammaCoeffs needs a half and a full sphere")
+	}
+	if len(c) != full.NG() {
+		panic(fmt.Sprintf("pw: reduce with %d coeffs, full sphere has %d", len(c), full.NG()))
+	}
+	idx := make(map[[3]int]int, full.NG())
+	for i, g := range full.G {
+		idx[[3]int{g.I, g.J, g.K}] = i
+	}
+	out := make([]complex128, half.NG())
+	for i, g := range half.G {
+		out[i] = c[idx[[3]int{g.I, g.J, g.K}]]
+	}
+	return out
+}
+
+// Shell groups G-vectors of equal squared norm — the degeneracy structure
+// of the free-electron spectrum.
+type Shell struct {
+	G2      float64
+	Indices []int // sphere indices of the members
+}
+
+// Shells returns the G-shells of the sphere sorted by |G|² ascending.
+func (s *Sphere) Shells() []Shell {
+	byG2 := map[float64][]int{}
+	for i, g := range s.G {
+		byG2[g.G2] = append(byG2[g.G2], i)
+	}
+	out := make([]Shell, 0, len(byG2))
+	for g2, idx := range byG2 {
+		out = append(out, Shell{G2: g2, Indices: idx})
+	}
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if out[j].G2 < out[i].G2 {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out
+}

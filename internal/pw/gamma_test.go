@@ -1,0 +1,143 @@
+package pw
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+func TestGammaSphereIsHalf(t *testing.T) {
+	full := NewSphere(6, 6)
+	half := NewSphereGamma(6, 6)
+	if !half.Gamma || full.Gamma {
+		t.Fatal("gamma flags wrong")
+	}
+	// |half| = (|full| + 1) / 2 (G=0 is self-conjugate).
+	if want := (full.NG() + 1) / 2; half.NG() != want {
+		t.Fatalf("half sphere has %d G-vectors, want %d (full %d)", half.NG(), want, full.NG())
+	}
+	if half.Grid != full.Grid {
+		t.Fatalf("grids differ: %v vs %v", half.Grid, full.Grid)
+	}
+}
+
+func TestGammaHalfContainsExactlyOneOfEachPair(t *testing.T) {
+	half := NewSphereGamma(6, 6)
+	seen := map[[3]int]bool{}
+	for _, g := range half.G {
+		key := [3]int{g.I, g.J, g.K}
+		neg := [3]int{-g.I, -g.J, -g.K}
+		if seen[neg] && key != neg {
+			t.Fatalf("both +G and -G present for (%d,%d,%d)", g.I, g.J, g.K)
+		}
+		seen[key] = true
+	}
+	// G = 0 must be present.
+	if !seen[[3]int{0, 0, 0}] {
+		t.Fatal("G=0 missing")
+	}
+}
+
+func TestGammaSticksFullExceptZero(t *testing.T) {
+	full := NewSphere(6, 6)
+	half := NewSphereGamma(6, 6)
+	fullLen := map[[2]int]int{}
+	for _, st := range full.Stick {
+		fullLen[[2]int{st.I, st.J}] = st.Len()
+	}
+	for _, st := range half.Stick {
+		want := fullLen[[2]int{st.I, st.J}]
+		if st.IsZeroStick() {
+			// Only K >= 0 kept: (full + 1) / 2.
+			if st.Len() != (want+1)/2 {
+				t.Fatalf("zero stick has %d entries, want %d", st.Len(), (want+1)/2)
+			}
+			continue
+		}
+		if st.Len() != want {
+			t.Fatalf("stick (%d,%d) truncated: %d of %d", st.I, st.J, st.Len(), want)
+		}
+	}
+}
+
+func TestExpandReduceRoundtrip(t *testing.T) {
+	full := NewSphere(6, 6)
+	half := NewSphereGamma(6, 6)
+	bands := WavefunctionBandsGamma(half, 2)
+	for _, c := range bands {
+		fullC := ExpandGammaCoeffs(half, full, c)
+		back := ReduceGammaCoeffs(half, full, fullC)
+		for i := range c {
+			if c[i] != back[i] {
+				t.Fatalf("roundtrip mismatch at %d", i)
+			}
+		}
+		// The expanded coefficients must be Hermitian.
+		idx := map[[3]int]int{}
+		for i, g := range full.G {
+			idx[[3]int{g.I, g.J, g.K}] = i
+		}
+		for i, g := range full.G {
+			mi := idx[[3]int{-g.I, -g.J, -g.K}]
+			if d := cmplx.Abs(fullC[i] - cmplx.Conj(fullC[mi])); d > 1e-15 {
+				t.Fatalf("expanded coefficients not Hermitian at (%d,%d,%d): %g", g.I, g.J, g.K, d)
+			}
+		}
+	}
+}
+
+// The expanded gamma band must be real in real space.
+func TestGammaBandRealInRealSpace(t *testing.T) {
+	full := NewSphere(6, 6)
+	half := NewSphereGamma(6, 6)
+	c := WavefunctionBandsGamma(half, 1)[0]
+	fullC := ExpandGammaCoeffs(half, full, c)
+	box := make([]complex128, full.Grid.Size())
+	full.FillBox(box, fullC)
+	// Direct evaluation: f(r) = sum_G c(G) exp(+i G r); Hermitian c means
+	// imaginary parts cancel. Spot-check via the naive sum at a few points.
+	for _, r := range [][3]int{{0, 0, 0}, {1, 2, 3}, {5, 4, 2}} {
+		var f complex128
+		for i, g := range full.G {
+			ph := 2 * math.Pi * (float64(g.I*r[0])/float64(full.Grid.Nx) +
+				float64(g.J*r[1])/float64(full.Grid.Ny) +
+				float64(g.K*r[2])/float64(full.Grid.Nz))
+			f += fullC[i] * cmplx.Exp(complex(0, ph))
+		}
+		if math.Abs(imag(f)) > 1e-12 {
+			t.Fatalf("wavefunction not real at %v: imag %g", r, imag(f))
+		}
+	}
+}
+
+func TestGammaBandsNormalized(t *testing.T) {
+	half := NewSphereGamma(6, 6)
+	full := NewSphere(6, 6)
+	for _, c := range WavefunctionBandsGamma(half, 3) {
+		fullC := ExpandGammaCoeffs(half, full, c)
+		var norm float64
+		for _, v := range fullC {
+			norm += real(v)*real(v) + imag(v)*imag(v)
+		}
+		if math.Abs(norm-1) > 1e-10 {
+			t.Fatalf("implied full norm %g", norm)
+		}
+	}
+}
+
+func TestGammaLayoutWorks(t *testing.T) {
+	half := NewSphereGamma(6, 6)
+	for _, r := range []int{1, 2, 3} {
+		l := NewLayout(half, r)
+		coeffs := make([]complex128, half.NG())
+		for i := range coeffs {
+			coeffs[i] = complex(float64(i), -1)
+		}
+		back := l.Collect(l.Distribute(coeffs))
+		for i := range back {
+			if back[i] != coeffs[i] {
+				t.Fatalf("r=%d roundtrip mismatch", r)
+			}
+		}
+	}
+}

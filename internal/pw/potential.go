@@ -1,0 +1,61 @@
+package pw
+
+import "math"
+
+// Potential builds the deterministic real-space local potential V(r) the
+// miniapp applies between the forward and backward transforms (the VOFR
+// step). The form — a constant plus a few smooth cosine modes — is
+// arbitrary but fixed, so every engine applies bit-identical physics.
+func Potential(g Grid) []float64 {
+	v := make([]float64, g.Size())
+	for ix := 0; ix < g.Nx; ix++ {
+		cx := math.Cos(2 * math.Pi * float64(ix) / float64(g.Nx))
+		for iy := 0; iy < g.Ny; iy++ {
+			cy := math.Cos(2 * math.Pi * float64(iy) / float64(g.Ny))
+			for iz := 0; iz < g.Nz; iz++ {
+				cz := math.Cos(2 * math.Pi * float64(iz) / float64(g.Nz))
+				v[(ix*g.Ny+iy)*g.Nz+iz] = 1.0 + 0.25*cx*cy + 0.15*cy*cz + 0.10*cz*cx
+			}
+		}
+	}
+	return v
+}
+
+// PotentialPlane extracts the row-major (ix·Ny+iy) slice of V at plane z
+// from the z-fastest volume, matching the plane layout the XY stage works
+// in.
+func PotentialPlane(g Grid, v []float64, z int) []float64 {
+	out := make([]float64, g.Nx*g.Ny)
+	for ixy := 0; ixy < g.Nx*g.Ny; ixy++ {
+		out[ixy] = v[ixy*g.Nz+z]
+	}
+	return out
+}
+
+// WavefunctionBands builds nb deterministic pseudo-random band coefficient
+// vectors on the sphere, normalized, seeded by band index. It is the test
+// and example workload generator (the miniapp initializes its wavefunctions
+// similarly with a fixed expression).
+func WavefunctionBands(s *Sphere, nb int) [][]complex128 {
+	bands := make([][]complex128, nb)
+	for b := range bands {
+		c := make([]complex128, s.NG())
+		var norm float64
+		for i, g := range s.G {
+			// A smooth, decaying, band-dependent filling: deterministic
+			// and cheap, with non-trivial phase structure.
+			amp := 1.0 / (1.0 + g.G2)
+			ph := 0.37*float64(i%97) + 1.17*float64(b+1)
+			re := amp * math.Cos(ph)
+			im := amp * math.Sin(ph+0.5*float64(b))
+			c[i] = complex(re, im)
+			norm += re*re + im*im
+		}
+		inv := complex(1/math.Sqrt(norm), 0)
+		for i := range c {
+			c[i] *= inv
+		}
+		bands[b] = c
+	}
+	return bands
+}

@@ -1,0 +1,383 @@
+package pw
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func testSphere() *Sphere { return NewSphere(6.0, 6.0) }
+
+func TestSphereCountMatchesDirectEnumeration(t *testing.T) {
+	s := testSphere()
+	gcut := s.GCut
+	lim := int(math.Sqrt(gcut)) + 1
+	count := 0
+	for i := -lim; i <= lim; i++ {
+		for j := -lim; j <= lim; j++ {
+			for k := -lim; k <= lim; k++ {
+				if float64(i*i+j*j+k*k) <= gcut {
+					count++
+				}
+			}
+		}
+	}
+	if s.NG() != count {
+		t.Fatalf("sphere has %d G-vectors, direct count %d", s.NG(), count)
+	}
+	if s.NG() == 0 {
+		t.Fatal("empty sphere")
+	}
+}
+
+func TestSphereSymmetric(t *testing.T) {
+	// The sphere must contain -G for every G.
+	s := testSphere()
+	have := map[[3]int]bool{}
+	for _, g := range s.G {
+		have[[3]int{g.I, g.J, g.K}] = true
+	}
+	for _, g := range s.G {
+		if !have[[3]int{-g.I, -g.J, -g.K}] {
+			t.Fatalf("missing -G for (%d,%d,%d)", g.I, g.J, g.K)
+		}
+	}
+}
+
+func TestSphereWithinCutoff(t *testing.T) {
+	s := testSphere()
+	for _, g := range s.G {
+		if g.G2 > s.GCut {
+			t.Fatalf("G (%d,%d,%d) with G2=%g exceeds cutoff %g", g.I, g.J, g.K, g.G2, s.GCut)
+		}
+	}
+}
+
+func TestGridLargeEnough(t *testing.T) {
+	s := testSphere()
+	gmax := math.Sqrt(s.GCut)
+	if float64(s.Grid.Nx) < 2*2*gmax {
+		t.Fatalf("grid %d too small for 2x sphere extent %g", s.Grid.Nx, 2*2*gmax)
+	}
+	// Good size: only factors 2, 3, 5.
+	n := s.Grid.Nx
+	for _, f := range []int{2, 3, 5} {
+		for n%f == 0 {
+			n /= f
+		}
+	}
+	if n != 1 {
+		t.Fatalf("grid %d is not 5-smooth", s.Grid.Nx)
+	}
+}
+
+func TestPaperParametersGrid(t *testing.T) {
+	// Plane-wave energy cutoff 80 Ry, lattice parameter 20 bohr: the
+	// resulting dense grid should be around 120³ (the realistic size the
+	// paper's experiments transform).
+	s := NewSphere(80, 20)
+	if s.Grid.Nx < 100 || s.Grid.Nx > 144 {
+		t.Fatalf("paper-parameter grid is %d, expected ~120", s.Grid.Nx)
+	}
+	if s.NG() < 50000 {
+		t.Fatalf("paper-parameter sphere has only %d G-vectors", s.NG())
+	}
+}
+
+func TestSticksPartitionSphere(t *testing.T) {
+	s := testSphere()
+	total := 0
+	seen := make([]bool, s.NG())
+	for _, st := range s.Stick {
+		for z := 0; z < st.Len(); z++ {
+			gi := st.Off + z
+			if seen[gi] {
+				t.Fatalf("G index %d in two sticks", gi)
+			}
+			seen[gi] = true
+			g := s.G[gi]
+			if g.I != st.I || g.J != st.J || g.K != st.Zs[z] {
+				t.Fatalf("stick (%d,%d) entry %d maps to G (%d,%d,%d)", st.I, st.J, z, g.I, g.J, g.K)
+			}
+		}
+		total += st.Len()
+	}
+	if total != s.NG() {
+		t.Fatalf("sticks cover %d of %d", total, s.NG())
+	}
+}
+
+func TestGridIndexBijectiveOnSphere(t *testing.T) {
+	s := testSphere()
+	seen := map[int]bool{}
+	for _, g := range s.G {
+		idx := s.GridIndex(g)
+		if idx < 0 || idx >= s.Grid.Size() {
+			t.Fatalf("grid index %d out of range", idx)
+		}
+		if seen[idx] {
+			t.Fatalf("grid index %d hit twice", idx)
+		}
+		seen[idx] = true
+	}
+}
+
+func TestFillExtractRoundtrip(t *testing.T) {
+	s := testSphere()
+	coeffs := make([]complex128, s.NG())
+	for i := range coeffs {
+		coeffs[i] = complex(float64(i+1), float64(-i))
+	}
+	box := make([]complex128, s.Grid.Size())
+	s.FillBox(box, coeffs)
+	got := make([]complex128, s.NG())
+	s.ExtractBox(got, box)
+	for i := range got {
+		if got[i] != coeffs[i] {
+			t.Fatalf("roundtrip mismatch at %d", i)
+		}
+	}
+}
+
+func TestLayoutSticksAndPlanesPartition(t *testing.T) {
+	s := testSphere()
+	for _, r := range []int{1, 2, 3, 4, 7} {
+		l := NewLayout(s, r)
+		// Sticks: every stick owned exactly once.
+		count := 0
+		for p := 0; p < r; p++ {
+			count += len(l.SticksOf[p])
+			for _, si := range l.SticksOf[p] {
+				if l.StickOwner[si] != p {
+					t.Fatalf("r=%d: stick %d owner mismatch", r, si)
+				}
+			}
+		}
+		if count != s.NSticks() {
+			t.Fatalf("r=%d: %d sticks assigned of %d", r, count, s.NSticks())
+		}
+		// Planes: contiguous cover of [0,Nz).
+		lo := 0
+		for p := 0; p < r; p++ {
+			if l.PlaneLo[p] != lo {
+				t.Fatalf("r=%d: plane gap at position %d", r, p)
+			}
+			lo = l.PlaneHi[p]
+		}
+		if lo != s.Grid.Nz {
+			t.Fatalf("r=%d: planes cover %d of %d", r, lo, s.Grid.Nz)
+		}
+		// NG sums to sphere size.
+		ng := 0
+		for _, n := range l.NGOf {
+			ng += n
+		}
+		if ng != s.NG() {
+			t.Fatalf("r=%d: NG sums to %d", r, ng)
+		}
+	}
+}
+
+func TestLayoutBalanced(t *testing.T) {
+	s := testSphere()
+	l := NewLayout(s, 4)
+	min, max := s.NG(), 0
+	for _, n := range l.NGOf {
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	// Greedy balancing should keep the spread within one max stick length.
+	maxStick := 0
+	for _, st := range s.Stick {
+		if st.Len() > maxStick {
+			maxStick = st.Len()
+		}
+	}
+	if max-min > maxStick {
+		t.Fatalf("imbalance %d exceeds max stick %d", max-min, maxStick)
+	}
+}
+
+func TestDistributeCollectRoundtrip(t *testing.T) {
+	s := testSphere()
+	for _, r := range []int{1, 3, 5} {
+		l := NewLayout(s, r)
+		coeffs := make([]complex128, s.NG())
+		for i := range coeffs {
+			coeffs[i] = complex(float64(i), 1)
+		}
+		back := l.Collect(l.Distribute(coeffs))
+		for i := range back {
+			if back[i] != coeffs[i] {
+				t.Fatalf("r=%d: roundtrip mismatch at %d", r, i)
+			}
+		}
+	}
+}
+
+func TestTaskChunksPartition(t *testing.T) {
+	s := testSphere()
+	l := NewLayout(s, 3)
+	for p := 0; p < 3; p++ {
+		for _, ntg := range []int{1, 2, 4, 8} {
+			b := l.TaskChunks(p, ntg)
+			if b[0] != 0 || b[ntg] != l.NGOf[p] {
+				t.Fatalf("chunks don't span local range: %v (NG %d)", b, l.NGOf[p])
+			}
+			for g := 0; g < ntg; g++ {
+				if b[g+1] < b[g] {
+					t.Fatalf("non-monotone chunks %v", b)
+				}
+				if d := (b[g+1] - b[g]) - l.NGOf[p]/ntg; d < 0 || d > 1 {
+					t.Fatalf("chunk %d of %v uneven", g, b)
+				}
+			}
+		}
+	}
+}
+
+func TestGroupStickOrderIsPermutation(t *testing.T) {
+	s := testSphere()
+	l := NewLayout(s, 3)
+	order := l.GroupStickOrder()
+	if len(order) != s.NSticks() {
+		t.Fatalf("group order has %d sticks of %d", len(order), s.NSticks())
+	}
+	seen := make([]bool, s.NSticks())
+	for _, si := range order {
+		if seen[si] {
+			t.Fatalf("stick %d repeated", si)
+		}
+		seen[si] = true
+	}
+}
+
+func TestScatterCountsConsistent(t *testing.T) {
+	s := testSphere()
+	l := NewLayout(s, 4)
+	for p := 0; p < 4; p++ {
+		counts := l.ScatterCounts(p)
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		if total != l.NSticksOf(p)*s.Grid.Nz {
+			t.Fatalf("p=%d: scatter counts %v don't sum to sticks*nz", p, counts)
+		}
+	}
+}
+
+func TestPotentialDeterministicAndBounded(t *testing.T) {
+	g := Grid{Nx: 6, Ny: 5, Nz: 4}
+	v1 := Potential(g)
+	v2 := Potential(g)
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatal("potential not deterministic")
+		}
+		if v1[i] < 0.4 || v1[i] > 1.6 {
+			t.Fatalf("potential out of expected range: %g", v1[i])
+		}
+	}
+}
+
+func TestPotentialPlane(t *testing.T) {
+	g := Grid{Nx: 3, Ny: 4, Nz: 5}
+	v := Potential(g)
+	for z := 0; z < g.Nz; z++ {
+		pl := PotentialPlane(g, v, z)
+		for ixy := 0; ixy < g.Nx*g.Ny; ixy++ {
+			if pl[ixy] != v[ixy*g.Nz+z] {
+				t.Fatalf("plane %d mismatch at %d", z, ixy)
+			}
+		}
+	}
+}
+
+func TestWavefunctionBandsNormalized(t *testing.T) {
+	s := testSphere()
+	bands := WavefunctionBands(s, 3)
+	if len(bands) != 3 {
+		t.Fatalf("got %d bands", len(bands))
+	}
+	for b, c := range bands {
+		var norm float64
+		for _, v := range c {
+			norm += real(v)*real(v) + imag(v)*imag(v)
+		}
+		if math.Abs(norm-1) > 1e-10 {
+			t.Fatalf("band %d norm %g", b, norm)
+		}
+	}
+	// Distinct bands must differ.
+	same := true
+	for i := range bands[0] {
+		if bands[0][i] != bands[1][i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("bands 0 and 1 identical")
+	}
+}
+
+// Property: for any valid nproc, Distribute/Collect is the identity.
+func TestPropertyDistributeCollect(t *testing.T) {
+	s := testSphere()
+	f := func(rRaw uint8, seed uint8) bool {
+		r := int(rRaw)%8 + 1
+		l := NewLayout(s, r)
+		coeffs := make([]complex128, s.NG())
+		for i := range coeffs {
+			coeffs[i] = complex(float64((i*int(seed+1))%101), float64(i%7))
+		}
+		back := l.Collect(l.Distribute(coeffs))
+		for i := range back {
+			if back[i] != coeffs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShellsPartitionAndDegeneracy(t *testing.T) {
+	s := testSphere()
+	shells := s.Shells()
+	total := 0
+	prev := -1.0
+	for _, sh := range shells {
+		if sh.G2 <= prev {
+			t.Fatalf("shells not strictly ascending: %v after %v", sh.G2, prev)
+		}
+		prev = sh.G2
+		total += len(sh.Indices)
+		for _, i := range sh.Indices {
+			if s.G[i].G2 != sh.G2 {
+				t.Fatalf("index %d in wrong shell", i)
+			}
+		}
+	}
+	if total != s.NG() {
+		t.Fatalf("shells cover %d of %d", total, s.NG())
+	}
+	// Cubic-symmetry degeneracies: the first shells of a simple cubic
+	// lattice are 1 (G=0), 6 (<100>), 12 (<110>), 8 (<111>), 6 (<200>), ...
+	want := []int{1, 6, 12, 8, 6}
+	for i, w := range want {
+		if i >= len(shells) {
+			break
+		}
+		if len(shells[i].Indices) != w {
+			t.Fatalf("shell %d has %d members, want %d", i, len(shells[i].Indices), w)
+		}
+	}
+}

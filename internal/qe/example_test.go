@@ -1,0 +1,42 @@
+package qe_test
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/pw"
+	"repro/internal/qe"
+)
+
+func ExampleSolve() {
+	// Free electrons in a cubic box: the two lowest levels are the G=0
+	// state and the six-fold degenerate <100> shell at (2π/alat)² Ry.
+	const alat = 5.0
+	grid := pw.NewSphere(3, alat).Grid
+	h := qe.NewHamiltonian(3, alat, make([]float64, grid.Size())) // V = 0
+	res, err := qe.Solve(h, 2, 50, 1e-10)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	tpiba2 := math.Pow(2*math.Pi/alat, 2)
+	fmt.Printf("ground state: %.6f Ry (want 0)\n", res.Eigenvalues[0])
+	fmt.Printf("first excited: %.6f Ry (want %.6f)\n", res.Eigenvalues[1], tpiba2)
+	// Output:
+	// ground state: 0.000000 Ry (want 0)
+	// first excited: 1.579137 Ry (want 1.579137)
+}
+
+func ExampleEigHermitian() {
+	// A 2x2 Hermitian matrix with known eigenvalues 1 and 3.
+	a := [][]complex128{
+		{2, complex(0, -1)},
+		{complex(0, 1), 2},
+	}
+	vals, _ := qe.EigHermitian(a)
+	sort.Float64s(vals)
+	fmt.Printf("%.4f %.4f\n", vals[0], vals[1])
+	// Output:
+	// 1.0000 3.0000
+}

@@ -1,0 +1,111 @@
+package qe
+
+import (
+	"fmt"
+
+	"repro/internal/fft"
+	"repro/internal/pw"
+)
+
+// Hamiltonian is the single-particle plane-wave Hamiltonian
+// H = |G|² + V(r) in Rydberg units (ħ²/2m = 1 Ry·bohr²): the kinetic term
+// is diagonal in reciprocal space, the local potential acts in real space
+// through the FFT round trip — exactly the operator the FFTXlib kernel
+// applies.
+type Hamiltonian struct {
+	Sphere *pw.Sphere
+	Pot    []float64 // V(r), z-fastest, Grid.Size() entries, in Ry
+	plan   *fft.Plan3D
+	box    []complex128
+	kin    []float64 // |G|² tpiba² per sphere coefficient, in Ry
+}
+
+// NewHamiltonian builds the Hamiltonian for the given cutoff, cell and
+// real-space potential (nil means the repository's model potential).
+func NewHamiltonian(ecut, alat float64, pot []float64) *Hamiltonian {
+	s := pw.NewSphere(ecut, alat)
+	if pot == nil {
+		pot = pw.Potential(s.Grid)
+	}
+	if len(pot) != s.Grid.Size() {
+		panic(fmt.Sprintf("qe: potential has %d entries, grid %d", len(pot), s.Grid.Size()))
+	}
+	h := &Hamiltonian{
+		Sphere: s,
+		Pot:    pot,
+		plan:   fft.NewPlan3D(s.Grid.Nx, s.Grid.Ny, s.Grid.Nz),
+		box:    make([]complex128, s.Grid.Size()),
+		kin:    make([]float64, s.NG()),
+	}
+	t2 := s.Cell.Tpiba() * s.Cell.Tpiba()
+	for i, g := range s.G {
+		h.kin[i] = g.G2 * t2
+	}
+	return h
+}
+
+// NG returns the basis size (number of plane waves).
+func (h *Hamiltonian) NG() int { return h.Sphere.NG() }
+
+// Kinetic returns the diagonal kinetic energies per basis function, in Ry.
+func (h *Hamiltonian) Kinetic() []float64 { return h.kin }
+
+// Apply computes dst = H·src for sphere coefficient vectors.
+func (h *Hamiltonian) Apply(dst, src []complex128) {
+	s := h.Sphere
+	if len(dst) != s.NG() || len(src) != s.NG() {
+		panic("qe: Apply length mismatch")
+	}
+	// Potential term through the FFT round trip.
+	s.FillBox(h.box, src)
+	h.plan.Transform(h.box, fft.Backward)
+	for i := range h.box {
+		h.box[i] *= complex(h.Pot[i], 0)
+	}
+	h.plan.Transform(h.box, fft.Forward)
+	s.ExtractBox(dst, h.box)
+	scale := complex(1/float64(s.Grid.Size()), 0)
+	for i := range dst {
+		dst[i] = dst[i]*scale + complex(h.kin[i], 0)*src[i]
+	}
+}
+
+// Dense builds the explicit NG×NG Hamiltonian matrix
+// H[i][j] = δij·|G_i|² + V̂(G_i−G_j), for verification on small grids.
+func (h *Hamiltonian) Dense() [][]complex128 {
+	s := h.Sphere
+	// V̂ = FFT(V)/N over the full grid.
+	vhat := make([]complex128, s.Grid.Size())
+	for i, v := range h.Pot {
+		vhat[i] = complex(v, 0)
+	}
+	h.plan.Transform(vhat, fft.Forward)
+	scale := complex(1/float64(s.Grid.Size()), 0)
+	for i := range vhat {
+		vhat[i] *= scale
+	}
+	wrap := func(m, n int) int {
+		m %= n
+		if m < 0 {
+			m += n
+		}
+		return m
+	}
+	n := s.NG()
+	out := make([][]complex128, n)
+	for i := 0; i < n; i++ {
+		out[i] = make([]complex128, n)
+		gi := s.G[i]
+		for j := 0; j < n; j++ {
+			gj := s.G[j]
+			ix := wrap(gi.I-gj.I, s.Grid.Nx)
+			iy := wrap(gi.J-gj.J, s.Grid.Ny)
+			iz := wrap(gi.K-gj.K, s.Grid.Nz)
+			out[i][j] = vhat[(ix*s.Grid.Ny+iy)*s.Grid.Nz+iz]
+			if i == j {
+				out[i][j] += complex(h.kin[i], 0)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,188 @@
+// Package qe is a miniature plane-wave eigensolver built on the repository's
+// FFT machinery — the downstream workload the FFTXlib exists for. It
+// assembles the single-particle Hamiltonian H = -∇²/2 ... in Rydberg units
+// H = |G|² + V(r) ... of a periodic local potential, applies it to
+// wavefunctions the way Quantum ESPRESSO's vloc_psi does (kinetic term in
+// reciprocal space, potential term via forward FFT → multiply → backward
+// FFT), and finds the lowest eigenstates with a block Rayleigh-Ritz
+// iteration. Everything is verifiable: the dense Hamiltonian can be built
+// explicitly on small grids and diagonalized with the included Jacobi
+// solver.
+package qe
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Dot returns the Hermitian inner product <a|b>.
+func Dot(a, b []complex128) complex128 {
+	var s complex128
+	for i := range a {
+		s += cmplx.Conj(a[i]) * b[i]
+	}
+	return s
+}
+
+// Norm returns sqrt(<a|a>).
+func Norm(a []complex128) float64 {
+	return math.Sqrt(real(Dot(a, a)))
+}
+
+// Orthonormalize performs modified Gram-Schmidt on the vectors in place.
+// It returns an error if a vector is (numerically) linearly dependent.
+func Orthonormalize(vs [][]complex128) error {
+	for i := range vs {
+		for j := 0; j < i; j++ {
+			c := Dot(vs[j], vs[i])
+			for k := range vs[i] {
+				vs[i][k] -= c * vs[j][k]
+			}
+		}
+		n := Norm(vs[i])
+		if n < 1e-12 {
+			return fmt.Errorf("qe: vector %d linearly dependent", i)
+		}
+		inv := complex(1/n, 0)
+		for k := range vs[i] {
+			vs[i][k] *= inv
+		}
+	}
+	return nil
+}
+
+// EigHermitian diagonalizes the Hermitian matrix A (n×n, row slices),
+// returning eigenvalues ascending and the corresponding orthonormal
+// eigenvectors (as rows). It embeds A into the real symmetric 2n×2n matrix
+// [[Re, -Im], [Im, Re]] and runs cyclic Jacobi; each eigenvalue of A
+// appears twice in the embedding with conjugate-paired eigenvectors, of
+// which one per pair is returned.
+func EigHermitian(a [][]complex128) ([]float64, [][]complex128) {
+	n := len(a)
+	m := 2 * n
+	s := make([][]float64, m)
+	for i := range s {
+		s[i] = make([]float64, m)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			re, im := real(a[i][j]), imag(a[i][j])
+			s[i][j] = re
+			s[i+n][j+n] = re
+			s[i][j+n] = -im
+			s[i+n][j] = im
+		}
+	}
+	evals, evecs := jacobiSymmetric(s)
+
+	// Select one eigenvector per conjugate pair: walk the ascending
+	// eigenvalues and skip every second member of a (near-)degenerate pair
+	// whose complex form duplicates an already-selected vector.
+	type pick struct {
+		val float64
+		vec []complex128
+	}
+	var picks []pick
+	for idx := 0; idx < m && len(picks) < n; idx++ {
+		v := make([]complex128, n)
+		for i := 0; i < n; i++ {
+			v[i] = complex(evecs[idx][i], evecs[idx][i+n])
+		}
+		nv := Norm(v)
+		if nv < 1e-8 {
+			continue // purely imaginary-embedded partner
+		}
+		inv := complex(1/nv, 0)
+		for i := range v {
+			v[i] *= inv
+		}
+		dup := false
+		for _, p := range picks {
+			if math.Abs(p.val-evals[idx]) < 1e-8*(1+math.Abs(p.val)) {
+				// Same eigenvalue: duplicate if not orthogonal.
+				if cmplx.Abs(Dot(p.vec, v)) > 1e-6 {
+					dup = true
+					break
+				}
+			}
+		}
+		if !dup {
+			picks = append(picks, pick{evals[idx], v})
+		}
+	}
+	vals := make([]float64, len(picks))
+	vecs := make([][]complex128, len(picks))
+	for i, p := range picks {
+		vals[i] = p.val
+		vecs[i] = p.vec
+	}
+	return vals, vecs
+}
+
+// jacobiSymmetric diagonalizes a real symmetric matrix with the cyclic
+// Jacobi method, returning eigenvalues ascending and eigenvectors as rows.
+func jacobiSymmetric(a [][]float64) ([]float64, [][]float64) {
+	n := len(a)
+	v := make([][]float64, n)
+	for i := range v {
+		v[i] = make([]float64, n)
+		v[i][i] = 1
+	}
+	for sweep := 0; sweep < 100; sweep++ {
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += a[i][j] * a[i][j]
+			}
+		}
+		if off < 1e-24*float64(n*n) {
+			break
+		}
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				if math.Abs(a[p][q]) < 1e-300 {
+					continue
+				}
+				theta := (a[q][q] - a[p][p]) / (2 * a[p][q])
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				for k := 0; k < n; k++ {
+					akp, akq := a[k][p], a[k][q]
+					a[k][p] = c*akp - s*akq
+					a[k][q] = s*akp + c*akq
+				}
+				for k := 0; k < n; k++ {
+					apk, aqk := a[p][k], a[q][k]
+					a[p][k] = c*apk - s*aqk
+					a[q][k] = s*apk + c*aqk
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := v[p][k], v[q][k]
+					v[p][k] = c*vkp - s*vkq
+					v[q][k] = s*vkp + c*vkq
+				}
+			}
+		}
+	}
+	// Sort ascending by eigenvalue.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if a[idx[j]][idx[j]] < a[idx[i]][idx[i]] {
+				idx[i], idx[j] = idx[j], idx[i]
+			}
+		}
+	}
+	vals := make([]float64, n)
+	vecs := make([][]float64, n)
+	for i, id := range idx {
+		vals[i] = a[id][id]
+		vecs[i] = v[id]
+	}
+	return vals, vecs
+}

@@ -1,0 +1,260 @@
+package qe
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/pw"
+)
+
+func tinyHam(t *testing.T, pot []float64) *Hamiltonian {
+	t.Helper()
+	return NewHamiltonian(3, 5, pot) // ~7-point sphere on a small grid
+}
+
+func randHermitian(rng *rand.Rand, n int) [][]complex128 {
+	a := make([][]complex128, n)
+	for i := range a {
+		a[i] = make([]complex128, n)
+	}
+	for i := 0; i < n; i++ {
+		a[i][i] = complex(rng.NormFloat64(), 0)
+		for j := i + 1; j < n; j++ {
+			v := complex(rng.NormFloat64(), rng.NormFloat64())
+			a[i][j] = v
+			a[j][i] = cmplx.Conj(v)
+		}
+	}
+	return a
+}
+
+func TestEigHermitianRandomMatrices(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(6)
+		a := randHermitian(rng, n)
+		// Copy (EigHermitian must not destroy a — it copies internally).
+		vals, vecs := EigHermitian(a)
+		if len(vals) != n || len(vecs) != n {
+			t.Fatalf("trial %d: got %d vals, %d vecs for n=%d", trial, len(vals), len(vecs), n)
+		}
+		if !sort.Float64sAreSorted(vals) {
+			t.Fatalf("eigenvalues not ascending: %v", vals)
+		}
+		// Trace check.
+		var trA, sumE float64
+		for i := 0; i < n; i++ {
+			trA += real(a[i][i])
+			sumE += vals[i]
+		}
+		if math.Abs(trA-sumE) > 1e-8*(1+math.Abs(trA)) {
+			t.Fatalf("trace %g vs eigenvalue sum %g", trA, sumE)
+		}
+		// Residuals |A v - λ v| and orthonormality.
+		for k := 0; k < n; k++ {
+			var rr float64
+			for i := 0; i < n; i++ {
+				var av complex128
+				for j := 0; j < n; j++ {
+					av += a[i][j] * vecs[k][j]
+				}
+				d := av - complex(vals[k], 0)*vecs[k][i]
+				rr += real(d)*real(d) + imag(d)*imag(d)
+			}
+			if math.Sqrt(rr) > 1e-8 {
+				t.Fatalf("eigenpair %d residual %g", k, math.Sqrt(rr))
+			}
+			for l := 0; l < k; l++ {
+				if cmplx.Abs(Dot(vecs[k], vecs[l])) > 1e-7 {
+					t.Fatalf("eigenvectors %d,%d not orthogonal", k, l)
+				}
+			}
+		}
+	}
+}
+
+func TestOrthonormalize(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	vs := make([][]complex128, 4)
+	for i := range vs {
+		vs[i] = make([]complex128, 10)
+		for k := range vs[i] {
+			vs[i][k] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+	}
+	if err := Orthonormalize(vs); err != nil {
+		t.Fatal(err)
+	}
+	for i := range vs {
+		for j := 0; j <= i; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if d := cmplx.Abs(Dot(vs[i], vs[j])) - want; math.Abs(d) > 1e-10 {
+				t.Fatalf("<%d|%d> off by %g", i, j, d)
+			}
+		}
+	}
+}
+
+func TestHamiltonianHermitian(t *testing.T) {
+	h := tinyHam(t, nil)
+	a := h.Dense()
+	n := len(a)
+	for i := 0; i < n; i++ {
+		if math.Abs(imag(a[i][i])) > 1e-12 {
+			t.Fatalf("diagonal %d not real: %v", i, a[i][i])
+		}
+		for j := 0; j < n; j++ {
+			if cmplx.Abs(a[i][j]-cmplx.Conj(a[j][i])) > 1e-10 {
+				t.Fatalf("H not Hermitian at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestApplyMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	h := tinyHam(t, nil)
+	a := h.Dense()
+	n := h.NG()
+	src := make([]complex128, n)
+	for i := range src {
+		src[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	dst := make([]complex128, n)
+	h.Apply(dst, src)
+	for i := 0; i < n; i++ {
+		var want complex128
+		for j := 0; j < n; j++ {
+			want += a[i][j] * src[j]
+		}
+		if cmplx.Abs(dst[i]-want) > 1e-9 {
+			t.Fatalf("Apply disagrees with dense at %d: %v vs %v", i, dst[i], want)
+		}
+	}
+}
+
+// Free electrons: with V = 0 the eigenvalues are exactly the lowest kinetic
+// energies |G|²·tpiba².
+func TestSolveFreeElectrons(t *testing.T) {
+	s := pw.NewSphere(3, 5)
+	zero := make([]float64, s.Grid.Size())
+	h := NewHamiltonian(3, 5, zero)
+	const nb = 3
+	res, err := Solve(h, nb, 50, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kin := append([]float64(nil), h.Kinetic()...)
+	sort.Float64s(kin)
+	for b := 0; b < nb; b++ {
+		if math.Abs(res.Eigenvalues[b]-kin[b]) > 1e-8 {
+			t.Fatalf("free-electron eigenvalue %d = %g, want %g", b, res.Eigenvalues[b], kin[b])
+		}
+	}
+}
+
+// A constant potential shifts every eigenvalue by exactly that constant.
+func TestSolveConstantShift(t *testing.T) {
+	s := pw.NewSphere(3, 5)
+	const c = 0.7
+	pot := make([]float64, s.Grid.Size())
+	for i := range pot {
+		pot[i] = c
+	}
+	h := NewHamiltonian(3, 5, pot)
+	res, err := Solve(h, 3, 50, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kin := append([]float64(nil), h.Kinetic()...)
+	sort.Float64s(kin)
+	for b := 0; b < 3; b++ {
+		if math.Abs(res.Eigenvalues[b]-(kin[b]+c)) > 1e-8 {
+			t.Fatalf("shifted eigenvalue %d = %g, want %g", b, res.Eigenvalues[b], kin[b]+c)
+		}
+	}
+}
+
+// The iterative solver must agree with dense diagonalization for the model
+// potential.
+func TestSolveMatchesDenseDiagonalization(t *testing.T) {
+	h := NewHamiltonian(5, 6, nil) // ~33 plane waves
+	const nb = 4
+	res, err := Solve(h, nb, 200, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, _ := EigHermitian(h.Dense())
+	for b := 0; b < nb; b++ {
+		if math.Abs(res.Eigenvalues[b]-vals[b]) > 1e-6 {
+			t.Fatalf("eigenvalue %d: iterative %g vs dense %g", b, res.Eigenvalues[b], vals[b])
+		}
+	}
+	if res.Residual > 1e-4 {
+		t.Fatalf("converged residual %g", res.Residual)
+	}
+	// Eigenvectors orthonormal.
+	for i := 0; i < nb; i++ {
+		for j := 0; j < i; j++ {
+			if cmplx.Abs(Dot(res.Eigenvecs[i], res.Eigenvecs[j])) > 1e-6 {
+				t.Fatalf("solver eigenvectors %d,%d not orthogonal", i, j)
+			}
+		}
+	}
+}
+
+func TestSolveValidatesArgs(t *testing.T) {
+	h := tinyHam(t, nil)
+	if _, err := Solve(h, 0, 10, 1e-8); err == nil {
+		t.Fatal("expected error for nb=0")
+	}
+	if _, err := Solve(h, h.NG(), 10, 1e-8); err == nil {
+		t.Fatal("expected error for nb too large")
+	}
+}
+
+// Variational property: the nb-state Rayleigh-Ritz minimum cannot go below
+// the true lowest eigenvalues (checked against dense).
+func TestSolveVariationalBound(t *testing.T) {
+	h := tinyHam(t, nil)
+	res, err := Solve(h, 2, 30, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, _ := EigHermitian(h.Dense())
+	for b := 0; b < 2; b++ {
+		if res.Eigenvalues[b] < vals[b]-1e-8 {
+			t.Fatalf("variational bound violated: %g < %g", res.Eigenvalues[b], vals[b])
+		}
+	}
+}
+
+// Free-electron degeneracies follow the G-shell structure: eigenvalues
+// group exactly by shell.
+func TestSolveFreeElectronDegeneracies(t *testing.T) {
+	s := pw.NewSphere(3, 5)
+	zero := make([]float64, s.Grid.Size())
+	h := NewHamiltonian(3, 5, zero)
+	shells := s.Shells()
+	// Solve for the first two shells' worth of states (1 + 6 = 7 here is
+	// more than ng/2, so take 1 + first 2 of shell 2 = 3 states).
+	res, err := Solve(h, 3, 60, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2 := s.Cell.Tpiba() * s.Cell.Tpiba()
+	if math.Abs(res.Eigenvalues[0]-shells[0].G2*t2) > 1e-8 {
+		t.Fatalf("ground state %g, want %g", res.Eigenvalues[0], shells[0].G2*t2)
+	}
+	for b := 1; b < 3; b++ {
+		if math.Abs(res.Eigenvalues[b]-shells[1].G2*t2) > 1e-8 {
+			t.Fatalf("state %d = %g, want shell value %g", b, res.Eigenvalues[b], shells[1].G2*t2)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package qe
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/pw"
+)
+
+func TestSCFConverges(t *testing.T) {
+	// One occupied band: a closed shell, so the plain mixing loop is
+	// stable.
+	opt := DefaultSCFOptions(1)
+	res, err := SCF(3, 5, nil, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("SCF did not converge in %d iterations (residual %g)", res.Iterations, res.Residual)
+	}
+	if len(res.Eigenvalues) != 1 {
+		t.Fatalf("eigenvalues %v", res.Eigenvalues)
+	}
+}
+
+func TestSCFDensityNormalized(t *testing.T) {
+	opt := DefaultSCFOptions(1)
+	res, err := SCF(3, 5, nil, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, v := range res.Density {
+		if v < -1e-10 {
+			t.Fatalf("negative density %g", v)
+		}
+		total += v
+	}
+	npts := float64(len(res.Density))
+	if math.Abs(total/npts-1) > 1e-6 {
+		t.Fatalf("density integrates to %g electrons per cell, want 1", total/npts)
+	}
+}
+
+// With zero coupling the SCF is a single diagonalization: it must converge
+// immediately after the density settles and reproduce Solve's eigenvalues.
+func TestSCFZeroCouplingMatchesSolve(t *testing.T) {
+	opt := DefaultSCFOptions(2)
+	opt.Coupling = 0
+	opt.Mixing = 1
+	res, err := SCF(3, 5, nil, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Iterations > 3 {
+		t.Fatalf("zero-coupling SCF took %d iterations", res.Iterations)
+	}
+	h := NewHamiltonian(3, 5, nil)
+	direct, err := Solve(h, 2, 60, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < 2; b++ {
+		if math.Abs(res.Eigenvalues[b]-direct.Eigenvalues[b]) > 1e-6 {
+			t.Fatalf("band %d: scf %g vs direct %g", b, res.Eigenvalues[b], direct.Eigenvalues[b])
+		}
+	}
+}
+
+// Repulsive coupling raises the occupied eigenvalues relative to the bare
+// potential (the mean field pushes states up).
+func TestSCFCouplingRaisesLevels(t *testing.T) {
+	bare := DefaultSCFOptions(1)
+	bare.Coupling = 0
+	bare.Mixing = 1
+	b, err := SCF(3, 5, nil, bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coupled := DefaultSCFOptions(1)
+	coupled.Coupling = 0.5
+	c, err := SCF(3, 5, nil, coupled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(c.Eigenvalues[0] > b.Eigenvalues[0]) {
+		t.Fatalf("coupled ground state %g not above bare %g", c.Eigenvalues[0], b.Eigenvalues[0])
+	}
+}
+
+func TestSCFValidatesBands(t *testing.T) {
+	opt := DefaultSCFOptions(0)
+	if _, err := SCF(3, 5, nil, opt); err == nil {
+		t.Fatal("expected error for zero bands")
+	}
+}
+
+// A uniform external potential yields a uniform converged density (free
+// electrons in the lowest G=0 state carry no spatial structure; with one
+// band the density is exactly flat).
+func TestSCFFreeElectronDensityFlat(t *testing.T) {
+	s := pw.NewSphere(3, 5)
+	zero := make([]float64, s.Grid.Size())
+	opt := DefaultSCFOptions(1)
+	res, err := SCF(3, 5, zero, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range res.Density {
+		if math.Abs(v-1) > 1e-6 {
+			t.Fatalf("density[%d] = %g, want 1 (flat)", i, v)
+		}
+	}
+}

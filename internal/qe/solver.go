@@ -1,0 +1,159 @@
+package qe
+
+import (
+	"fmt"
+	"math"
+)
+
+// SolveResult carries the eigensolver outcome.
+type SolveResult struct {
+	Eigenvalues []float64      // lowest NB eigenvalues, ascending, in Ry
+	Eigenvecs   [][]complex128 // corresponding sphere-coefficient vectors
+	Iterations  int
+	Residual    float64 // max over states of |H psi - e psi|
+}
+
+// Solve finds the lowest nb eigenstates of H with a block Rayleigh-Ritz
+// iteration (a LOBPCG-style subspace built from [Psi, H·Psi], without the
+// momentum block): starting from the lowest-kinetic-energy plane waves, it
+// repeatedly diagonalizes H in the doubled subspace and keeps the lowest nb
+// Ritz vectors, until every residual drops below tol or maxIter is reached.
+func Solve(h *Hamiltonian, nb, maxIter int, tol float64) (*SolveResult, error) {
+	ng := h.NG()
+	if nb <= 0 || nb > ng/2 {
+		return nil, fmt.Errorf("qe: nb=%d out of range for basis %d", nb, ng)
+	}
+	// Trial vectors: unit plane waves with the lowest kinetic energy.
+	order := make([]int, ng)
+	for i := range order {
+		order[i] = i
+	}
+	// Partial selection sort of the nb smallest kinetic energies.
+	for i := 0; i < nb; i++ {
+		for j := i + 1; j < ng; j++ {
+			if h.kin[order[j]] < h.kin[order[i]] {
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+	}
+	psi := make([][]complex128, nb)
+	for b := 0; b < nb; b++ {
+		psi[b] = make([]complex128, ng)
+		psi[b][order[b]] = 1
+	}
+
+	hpsi := make([][]complex128, nb)
+	for b := range hpsi {
+		hpsi[b] = make([]complex128, ng)
+	}
+	res := &SolveResult{}
+	for it := 1; it <= maxIter; it++ {
+		res.Iterations = it
+		for b := 0; b < nb; b++ {
+			h.Apply(hpsi[b], psi[b])
+		}
+		// Residual check against the Rayleigh quotients.
+		res.Residual = 0
+		for b := 0; b < nb; b++ {
+			e := real(Dot(psi[b], hpsi[b]))
+			var rr float64
+			for i := range psi[b] {
+				d := hpsi[b][i] - complex(e, 0)*psi[b][i]
+				rr += real(d)*real(d) + imag(d)*imag(d)
+			}
+			res.Residual = math.Max(res.Residual, math.Sqrt(rr))
+		}
+		if res.Residual < tol {
+			break
+		}
+		// Subspace S = [psi, hpsi], orthonormalized.
+		sub := make([][]complex128, 0, 2*nb)
+		for b := 0; b < nb; b++ {
+			sub = append(sub, append([]complex128(nil), psi[b]...))
+		}
+		for b := 0; b < nb; b++ {
+			sub = append(sub, append([]complex128(nil), hpsi[b]...))
+		}
+		if err := orthonormalizeDropping(&sub); err != nil {
+			return nil, err
+		}
+		m := len(sub)
+		// Project: Hs[i][j] = <s_i|H|s_j>.
+		hs := make([][]complex128, m)
+		hsub := make([][]complex128, m)
+		for i := 0; i < m; i++ {
+			hsub[i] = make([]complex128, ng)
+			h.Apply(hsub[i], sub[i])
+		}
+		for i := 0; i < m; i++ {
+			hs[i] = make([]complex128, m)
+			for j := 0; j < m; j++ {
+				hs[i][j] = Dot(sub[i], hsub[j])
+			}
+		}
+		_, vecs := EigHermitian(hs)
+		if len(vecs) < nb {
+			return nil, fmt.Errorf("qe: subspace diagonalization produced %d of %d vectors", len(vecs), nb)
+		}
+		// Ritz vectors: psi_b = sum_i vecs[b][i] * sub[i].
+		for b := 0; b < nb; b++ {
+			for k := range psi[b] {
+				psi[b][k] = 0
+			}
+			for i := 0; i < m; i++ {
+				c := vecs[b][i]
+				if c == 0 {
+					continue
+				}
+				for k := range psi[b] {
+					psi[b][k] += c * sub[i][k]
+				}
+			}
+		}
+	}
+	// Final Rayleigh quotients, sorted ascending.
+	evals := make([]float64, nb)
+	for b := 0; b < nb; b++ {
+		h.Apply(hpsi[b], psi[b])
+		evals[b] = real(Dot(psi[b], hpsi[b])) / real(Dot(psi[b], psi[b]))
+	}
+	for i := 0; i < nb; i++ {
+		for j := i + 1; j < nb; j++ {
+			if evals[j] < evals[i] {
+				evals[i], evals[j] = evals[j], evals[i]
+				psi[i], psi[j] = psi[j], psi[i]
+			}
+		}
+	}
+	res.Eigenvalues = evals
+	res.Eigenvecs = psi
+	return res, nil
+}
+
+// orthonormalizeDropping runs modified Gram-Schmidt, dropping vectors that
+// become linearly dependent instead of failing.
+func orthonormalizeDropping(vs *[][]complex128) error {
+	kept := (*vs)[:0]
+	for _, v := range *vs {
+		for _, u := range kept {
+			c := Dot(u, v)
+			for k := range v {
+				v[k] -= c * u[k]
+			}
+		}
+		n := Norm(v)
+		if n < 1e-10 {
+			continue
+		}
+		inv := complex(1/n, 0)
+		for k := range v {
+			v[k] *= inv
+		}
+		kept = append(kept, v)
+	}
+	if len(kept) == 0 {
+		return fmt.Errorf("qe: subspace collapsed")
+	}
+	*vs = kept
+	return nil
+}

@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CommStat summarizes the MPI activity on one communicator — the
+// communicator view of the paper's Figure 3, which makes the two-layer
+// structure visible: R "pack" communicators of T neighboring ranks and T
+// "group" communicators of R alternating ranks.
+type CommStat struct {
+	Comm     string
+	Calls    int // MPI call intervals (sync+transfer pairs count once)
+	Lanes    int // distinct lanes that used the communicator
+	SyncTime float64
+	XferTime float64
+}
+
+// CommStats aggregates the MPI intervals by communicator, sorted by total
+// time descending.
+func (t *Trace) CommStats() []CommStat {
+	type acc struct {
+		calls int
+		lanes map[int]bool
+		sync  float64
+		xfer  float64
+	}
+	byComm := map[string]*acc{}
+	for _, iv := range t.Intervals {
+		if iv.Kind != KindMPISync && iv.Kind != KindMPITransfer {
+			continue
+		}
+		a := byComm[iv.Comm]
+		if a == nil {
+			a = &acc{lanes: map[int]bool{}}
+			byComm[iv.Comm] = a
+		}
+		a.lanes[iv.Lane] = true
+		if iv.Kind == KindMPISync {
+			a.calls++ // each call records exactly one sync interval
+			a.sync += iv.Duration()
+		} else {
+			a.xfer += iv.Duration()
+		}
+	}
+	out := make([]CommStat, 0, len(byComm))
+	for c, a := range byComm {
+		out = append(out, CommStat{
+			Comm: c, Calls: a.calls, Lanes: len(a.lanes),
+			SyncTime: a.sync, XferTime: a.xfer,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ti, tj := out[i].SyncTime+out[i].XferTime, out[j].SyncTime+out[j].XferTime
+		if ti != tj {
+			return ti > tj
+		}
+		return out[i].Comm < out[j].Comm
+	})
+	return out
+}
+
+// FormatCommStats renders the communicator summary as a text table.
+func (t *Trace) FormatCommStats() string {
+	stats := t.CommStats()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s %8s %7s %12s %12s\n", "comm", "calls", "lanes", "sync[s]", "transfer[s]")
+	for _, s := range stats {
+		fmt.Fprintf(&sb, "%-12s %8d %7d %12.6f %12.6f\n", s.Comm, s.Calls, s.Lanes, s.SyncTime, s.XferTime)
+	}
+	return sb.String()
+}

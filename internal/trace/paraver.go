@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Paraver export: writes the trace in the BSC Paraver text format — the
+// .prv record file, the .pcf configuration (state and event value labels)
+// and the .row names file — so traces produced by the simulator can be
+// loaded into the actual analysis tool the paper used.
+//
+// Mapping:
+//
+//	state records (type 1): compute -> 1 (Running), MPI sync wait -> 3
+//	  (Waiting), MPI transfer -> 6 (Group communication), runtime
+//	  overhead -> 7 (Scheduling), idle -> 0 (Idle)
+//	event records (type 2): phase identifiers are emitted as user events of
+//	  type 90000001 at each compute interval start (value = phase id, 0 at
+//	  interval end), matching how Extrae encodes user functions.
+
+const paraverPhaseEvent = 90000001
+
+func paraverState(k Kind) int {
+	switch k {
+	case KindCompute:
+		return 1
+	case KindMPISync:
+		return 3
+	case KindMPITransfer:
+		return 6
+	case KindRuntime:
+		return 7
+	default:
+		return 0
+	}
+}
+
+// paraverStateNames labels the states used above, for the .pcf.
+var paraverStateNames = map[int]string{
+	0: "Idle",
+	1: "Running",
+	3: "Waiting",
+	6: "Group communication",
+	7: "Scheduling and Fork/Join",
+}
+
+// ExportParaver writes base.prv, base.pcf and base.row.
+func (t *Trace) ExportParaver(base string) error {
+	ns := func(sec float64) int64 { return int64(sec * 1e9) }
+	_, end := t.Span()
+	total := ns(end)
+
+	// Stable phase-id assignment.
+	phases := t.Phases()
+	phaseID := make(map[string]int, len(phases))
+	for i, ph := range phases {
+		phaseID[ph] = i + 1
+	}
+
+	var sb strings.Builder
+	// Header: one node with Lanes cpus, one application with one task of
+	// Lanes threads (the layout Paraver expects for a threaded process).
+	fmt.Fprintf(&sb, "#Paraver (01/01/17 at 00:00):%d_ns:1(%d):1:1(%d:1)\n",
+		total, t.Lanes, t.Lanes)
+
+	type rec struct {
+		at   int64
+		line string
+	}
+	recs := make([]rec, 0, 2*len(t.Intervals))
+	for _, iv := range t.Intervals {
+		cpu := iv.Lane + 1
+		b, e := ns(iv.Start), ns(iv.End)
+		recs = append(recs, rec{b, fmt.Sprintf("1:%d:1:1:%d:%d:%d:%d",
+			cpu, cpu, b, e, paraverState(iv.Kind))})
+		if iv.Kind == KindCompute {
+			recs = append(recs,
+				rec{b, fmt.Sprintf("2:%d:1:1:%d:%d:%d:%d", cpu, cpu, b, paraverPhaseEvent, phaseID[iv.Phase])},
+				rec{e, fmt.Sprintf("2:%d:1:1:%d:%d:%d:%d", cpu, cpu, e, paraverPhaseEvent, 0)})
+		}
+	}
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].at < recs[j].at })
+	for _, r := range recs {
+		sb.WriteString(r.line)
+		sb.WriteByte('\n')
+	}
+	if err := os.WriteFile(base+".prv", []byte(sb.String()), 0o644); err != nil {
+		return fmt.Errorf("trace: write prv: %w", err)
+	}
+
+	// .pcf: state and event labels.
+	var pcf strings.Builder
+	pcf.WriteString("DEFAULT_OPTIONS\n\nLEVEL\tTHREAD\nUNITS\tNANOSEC\n\nSTATES\n")
+	states := make([]int, 0, len(paraverStateNames))
+	for s := range paraverStateNames {
+		states = append(states, s)
+	}
+	sort.Ints(states)
+	for _, s := range states {
+		fmt.Fprintf(&pcf, "%d\t%s\n", s, paraverStateNames[s])
+	}
+	fmt.Fprintf(&pcf, "\nEVENT_TYPE\n0\t%d\tFFT pipeline phase\nVALUES\n0\tEnd\n", paraverPhaseEvent)
+	for _, ph := range phases {
+		fmt.Fprintf(&pcf, "%d\t%s\n", phaseID[ph], ph)
+	}
+	if err := os.WriteFile(base+".pcf", []byte(pcf.String()), 0o644); err != nil {
+		return fmt.Errorf("trace: write pcf: %w", err)
+	}
+
+	// .row: object names per level.
+	var row strings.Builder
+	fmt.Fprintf(&row, "LEVEL CPU SIZE %d\n", t.Lanes)
+	for l := 0; l < t.Lanes; l++ {
+		fmt.Fprintf(&row, "lane.%d\n", l)
+	}
+	fmt.Fprintf(&row, "\nLEVEL THREAD SIZE %d\n", t.Lanes)
+	for l := 0; l < t.Lanes; l++ {
+		fmt.Fprintf(&row, "THREAD 1.1.%d\n", l+1)
+	}
+	if err := os.WriteFile(base+".row", []byte(row.String()), 0o644); err != nil {
+		return fmt.Errorf("trace: write row: %w", err)
+	}
+	return nil
+}

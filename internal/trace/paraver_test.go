@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestExportParaverFiles(t *testing.T) {
+	tr := sample()
+	base := filepath.Join(t.TempDir(), "run")
+	if err := tr.ExportParaver(base); err != nil {
+		t.Fatal(err)
+	}
+	for _, ext := range []string{".prv", ".pcf", ".row"} {
+		if _, err := os.Stat(base + ext); err != nil {
+			t.Fatalf("missing %s: %v", ext, err)
+		}
+	}
+}
+
+func TestParaverPrvStructure(t *testing.T) {
+	tr := sample()
+	base := filepath.Join(t.TempDir(), "run")
+	if err := tr.ExportParaver(base); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(base + ".prv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if !strings.HasPrefix(lines[0], "#Paraver") {
+		t.Fatalf("bad header: %s", lines[0])
+	}
+	if !strings.Contains(lines[0], "1(2)") { // one node, two cpus
+		t.Fatalf("header lacks cpu count: %s", lines[0])
+	}
+	nState, nEvent := 0, 0
+	var prevTime int64 = -1
+	for _, ln := range lines[1:] {
+		f := strings.Split(ln, ":")
+		switch f[0] {
+		case "1":
+			if len(f) != 8 {
+				t.Fatalf("state record has %d fields: %s", len(f), ln)
+			}
+			b, _ := strconv.ParseInt(f[5], 10, 64)
+			e, _ := strconv.ParseInt(f[6], 10, 64)
+			if e < b {
+				t.Fatalf("state ends before it starts: %s", ln)
+			}
+			if b < prevTime {
+				t.Fatalf("records not time-sorted at %s", ln)
+			}
+			prevTime = b
+			nState++
+		case "2":
+			if len(f) != 8 {
+				t.Fatalf("event record has %d fields: %s", len(f), ln)
+			}
+			nEvent++
+		default:
+			t.Fatalf("unknown record type: %s", ln)
+		}
+	}
+	// sample() has 8 intervals (6 explicit + MPI splits) and per compute
+	// interval two phase events.
+	if nState == 0 || nEvent == 0 {
+		t.Fatalf("states %d events %d", nState, nEvent)
+	}
+	comp := 0
+	for _, iv := range tr.Intervals {
+		if iv.Kind == KindCompute {
+			comp++
+		}
+	}
+	if nState != len(tr.Intervals) {
+		t.Fatalf("state records %d, intervals %d", nState, len(tr.Intervals))
+	}
+	if nEvent != 2*comp {
+		t.Fatalf("event records %d, want %d", nEvent, 2*comp)
+	}
+}
+
+func TestParaverPcfLabelsPhases(t *testing.T) {
+	tr := sample()
+	base := filepath.Join(t.TempDir(), "run")
+	if err := tr.ExportParaver(base); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(base + ".pcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"STATES", "Running", "Group communication", "FFT pipeline phase", "fft-z", "vofr"} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("pcf missing %q", want)
+		}
+	}
+}
+
+func TestParaverRowListsLanes(t *testing.T) {
+	tr := sample()
+	base := filepath.Join(t.TempDir(), "run")
+	if err := tr.ExportParaver(base); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(base + ".row")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "LEVEL CPU SIZE 2") || !strings.Contains(string(data), "lane.1") {
+		t.Fatalf("row file wrong:\n%s", data)
+	}
+}

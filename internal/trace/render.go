@@ -1,0 +1,378 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Timeline renders a Paraver-style state timeline as ASCII art: one row per
+// lane, time on the horizontal axis, one character per time bucket. The
+// character shows the dominant state of the bucket:
+//
+//	'#' compute, high intensity class (>= classSplit)
+//	'+' compute, lower intensity class
+//	's' MPI sync wait, 't' MPI transfer, 'r' runtime overhead,
+//	'.' idle, ' ' nothing recorded
+//
+// classSplit separates "high" from "low" compute classes for display; pass 0
+// to mark all compute as '#'.
+func (t *Trace) Timeline(width int, classSplit int) string {
+	if width <= 0 {
+		width = 80
+	}
+	start, end := t.Span()
+	if end <= start {
+		return "(empty trace)\n"
+	}
+	dt := (end - start) / float64(width)
+	// weight[lane][bucket][stateCode] accumulated duration
+	const nCodes = 6
+	weights := make([][][nCodes]float64, t.Lanes)
+	for i := range weights {
+		weights[i] = make([][nCodes]float64, width)
+	}
+	code := func(iv Interval) int {
+		switch iv.Kind {
+		case KindCompute:
+			if iv.Class >= classSplit {
+				return 0
+			}
+			return 1
+		case KindMPISync:
+			return 2
+		case KindMPITransfer:
+			return 3
+		case KindRuntime:
+			return 4
+		default:
+			return 5
+		}
+	}
+	for _, iv := range t.Intervals {
+		c := code(iv)
+		b0 := int((iv.Start - start) / dt)
+		b1 := int((iv.End - start) / dt)
+		if b1 >= width {
+			b1 = width - 1
+		}
+		for b := b0; b <= b1; b++ {
+			lo := start + float64(b)*dt
+			hi := lo + dt
+			ov := math.Min(hi, iv.End) - math.Max(lo, iv.Start)
+			if ov > 0 {
+				weights[iv.Lane][b][c] += ov
+			}
+		}
+	}
+	glyphs := []byte{'#', '+', 's', 't', 'r', '.'}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "time: %.4gs .. %.4gs  (%d lanes, '#'=compute hi, '+'=compute lo, 's'=sync, 't'=transfer, 'r'=runtime, '.'=idle)\n",
+		start, end, t.Lanes)
+	for lane := 0; lane < t.Lanes; lane++ {
+		fmt.Fprintf(&sb, "%4d |", lane)
+		for b := 0; b < width; b++ {
+			best, bestW := -1, 0.0
+			for c := 0; c < nCodes; c++ {
+				if w := weights[lane][b][c]; w > bestW {
+					best, bestW = c, w
+				}
+			}
+			if best < 0 {
+				sb.WriteByte(' ')
+			} else {
+				sb.WriteByte(glyphs[best])
+			}
+		}
+		sb.WriteString("|\n")
+	}
+	return sb.String()
+}
+
+// HistogramBin is one cell of the IPC histogram: accumulated compute
+// duration of intervals on one lane whose IPC falls in one bin.
+type HistogramBin struct {
+	Lane     int
+	Bin      int
+	Duration float64
+}
+
+// IPCHistogram builds the Paraver-style 2-D histogram of Figure 7: for each
+// lane, compute intervals are grouped by IPC into nBins bins spanning
+// [0, maxIPC); the accumulated duration lands in the cell. Intervals with
+// IPC >= maxIPC go to the last bin.
+func (t *Trace) IPCHistogram(nBins int, maxIPC float64) [][]float64 {
+	h := make([][]float64, t.Lanes)
+	for i := range h {
+		h[i] = make([]float64, nBins)
+	}
+	for _, iv := range t.Intervals {
+		if iv.Kind != KindCompute {
+			continue
+		}
+		ipc := t.IPC(iv)
+		b := int(ipc / maxIPC * float64(nBins))
+		if b >= nBins {
+			b = nBins - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		h[iv.Lane][b] += iv.Duration()
+	}
+	return h
+}
+
+// RenderIPCHistogram renders the 2-D IPC histogram as ASCII: rows are lanes,
+// columns are IPC bins, cell darkness encodes accumulated duration relative
+// to the densest cell (' ' none, '.' light, ':', '+', '#' heavy).
+func (t *Trace) RenderIPCHistogram(nBins int, maxIPC float64) string {
+	h := t.IPCHistogram(nBins, maxIPC)
+	var peak float64
+	for _, row := range h {
+		for _, v := range row {
+			if v > peak {
+				peak = v
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "IPC histogram: %d lanes x %d bins over IPC [0,%.2f), cell = accumulated time\n",
+		t.Lanes, nBins, maxIPC)
+	sb.WriteString("      ")
+	for b := 0; b < nBins; b++ {
+		if b%10 == 0 {
+			fmt.Fprintf(&sb, "%-10s", fmt.Sprintf("%.2f", maxIPC*float64(b)/float64(nBins)))
+		}
+	}
+	sb.WriteString("\n")
+	shades := []byte{' ', '.', ':', '+', '#'}
+	for lane, row := range h {
+		fmt.Fprintf(&sb, "%4d |", lane)
+		for _, v := range row {
+			s := 0
+			if peak > 0 && v > 0 {
+				s = 1 + int(v/peak*3.999)
+				if s > 4 {
+					s = 4
+				}
+			}
+			sb.WriteByte(shades[s])
+		}
+		sb.WriteString("|\n")
+	}
+	return sb.String()
+}
+
+// PhaseStats summarizes one compute phase across the trace.
+type PhaseStats struct {
+	Phase    string
+	Count    int
+	Time     float64 // accumulated duration
+	Instr    float64
+	AvgIPC   float64
+	MeanTime float64
+}
+
+// PhaseBreakdown aggregates compute intervals by phase name, sorted by
+// accumulated time, descending.
+func (t *Trace) PhaseBreakdown() []PhaseStats {
+	byPhase := map[string]*PhaseStats{}
+	for _, iv := range t.Intervals {
+		if iv.Kind != KindCompute {
+			continue
+		}
+		ps := byPhase[iv.Phase]
+		if ps == nil {
+			ps = &PhaseStats{Phase: iv.Phase}
+			byPhase[iv.Phase] = ps
+		}
+		ps.Count++
+		ps.Time += iv.Duration()
+		ps.Instr += iv.Instr
+	}
+	out := make([]PhaseStats, 0, len(byPhase))
+	for _, ps := range byPhase {
+		if ps.Time > 0 {
+			ps.AvgIPC = ps.Instr / (ps.Time * t.Freq)
+			ps.MeanTime = ps.Time / float64(ps.Count)
+		}
+		out = append(out, *ps)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Time != out[j].Time {
+			return out[i].Time > out[j].Time
+		}
+		return out[i].Phase < out[j].Phase
+	})
+	return out
+}
+
+// FormatPhaseBreakdown renders PhaseBreakdown as an aligned text table.
+func (t *Trace) FormatPhaseBreakdown() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-16s %8s %12s %10s %8s\n", "phase", "count", "time[s]", "mean[ms]", "IPC")
+	for _, ps := range t.PhaseBreakdown() {
+		fmt.Fprintf(&sb, "%-16s %8d %12.6f %10.4f %8.3f\n",
+			ps.Phase, ps.Count, ps.Time, ps.MeanTime*1e3, ps.AvgIPC)
+	}
+	return sb.String()
+}
+
+// DurationTimeline renders the Figure 3 top view: lanes over time, shaded
+// by the length of the compute burst covering each bucket (short bursts
+// light, long bursts dark: ' ', '.', ':', '+', '#'). MPI and idle time
+// render as '-' and ' '. The repeating band-iteration structure of the FFT
+// phase shows up as alternating long (XY block) and short (prep/pack)
+// stripes.
+func (t *Trace) DurationTimeline(width int) string {
+	if width <= 0 {
+		width = 80
+	}
+	start, end := t.Span()
+	if end <= start {
+		return "(empty trace)\n"
+	}
+	dt := (end - start) / float64(width)
+	// Longest compute interval sets the shade scale.
+	var longest float64
+	for _, iv := range t.Intervals {
+		if iv.Kind == KindCompute && iv.Duration() > longest {
+			longest = iv.Duration()
+		}
+	}
+	type cell struct {
+		dur   float64 // duration of the dominant compute burst
+		w     float64 // its overlap weight
+		other float64 // non-compute weight
+	}
+	cells := make([][]cell, t.Lanes)
+	for i := range cells {
+		cells[i] = make([]cell, width)
+	}
+	for _, iv := range t.Intervals {
+		b0 := int((iv.Start - start) / dt)
+		b1 := int((iv.End - start) / dt)
+		if b1 >= width {
+			b1 = width - 1
+		}
+		for b := b0; b <= b1; b++ {
+			lo := start + float64(b)*dt
+			hi := lo + dt
+			ov := math.Min(hi, iv.End) - math.Max(lo, iv.Start)
+			if ov <= 0 {
+				continue
+			}
+			c := &cells[iv.Lane][b]
+			if iv.Kind == KindCompute {
+				if ov > c.w {
+					c.w = ov
+					c.dur = iv.Duration()
+				}
+			} else {
+				c.other += ov
+			}
+		}
+	}
+	shades := []byte{'.', ':', '+', '#'}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "compute-burst length timeline: %.4gs .. %.4gs ('.'=short burst, '#'=long burst, '-'=MPI/runtime)\n",
+		start, end)
+	for lane := 0; lane < t.Lanes; lane++ {
+		fmt.Fprintf(&sb, "%4d |", lane)
+		for b := 0; b < width; b++ {
+			c := cells[lane][b]
+			switch {
+			case c.w == 0 && c.other == 0:
+				sb.WriteByte(' ')
+			case c.w < c.other:
+				sb.WriteByte('-')
+			default:
+				s := int(c.dur / longest * 3.999)
+				if s > 3 {
+					s = 3
+				}
+				sb.WriteByte(shades[s])
+			}
+		}
+		sb.WriteString("|\n")
+	}
+	return sb.String()
+}
+
+// PhaseTimeline renders lanes over time with one letter per compute phase
+// (assigned alphabetically: the legend line maps letters to phase names) —
+// the "MPI calls / phases" view of the paper's Figure 3 zoom. Non-compute
+// states render as '-' (MPI) and ' '.
+func (t *Trace) PhaseTimeline(width int) string {
+	if width <= 0 {
+		width = 80
+	}
+	start, end := t.Span()
+	if end <= start {
+		return "(empty trace)\n"
+	}
+	phases := t.Phases()
+	letter := map[string]byte{}
+	for i, ph := range phases {
+		letter[ph] = byte('a' + i%26)
+	}
+	dt := (end - start) / float64(width)
+	type cell struct {
+		phase string
+		w     float64
+		mpi   float64
+	}
+	cells := make([][]cell, t.Lanes)
+	for i := range cells {
+		cells[i] = make([]cell, width)
+	}
+	for _, iv := range t.Intervals {
+		b0 := int((iv.Start - start) / dt)
+		b1 := int((iv.End - start) / dt)
+		if b1 >= width {
+			b1 = width - 1
+		}
+		for b := b0; b <= b1; b++ {
+			lo := start + float64(b)*dt
+			hi := lo + dt
+			ov := math.Min(hi, iv.End) - math.Max(lo, iv.Start)
+			if ov <= 0 {
+				continue
+			}
+			c := &cells[iv.Lane][b]
+			switch iv.Kind {
+			case KindCompute:
+				if ov > c.w {
+					c.w = ov
+					c.phase = iv.Phase
+				}
+			case KindMPISync, KindMPITransfer:
+				c.mpi += ov
+			}
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString("phase timeline legend:")
+	for _, ph := range phases {
+		fmt.Fprintf(&sb, " %c=%s", letter[ph], ph)
+	}
+	sb.WriteString("  '-'=MPI\n")
+	for lane := 0; lane < t.Lanes; lane++ {
+		fmt.Fprintf(&sb, "%4d |", lane)
+		for b := 0; b < width; b++ {
+			c := cells[lane][b]
+			switch {
+			case c.w == 0 && c.mpi == 0:
+				sb.WriteByte(' ')
+			case c.mpi > c.w:
+				sb.WriteByte('-')
+			default:
+				sb.WriteByte(letter[c.phase])
+			}
+		}
+		sb.WriteString("|\n")
+	}
+	return sb.String()
+}
