@@ -1,0 +1,42 @@
+# Build/verify entry points. `make check` is the tier-1 gate: build, go vet,
+# the repo's own fftxvet analyzer and a gofmt cleanliness check, then the
+# test suite. CI runs the same targets.
+
+GO ?= go
+
+.PHONY: all build test check vet fmt race fuzz-smoke
+
+all: check test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# fmt fails (non-zero exit) if any file is not gofmt-clean.
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# check is the tier-1 verification gate.
+check: build vet
+	$(GO) run ./cmd/fftxvet ./...
+	$(MAKE) fmt
+	$(GO) test ./...
+
+# race runs the internal packages under the race detector without test
+# result caching. The simulator is single-goroutine-at-a-time by design;
+# this guards the engine's own handoff protocol.
+race:
+	$(GO) test -race -count=1 ./internal/...
+
+# fuzz-smoke runs a short bounded fuzz of the FFT round-trip property.
+# The package has several fuzz targets, so the -fuzz pattern must pick one.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzRoundTrip -fuzztime=10s -run='^$$' ./internal/fft

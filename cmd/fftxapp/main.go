@@ -32,6 +32,7 @@ func main() {
 		gamma  = flag.Bool("gamma", false, "gamma-point mode (half sphere, 2 bands per FFT)")
 		niter  = flag.Int("niter", 5, "repetitions of the FFT phase")
 		real   = flag.Bool("real", false, "transform real data (keep the grid small)")
+		strict = flag.Bool("strict", false, "enable runtime invariant checks (collective shapes, tag discipline, task-graph cycles)")
 	)
 	flag.Parse()
 
@@ -51,7 +52,7 @@ func main() {
 	}
 	cfg := fftx.Config{
 		Ecut: *ecut, Alat: *alat, NB: *nbnd, Ranks: *nranks, NTG: *ntg,
-		Engine: eng, Mode: fftx.ModeCost, Gamma: *gamma,
+		Engine: eng, Mode: fftx.ModeCost, Gamma: *gamma, Strict: *strict,
 	}
 	if *real {
 		cfg.Mode = fftx.ModeReal

@@ -40,6 +40,7 @@ func main() {
 		ablR    = flag.Int("ablation-ranks", 8, "rank count of the ablation")
 		saveDir = flag.String("save-trace", "", "directory to save fig3/fig7 traces as JSON")
 		csvPath = flag.String("csv", "", "also write fig2/fig6 runtime data as CSV to this file")
+		strict  = flag.Bool("strict", false, "enable runtime invariant checks (collective shapes, tag discipline, task-graph cycles)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -53,6 +54,7 @@ func main() {
 	} else {
 		suite.Ecut, suite.Alat, suite.NB, suite.NTG = *ecut, *alat, *nb, *ntg
 	}
+	suite.Strict = *strict
 
 	run := func(name string) error {
 		switch name {

@@ -33,6 +33,7 @@ func main() {
 		bins    = flag.Int("bins", 40, "IPC histogram bins")
 		maxIPC  = flag.Float64("max-ipc", 1.6, "IPC histogram upper bound")
 		paraver = flag.String("paraver", "", "export as Paraver trace (base path; writes .prv/.pcf/.row)")
+		strict  = flag.Bool("strict", false, "validate trace invariants (lane ranges, overlaps, MPI metadata) and fail on violations")
 	)
 	flag.Parse()
 	if flag.NArg() < 1 || flag.NArg() > 2 {
@@ -44,12 +45,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, "fftxtrace:", err)
 		os.Exit(1)
 	}
+	validate := func(name string, t *trace.Trace) {
+		if !*strict {
+			return
+		}
+		errs := t.Validate()
+		for _, e := range errs {
+			fmt.Fprintf(os.Stderr, "fftxtrace: %s: %v\n", name, e)
+		}
+		if len(errs) > 0 {
+			os.Exit(1)
+		}
+	}
+	validate(flag.Arg(0), tr)
 	if flag.NArg() == 2 {
 		other, err := trace.Load(flag.Arg(1))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fftxtrace:", err)
 			os.Exit(1)
 		}
+		validate(flag.Arg(1), other)
 		diff(tr, other)
 		return
 	}

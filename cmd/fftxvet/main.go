@@ -1,0 +1,110 @@
+// Command fftxvet statically checks code written against the repository's
+// simulated-HPC runtimes (internal/mpi, internal/ompss, internal/vtime) for
+// the communication and task-model contracts the runtimes cannot express in
+// the type system: collective divergence under rank-dependent branches, tag
+// discipline, blocking calls inside task bodies through captured contexts,
+// and by-value copies of runtime handle types.
+//
+// Usage:
+//
+//	fftxvet [-rules name,name] [patterns...]
+//
+// Patterns follow the go tool's convention: "./..." (the default) analyzes
+// every package of the enclosing module; plain directories name single
+// packages. Findings print as file:line:col: [rule] message; the exit code
+// is 1 when there are findings, 2 on usage or load errors.
+//
+// Suppress a finding with a trailing or preceding comment:
+//
+//	//fftxvet:ignore rulename — reason
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	ruleNames := flag.String("rules", "", "comma-separated rule subset (default: all rules)")
+	flag.Parse()
+
+	rules := analysis.AllRules()
+	if *ruleNames != "" {
+		rules = rules[:0]
+		for _, name := range strings.Split(*ruleNames, ",") {
+			r, ok := analysis.RuleByName(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "fftxvet: unknown rule %q\n", name)
+				os.Exit(2)
+			}
+			rules = append(rules, r)
+		}
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fftxvet:", err)
+		os.Exit(2)
+	}
+	modRoot, err := analysis.FindModRoot(wd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fftxvet:", err)
+		os.Exit(2)
+	}
+	ldr, err := analysis.NewLoader(modRoot)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fftxvet:", err)
+		os.Exit(2)
+	}
+	dirs, err := ldr.Discover(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fftxvet:", err)
+		os.Exit(2)
+	}
+
+	found := 0
+	for _, dir := range dirs {
+		pkg, err := ldr.Load(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fftxvet: %s: %v\n", dir, err)
+			os.Exit(2)
+		}
+		if len(pkg.TypeErrors) > 0 {
+			for _, terr := range pkg.TypeErrors {
+				fmt.Fprintf(os.Stderr, "fftxvet: %s: %v\n", rel(dir), terr)
+			}
+			os.Exit(2)
+		}
+		for _, d := range analysis.RunRules(ldr.Fset, pkg, rules) {
+			d.Pos.Filename = rel(d.Pos.Filename)
+			fmt.Println(d)
+			found++
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "fftxvet: %d finding(s)\n", found)
+		os.Exit(1)
+	}
+}
+
+// rel shortens a path relative to the working directory for readable
+// output; absolute paths are kept when outside it.
+func rel(path string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return path
+	}
+	if r, err := filepath.Rel(wd, path); err == nil && !strings.HasPrefix(r, "..") {
+		return r
+	}
+	return path
+}

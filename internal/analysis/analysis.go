@@ -1,0 +1,156 @@
+// Package analysis is a static analyzer for the simulated-HPC programming
+// model of this repository (the fftxvet tool). It loads the module with the
+// standard library's go/parser + go/types and enforces the correctness
+// contracts the mpi, ompss and vtime runtimes expect from their callers:
+//
+//   - divergence: MPI collectives must be reached by every rank of the
+//     communicator, so a collective that is only reachable under a
+//     rank-dependent branch is a deadlock in waiting.
+//   - tags: collective matching tags must agree across ranks (no
+//     rank-dependent tags) and concurrently running collectives on one
+//     communicator must use distinct tags.
+//   - blockintask: an ompss task body must not issue blocking mpi/vtime
+//     calls through a context or process captured from outside the task;
+//     the lane-aware entry points (the worker's own context, Group.Wait)
+//     are the sanctioned ways to wait inside a task.
+//   - copyvalue: the runtime handle types (mpi.World, mpi.Ctx, vtime.Engine,
+//     ompss.Runtime, ...) carry identity and internal state; copying them
+//     by value silently forks that state.
+//
+// Findings can be suppressed with a trailing or preceding comment of the
+// form:
+//
+//	//fftxvet:ignore rulename — reason
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one rule finding.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+// String renders the finding in the usual file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// Pass carries everything a rule run needs.
+type Pass struct {
+	Fset *token.FileSet
+	Pkg  *Package
+}
+
+// Rule is one named check.
+type Rule struct {
+	Name string
+	Doc  string
+	Run  func(p *Pass) []Diagnostic
+}
+
+// AllRules returns every registered rule, in stable order.
+func AllRules() []Rule {
+	return []Rule{DivergenceRule, TagsRule, BlockInTaskRule, CopyValueRule}
+}
+
+// RuleByName resolves a rule name; ok is false for unknown names.
+func RuleByName(name string) (Rule, bool) {
+	for _, r := range AllRules() {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Rule{}, false
+}
+
+// RunRules executes the rules over the package and returns the surviving
+// (non-suppressed) findings sorted by position.
+func RunRules(fset *token.FileSet, pkg *Package, rules []Rule) []Diagnostic {
+	pass := &Pass{Fset: fset, Pkg: pkg}
+	var diags []Diagnostic
+	for _, r := range rules {
+		diags = append(diags, r.Run(pass)...)
+	}
+	diags = suppress(fset, pkg.Files, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Rule < diags[j].Rule
+	})
+	return diags
+}
+
+// ignoreKey locates one //fftxvet:ignore comment.
+type ignoreKey struct {
+	file string
+	line int
+}
+
+// suppress drops diagnostics covered by an //fftxvet:ignore comment on the
+// same line or the line directly above.
+func suppress(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	ignores := map[ignoreKey]map[string]bool{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//fftxvet:ignore")
+				if !ok {
+					continue
+				}
+				// Everything up to an em-dash/double-dash separator names
+				// the suppressed rules; the rest is the human reason.
+				for _, sep := range []string{"—", "--"} {
+					if i := strings.Index(text, sep); i >= 0 {
+						text = text[:i]
+					}
+				}
+				rules := map[string]bool{}
+				for _, name := range strings.FieldsFunc(text, func(r rune) bool {
+					return r == ',' || r == ' ' || r == '\t'
+				}) {
+					rules[name] = true
+				}
+				if len(rules) == 0 {
+					rules["all"] = true
+				}
+				pos := fset.Position(c.Pos())
+				ignores[ignoreKey{pos.Filename, pos.Line}] = rules
+			}
+		}
+	}
+	if len(ignores) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		covered := false
+		for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+			if rules := ignores[ignoreKey{d.Pos.Filename, line}]; rules != nil {
+				if rules[d.Rule] || rules["all"] {
+					covered = true
+					break
+				}
+			}
+		}
+		if !covered {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}

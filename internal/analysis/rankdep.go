@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// rankDep computes which expressions of a function depend on the calling
+// rank's identity: direct reads of mpi.Ctx.Rank, calls to mpi.Comm.RankIn,
+// and local variables (transitively) assigned from such expressions. The
+// divergence and tags rules share it.
+type rankDep struct {
+	info *types.Info
+	vars map[types.Object]bool
+}
+
+// newRankDep builds the rank-dependence facts for one function body by
+// fixpoint over its assignments (nested function literals included: a
+// captured rank-dependent variable stays rank-dependent).
+func newRankDep(info *types.Info, body ast.Node) *rankDep {
+	rd := &rankDep{info: info, vars: map[types.Object]bool{}}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				if len(s.Lhs) == len(s.Rhs) {
+					for i, lhs := range s.Lhs {
+						changed = rd.markAssign(lhs, s.Rhs[i]) || changed
+					}
+				} else {
+					// Multi-value assignment: taint every target if any
+					// source is rank-dependent.
+					for _, rhs := range s.Rhs {
+						if rd.dependent(rhs) {
+							for _, lhs := range s.Lhs {
+								changed = rd.markVar(lhs) || changed
+							}
+							break
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range s.Names {
+					if i < len(s.Values) && rd.dependent(s.Values[i]) {
+						if obj := rd.info.Defs[name]; obj != nil && !rd.vars[obj] {
+							rd.vars[obj] = true
+							changed = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return rd
+}
+
+func (rd *rankDep) markAssign(lhs, rhs ast.Expr) bool {
+	if !rd.dependent(rhs) {
+		return false
+	}
+	return rd.markVar(lhs)
+}
+
+func (rd *rankDep) markVar(lhs ast.Expr) bool {
+	id, ok := unparen(lhs).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := rd.info.Defs[id]
+	if obj == nil {
+		obj = rd.info.Uses[id]
+	}
+	if obj == nil || rd.vars[obj] {
+		return false
+	}
+	rd.vars[obj] = true
+	return true
+}
+
+// dependent reports whether evaluating e reads the calling rank's identity.
+func (rd *rankDep) dependent(e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			if x.Sel.Name == "Rank" {
+				if tv, ok := rd.info.Types[x.X]; ok && typeIs(tv.Type, "internal/mpi", "Ctx") {
+					found = true
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			if fn := calleeFunc(rd.info, x); fn != nil {
+				t := targetOf(fn)
+				if t.pkg == "internal/mpi" && t.recv == "Comm" && t.name == "RankIn" {
+					found = true
+					return false
+				}
+			}
+		case *ast.Ident:
+			obj := rd.info.Uses[x]
+			if obj == nil {
+				obj = rd.info.Defs[x]
+			}
+			if obj != nil && rd.vars[obj] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// TagsRule enforces collective tag discipline:
+//
+//   - a rank-dependent tag argument can never match across ranks — the
+//     collective hangs or cross-pairs;
+//   - reusing one constant tag for the same collective on the same
+//     communicator at several sites of one function, at least one of which
+//     runs inside a task body, risks concurrent same-tag collectives whose
+//     generations cross-match (the runtime's strict mode catches the
+//     surviving cases dynamically).
+var TagsRule = Rule{
+	Name: "tags",
+	Doc:  "collective tags must be rank-invariant and unique among concurrent collectives",
+	Run:  runTags,
+}
+
+// tagSite is one collective call with a constant tag.
+type tagSite struct {
+	call   *ast.CallExpr
+	op     string
+	inTask bool
+}
+
+// tagKey groups constant-tag call sites that would rendezvous together.
+type tagKey struct {
+	op   string
+	comm string
+	tag  string
+}
+
+func runTags(p *Pass) []Diagnostic {
+	info := p.Pkg.Info
+	var diags []Diagnostic
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			rd := newRankDep(info, fd.Body)
+			bodies := taskBodies(info, fd.Body)
+			inTask := func(n ast.Node) bool {
+				for _, b := range bodies {
+					if within(n, b) {
+						return true
+					}
+				}
+				return false
+			}
+			sites := map[tagKey][]tagSite{}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(info, call)
+				if fn == nil {
+					return true
+				}
+				t := targetOf(fn)
+				sig, isColl := mpiCollectives[t]
+				if !isColl || sig.tagArg >= len(call.Args) {
+					return true
+				}
+				tagExpr := call.Args[sig.tagArg]
+				if rd.dependent(tagExpr) {
+					diags = append(diags, Diagnostic{
+						Pos:  p.Fset.Position(tagExpr.Pos()),
+						Rule: "tags",
+						Message: fmt.Sprintf("rank-dependent tag on collective %s; tags must be identical on every rank for the calls to match",
+							t.name),
+					})
+					return true
+				}
+				tv := info.Types[tagExpr]
+				if tv.Value == nil {
+					return true
+				}
+				var commExpr ast.Expr
+				if sig.commArg >= 0 && sig.commArg < len(call.Args) {
+					commExpr = call.Args[sig.commArg]
+				} else {
+					commExpr = receiverExpr(call)
+				}
+				commText := ""
+				if commExpr != nil {
+					commText = types.ExprString(commExpr)
+				}
+				key := tagKey{op: t.name, comm: commText, tag: tv.Value.ExactString()}
+				sites[key] = append(sites[key], tagSite{call: call, op: t.name, inTask: inTask(call)})
+				return true
+			})
+			for key, ss := range sites {
+				if len(ss) < 2 {
+					continue
+				}
+				anyTask := false
+				for _, s := range ss {
+					if s.inTask {
+						anyTask = true
+					}
+				}
+				if !anyTask {
+					// Purely sequential reuse of a tag is well-defined:
+					// calls match in per-rank call order.
+					continue
+				}
+				for _, s := range ss {
+					diags = append(diags, Diagnostic{
+						Pos:  p.Fset.Position(s.call.Pos()),
+						Rule: "tags",
+						Message: fmt.Sprintf("tag %s reused for %s on %q at %d sites of this function, at least one inside a task body; concurrent collectives need distinct tags",
+							key.tag, key.op, key.comm, len(ss)),
+					})
+				}
+			}
+		}
+	}
+	return diags
+}

@@ -1,0 +1,42 @@
+// Package copyvalue seeds violations of the copyvalue rule: by-value
+// copies of the runtime handle types.
+package copyvalue
+
+import (
+	"repro/internal/mpi"
+	"repro/internal/ompss"
+	"repro/internal/vtime"
+)
+
+func byValueParam(w mpi.World) int { // want "passes mpi.World by value"
+	return w.Size
+}
+
+func derefCopy(ctx *mpi.Ctx) mpi.Ctx { // want "passes mpi.Ctx by value"
+	c := *ctx // want "copies mpi.Ctx"
+	return c
+}
+
+func varCopy(e vtime.Engine) { // want "passes vtime.Engine by value"
+	e2 := e // want "copies vtime.Engine"
+	use(&e2)
+}
+
+func rangeCopy(cs []mpi.Comm) {
+	for _, c := range cs { // want "range clause copies mpi.Comm"
+		use(&c)
+	}
+}
+
+func groupParam(g ompss.Group) { // want "passes ompss.Group by value"
+	use(&g)
+}
+
+// freshValue is allowed: a composite literal creates a new value rather
+// than forking an existing handle's state, and pointers never copy.
+func freshValue(w *mpi.World) *mpi.Ctx {
+	ctx := mpi.Ctx{W: w}
+	return &ctx
+}
+
+func use(any) {}

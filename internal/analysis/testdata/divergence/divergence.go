@@ -1,0 +1,59 @@
+// Package divergence seeds violations of the divergence rule: collectives
+// that only some ranks reach. The expectations are encoded in the trailing
+// want comments, checked by the analysis test harness.
+package divergence
+
+import "repro/internal/mpi"
+
+func guardedBarrier(ctx *mpi.Ctx, c *mpi.Comm) {
+	if ctx.Rank == 0 {
+		c.Barrier(ctx, 1) // want "rank-dependent"
+	}
+}
+
+func guardedViaLocal(ctx *mpi.Ctx, c *mpi.Comm) {
+	isRoot := c.RankIn(ctx) == 0
+	if isRoot {
+		mpi.Alltoallv(ctx, c, 3, make([][]complex128, c.Size()), 16) // want "rank-dependent"
+	}
+}
+
+func elseBranch(ctx *mpi.Ctx, c *mpi.Comm) []float64 {
+	if ctx.Rank%2 == 0 {
+		return nil
+	} else {
+		return c.Allreduce(ctx, 4, []float64{1}, mpi.Sum) // want "rank-dependent"
+	}
+}
+
+func switchRank(ctx *mpi.Ctx, c *mpi.Comm) {
+	switch ctx.Rank {
+	case 0:
+		c.Barrier(ctx, 6) // want "rank-dependent"
+	}
+}
+
+func loopBound(ctx *mpi.Ctx, c *mpi.Comm) {
+	for i := 0; i < ctx.Rank; i++ {
+		c.Barrier(ctx, 8) // want "rank-dependent"
+	}
+}
+
+// allRanks is the clean pattern: collectives on every rank, point-to-point
+// traffic under rank branches (the normal root/leaf pattern).
+func allRanks(ctx *mpi.Ctx, c *mpi.Comm) {
+	c.Barrier(ctx, 1)
+	if ctx.Rank == 0 {
+		mpi.Send(ctx, c, 1, 9, []float64{1}, 8)
+	} else if ctx.Rank == 1 {
+		_ = mpi.Recv[float64](ctx, c, 0, 9)
+	}
+}
+
+// suppressed demonstrates the //fftxvet:ignore escape hatch.
+func suppressed(ctx *mpi.Ctx, c *mpi.Comm) {
+	if ctx.Rank < c.Size() {
+		//fftxvet:ignore divergence — every rank satisfies the guard, the branch is not divergent
+		c.Barrier(ctx, 5)
+	}
+}

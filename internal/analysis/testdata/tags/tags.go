@@ -1,0 +1,42 @@
+// Package tags seeds violations of the tag-discipline rule: rank-dependent
+// collective tags and constant tags shared by concurrent collectives.
+package tags
+
+import (
+	"repro/internal/mpi"
+	"repro/internal/ompss"
+	"repro/internal/vtime"
+)
+
+func rankTag(ctx *mpi.Ctx, c *mpi.Comm) {
+	c.Barrier(ctx, ctx.Rank) // want "rank-dependent tag"
+}
+
+func rankTagViaLocal(ctx *mpi.Ctx, c *mpi.Comm) {
+	tag := 100 + c.RankIn(ctx)
+	c.Allreduce(ctx, tag, []float64{1}, mpi.Sum) // want "rank-dependent tag"
+}
+
+func constantCollision(p *vtime.Proc, rt *ompss.Runtime, ctx *mpi.Ctx, c *mpi.Comm) {
+	rt.Submit(p, "band", nil, 0, func(w *ompss.Worker) {
+		c.Barrier(ctx, 7) // want "tag 7 reused"
+	})
+	c.Barrier(ctx, 7) // want "tag 7 reused"
+}
+
+// sequentialReuse is well-defined: calls with one tag match across ranks in
+// per-rank call order, so reuse outside task bodies is clean.
+func sequentialReuse(ctx *mpi.Ctx, c *mpi.Comm) {
+	c.Barrier(ctx, 9)
+	c.Barrier(ctx, 9)
+}
+
+// distinctTags is the sanctioned concurrent pattern: per-instance tags.
+func distinctTags(p *vtime.Proc, rt *ompss.Runtime, ctx *mpi.Ctx, c *mpi.Comm) {
+	for b := 0; b < 4; b++ {
+		b := b
+		rt.Submit(p, "band", nil, 0, func(w *ompss.Worker) {
+			c.Barrier(ctx, 2*b)
+		})
+	}
+}

@@ -24,6 +24,9 @@ type Suite struct {
 	Mode fftx.Mode
 	// Params overrides the node model (nil = knl.DefaultParams).
 	Params *knl.Params
+	// Strict enables the runtime invariant checks of the mpi and ompss
+	// layers on every run of the campaign.
+	Strict bool
 }
 
 // PaperSuite returns the paper's experiment parameters: plane-wave energy
@@ -53,7 +56,7 @@ func QuickSuite() Suite {
 func (s Suite) config(engine fftx.Engine, ranks int) fftx.Config {
 	return fftx.Config{
 		Ecut: s.Ecut, Alat: s.Alat, NB: s.NB, Ranks: ranks, NTG: s.NTG,
-		Engine: engine, Mode: s.Mode, Params: s.Params,
+		Engine: engine, Mode: s.Mode, Params: s.Params, Strict: s.Strict,
 	}
 }
 

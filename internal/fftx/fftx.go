@@ -132,6 +132,11 @@ type Config struct {
 	// repeated runs of one configuration (the miniapp's iterations) see
 	// different execution noise while staying fully reproducible.
 	Seed int
+	// Strict enables the runtime invariant checks of the mpi and ompss
+	// layers (cross-rank collective shape validation, concurrent same-tag
+	// detection, dependency-cycle checks). Violations surface as structured
+	// errors from the run instead of silent mismatches or hangs.
+	Strict bool
 }
 
 func (c Config) withDefaults() Config {

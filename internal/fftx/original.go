@@ -25,6 +25,7 @@ func runOriginal(cfg Config) (*Result, error) {
 	eng := vtime.NewEngine(machine)
 	tr := trace.New(P, cfg.Params.Freq)
 	w := mpi.NewWorld(eng, fabric, tr, P, 1)
+	w.Strict = cfg.Strict
 
 	chunkBounds := make([][]int, R)
 	for p := range chunkBounds {
@@ -103,7 +104,7 @@ func runOriginal(cfg Config) (*Result, error) {
 						}
 					})
 				} else {
-					packComm.CollectiveCost(ctx, "Alltoallv", 2*it, k.bytesPack(p))
+					packComm.CollectiveCost(ctx, mpi.OpAlltoallv, 2*it, k.bytesPack(p))
 					k.phase(ctx, i+g, p, "pack", knl.ClassMem, k.instrPack(p), nil)
 				}
 
@@ -128,7 +129,7 @@ func runOriginal(cfg Config) (*Result, error) {
 					}
 				} else {
 					k.phase(ctx, i+g, p, "unpack", knl.ClassMem, k.instrPack(p), nil)
-					packComm.CollectiveCost(ctx, "Alltoallv", 2*it+1, k.bytesPack(p))
+					packComm.CollectiveCost(ctx, mpi.OpAlltoallv, 2*it+1, k.bytesPack(p))
 				}
 			}
 		})
@@ -184,7 +185,7 @@ func (k *kernel) gammaIteration(ctx *mpi.Ctx, packComm, grpComm *mpi.Comm,
 			}
 		})
 	} else {
-		packComm.CollectiveCost(ctx, "Alltoallv", 2*it, gammaFactor*k.bytesPack(p))
+		packComm.CollectiveCost(ctx, mpi.OpAlltoallv, 2*it, gammaFactor*k.bytesPack(p))
 		k.phase(ctx, job, p, "pack", knl.ClassMem, gammaFactor*k.instrPack(p), nil)
 	}
 
@@ -212,6 +213,6 @@ func (k *kernel) gammaIteration(ctx *mpi.Ctx, packComm, grpComm *mpi.Comm,
 		}
 	} else {
 		k.phase(ctx, job, p, "unpack", knl.ClassMem, gammaFactor*k.instrPack(p), nil)
-		packComm.CollectiveCost(ctx, "Alltoallv", 2*it+1, gammaFactor*k.bytesPack(p))
+		packComm.CollectiveCost(ctx, mpi.OpAlltoallv, 2*it+1, gammaFactor*k.bytesPack(p))
 	}
 }

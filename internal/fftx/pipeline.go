@@ -132,7 +132,7 @@ func (k *kernel) alltoall(ctx *mpi.Ctx, comm *mpi.Comm, tag int, send [][]comple
 	if k.cfg.Mode == ModeReal {
 		return mpi.Alltoallv(ctx, comm, tag, send, mpi.BytesComplex128)
 	}
-	comm.CollectiveCost(ctx, "Alltoallv", tag, bytesPerRank)
+	comm.CollectiveCost(ctx, mpi.OpAlltoallv, tag, bytesPerRank)
 	return nil
 }
 

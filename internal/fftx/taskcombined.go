@@ -29,6 +29,7 @@ func runTaskCombined(cfg Config) (*Result, error) {
 	eng := vtime.NewEngine(machine)
 	tr := trace.New(lanes, cfg.Params.Freq)
 	w := mpi.NewWorld(eng, fabric, tr, R, T)
+	w.Strict = cfg.Strict
 
 	var in, out [][][]complex128
 	if cfg.Mode == ModeReal {
@@ -62,6 +63,7 @@ func runTaskCombined(cfg Config) (*Result, error) {
 			workerLanes[t] = p*T + t
 		}
 		rt := ompss.New(eng, tr, workerLanes)
+		rt.Strict = cfg.Strict
 		eng.Spawn(fmt.Sprintf("rank%d.main", p), func(mp *vtime.Proc) {
 			for b := 0; b < cfg.NB; b++ {
 				b := b
@@ -83,7 +85,7 @@ func runTaskCombined(cfg Config) (*Result, error) {
 								prFwd.Fulfill(hp)
 							})
 					} else {
-						mpi.ICollectiveCost(ctx, worldComm, "Alltoallv", 2*b, k.bytesScatter(p),
+						mpi.ICollectiveCost(ctx, worldComm, mpi.OpAlltoallv, 2*b, k.bytesScatter(p),
 							func(hp *vtime.Proc) { prFwd.Fulfill(hp) })
 					}
 				})
@@ -97,7 +99,7 @@ func runTaskCombined(cfg Config) (*Result, error) {
 								prBwd.Fulfill(hp)
 							})
 					} else {
-						mpi.ICollectiveCost(ctx, worldComm, "Alltoallv", 2*b+1, k.bytesScatter(p),
+						mpi.ICollectiveCost(ctx, worldComm, mpi.OpAlltoallv, 2*b+1, k.bytesScatter(p),
 							func(hp *vtime.Proc) { prBwd.Fulfill(hp) })
 					}
 				})

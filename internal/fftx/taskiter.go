@@ -32,6 +32,7 @@ func runTaskIter(cfg Config) (*Result, error) {
 	eng := vtime.NewEngine(machine)
 	tr := trace.New(lanes, cfg.Params.Freq)
 	w := mpi.NewWorld(eng, fabric, tr, R, T)
+	w.Strict = cfg.Strict
 
 	// Rank p holds every band's position-p local coefficients.
 	var in, out [][][]complex128
@@ -69,6 +70,7 @@ func runTaskIter(cfg Config) (*Result, error) {
 			workerLanes[t] = p*T + t
 		}
 		rt := ompss.New(eng, tr, workerLanes)
+		rt.Strict = cfg.Strict
 		eng.Spawn(fmt.Sprintf("rank%d.main", p), func(mp *vtime.Proc) {
 			for b := 0; b < jobs; b++ {
 				b := b

@@ -29,6 +29,7 @@ func runTaskSteps(cfg Config) (*Result, error) {
 	eng := vtime.NewEngine(machine)
 	tr := trace.New(lanes, cfg.Params.Freq)
 	w := mpi.NewWorld(eng, fabric, tr, P, W)
+	w.Strict = cfg.Strict
 
 	chunkBounds := make([][]int, R)
 	for p := range chunkBounds {
@@ -84,6 +85,7 @@ func runTaskSteps(cfg Config) (*Result, error) {
 			workerLanes[t] = rank*W + t
 		}
 		rt := ompss.New(eng, tr, workerLanes)
+		rt.Strict = cfg.Strict
 		eng.Spawn(fmt.Sprintf("rank%d.main", rank), func(mp *vtime.Proc) {
 			packComm := w.NewSubComm(fmt.Sprintf("pack%d", p), packRanks)
 			grpComm := w.NewSubComm(fmt.Sprintf("grp%d", g), grpRanks)
@@ -114,7 +116,7 @@ func runTaskSteps(cfg Config) (*Result, error) {
 							}
 						})
 					} else {
-						packComm.CollectiveCost(ctx, "Alltoallv", 2*it, k.bytesPack(p))
+						packComm.CollectiveCost(ctx, mpi.OpAlltoallv, 2*it, k.bytesPack(p))
 						k.phase(wk, i+g, p, "pack", knl.ClassMem, k.instrPack(p), nil)
 					}
 				})
@@ -204,7 +206,7 @@ func runTaskSteps(cfg Config) (*Result, error) {
 						}
 					} else {
 						k.phase(wk, i+g, p, "unpack", knl.ClassMem, k.instrPack(p), nil)
-						packComm.CollectiveCost(ctx, "Alltoallv", 2*it+1, k.bytesPack(p))
+						packComm.CollectiveCost(ctx, mpi.OpAlltoallv, 2*it+1, k.bytesPack(p))
 					}
 				})
 			}

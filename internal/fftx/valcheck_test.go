@@ -1,0 +1,16 @@
+package fftx
+
+import "testing"
+
+func TestValidateProducedTraces(t *testing.T) {
+	for _, e := range []Engine{EngineOriginal, EngineTaskSteps, EngineTaskIter, EngineTaskCombined} {
+		cfg := Config{Ecut: 10, Alat: 10, NB: 8, Ranks: 2, NTG: 2, Engine: e, Mode: ModeCost}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", e, err)
+		}
+		for _, verr := range res.Trace.Validate() {
+			t.Errorf("%v: %v", e, verr)
+		}
+	}
+}

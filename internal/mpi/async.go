@@ -40,7 +40,7 @@ func IAlltoallv[T any](ctx *Ctx, c *Comm, tag int, send [][]T, elemBytes int, do
 
 // ICollectiveCost posts a data-free collective (the cost-mode counterpart
 // of IAlltoallv) and runs done on completion.
-func ICollectiveCost(ctx *Ctx, c *Comm, op string, tag int, bytesPerRank float64, done func(p *vtime.Proc)) {
+func ICollectiveCost(ctx *Ctx, c *Comm, op Op, tag int, bytesPerRank float64, done func(p *vtime.Proc)) {
 	hc := helperCtx(ctx)
 	ctx.W.asyncSeq++
 	name := fmt.Sprintf("commthread.r%d.%d", ctx.Rank, ctx.W.asyncSeq)

@@ -73,7 +73,7 @@ func TestICollectiveCostCompletes(t *testing.T) {
 	ends := make([]float64, 3)
 	runWorld(t, 3, func(ctx *Ctx) {
 		c := ctx.W.CommWorld()
-		ICollectiveCost(ctx, c, "Alltoallv", 0, 1<<20, func(p *vtime.Proc) {
+		ICollectiveCost(ctx, c, OpAlltoallv, 0, 1<<20, func(p *vtime.Proc) {
 			ends[ctx.Rank] = p.Now()
 		})
 		ctx.Compute("work", knl.ClassVector, 1e9)

@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/knl"
 	"repro/internal/trace"
@@ -17,14 +18,14 @@ const (
 
 type rvKey struct {
 	comm string
-	op   string
+	op   Op
 	tag  int
 	gen  int
 }
 
 type seqKey struct {
 	comm string
-	op   string
+	op   Op
 	tag  int
 	rank int
 }
@@ -41,6 +42,21 @@ type rendezvous struct {
 	wq       vtime.WaitQueue
 }
 
+// describe renders the rendezvous state for deadlock reports: which world
+// ranks have arrived and which are still missing.
+func (rv *rendezvous) describe(c *Comm, op Op, tag, gen int) string {
+	var arrived, missing []int
+	for i, p := range rv.payload {
+		if p != nil {
+			arrived = append(arrived, c.ranks[i])
+		} else {
+			missing = append(missing, c.ranks[i])
+		}
+	}
+	return fmt.Sprintf("mpi: collective %v tag %d (call #%d) on comm %s: arrived %d/%d, ranks %v; missing ranks %v",
+		op, tag, gen, c.id, rv.arrived, rv.need, arrived, missing)
+}
+
 // costFn computes the transfer duration of a completed collective from the
 // fabric model, the participant count k, the number of lanes currently
 // inside MPI calls (for bandwidth sharing), the number of nodes the
@@ -55,20 +71,34 @@ type costFn func(fabric knl.Fabric, k, commLanes, nodesSpanned int, payloads []a
 // same (comm, op, tag) match across ranks in per-rank call order, so
 // concurrent collectives from different task threads are safe as long as
 // they use distinct tags.
-func (c *Comm) exchange(ctx *Ctx, op string, tag int, payload any, cost costFn, reduce func([]any) any) any {
+func (c *Comm) exchange(ctx *Ctx, op Op, tag int, payload any, cost costFn, reduce func([]any) any) any {
 	w := c.w
 	me := c.RankIn(ctx)
 	sk := seqKey{c.id, op, tag, me}
 	gen := w.callSeq[sk]
 	w.callSeq[sk] = gen + 1
 	key := rvKey{c.id, op, tag, gen}
+	if w.Strict && gen > 0 {
+		// A new call instance posted while the previous one has not yet
+		// gathered all participants means two same-tag collectives are in
+		// flight concurrently (different task threads of one rank): their
+		// generations can cross-match across ranks and silently pair the
+		// wrong calls. Sequential reuse of a tag is fine — a blocking call
+		// cannot return before its own generation completes.
+		if prev := w.rendezvous[rvKey{c.id, op, tag, gen - 1}]; prev != nil && prev.arrived < prev.need {
+			panic(fmt.Sprintf(
+				"mpi: concurrent reuse of tag %d for %v on comm %s by rank %d: call #%d posted while call #%d has only %d of %d participants (concurrent collectives need distinct tags)",
+				tag, op, c.id, ctx.Rank, gen, gen-1, prev.arrived, prev.need))
+		}
+	}
 	rv := w.rendezvous[key]
 	if rv == nil {
 		rv = &rendezvous{need: len(c.ranks), payload: make([]any, len(c.ranks))}
+		rv.wq.Describe = func() string { return rv.describe(c, op, tag, gen) }
 		w.rendezvous[key] = rv
 	}
 	if rv.payload[me] != nil {
-		panic(fmt.Sprintf("mpi: duplicate arrival of rank %d in %s/%s tag %d", ctx.Rank, c.id, op, tag))
+		panic(fmt.Sprintf("mpi: duplicate arrival of rank %d in %s/%v tag %d", ctx.Rank, c.id, op, tag))
 	}
 	rv.payload[me] = payload
 	rv.arrived++
@@ -105,7 +135,7 @@ func (c *Comm) exchange(ctx *Ctx, op string, tag int, payload any, cost costFn, 
 	ep.Release(ctx.Proc)
 	w.inComm--
 	if w.Trace != nil && !ctx.Silent {
-		trace.Recorder{T: w.Trace, Lane: ctx.Lane}.MPI(op, c.id, tag, start, syncEnd, ctx.Proc.Now())
+		trace.Recorder{T: w.Trace, Lane: ctx.Lane}.MPI(op.Name(), c.id, tag, start, syncEnd, ctx.Proc.Now())
 	}
 	res := rv.result
 	rv.picked++
@@ -120,7 +150,7 @@ type nonNil struct{ v any }
 
 // Barrier synchronizes all members of c.
 func (c *Comm) Barrier(ctx *Ctx, tag int) {
-	c.exchange(ctx, "Barrier", tag, nonNil{},
+	c.exchange(ctx, OpBarrier, tag, nonNil{},
 		func(n knl.Fabric, k, lanes, span int, _ []any) float64 { return n.BcastTime(k, 0, lanes, span) },
 		func([]any) any { return nil })
 }
@@ -128,7 +158,7 @@ func (c *Comm) Barrier(ctx *Ctx, tag int) {
 // Bcast distributes root's slice (communicator rank) to all members; only
 // the root's data argument is consulted. elemBytes sizes the cost model.
 func Bcast[T any](ctx *Ctx, c *Comm, tag, root int, data []T, elemBytes int) []T {
-	res := c.exchange(ctx, "Bcast", tag, nonNil{data},
+	res := c.exchange(ctx, OpBcast, tag, nonNil{data},
 		func(n knl.Fabric, k, lanes, span int, payloads []any) float64 {
 			rootData := payloads[root].(nonNil).v.([]T)
 			return n.BcastTime(k, float64(len(rootData)*elemBytes), lanes, span)
@@ -140,11 +170,11 @@ func Bcast[T any](ctx *Ctx, c *Comm, tag, root int, data []T, elemBytes int) []T
 // Reduce combines the members' float64 vectors element-wise with op; only
 // the root (communicator rank) receives the result, others get nil.
 func (c *Comm) Reduce(ctx *Ctx, tag, root int, data []float64, op func(a, b float64) float64) []float64 {
-	res := c.exchange(ctx, "Reduce", tag, nonNil{data},
+	res := c.exchange(ctx, OpReduce, tag, nonNil{data},
 		func(n knl.Fabric, k, lanes, span int, _ []any) float64 {
 			return n.ReduceTime(k, float64(len(data))*BytesFloat64, lanes, span)
 		},
-		func(all []any) any { return reduceVecs(all, op) })
+		func(all []any) any { return reduceVecs(c, OpReduce, tag, all, op) })
 	if c.RankIn(ctx) == root {
 		return res.([]float64)
 	}
@@ -154,15 +184,15 @@ func (c *Comm) Reduce(ctx *Ctx, tag, root int, data []float64, op func(a, b floa
 // Allreduce combines the members' float64 vectors element-wise with op and
 // returns the result on every rank.
 func (c *Comm) Allreduce(ctx *Ctx, tag int, data []float64, op func(a, b float64) float64) []float64 {
-	res := c.exchange(ctx, "Allreduce", tag, nonNil{data},
+	res := c.exchange(ctx, OpAllreduce, tag, nonNil{data},
 		func(n knl.Fabric, k, lanes, span int, _ []any) float64 {
 			return n.ReduceTime(k, float64(len(data))*BytesFloat64, lanes, span)
 		},
-		func(all []any) any { return reduceVecs(all, op) })
+		func(all []any) any { return reduceVecs(c, OpAllreduce, tag, all, op) })
 	return res.([]float64)
 }
 
-func reduceVecs(all []any, op func(a, b float64) float64) []float64 {
+func reduceVecs(c *Comm, what Op, tag int, all []any, op func(a, b float64) float64) []float64 {
 	var acc []float64
 	for _, v := range all {
 		vec := v.(nonNil).v.([]float64)
@@ -171,13 +201,27 @@ func reduceVecs(all []any, op func(a, b float64) float64) []float64 {
 			continue
 		}
 		if len(vec) != len(acc) {
-			panic("mpi: reduce length mismatch")
+			panic(fmt.Sprintf("mpi: %v tag %d on comm %s: vector length mismatch across ranks: %s",
+				what, tag, c.id, perRankLens(c, all, func(p any) int { return len(p.(nonNil).v.([]float64)) })))
 		}
-		for i := range acc {
-			acc[i] = op(acc[i], vec[i])
+		for j := range acc {
+			acc[j] = op(acc[j], vec[j])
 		}
 	}
 	return acc
+}
+
+// perRankLens renders a per-rank report of payload sizes, e.g.
+// "rank 0: 4, rank 1: 3".
+func perRankLens(c *Comm, all []any, size func(any) int) string {
+	var sb strings.Builder
+	for i, p := range all {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "rank %d: %d", c.ranks[i], size(p))
+	}
+	return sb.String()
 }
 
 // Sum is the element-wise addition reduction operator.
@@ -194,7 +238,7 @@ func Max(a, b float64) float64 {
 // Allgatherv gathers every member's slice on every member, indexed by
 // communicator rank.
 func Allgatherv[T any](ctx *Ctx, c *Comm, tag int, data []T, elemBytes int) [][]T {
-	res := c.exchange(ctx, "Allgatherv", tag, nonNil{data},
+	res := c.exchange(ctx, OpAllgatherv, tag, nonNil{data},
 		func(n knl.Fabric, k, lanes, span int, payloads []any) float64 {
 			var total float64
 			for _, p := range payloads {
@@ -225,7 +269,7 @@ func Gatherv[T any](ctx *Ctx, c *Comm, tag, root int, data []T, elemBytes int) [
 // Scatterv distributes root's per-rank slices: rank i receives send[i].
 // Only the root's send argument is consulted; others may pass nil.
 func Scatterv[T any](ctx *Ctx, c *Comm, tag, root int, send [][]T, elemBytes int) []T {
-	res := c.exchange(ctx, "Scatterv", tag, nonNil{send},
+	res := c.exchange(ctx, OpScatterv, tag, nonNil{send},
 		func(n knl.Fabric, k, lanes, span int, payloads []any) float64 {
 			var total float64
 			for _, s := range payloads[root].(nonNil).v.([][]T) {
@@ -244,10 +288,31 @@ func Scatterv[T any](ctx *Ctx, c *Comm, tag, root int, send [][]T, elemBytes int
 // of an on-node Alltoall. The returned slices alias the senders' buffers;
 // receivers must not mutate them (the kernel copies into its own layout).
 func Alltoallv[T any](ctx *Ctx, c *Comm, tag int, send [][]T, elemBytes int) [][]T {
-	if len(send) != c.Size() {
-		panic(fmt.Sprintf("mpi: Alltoallv send has %d chunks for comm of size %d", len(send), c.Size()))
+	return alltoall(ctx, c, OpAlltoallv, tag, send, elemBytes)
+}
+
+// Alltoall exchanges equal-sized chunks: send must contain Size() chunks of
+// identical length. In strict mode the equal-chunk requirement is also
+// validated across ranks, with a per-rank report on mismatch.
+func Alltoall[T any](ctx *Ctx, c *Comm, tag int, send [][]T, elemBytes int) [][]T {
+	for _, s := range send {
+		if len(s) != len(send[0]) {
+			panic(fmt.Sprintf("mpi: Alltoall tag %d on comm %s: rank %d sends unequal chunk sizes (%d and %d elements); use Alltoallv",
+				tag, c.id, ctx.Rank, len(send[0]), len(s)))
+		}
 	}
-	res := c.exchange(ctx, "Alltoallv", tag, nonNil{send},
+	return alltoall(ctx, c, OpAlltoall, tag, send, elemBytes)
+}
+
+// alltoall is the shared rendezvous of Alltoall and Alltoallv. The two use
+// distinct Ops, so — like in real MPI — an Alltoall on one rank never
+// matches an Alltoallv on another.
+func alltoall[T any](ctx *Ctx, c *Comm, op Op, tag int, send [][]T, elemBytes int) [][]T {
+	if len(send) != c.Size() {
+		panic(fmt.Sprintf("mpi: %v tag %d on comm %s: rank %d sends %d chunks for comm of size %d",
+			op, tag, c.id, ctx.Rank, len(send), c.Size()))
+	}
+	res := c.exchange(ctx, op, tag, nonNil{send},
 		func(n knl.Fabric, k, lanes, span int, payloads []any) float64 {
 			var maxBytes float64
 			for _, p := range payloads {
@@ -262,6 +327,26 @@ func Alltoallv[T any](ctx *Ctx, c *Comm, tag int, send [][]T, elemBytes int) [][
 			return n.AlltoallTime(k, maxBytes, lanes, span)
 		},
 		func(all []any) any {
+			if op == OpAlltoall && c.w.Strict {
+				// Every chunk of every rank must have the same length.
+				ref := -1
+				equal := true
+				for _, v := range all {
+					for _, s := range v.(nonNil).v.([][]T) {
+						if ref < 0 {
+							ref = len(s)
+						} else if len(s) != ref {
+							equal = false
+						}
+					}
+				}
+				if !equal {
+					panic(fmt.Sprintf("mpi: %v tag %d on comm %s: chunk size mismatch across ranks (elements per chunk): %s",
+						op, tag, c.id, perRankLens(c, all, func(p any) int {
+							return len(p.(nonNil).v.([][]T)[0])
+						})))
+				}
+			}
 			mat := make([][][]T, len(all))
 			for i, v := range all {
 				mat[i] = v.(nonNil).v.([][]T)
@@ -277,23 +362,12 @@ func Alltoallv[T any](ctx *Ctx, c *Comm, tag int, send [][]T, elemBytes int) [][
 	return out
 }
 
-// Alltoall exchanges equal-sized chunks: send must contain Size() chunks of
-// identical length.
-func Alltoall[T any](ctx *Ctx, c *Comm, tag int, send [][]T, elemBytes int) [][]T {
-	for _, s := range send {
-		if len(s) != len(send[0]) {
-			panic("mpi: Alltoall requires equal chunk sizes; use Alltoallv")
-		}
-	}
-	return Alltoallv(ctx, c, tag, send, elemBytes)
-}
-
 // CollectiveCost performs a data-free collective: it synchronizes the
 // members of c like an Alltoallv carrying bytesPerRank per rank, charging
 // sync and transfer time without moving payload. The cost-only execution
 // mode of the FFT engines uses it so that cost-mode and real-mode runs have
 // identical timing behaviour.
-func (c *Comm) CollectiveCost(ctx *Ctx, op string, tag int, bytesPerRank float64) {
+func (c *Comm) CollectiveCost(ctx *Ctx, op Op, tag int, bytesPerRank float64) {
 	c.exchange(ctx, op, tag, nonNil{bytesPerRank},
 		func(n knl.Fabric, k, lanes, span int, payloads []any) float64 {
 			var maxBytes float64
@@ -311,11 +385,11 @@ func (c *Comm) CollectiveCost(ctx *Ctx, op string, tag int, bytesPerRank float64
 // result: each rank receives its contiguous share of the reduced vector
 // (shares are as equal as possible, remainder to the low ranks).
 func (c *Comm) ReduceScatter(ctx *Ctx, tag int, data []float64, op func(a, b float64) float64) []float64 {
-	res := c.exchange(ctx, "ReduceScatter", tag, nonNil{data},
+	res := c.exchange(ctx, OpReduceScatter, tag, nonNil{data},
 		func(n knl.Fabric, k, lanes, span int, _ []any) float64 {
 			return n.ReduceTime(k, float64(len(data))*BytesFloat64, lanes, span)
 		},
-		func(all []any) any { return reduceVecs(all, op) })
+		func(all []any) any { return reduceVecs(c, OpReduceScatter, tag, all, op) })
 	full := res.([]float64)
 	k := c.Size()
 	base, rem := len(full)/k, len(full)%k
@@ -331,7 +405,7 @@ func (c *Comm) ReduceScatter(ctx *Ctx, tag int, data []float64, op func(a, b flo
 // Scan computes the inclusive prefix reduction: rank i receives the
 // element-wise combination of ranks 0..i's vectors.
 func (c *Comm) Scan(ctx *Ctx, tag int, data []float64, op func(a, b float64) float64) []float64 {
-	res := c.exchange(ctx, "Scan", tag, nonNil{data},
+	res := c.exchange(ctx, OpScan, tag, nonNil{data},
 		func(n knl.Fabric, k, lanes, span int, _ []any) float64 {
 			return n.ReduceTime(k, float64(len(data))*BytesFloat64, lanes, span)
 		},

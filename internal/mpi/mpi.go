@@ -36,6 +36,12 @@ type World struct {
 	Trace          *trace.Trace // may be nil
 	Size           int
 	ThreadsPerRank int
+	// Strict enables the runtime invariant checks: cross-rank shape
+	// validation of collectives and detection of concurrent same-tag
+	// collectives. Violations panic inside the simulated process, which the
+	// vtime engine converts into a structured Run error. Set it before
+	// spawning processes.
+	Strict bool
 
 	rendezvous map[rvKey]*rendezvous
 	callSeq    map[seqKey]int
@@ -74,7 +80,11 @@ func NewWorld(eng *vtime.Engine, node knl.Fabric, tr *trace.Trace, size, threads
 		endpoints:      make([]*vtime.Semaphore, size),
 	}
 	for r := range w.endpoints {
+		r := r
 		w.endpoints[r] = vtime.NewSemaphore(1)
+		w.endpoints[r].SetDescribe(func() string {
+			return fmt.Sprintf("mpi: endpoint lock of rank %d (another thread of the rank is transferring)", r)
+		})
 	}
 	return w
 }
@@ -156,6 +166,12 @@ func (w *World) CommWorld() *Comm {
 func (w *World) newComm(id string, ranks []int) *Comm {
 	c := &Comm{w: w, id: id, ranks: ranks, index: make(map[int]int, len(ranks))}
 	for i, r := range ranks {
+		if r < 0 || r >= w.Size {
+			panic(fmt.Sprintf("mpi: comm %s contains rank %d outside world of size %d", id, r, w.Size))
+		}
+		if prev, dup := c.index[r]; dup {
+			panic(fmt.Sprintf("mpi: comm %s contains rank %d twice (positions %d and %d)", id, r, prev, i))
+		}
 		c.index[r] = i
 	}
 	return c
@@ -195,7 +211,7 @@ func (w *World) NewSubComm(id string, ranks []int) *Comm {
 // Ranks passing a negative color receive nil.
 func (c *Comm) Split(ctx *Ctx, tag int, color, key int) *Comm {
 	type ck struct{ color, key, rank int }
-	res := c.exchange(ctx, "split", tag, ck{color, key, ctx.Rank},
+	res := c.exchange(ctx, OpSplit, tag, ck{color, key, ctx.Rank},
 		func(n knl.Fabric, k, lanes, span int, _ []any) float64 { return n.BcastTime(k, 64, lanes, span) },
 		func(all []any) any {
 			groups := map[int][]ck{}

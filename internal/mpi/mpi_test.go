@@ -336,7 +336,7 @@ func TestSequentialCollectivesSameTag(t *testing.T) {
 func TestCollectiveCost(t *testing.T) {
 	var elapsed float64
 	runWorld(t, 4, func(ctx *Ctx) {
-		ctx.W.CommWorld().CollectiveCost(ctx, "Alltoallv", 0, 1<<20)
+		ctx.W.CommWorld().CollectiveCost(ctx, OpAlltoallv, 0, 1<<20)
 		elapsed = ctx.Proc.Now()
 	})
 	if elapsed <= 0 {

@@ -1,0 +1,89 @@
+package mpi
+
+import "fmt"
+
+// Op identifies a collective (or point-to-point) operation. The matching
+// layer keys rendezvous on (communicator, Op, tag), and runtime diagnostics
+// print the enumerator name (OpAlltoallv) rather than a bare int.
+type Op int
+
+const (
+	// OpBarrier is the Barrier collective.
+	OpBarrier Op = iota
+	// OpBcast is the broadcast collective.
+	OpBcast
+	// OpReduce is the rooted reduction.
+	OpReduce
+	// OpAllreduce is the all-ranks reduction.
+	OpAllreduce
+	// OpAllgatherv is the variable-size allgather.
+	OpAllgatherv
+	// OpScatterv is the variable-size scatter.
+	OpScatterv
+	// OpAlltoall is the equal-chunk all-to-all exchange.
+	OpAlltoall
+	// OpAlltoallv is the variable-size all-to-all exchange.
+	OpAlltoallv
+	// OpReduceScatter is the reduce + scatter combination.
+	OpReduceScatter
+	// OpScan is the inclusive prefix reduction.
+	OpScan
+	// OpSplit is the communicator split collective.
+	OpSplit
+	// OpSend is the point-to-point send.
+	OpSend
+	// OpRecv is the point-to-point receive.
+	OpRecv
+
+	opCount
+)
+
+var opStrings = [opCount]string{
+	OpBarrier:       "OpBarrier",
+	OpBcast:         "OpBcast",
+	OpReduce:        "OpReduce",
+	OpAllreduce:     "OpAllreduce",
+	OpAllgatherv:    "OpAllgatherv",
+	OpScatterv:      "OpScatterv",
+	OpAlltoall:      "OpAlltoall",
+	OpAlltoallv:     "OpAlltoallv",
+	OpReduceScatter: "OpReduceScatter",
+	OpScan:          "OpScan",
+	OpSplit:         "OpSplit",
+	OpSend:          "OpSend",
+	OpRecv:          "OpRecv",
+}
+
+// opNames are the human/trace names; they match the strings historically
+// recorded in traces, so saved traces stay comparable across versions.
+var opNames = [opCount]string{
+	OpBarrier:       "Barrier",
+	OpBcast:         "Bcast",
+	OpReduce:        "Reduce",
+	OpAllreduce:     "Allreduce",
+	OpAllgatherv:    "Allgatherv",
+	OpScatterv:      "Scatterv",
+	OpAlltoall:      "Alltoall",
+	OpAlltoallv:     "Alltoallv",
+	OpReduceScatter: "ReduceScatter",
+	OpScan:          "Scan",
+	OpSplit:         "split",
+	OpSend:          "Send",
+	OpRecv:          "Recv",
+}
+
+// String returns the enumerator name (e.g. "OpAlltoallv"), for diagnostics.
+func (o Op) String() string {
+	if o >= 0 && o < opCount {
+		return opStrings[o]
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Name returns the operation's trace name (e.g. "Alltoallv").
+func (o Op) Name() string {
+	if o >= 0 && o < opCount {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op%d", int(o))
+}

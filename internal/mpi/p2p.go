@@ -1,6 +1,8 @@
 package mpi
 
 import (
+	"fmt"
+
 	"repro/internal/trace"
 	"repro/internal/vtime"
 )
@@ -35,6 +37,9 @@ func (w *World) p2pQueueFor(k p2pKey) *p2pQueue {
 	q := w.p2p[k]
 	if q == nil {
 		q = &p2pQueue{}
+		q.recvQ.Describe = func() string {
+			return fmt.Sprintf("mpi: Recv from rank %d tag %d on comm %s: no matching Send posted", k.src, k.tag, k.comm)
+		}
 		w.p2p[k] = q
 	}
 	return q
@@ -59,11 +64,13 @@ func Send[T any](ctx *Ctx, c *Comm, dst, tag int, data []T, elemBytes int) {
 	q.recvQ.WakeOne(ctx.Proc) // a receiver may already be waiting
 	// Block until the receiver marks the message done.
 	for !msg.done {
-		ctx.Proc.Block()
+		ctx.Proc.BlockOn(func() string {
+			return fmt.Sprintf("mpi: Send to rank %d tag %d on comm %s: no matching Recv posted", dst, tag, c.id)
+		})
 	}
 	w.inComm--
 	if w.Trace != nil {
-		trace.Recorder{T: w.Trace, Lane: ctx.Lane}.MPI("Send", c.id, tag, start, msg.readyAt, ctx.Proc.Now())
+		trace.Recorder{T: w.Trace, Lane: ctx.Lane}.MPI(OpSend.Name(), c.id, tag, start, msg.readyAt, ctx.Proc.Now())
 	}
 }
 
@@ -100,7 +107,7 @@ func Recv[T any](ctx *Ctx, c *Comm, src, tag int) []T {
 	ctx.Proc.Wake(msg.sender)
 	w.inComm--
 	if w.Trace != nil {
-		trace.Recorder{T: w.Trace, Lane: ctx.Lane}.MPI("Recv", c.id, tag, start, msg.readyAt, ctx.Proc.Now())
+		trace.Recorder{T: w.Trace, Lane: ctx.Lane}.MPI(OpRecv.Name(), c.id, tag, start, msg.readyAt, ctx.Proc.Now())
 	}
 	return msg.data.([]T)
 }

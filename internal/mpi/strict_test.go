@@ -1,0 +1,180 @@
+package mpi
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/knl"
+	"repro/internal/vtime"
+)
+
+// strictWorld builds a strict world without running it, so tests can spawn
+// deliberately broken rank programs and inspect the engine error.
+func strictWorld(size, threadsPerRank int) (*vtime.Engine, *World) {
+	p := knl.DefaultParams()
+	node := knl.NewNode(p, size*threadsPerRank)
+	eng := vtime.NewEngine(node)
+	w := NewWorld(eng, node, nil, size, threadsPerRank)
+	w.Strict = true
+	return eng, w
+}
+
+func mustContain(t *testing.T, msg string, subs ...string) {
+	t.Helper()
+	for _, s := range subs {
+		if !strings.Contains(msg, s) {
+			t.Errorf("error %q\n  missing %q", msg, s)
+		}
+	}
+}
+
+// TestMismatchedTagDeadlockReport is the headline failure mode: two ranks
+// call the same collective with different tags. Instead of hanging, the run
+// ends with a structured per-rank dump naming each blocked rank, the tag it
+// used and which ranks its rendezvous is still missing.
+func TestMismatchedTagDeadlockReport(t *testing.T) {
+	eng, w := strictWorld(2, 1)
+	w.Spawn(0, 0, func(ctx *Ctx) { ctx.W.CommWorld().Barrier(ctx, 1) })
+	w.Spawn(1, 0, func(ctx *Ctx) { ctx.W.CommWorld().Barrier(ctx, 2) })
+	err := eng.Run()
+	var de *vtime.DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("Run() = %v, want *vtime.DeadlockError", err)
+	}
+	if len(de.Blocked) != 2 {
+		t.Fatalf("blocked %d processes, want 2:\n%v", len(de.Blocked), err)
+	}
+	for _, b := range de.Blocked {
+		if !strings.Contains(b.WaitingOn, "arrived 1/2") {
+			t.Errorf("rank dump %q does not report arrival count", b.WaitingOn)
+		}
+	}
+	mustContain(t, err.Error(),
+		"rank0.t0", "rank1.t0",
+		"OpBarrier tag 1", "OpBarrier tag 2",
+		"missing ranks")
+}
+
+// TestAlltoallvChunkCountPanic: handing Alltoallv fewer chunks than the
+// communicator has ranks is a structured error naming the offender, not a
+// slice-index crash or a hang.
+func TestAlltoallvChunkCountPanic(t *testing.T) {
+	eng, w := strictWorld(2, 1)
+	for r := 0; r < 2; r++ {
+		w.Spawn(r, 0, func(ctx *Ctx) {
+			Alltoallv(ctx, ctx.W.CommWorld(), 3, make([][]float64, 1), 8)
+		})
+	}
+	err := eng.Run()
+	if err == nil {
+		t.Fatal("Run() = nil, want chunk-count error")
+	}
+	mustContain(t, err.Error(), "sends 1 chunks for comm of size 2")
+}
+
+// TestStrictAlltoallChunkMismatch: Alltoall requires equal chunks on every
+// rank; strict mode cross-checks the gathered payloads and reports the
+// per-rank sizes.
+func TestStrictAlltoallChunkMismatch(t *testing.T) {
+	eng, w := strictWorld(2, 1)
+	for r := 0; r < 2; r++ {
+		w.Spawn(r, 0, func(ctx *Ctx) {
+			chunks := make([][]float64, 2)
+			for j := range chunks {
+				chunks[j] = make([]float64, ctx.Rank+1) // rank 0: 1 elem, rank 1: 2
+			}
+			Alltoall(ctx, ctx.W.CommWorld(), 4, chunks, 8)
+		})
+	}
+	err := eng.Run()
+	if err == nil {
+		t.Fatal("Run() = nil, want chunk mismatch error")
+	}
+	mustContain(t, err.Error(),
+		"chunk size mismatch across ranks",
+		"rank 0: 1", "rank 1: 2")
+}
+
+// TestStrictConcurrentTagReuse: two threads of one rank posting the same
+// (op, tag) concurrently would let generations cross-match across ranks;
+// strict mode turns that into an immediate diagnostic.
+func TestStrictConcurrentTagReuse(t *testing.T) {
+	eng, w := strictWorld(2, 2)
+	w.Spawn(0, 0, func(ctx *Ctx) { ctx.W.CommWorld().Barrier(ctx, 5) })
+	w.Spawn(0, 1, func(ctx *Ctx) {
+		ctx.Proc.Sleep(1e-3) // let thread 0 post first
+		ctx.W.CommWorld().Barrier(ctx, 5)
+	})
+	w.Spawn(1, 0, func(ctx *Ctx) {
+		ctx.Proc.Sleep(1) // arrives after the violation is detected
+		ctx.W.CommWorld().Barrier(ctx, 5)
+	})
+	err := eng.Run()
+	if err == nil {
+		t.Fatal("Run() = nil, want concurrent tag reuse error")
+	}
+	mustContain(t, err.Error(),
+		"concurrent reuse of tag 5",
+		"concurrent collectives need distinct tags")
+}
+
+// TestAllreduceLengthMismatch: ranks contributing different vector lengths
+// to a reduction get a per-rank length report.
+func TestAllreduceLengthMismatch(t *testing.T) {
+	eng, w := strictWorld(2, 1)
+	for r := 0; r < 2; r++ {
+		w.Spawn(r, 0, func(ctx *Ctx) {
+			ctx.W.CommWorld().Allreduce(ctx, 1, make([]float64, ctx.Rank+1), Sum)
+		})
+	}
+	err := eng.Run()
+	if err == nil {
+		t.Fatal("Run() = nil, want vector length mismatch error")
+	}
+	mustContain(t, err.Error(),
+		"vector length mismatch across ranks",
+		"rank 0: 1", "rank 1: 2")
+}
+
+// TestStrictCleanRun: a correct program passes all strict checks, including
+// sequential tag reuse and uneven (but well-formed) Alltoallv payloads.
+func TestStrictCleanRun(t *testing.T) {
+	eng, w := strictWorld(2, 1)
+	for r := 0; r < 2; r++ {
+		w.Spawn(r, 0, func(ctx *Ctx) {
+			c := ctx.W.CommWorld()
+			c.Barrier(ctx, 1)
+			c.Barrier(ctx, 1) // sequential reuse is fine
+			c.Allreduce(ctx, 2, []float64{float64(ctx.Rank)}, Sum)
+			send := make([][]float64, 2)
+			for j := range send {
+				send[j] = make([]float64, ctx.Rank+j+1) // uneven is fine for the v variant
+			}
+			Alltoallv(ctx, c, 3, send, 8)
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatalf("strict clean run failed: %v", err)
+	}
+}
+
+func TestOpStringAndName(t *testing.T) {
+	cases := []struct {
+		op        Op
+		str, name string
+	}{
+		{OpBarrier, "OpBarrier", "Barrier"},
+		{OpAlltoallv, "OpAlltoallv", "Alltoallv"},
+		{OpSplit, "OpSplit", "split"}, // trace name kept for saved-trace compatibility
+		{Op(99), "Op(99)", "op99"},
+	}
+	for _, c := range cases {
+		if got := c.op.String(); got != c.str {
+			t.Errorf("(%d).String() = %q, want %q", int(c.op), got, c.str)
+		}
+		if got := c.op.Name(); got != c.name {
+			t.Errorf("(%d).Name() = %q, want %q", int(c.op), got, c.name)
+		}
+	}
+}

@@ -16,7 +16,13 @@ type Group struct {
 }
 
 // NewGroup returns an empty task group.
-func (rt *Runtime) NewGroup() *Group { return &Group{rt: rt} }
+func (rt *Runtime) NewGroup() *Group {
+	g := &Group{rt: rt}
+	g.wq.Describe = func() string {
+		return fmt.Sprintf("ompss: group wait (%d tasks of the group pending)", g.pending)
+	}
+	return g
+}
 
 // SubmitInGroup submits a task belonging to the group.
 func (rt *Runtime) SubmitInGroup(p *vtime.Proc, g *Group, label string, deps []Dep, priority int, fn func(w *Worker)) *Task {
@@ -97,6 +103,7 @@ func (rt *Runtime) NewPromise(label string, regions ...any) *Promise {
 	t := &Task{id: rt.nextID, label: label}
 	rt.nextID++
 	rt.pending++
+	rt.tasks = append(rt.tasks, t)
 	for _, reg := range regions {
 		rs := rt.regions[reg]
 		if rs == nil {

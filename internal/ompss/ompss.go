@@ -14,6 +14,7 @@ package ompss
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/knl"
 	"repro/internal/trace"
@@ -33,6 +34,19 @@ const (
 	// ModeInout combines both.
 	ModeInout
 )
+
+// String returns the enumerator name (e.g. "ModeInout"), for diagnostics.
+func (m Mode) String() string {
+	switch m {
+	case ModeIn:
+		return "ModeIn"
+	case ModeOut:
+		return "ModeOut"
+	case ModeInout:
+		return "ModeInout"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
 
 // Dep is one dependency clause: a direction over a comparable region key.
 type Dep struct {
@@ -99,10 +113,18 @@ type Runtime struct {
 	pending int
 	waitWQ  vtime.WaitQueue
 	closed  bool
+	tasks   []*Task // all live (not yet completed) tasks, for diagnostics
+	nDone   int     // completed tasks still in the tasks slice
 
 	// Overhead is the runtime cost charged per task execution (dependency
 	// upkeep and scheduling in Nanos++), recorded as trace.KindRuntime.
 	Overhead float64
+
+	// Strict enables runtime invariant checks: Taskwait verifies the
+	// dependency graph is acyclic before blocking. The public Submit API
+	// cannot create cycles (edges always point from older to newer tasks),
+	// so a detected cycle means runtime-internal state corruption.
+	Strict bool
 }
 
 // New creates a runtime whose workers run on the given hardware lanes. The
@@ -115,6 +137,12 @@ func New(eng *vtime.Engine, tr *trace.Trace, lanes []int) *Runtime {
 		lanes:    lanes,
 		regions:  map[any]*regionState{},
 		Overhead: 3e-6,
+	}
+	rt.readyWQ.Describe = func() string {
+		return fmt.Sprintf("ompss: worker idle (no ready tasks; %d tasks pending)", rt.pending)
+	}
+	rt.waitWQ.Describe = func() string {
+		return fmt.Sprintf("ompss: Taskwait (%d tasks pending: %s)", rt.pending, rt.pendingSummary())
 	}
 	for i, lane := range lanes {
 		lane := lane
@@ -138,6 +166,7 @@ func (rt *Runtime) Submit(p *vtime.Proc, label string, deps []Dep, priority int,
 	t := &Task{id: rt.nextID, label: label, fn: fn, priority: priority}
 	rt.nextID++
 	rt.pending++
+	rt.tasks = append(rt.tasks, t)
 	for _, d := range deps {
 		rs := rt.regions[d.Region]
 		if rs == nil {
@@ -254,14 +283,120 @@ func (rt *Runtime) complete(p *vtime.Proc, t *Task) {
 		}
 	}
 	rt.pending--
+	rt.nDone++
+	if rt.nDone > len(rt.tasks)/2 {
+		rt.compactTasks()
+	}
 	if rt.pending == 0 {
 		rt.waitWQ.WakeAll(p)
 	}
 }
 
+// compactTasks drops completed tasks from the live-task list (amortized
+// O(1) per completion via the half-full trigger in complete).
+func (rt *Runtime) compactTasks() {
+	live := rt.tasks[:0]
+	for _, t := range rt.tasks {
+		if !t.done {
+			live = append(live, t)
+		}
+	}
+	for i := len(live); i < len(rt.tasks); i++ {
+		rt.tasks[i] = nil
+	}
+	rt.tasks = live
+	rt.nDone = 0
+}
+
+// pendingSummary renders the not-yet-completed tasks with their unmet
+// predecessor counts, for deadlock reports. Long lists are truncated.
+func (rt *Runtime) pendingSummary() string {
+	var sb strings.Builder
+	n := 0
+	for _, t := range rt.tasks {
+		if t.done {
+			continue
+		}
+		if n == 8 {
+			sb.WriteString(", ...")
+			break
+		}
+		if n > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%q (%d unmet deps)", t.label, t.npred)
+		n++
+	}
+	if n == 0 {
+		return "none"
+	}
+	return sb.String()
+}
+
+// CheckCycles verifies the live dependency graph is acyclic and returns a
+// descriptive error naming the tasks on a cycle otherwise. The public Submit
+// API cannot create cycles (edges always point from older to newer tasks),
+// so a non-nil result indicates corrupted runtime state. In strict mode
+// Taskwait runs this check before blocking.
+func (rt *Runtime) CheckCycles() error {
+	const (
+		white = 0 // unvisited
+		grey  = 1 // on the current DFS path
+		black = 2 // fully explored
+	)
+	color := map[*Task]int{}
+	var path []*Task
+	var visit func(t *Task) []*Task
+	visit = func(t *Task) []*Task {
+		color[t] = grey
+		path = append(path, t)
+		for _, s := range t.succs {
+			if s.done {
+				continue
+			}
+			switch color[s] {
+			case white:
+				if cyc := visit(s); cyc != nil {
+					return cyc
+				}
+			case grey:
+				for i, p := range path {
+					if p == s {
+						return path[i:]
+					}
+				}
+			}
+		}
+		color[t] = black
+		path = path[:len(path)-1]
+		return nil
+	}
+	for _, t := range rt.tasks {
+		if t.done || color[t] != white {
+			continue
+		}
+		if cyc := visit(t); cyc != nil {
+			var sb strings.Builder
+			for _, c := range cyc {
+				fmt.Fprintf(&sb, "%q -> ", c.label)
+			}
+			fmt.Fprintf(&sb, "%q", cyc[0].label)
+			return fmt.Errorf("ompss: dependency cycle among %d tasks: %s", len(cyc), sb.String())
+		}
+	}
+	return nil
+}
+
 // Taskwait blocks the calling process until every submitted task has
-// completed.
+// completed. In strict mode it first verifies the dependency graph is
+// acyclic, panicking with the cycle (which the vtime engine converts into a
+// structured Run error) instead of blocking forever.
 func (rt *Runtime) Taskwait(p *vtime.Proc) {
+	if rt.Strict && rt.pending > 0 {
+		if err := rt.CheckCycles(); err != nil {
+			panic(err.Error())
+		}
+	}
 	for rt.pending > 0 {
 		rt.waitWQ.Wait(p)
 	}

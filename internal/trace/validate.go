@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Validate checks the structural invariants of a loaded trace and returns
+// one error per violation (nil when the trace is well-formed). It is the
+// strict-mode entry point of the fftxtrace tool: traces written by the
+// simulator always pass, so findings indicate hand-edited or truncated
+// files.
+//
+// Checked invariants:
+//   - lane indices are within [0, Lanes)
+//   - intervals have positive duration and a known Kind
+//   - compute intervals carry a non-negative instruction count
+//   - MPI intervals name their communicator
+//   - intervals on one lane do not overlap
+func (t *Trace) Validate() []error {
+	var errs []error
+	add := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+	if t.Lanes <= 0 {
+		add("trace: lane count %d is not positive", t.Lanes)
+	}
+	if t.Freq <= 0 {
+		add("trace: core frequency %g is not positive", t.Freq)
+	}
+	perLane := map[int][]Interval{}
+	for i, iv := range t.Intervals {
+		if iv.Lane < 0 || iv.Lane >= t.Lanes {
+			add("trace: interval %d: lane %d out of range [0,%d)", i, iv.Lane, t.Lanes)
+			continue
+		}
+		if iv.End <= iv.Start {
+			add("trace: interval %d on lane %d: non-positive duration [%g,%g]", i, iv.Lane, iv.Start, iv.End)
+		}
+		if iv.Kind < KindCompute || iv.Kind > KindIdle {
+			add("trace: interval %d on lane %d: unknown kind %d", i, iv.Lane, int(iv.Kind))
+		}
+		if iv.Kind == KindCompute && iv.Instr < 0 {
+			add("trace: interval %d on lane %d: negative instruction count %g", i, iv.Lane, iv.Instr)
+		}
+		if (iv.Kind == KindMPISync || iv.Kind == KindMPITransfer) && iv.Comm == "" {
+			add("trace: interval %d on lane %d: MPI interval without communicator", i, iv.Lane)
+		}
+		perLane[iv.Lane] = append(perLane[iv.Lane], iv)
+	}
+	lanes := make([]int, 0, len(perLane))
+	for l := range perLane {
+		lanes = append(lanes, l)
+	}
+	sort.Ints(lanes)
+	const eps = 1e-12 // tolerate float rounding at interval joints
+	for _, l := range lanes {
+		ivs := perLane[l]
+		sort.Slice(ivs, func(i, j int) bool { return ivs[i].Start < ivs[j].Start })
+		for i := 1; i < len(ivs); i++ {
+			if ivs[i].Start < ivs[i-1].End-eps {
+				add("trace: lane %d: intervals overlap: [%g,%g] %s and [%g,%g] %s",
+					l, ivs[i-1].Start, ivs[i-1].End, ivs[i-1].Kind,
+					ivs[i].Start, ivs[i].End, ivs[i].Kind)
+			}
+		}
+	}
+	return errs
+}

@@ -1,5 +1,7 @@
 package vtime
 
+import "fmt"
+
 // Synchronization primitives for simulated processes. Because exactly one
 // process runs at a time, none of these need host-level locking; they only
 // coordinate virtual-time blocking and waking. All waits are FIFO and
@@ -9,13 +11,20 @@ package vtime
 // for the higher-level primitives.
 type WaitQueue struct {
 	waiters []*Proc
+	// Describe, when set, labels what waiters of this queue are blocked on;
+	// it is rendered lazily into deadlock reports.
+	Describe func() string
 }
 
 // Wait blocks the calling process until another process calls WakeOne or
 // WakeAll.
 func (q *WaitQueue) Wait(p *Proc) {
 	q.waiters = append(q.waiters, p)
-	p.Block()
+	if q.Describe != nil {
+		p.BlockOn(q.Describe)
+	} else {
+		p.Block()
+	}
 }
 
 // WakeOne wakes the longest-waiting process, if any. It reports whether a
@@ -50,6 +59,10 @@ type Semaphore struct {
 
 // NewSemaphore returns a semaphore with the given initial count.
 func NewSemaphore(n int) *Semaphore { return &Semaphore{count: n} }
+
+// SetDescribe labels what acquirers of this semaphore block on, for
+// deadlock reports.
+func (s *Semaphore) SetDescribe(describe func() string) { s.wq.Describe = describe }
 
 // Acquire takes one unit, blocking while the count is zero.
 func (s *Semaphore) Acquire(p *Proc) {
@@ -128,7 +141,13 @@ type Barrier struct {
 }
 
 // NewBarrier returns a barrier for n processes.
-func NewBarrier(n int) *Barrier { return &Barrier{n: n} }
+func NewBarrier(n int) *Barrier {
+	b := &Barrier{n: n}
+	b.wq.Describe = func() string {
+		return fmt.Sprintf("vtime: barrier (%d of %d arrived)", b.arrived, b.n)
+	}
+	return b
+}
 
 // Await blocks until n processes have called Await, then all proceed. The
 // barrier resets for reuse. It returns true for the last arriver.

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 )
 
 // Time is virtual time in seconds.
@@ -74,12 +75,15 @@ const (
 // Proc is a simulated process. All methods must be called from within the
 // process's own body function.
 type Proc struct {
-	eng    *Engine
-	name   string
-	id     int
-	state  procState
-	resume chan struct{}
-	seq    uint64 // sequence number for deterministic tie-breaking
+	eng       *Engine
+	name      string
+	id        int
+	state     procState
+	resume    chan struct{}
+	seq       uint64 // sequence number for deterministic tie-breaking
+	blockedAt Time
+	waitDesc  func() string // what the process waits on, for deadlock dumps
+	panicVal  any           // recovered panic of the process body, if any
 }
 
 // event is a scheduled wake-up for a process.
@@ -203,6 +207,16 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 	e.nAlive++
 	e.schedule(p, e.now)
 	go func() {
+		// A panic inside a process body would otherwise kill its goroutine
+		// while the engine waits on yieldCh forever — a silent host-level
+		// hang. Convert it into a structured engine error instead.
+		defer func() {
+			if r := recover(); r != nil {
+				p.panicVal = r
+				p.state = stateDone
+				e.yieldCh <- p
+			}
+		}()
 		<-p.resume // wait for first dispatch
 		fn(p)
 		p.state = stateDone
@@ -233,8 +247,9 @@ func (e *Engine) wake(p *Proc) {
 }
 
 // Run executes the simulation until every process has finished. It returns
-// an error on deadlock (blocked processes remain but no event or job can
-// make progress).
+// a *DeadlockError on deadlock (blocked processes remain but no event or
+// job can make progress) and an error describing the panic if a process
+// body panics.
 func (e *Engine) Run() error {
 	e.started = true
 	for e.nAlive > 0 {
@@ -244,6 +259,14 @@ func (e *Engine) Run() error {
 		}
 	}
 	return nil
+}
+
+// MustRun is Run for callers without an error path: a deadlock or process
+// panic becomes a host panic carrying the structured report.
+func (e *Engine) MustRun() {
+	if err := e.Run(); err != nil {
+		panic(err)
+	}
 }
 
 // step advances the simulation by one event: it finds the next wake-up or
@@ -291,6 +314,9 @@ func (e *Engine) step() error {
 	}
 	if q.state == stateDone {
 		e.nAlive--
+		if q.panicVal != nil {
+			return fmt.Errorf("vtime: process %q panicked at t=%g: %v", q.name, e.now, q.panicVal)
+		}
 	}
 	return nil
 }
@@ -340,15 +366,50 @@ func (e *Engine) refreshRates() {
 	}
 }
 
-func (e *Engine) deadlockError() error {
-	var names []string
-	for _, p := range e.procs {
-		if p.state == stateBlocked {
-			names = append(names, p.name)
-		}
+// BlockedProc describes one blocked process in a deadlock report.
+type BlockedProc struct {
+	Name      string
+	ID        int
+	Since     Time   // virtual time the process blocked at
+	WaitingOn string // what the process waits on, if known
+}
+
+// DeadlockError is returned by Run when the event queue drains while
+// processes are still blocked. Instead of a bare process list it carries a
+// structured dump of every blocked process — who it is, since when it has
+// been blocked and what it is waiting on — so mismatched collectives and
+// dependency stalls are diagnosable from the error alone.
+type DeadlockError struct {
+	At      Time
+	Blocked []BlockedProc
+}
+
+// Error renders the structured per-process dump.
+func (e *DeadlockError) Error() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "vtime: deadlock at t=%g: %d blocked processes:", e.At, len(e.Blocked))
+	for _, b := range e.Blocked {
+		fmt.Fprintf(&sb, "\n  %s (id %d, blocked since t=%g): %s", b.Name, b.ID, b.Since, b.WaitingOn)
 	}
-	sort.Strings(names)
-	return fmt.Errorf("vtime: deadlock at t=%g: %d blocked processes %v", e.now, len(names), names)
+	return sb.String()
+}
+
+func (e *Engine) deadlockError() error {
+	de := &DeadlockError{At: e.now}
+	for _, p := range e.procs {
+		if p.state != stateBlocked {
+			continue
+		}
+		what := "unknown (Block without a wait description)"
+		if p.waitDesc != nil {
+			what = p.waitDesc()
+		}
+		de.Blocked = append(de.Blocked, BlockedProc{
+			Name: p.name, ID: p.id, Since: p.blockedAt, WaitingOn: what,
+		})
+	}
+	sort.Slice(de.Blocked, func(i, j int) bool { return de.Blocked[i].Name < de.Blocked[j].Name })
+	return de
 }
 
 // ActiveJobs returns the jobs currently in flight. Intended for Machine
@@ -392,9 +453,20 @@ func (p *Proc) Yield() { p.Sleep(0) }
 // Block suspends the process until another process wakes it via Wake.
 func (p *Proc) Block() {
 	p.state = stateBlocked
+	p.blockedAt = p.eng.now
 	p.eng.nBlocked++
 	p.yield()
 	p.state = stateRunning
+	p.waitDesc = nil
+}
+
+// BlockOn is Block with a description of what the process is waiting on.
+// The closure is evaluated lazily, only if the process appears in a
+// deadlock report, so it may render live state (e.g. which collective
+// participants have arrived so far).
+func (p *Proc) BlockOn(describe func() string) {
+	p.waitDesc = describe
+	p.Block()
 }
 
 // Wake makes a blocked process runnable at the current virtual time.
