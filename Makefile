@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test check vet fmt race fuzz-smoke
+.PHONY: all build test check vet fmt race fuzz-smoke overhead-smoke serve-smoke
 
 all: check test
 
@@ -40,3 +40,15 @@ race:
 # The package has several fuzz targets, so the -fuzz pattern must pick one.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzRoundTrip -fuzztime=10s -run='^$$' ./internal/fft
+
+# overhead-smoke measures the cost of the always-on telemetry: the
+# enabled/disabled benchmark pair plus the min-of-N smoke test that fails on
+# a pathological regression (design target <5%, see README "Observability").
+overhead-smoke:
+	$(GO) test ./internal/fftx -run '^$$' -bench RunTelemetry -benchtime 5x
+	$(GO) test ./internal/fftx -run TestTelemetryOverheadSmoke -count=1 -v
+
+# serve-smoke starts fftxbench on an ephemeral port, scrapes /metrics and a
+# pprof endpoint, and shuts it down — the end-to-end check CI runs.
+serve-smoke:
+	./scripts/serve-smoke.sh

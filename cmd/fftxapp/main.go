@@ -9,6 +9,10 @@
 //	fftxapp -ecutwfc 80 -alat 20 -nbnd 128 -ntg 8 -nranks 8 \
 //	        -engine original|task-steps|task-iter|task-combined \
 //	        [-gamma] [-niter 5] [-real]
+//
+// Observability: -serve addr exposes /metrics, /debug/vars and
+// /debug/pprof during and after the run; -cpuprofile and -memprofile write
+// runtime/pprof profiles.
 package main
 
 import (
@@ -16,23 +20,34 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/fftx"
+	"repro/internal/metrics"
 	"repro/internal/pop"
+	"repro/internal/telemetry"
 )
 
 func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	var (
-		ecut   = flag.Float64("ecutwfc", 80, "plane-wave energy cutoff in Ry")
-		alat   = flag.Float64("alat", 20, "lattice parameter in bohr")
-		nbnd   = flag.Int("nbnd", 128, "number of bands")
-		ntg    = flag.Int("ntg", 8, "task groups / threads per rank")
-		nranks = flag.Int("nranks", 8, "ranks per task group (positions)")
-		engine = flag.String("engine", "original", "original|task-steps|task-iter|task-combined")
-		gamma  = flag.Bool("gamma", false, "gamma-point mode (half sphere, 2 bands per FFT)")
-		niter  = flag.Int("niter", 5, "repetitions of the FFT phase")
-		real   = flag.Bool("real", false, "transform real data (keep the grid small)")
-		strict = flag.Bool("strict", false, "enable runtime invariant checks (collective shapes, tag discipline, task-graph cycles)")
+		ecut    = flag.Float64("ecutwfc", 80, "plane-wave energy cutoff in Ry")
+		alat    = flag.Float64("alat", 20, "lattice parameter in bohr")
+		nbnd    = flag.Int("nbnd", 128, "number of bands")
+		ntg     = flag.Int("ntg", 8, "task groups / threads per rank")
+		nranks  = flag.Int("nranks", 8, "ranks per task group (positions)")
+		engine  = flag.String("engine", "original", "original|task-steps|task-iter|task-combined")
+		gamma   = flag.Bool("gamma", false, "gamma-point mode (half sphere, 2 bands per FFT)")
+		niter   = flag.Int("niter", 5, "repetitions of the FFT phase")
+		real    = flag.Bool("real", false, "transform real data (keep the grid small)")
+		strict  = flag.Bool("strict", false, "enable runtime invariant checks (collective shapes, tag discipline, task-graph cycles)")
+		serve   = flag.String("serve", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :8080)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -48,8 +63,41 @@ func main() {
 		eng = fftx.EngineTaskCombined
 	default:
 		fmt.Fprintf(os.Stderr, "fftxapp: unknown engine %q\n", *engine)
-		os.Exit(2)
+		return 2
 	}
+
+	if *cpuProf != "" {
+		stop, err := telemetry.StartCPUProfile(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fftxapp:", err)
+			return 1
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "fftxapp:", err)
+			}
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			if err := telemetry.WriteHeapProfile(*memProf); err != nil {
+				fmt.Fprintln(os.Stderr, "fftxapp:", err)
+			}
+		}()
+	}
+
+	var tsrv *telemetry.Server
+	if *serve != "" {
+		var err error
+		tsrv, err = telemetry.Serve(*serve, metrics.Default())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fftxapp:", err)
+			return 1
+		}
+		defer tsrv.Close()
+		fmt.Printf("telemetry: serving /metrics, /debug/vars, /debug/pprof at %s\n", tsrv.URL)
+	}
+
 	cfg := fftx.Config{
 		Ecut: *ecut, Alat: *alat, NB: *nbnd, Ranks: *nranks, NTG: *ntg,
 		Engine: eng, Mode: fftx.ModeCost, Gamma: *gamma, Strict: *strict,
@@ -65,7 +113,7 @@ func main() {
 		res, err := fftx.Run(cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fftxapp:", err)
-			os.Exit(1)
+			return 1
 		}
 		if it == 0 {
 			first = res
@@ -91,4 +139,12 @@ func main() {
 	fmt.Printf("parallel efficiency %.2f%%, load balance %.2f%%, avg IPC %.3f, main-phase IPC %.3f\n",
 		100*f.ParallelEff, 100*f.LoadBalance, f.AvgIPC,
 		first.Trace.PhaseAvgIPC("fft-xy", "vofr"))
+
+	if tsrv != nil {
+		fmt.Printf("telemetry: run done, still serving at %s (interrupt to exit)\n", tsrv.URL)
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		<-ch
+	}
+	return 0
 }

@@ -17,19 +17,35 @@
 //	-sweep-ranks 16                    total processes of the NTG sweep
 //	-ablation-ranks 8                  rank count of the ablation
 //	-save-trace dir                    write the fig3/fig7 traces as JSON
+//
+// Observability (see README "Observability"):
+//
+//	-serve addr        expose /metrics, /debug/vars and /debug/pprof on addr
+//	                   (e.g. :8080 or 127.0.0.1:0) and keep serving after the
+//	                   experiments until interrupted
+//	-cpuprofile file   write a runtime/pprof CPU profile
+//	-memprofile file   write a heap profile on exit
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/fftx"
+	"repro/internal/metrics"
+	"repro/internal/telemetry"
 )
 
 func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	var (
 		ecut    = flag.Float64("ecut", 80, "plane-wave energy cutoff in Ry")
 		alat    = flag.Float64("alat", 20, "lattice parameter in bohr")
@@ -41,11 +57,48 @@ func main() {
 		saveDir = flag.String("save-trace", "", "directory to save fig3/fig7 traces as JSON")
 		csvPath = flag.String("csv", "", "also write fig2/fig6 runtime data as CSV to this file")
 		strict  = flag.Bool("strict", false, "enable runtime invariant checks (collective shapes, tag discipline, task-graph cycles)")
+		serve   = flag.String("serve", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :8080)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: fftxbench [flags] fig2|table1|fig3|table2|fig6|fig7|sweep|ablation|machines|predict|sensitivity|bandsweep|multinode|scaling|report|all")
-		os.Exit(2)
+		return 2
+	}
+
+	if *cpuProf != "" {
+		stop, err := telemetry.StartCPUProfile(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fftxbench:", err)
+			return 1
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "fftxbench:", err)
+			}
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			if err := telemetry.WriteHeapProfile(*memProf); err != nil {
+				fmt.Fprintln(os.Stderr, "fftxbench:", err)
+			}
+		}()
+	}
+
+	var tsrv *telemetry.Server
+	if *serve != "" {
+		var err error
+		tsrv, err = telemetry.Serve(*serve, metrics.Default())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fftxbench:", err)
+			return 1
+		}
+		defer tsrv.Close()
+		// Printed before the experiments so scripted consumers can scrape
+		// the live endpoints while the run is in progress.
+		fmt.Printf("telemetry: serving /metrics, /debug/vars, /debug/pprof at %s\n", tsrv.URL)
 	}
 
 	suite := core.PaperSuite()
@@ -216,7 +269,17 @@ func main() {
 	for _, nm := range names {
 		if err := run(nm); err != nil {
 			fmt.Fprintln(os.Stderr, "fftxbench:", err)
-			os.Exit(1)
+			return 1
 		}
 	}
+
+	if tsrv != nil {
+		// Keep the endpoints up after the experiments so the final metric
+		// values remain scrapeable; exit on interrupt.
+		fmt.Printf("telemetry: experiments done, still serving at %s (interrupt to exit)\n", tsrv.URL)
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		<-ch
+	}
+	return 0
 }

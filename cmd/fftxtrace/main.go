@@ -14,6 +14,10 @@
 //	-view timeline|duration|histogram|phases|comms|pop|all   what to render
 //	-width 100                                timeline width in characters
 //	-bins 40 -max-ipc 1.6                     histogram shape
+//	-paraver base                             export .prv/.pcf/.row for Paraver
+//	-chrome out.json                          export Chrome trace-event JSON
+//	                                          (open in ui.perfetto.dev or
+//	                                          chrome://tracing)
 package main
 
 import (
@@ -33,6 +37,7 @@ func main() {
 		bins    = flag.Int("bins", 40, "IPC histogram bins")
 		maxIPC  = flag.Float64("max-ipc", 1.6, "IPC histogram upper bound")
 		paraver = flag.String("paraver", "", "export as Paraver trace (base path; writes .prv/.pcf/.row)")
+		chrome  = flag.String("chrome", "", "export as Chrome trace-event JSON to this file (Perfetto/chrome://tracing)")
 		strict  = flag.Bool("strict", false, "validate trace invariants (lane ranges, overlaps, MPI metadata) and fail on violations")
 	)
 	flag.Parse()
@@ -74,6 +79,22 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s.prv, %s.pcf, %s.row\n", *paraver, *paraver, *paraver)
+	}
+	if *chrome != "" {
+		f, err := os.Create(*chrome)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fftxtrace:", err)
+			os.Exit(1)
+		}
+		if err := trace.ExportTraceEvent(f, tr); err != nil {
+			fmt.Fprintln(os.Stderr, "fftxtrace:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "fftxtrace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (open in ui.perfetto.dev or chrome://tracing)\n", *chrome)
 	}
 	show := func(name string) bool { return *view == "all" || *view == name }
 	if show("timeline") {

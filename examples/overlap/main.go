@@ -2,7 +2,9 @@
 // original, the per-step task version (communication/computation overlap,
 // paper Figure 4) and the per-iteration task version (de-synchronization,
 // paper Figure 5) — on one configuration of the paper's workload and
-// compare runtimes, main-phase IPC and POP efficiency factors side by side.
+// compare runtimes, main-phase IPC and POP efficiency factors side by side,
+// together with a per-engine snapshot of the live telemetry registry (tasks,
+// bytes moved, live IPC — the same numbers /metrics exposes).
 package main
 
 import (
@@ -10,8 +12,31 @@ import (
 	"log"
 
 	"repro/internal/fftx"
+	"repro/internal/metrics"
 	"repro/internal/pop"
 )
+
+// engineMetrics is the slice of the telemetry registry one engine run added:
+// the difference of two metrics.Gather() snapshots.
+type engineMetrics struct {
+	tasksCreated   float64
+	tasksCompleted float64
+	mpiBytes       float64
+	liveIPC        float64 // instructions / (compute seconds x core frequency)
+}
+
+func snapshotDelta(before, after metrics.Snapshot, freq float64) engineMetrics {
+	d := func(name string) float64 { return after.Sum(name) - before.Sum(name) }
+	m := engineMetrics{
+		tasksCreated:   d("fftx_ompss_tasks_created_total"),
+		tasksCompleted: d("fftx_ompss_tasks_completed_total"),
+		mpiBytes:       d("fftx_mpi_bytes_total"),
+	}
+	if sec := d("fftx_phase_compute_seconds_total"); sec > 0 && freq > 0 {
+		m.liveIPC = d("fftx_phase_instructions_total") / (sec * freq)
+	}
+	return m
+}
 
 func main() {
 	base := fftx.Config{
@@ -23,6 +48,7 @@ func main() {
 
 	var names []string
 	var factors []pop.Factors
+	var telemetry []engineMetrics
 	fmt.Printf("%-12s %7s %12s %10s %10s\n", "engine", "lanes", "runtime[s]", "xy IPC", "avg IPC")
 	var origRuntime float64
 	for _, e := range engines {
@@ -32,10 +58,12 @@ func main() {
 			cfg.StepWorkers = 2 // two worker threads per rank overlap comm with compute
 			cfg.Ranks = 4       // halve ranks so the lane budget stays at 64
 		}
+		before := metrics.Default().Gather()
 		res, err := fftx.Run(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
+		telemetry = append(telemetry, snapshotDelta(before, metrics.Default().Gather(), res.Trace.Freq))
 		if e == fftx.EngineOriginal {
 			origRuntime = res.Runtime
 		}
@@ -46,6 +74,14 @@ func main() {
 		fmt.Printf("%-12s %7d %12.4f %10.3f %10.3f\n",
 			e, cfg.Lanes(), res.Runtime,
 			res.Trace.PhaseAvgIPC("fft-xy", "vofr"), f.AvgIPC)
+	}
+
+	fmt.Println("\ntelemetry snapshot per engine (from the metrics registry):")
+	fmt.Printf("%-12s %10s %12s %14s %10s\n", "engine", "tasks", "completed", "MPI bytes", "live IPC")
+	for i, nm := range names {
+		m := telemetry[i]
+		fmt.Printf("%-12s %10.0f %12.0f %14.0f %10.3f\n",
+			nm, m.tasksCreated, m.tasksCompleted, m.mpiBytes, m.liveIPC)
 	}
 	fmt.Printf("\ntask-iter vs original: %.1f%% runtime reduction (paper: 7-10%%)\n",
 		100*(origRuntime-factors[2].Runtime)/origRuntime)

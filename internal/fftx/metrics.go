@@ -1,0 +1,23 @@
+package fftx
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// Run-level telemetry. The per-phase compute counters live in the mpi and
+// ompss layers (fftx_phase_*); together with fftx_core_frequency_hz they
+// give live IPC: instructions / (compute seconds * frequency).
+var (
+	mRuns = metrics.Default().CounterVec("fftx_runs_total", "kernel runs started, by engine", "engine")
+	mFreq = metrics.Default().Gauge("fftx_core_frequency_hz", "core frequency of the simulated node model")
+)
+
+// traceSink builds the sink the engines record into: the run's own Trace,
+// teed with the config's streaming Sink when one is set.
+func (c Config) traceSink(tr *trace.Trace) trace.Sink {
+	if c.Sink != nil {
+		return trace.Tee(tr, c.Sink)
+	}
+	return tr
+}

@@ -24,7 +24,8 @@ func runOriginal(cfg Config) (*Result, error) {
 	machine, fabric := cfg.buildMachine(P)
 	eng := vtime.NewEngine(machine)
 	tr := trace.New(P, cfg.Params.Freq)
-	w := mpi.NewWorld(eng, fabric, tr, P, 1)
+	sink := cfg.traceSink(tr)
+	w := mpi.NewWorld(eng, fabric, sink, P, 1)
 	w.Strict = cfg.Strict
 
 	chunkBounds := make([][]int, R)

@@ -142,6 +142,8 @@ func Run(cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	mRuns.With(cfg.Engine.String()).Inc()
+	mFreq.Set(cfg.Params.Freq)
 	switch cfg.Engine {
 	case EngineOriginal:
 		return runOriginal(cfg)

@@ -28,7 +28,8 @@ func runTaskCombined(cfg Config) (*Result, error) {
 	machine, fabric := cfg.buildMachine(lanes)
 	eng := vtime.NewEngine(machine)
 	tr := trace.New(lanes, cfg.Params.Freq)
-	w := mpi.NewWorld(eng, fabric, tr, R, T)
+	sink := cfg.traceSink(tr)
+	w := mpi.NewWorld(eng, fabric, sink, R, T)
 	w.Strict = cfg.Strict
 
 	var in, out [][][]complex128
@@ -62,7 +63,7 @@ func runTaskCombined(cfg Config) (*Result, error) {
 		for t := 0; t < T; t++ {
 			workerLanes[t] = p*T + t
 		}
-		rt := ompss.New(eng, tr, workerLanes)
+		rt := ompss.New(eng, sink, workerLanes)
 		rt.Strict = cfg.Strict
 		eng.Spawn(fmt.Sprintf("rank%d.main", p), func(mp *vtime.Proc) {
 			for b := 0; b < cfg.NB; b++ {

@@ -28,7 +28,8 @@ func runTaskSteps(cfg Config) (*Result, error) {
 	machine, fabric := cfg.buildMachine(lanes)
 	eng := vtime.NewEngine(machine)
 	tr := trace.New(lanes, cfg.Params.Freq)
-	w := mpi.NewWorld(eng, fabric, tr, P, W)
+	sink := cfg.traceSink(tr)
+	w := mpi.NewWorld(eng, fabric, sink, P, W)
 	w.Strict = cfg.Strict
 
 	chunkBounds := make([][]int, R)
@@ -84,7 +85,7 @@ func runTaskSteps(cfg Config) (*Result, error) {
 		for t := 0; t < W; t++ {
 			workerLanes[t] = rank*W + t
 		}
-		rt := ompss.New(eng, tr, workerLanes)
+		rt := ompss.New(eng, sink, workerLanes)
 		rt.Strict = cfg.Strict
 		eng.Spawn(fmt.Sprintf("rank%d.main", rank), func(mp *vtime.Proc) {
 			packComm := w.NewSubComm(fmt.Sprintf("pack%d", p), packRanks)

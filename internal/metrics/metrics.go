@@ -1,0 +1,492 @@
+// Package metrics is a dependency-free, always-on telemetry registry in the
+// Prometheus data model: counters, gauges and fixed-bucket histograms,
+// organized into labeled families. All mutation paths are lock-free atomic
+// operations on pre-resolved series handles, so the simulator's hot layers
+// (the vtime engine, the MPI library, the task runtime) can instrument
+// every event at negligible cost.
+//
+// A family is one named metric with a fixed label-key set; a series is one
+// (family, label-values) combination. Families are created idempotently:
+// two packages asking for the same family name (with matching kind and
+// keys) share it, which is how the mpi and ompss layers both feed the
+// per-phase compute counters.
+//
+// The registry can be rendered as Prometheus text exposition
+// (WritePrometheus / Handler) and published as an expvar variable
+// (PublishExpvar), both reading a consistent Snapshot.
+//
+// SetEnabled(false) turns every mutation into a no-op, which is what the
+// instrumentation-overhead benchmark compares against.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// enabled is the process-wide telemetry switch. Mutators check it; readers
+// (Gather, WritePrometheus) ignore it.
+var enabled atomic.Bool
+
+func init() { enabled.Store(true) }
+
+// SetEnabled turns the telemetry layer on or off process-wide. When off,
+// every counter/gauge/histogram mutation returns immediately.
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// Enabled reports whether the telemetry layer is recording.
+func Enabled() bool { return enabled.Load() }
+
+// Kind classifies a metric family.
+type Kind int
+
+const (
+	// KindCounter is a monotonically increasing value.
+	KindCounter Kind = iota
+	// KindGauge is a value that can go up and down.
+	KindGauge
+	// KindHistogram is a fixed-bucket distribution.
+	KindHistogram
+)
+
+// String returns the Prometheus TYPE name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Counter is a monotonically increasing float64. The zero value is ready to
+// use, but counters are normally obtained from a Registry so they appear in
+// the exposition.
+type Counter struct {
+	bits atomic.Uint64
+}
+
+// Add increments the counter. Negative increments panic.
+func (c *Counter) Add(v float64) {
+	if !enabled.Load() {
+		return
+	}
+	if v < 0 {
+		panic(fmt.Sprintf("metrics: counter decremented by %g", v))
+	}
+	addFloat(&c.bits, v)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is a float64 that can move in both directions.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if !enabled.Load() {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add moves the gauge by v (negative to decrement).
+func (g *Gauge) Add(v float64) {
+	if !enabled.Load() {
+		return
+	}
+	addFloat(&g.bits, v)
+}
+
+// SetMax raises the gauge to v if v exceeds the current value — a
+// high-water mark.
+func (g *Gauge) SetMax(v float64) {
+	if !enabled.Load() {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func addFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if bits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// Histogram is a fixed-bucket distribution: cumulative bucket counts in the
+// Prometheus style (each bucket counts observations <= its upper bound,
+// with an implicit +Inf bucket), plus sum and count.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds, excluding +Inf
+	counts []atomic.Uint64
+	sum    atomic.Uint64 // float64 bits
+	count  atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if !enabled.Load() {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	addFloat(&h.sum, v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// DefBuckets is the default histogram bucket layout: exponential from 1 µs
+// to 10 s, suited to the simulator's virtual-time durations.
+var DefBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
+
+// series is one (family, label-values) combination.
+type series struct {
+	labelValues []string
+	counter     *Counter
+	gauge       *Gauge
+	hist        *Histogram
+}
+
+// family is one named metric with a fixed label-key set.
+type family struct {
+	name    string
+	help    string
+	kind    Kind
+	keys    []string
+	buckets []float64 // histogram families only
+
+	mu     sync.RWMutex
+	series map[string]*series
+}
+
+func (f *family) get(values []string) *series {
+	if len(values) != len(f.keys) {
+		panic(fmt.Sprintf("metrics: family %s has %d label keys, got %d values", f.name, len(f.keys), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	f.mu.RLock()
+	s := f.series[key]
+	f.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s = f.series[key]; s != nil {
+		return s
+	}
+	s = &series{labelValues: append([]string(nil), values...)}
+	switch f.kind {
+	case KindCounter:
+		s.counter = &Counter{}
+	case KindGauge:
+		s.gauge = &Gauge{}
+	case KindHistogram:
+		s.hist = &Histogram{
+			bounds: f.buckets,
+			counts: make([]atomic.Uint64, len(f.buckets)+1),
+		}
+	}
+	f.series[key] = s
+	return s
+}
+
+// Registry holds metric families. The zero value is not usable; create
+// with NewRegistry or use Default.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry every instrumented layer
+// records into.
+func Default() *Registry { return defaultRegistry }
+
+func (r *Registry) family(name, help string, kind Kind, buckets []float64, keys []string) *family {
+	if name == "" {
+		panic("metrics: empty family name")
+	}
+	r.mu.RLock()
+	f := r.families[name]
+	r.mu.RUnlock()
+	if f == nil {
+		r.mu.Lock()
+		if f = r.families[name]; f == nil {
+			f = &family{
+				name: name, help: help, kind: kind,
+				keys:    append([]string(nil), keys...),
+				buckets: buckets,
+				series:  map[string]*series{},
+			}
+			r.families[name] = f
+		}
+		r.mu.Unlock()
+	}
+	if f.kind != kind || len(f.keys) != len(keys) {
+		panic(fmt.Sprintf("metrics: family %s re-registered with different kind or label keys", name))
+	}
+	for i := range keys {
+		if f.keys[i] != keys[i] {
+			panic(fmt.Sprintf("metrics: family %s re-registered with label key %q (was %q)", name, keys[i], f.keys[i]))
+		}
+	}
+	return f
+}
+
+// CounterVec declares (or retrieves) a counter family with the given label
+// keys. Declaring the same name twice returns the same family; mismatched
+// kind or keys panic.
+type CounterVec struct{ f *family }
+
+// CounterVec declares a labeled counter family.
+func (r *Registry) CounterVec(name, help string, keys ...string) *CounterVec {
+	return &CounterVec{r.family(name, help, KindCounter, nil, keys)}
+}
+
+// With returns the counter for the given label values (created on first
+// use). The handle is stable: cache it on hot paths.
+func (v *CounterVec) With(values ...string) *Counter { return v.f.get(values).counter }
+
+// Counter declares an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.CounterVec(name, help).With()
+}
+
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct{ f *family }
+
+// GaugeVec declares a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, keys ...string) *GaugeVec {
+	return &GaugeVec{r.family(name, help, KindGauge, nil, keys)}
+}
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge { return v.f.get(values).gauge }
+
+// Gauge declares an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.GaugeVec(name, help).With()
+}
+
+// HistogramVec is a labeled histogram family with fixed buckets.
+type HistogramVec struct{ f *family }
+
+// HistogramVec declares a labeled histogram family. buckets must be sorted
+// ascending; nil means DefBuckets.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, keys ...string) *HistogramVec {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	if !sort.Float64sAreSorted(buckets) {
+		panic(fmt.Sprintf("metrics: histogram %s buckets not sorted", name))
+	}
+	return &HistogramVec{r.family(name, help, KindHistogram, buckets, keys)}
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram { return v.f.get(values).hist }
+
+// Histogram declares an unlabeled histogram.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	return r.HistogramVec(name, help, buckets).With()
+}
+
+// Reset zeroes every series in the registry (handles held by instrumented
+// code stay valid). Intended for tests and per-run baselines.
+func (r *Registry) Reset() {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, f := range r.families {
+		f.mu.RLock()
+		for _, s := range f.series {
+			switch {
+			case s.counter != nil:
+				s.counter.bits.Store(0)
+			case s.gauge != nil:
+				s.gauge.bits.Store(0)
+			case s.hist != nil:
+				for i := range s.hist.counts {
+					s.hist.counts[i].Store(0)
+				}
+				s.hist.sum.Store(0)
+				s.hist.count.Store(0)
+			}
+		}
+		f.mu.RUnlock()
+	}
+}
+
+// --- snapshot iteration ---
+
+// Label is one label key/value pair.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// Bucket is one cumulative histogram bucket of a snapshot.
+type Bucket struct {
+	UpperBound float64 // +Inf for the last bucket
+	Count      uint64  // observations <= UpperBound
+}
+
+// Series is one series of a snapshot.
+type Series struct {
+	Labels []Label
+	// Value is the counter or gauge value (histograms: the sum).
+	Value float64
+	// Count and Buckets are set for histograms only.
+	Count   uint64
+	Buckets []Bucket
+}
+
+// Family is one family of a snapshot.
+type Family struct {
+	Name   string
+	Help   string
+	Kind   Kind
+	Series []Series
+}
+
+// Snapshot is a point-in-time copy of a registry, sorted by family name and
+// label values for deterministic iteration.
+type Snapshot struct {
+	Families []Family
+}
+
+// Gather snapshots the registry.
+func (r *Registry) Gather() Snapshot {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var snap Snapshot
+	for _, f := range fams {
+		fs := Family{Name: f.name, Help: f.help, Kind: f.kind}
+		f.mu.RLock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := f.series[k]
+			ss := Series{}
+			for i, key := range f.keys {
+				ss.Labels = append(ss.Labels, Label{Key: key, Value: s.labelValues[i]})
+			}
+			switch {
+			case s.counter != nil:
+				ss.Value = s.counter.Value()
+			case s.gauge != nil:
+				ss.Value = s.gauge.Value()
+			case s.hist != nil:
+				ss.Value = s.hist.Sum()
+				ss.Count = s.hist.Count()
+				var cum uint64
+				for i := range s.hist.counts {
+					cum += s.hist.counts[i].Load()
+					ub := math.Inf(1)
+					if i < len(s.hist.bounds) {
+						ub = s.hist.bounds[i]
+					}
+					ss.Buckets = append(ss.Buckets, Bucket{UpperBound: ub, Count: cum})
+				}
+			}
+			fs.Series = append(fs.Series, ss)
+		}
+		f.mu.RUnlock()
+		snap.Families = append(snap.Families, fs)
+	}
+	return snap
+}
+
+// Find returns the family with the given name, or nil.
+func (s Snapshot) Find(name string) *Family {
+	for i := range s.Families {
+		if s.Families[i].Name == name {
+			return &s.Families[i]
+		}
+	}
+	return nil
+}
+
+// Sum returns the sum of all series values of the named family (0 if the
+// family is absent).
+func (s Snapshot) Sum(name string) float64 {
+	f := s.Find(name)
+	if f == nil {
+		return 0
+	}
+	var total float64
+	for _, ss := range f.Series {
+		total += ss.Value
+	}
+	return total
+}
+
+// Get returns the value of the series with exactly the given label values
+// (in family key order). The second result is false if absent.
+func (s Snapshot) Get(name string, labelValues ...string) (float64, bool) {
+	f := s.Find(name)
+	if f == nil {
+		return 0, false
+	}
+outer:
+	for _, ss := range f.Series {
+		if len(ss.Labels) != len(labelValues) {
+			continue
+		}
+		for i, l := range ss.Labels {
+			if l.Value != labelValues[i] {
+				continue outer
+			}
+		}
+		return ss.Value, true
+	}
+	return 0, false
+}

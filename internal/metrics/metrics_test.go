@@ -1,0 +1,247 @@
+package metrics
+
+import (
+	"io"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops")
+	c.Inc()
+	c.Add(2.5)
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %g, want 3.5", got)
+	}
+
+	g := r.Gauge("test_depth", "depth")
+	g.Set(4)
+	g.Add(-1.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %g, want 2.5", got)
+	}
+	g.SetMax(10)
+	g.SetMax(3) // below current, ignored
+	if got := g.Value(); got != 10 {
+		t.Fatalf("gauge after SetMax = %g, want 10", got)
+	}
+}
+
+func TestCounterNegativePanics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_neg_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative counter Add did not panic")
+		}
+	}()
+	c.Add(-1)
+}
+
+func TestLabeledFamilies(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_calls_total", "calls", "comm", "op")
+	v.With("world", "Alltoall").Add(3)
+	v.With("world", "Bcast").Inc()
+	v.With("pool", "Alltoall").Inc()
+
+	// Idempotent re-registration returns the same family.
+	v2 := r.CounterVec("test_calls_total", "calls", "comm", "op")
+	if v2.With("world", "Alltoall") != v.With("world", "Alltoall") {
+		t.Fatal("re-registered family returned a different series")
+	}
+
+	snap := r.Gather()
+	if got := snap.Sum("test_calls_total"); got != 5 {
+		t.Fatalf("Sum = %g, want 5", got)
+	}
+	if got, ok := snap.Get("test_calls_total", "world", "Alltoall"); !ok || got != 3 {
+		t.Fatalf("Get(world,Alltoall) = %g,%v want 3,true", got, ok)
+	}
+	if _, ok := snap.Get("test_calls_total", "nope", "Alltoall"); ok {
+		t.Fatal("Get on absent series reported ok")
+	}
+}
+
+func TestFamilyMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("test_kind_total", "", "a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r.GaugeVec("test_kind_total", "", "a")
+}
+
+func TestWrongLabelCountPanics(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_arity_total", "", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong label arity did not panic")
+		}
+	}()
+	v.With("only-one")
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_dur_seconds", "durations", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-56.05) > 1e-9 {
+		t.Fatalf("sum = %g, want 56.05", h.Sum())
+	}
+	snap := r.Gather()
+	f := snap.Find("test_dur_seconds")
+	if f == nil || len(f.Series) != 1 {
+		t.Fatal("histogram family missing from snapshot")
+	}
+	b := f.Series[0].Buckets
+	wantCum := []uint64{1, 3, 4, 5} // <=0.1, <=1, <=10, +Inf
+	if len(b) != len(wantCum) {
+		t.Fatalf("bucket count = %d, want %d", len(b), len(wantCum))
+	}
+	for i, want := range wantCum {
+		if b[i].Count != want {
+			t.Fatalf("bucket[%d] = %d, want %d", i, b[i].Count, want)
+		}
+	}
+	if !math.IsInf(b[3].UpperBound, 1) {
+		t.Fatal("last bucket upper bound is not +Inf")
+	}
+}
+
+func TestSetEnabled(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_gate_total", "")
+	SetEnabled(false)
+	c.Inc()
+	SetEnabled(true)
+	if c.Value() != 0 {
+		t.Fatalf("counter advanced while disabled: %g", c.Value())
+	}
+	c.Inc()
+	if c.Value() != 1 {
+		t.Fatalf("counter = %g after re-enable, want 1", c.Value())
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_reset_total", "")
+	h := r.Histogram("test_reset_seconds", "", nil)
+	c.Add(7)
+	h.Observe(0.5)
+	r.Reset()
+	if c.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("Reset left state: c=%g count=%d sum=%g", c.Value(), h.Count(), h.Sum())
+	}
+	// Handles stay live after Reset.
+	c.Inc()
+	if c.Value() != 1 {
+		t.Fatalf("counter handle dead after Reset: %g", c.Value())
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("test_bytes_total", "bytes moved", "op").With("Alltoall").Add(4096)
+	r.Gauge("test_in_flight", "tasks in flight").Set(3)
+	r.Histogram("test_lat_seconds", "latency", []float64{0.5, 1}).Observe(0.25)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP test_bytes_total bytes moved",
+		"# TYPE test_bytes_total counter",
+		`test_bytes_total{op="Alltoall"} 4096`,
+		"# TYPE test_in_flight gauge",
+		"test_in_flight 3",
+		"# TYPE test_lat_seconds histogram",
+		`test_lat_seconds_bucket{le="0.5"} 1`,
+		`test_lat_seconds_bucket{le="1"} 1`,
+		`test_lat_seconds_bucket{le="+Inf"} 1`,
+		"test_lat_seconds_sum 0.25",
+		"test_lat_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Every non-comment line must parse as: name_or_name{labels} value.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if len(strings.Fields(line)) != 2 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("test_esc_total", "", "k").With(`a"b\c`).Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `test_esc_total{k="a\"b\\c"} 1`) {
+		t.Fatalf("label not escaped:\n%s", b.String())
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_http_total", "").Inc()
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "test_http_total 1") {
+		t.Fatalf("handler body missing metric:\n%s", body)
+	}
+}
+
+func TestConcurrentMutation(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_conc_total", "", "worker")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := v.With(string(rune('a' + w%2)))
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Gather().Sum("test_conc_total"); got != 8000 {
+		t.Fatalf("concurrent sum = %g, want 8000", got)
+	}
+}

@@ -110,6 +110,7 @@ func (c *Comm) exchange(ctx *Ctx, op Op, tag int, payload any, cost costFn, redu
 	} else {
 		rv.lastAt = ctx.Proc.Now()
 		rv.result = reduce(rv.payload)
+		var bytes float64
 		if cost != nil && w.Node != nil {
 			// Bandwidth is shared among concurrently communicating lanes,
 			// but per-rank endpoint serialization means at most one
@@ -120,8 +121,19 @@ func (c *Comm) exchange(ctx *Ctx, op Op, tag int, payload any, cost costFn, redu
 			if lanes > w.Size {
 				lanes = w.Size
 			}
-			rv.transfer = cost(w.Node, rv.need, lanes, c.nodesSpanned(), rv.payload)
+			// The meter observes the byte volume the cost function charges
+			// to the fabric, feeding the bytes-moved counters.
+			meter := &meterFabric{Fabric: w.Node}
+			rv.transfer = cost(meter, rv.need, lanes, c.nodesSpanned(), rv.payload)
+			bytes = meter.bytes
 		}
+		// One collective instance completed: count it and its volume once.
+		com := w.metricsFor(c.id, op)
+		com.calls.Inc()
+		if bytes > 0 {
+			com.bytes.Add(bytes)
+		}
+		com.callBytes.Observe(bytes)
 		rv.wq.WakeAll(ctx.Proc)
 	}
 	// Per-rank endpoint serialization: concurrent transfers issued by
@@ -134,8 +146,14 @@ func (c *Comm) exchange(ctx *Ctx, op Op, tag int, payload any, cost costFn, redu
 	}
 	ep.Release(ctx.Proc)
 	w.inComm--
-	if w.Trace != nil && !ctx.Silent {
-		trace.Recorder{T: w.Trace, Lane: ctx.Lane}.MPI(op.Name(), c.id, tag, start, syncEnd, ctx.Proc.Now())
+	if !ctx.Silent {
+		end := ctx.Proc.Now()
+		if w.Sink != nil {
+			trace.Recorder{S: w.Sink, Lane: ctx.Lane}.MPI(op.Name(), c.id, tag, start, syncEnd, end)
+		}
+		com := w.metricsFor(c.id, op)
+		com.sync.Add(syncEnd - start)
+		com.xfer.Add(end - syncEnd)
 	}
 	res := rv.result
 	rv.picked++

@@ -31,9 +31,12 @@ import (
 
 // World is one simulated MPI job: a fixed set of ranks on one node.
 type World struct {
-	Eng            *vtime.Engine
-	Node           knl.Fabric
-	Trace          *trace.Trace // may be nil
+	Eng  *vtime.Engine
+	Node knl.Fabric
+	// Sink receives the trace intervals of MPI calls and compute phases.
+	// May be nil. A *trace.Trace accumulates everything; a trace.RingSink
+	// bounds memory; trace.Tee fans out to several.
+	Sink           trace.Sink
 	Size           int
 	ThreadsPerRank int
 	// Strict enables the runtime invariant checks: cross-rank shape
@@ -49,6 +52,10 @@ type World struct {
 	commSeq    int
 	asyncSeq   int // helper-process counter for asynchronous collectives
 	inComm     int // lanes currently inside an MPI call, for bandwidth sharing
+	// commOpCache and phaseCache hold resolved metric handles so hot paths
+	// skip the registry's label lookup (the engine is serial, no locking).
+	commOpCache map[commOpKey]*commOpMetrics
+	phaseCache  map[string]*phaseMetrics
 	// endpoints serialize the transfer part of concurrent MPI calls issued
 	// by different threads of the same rank (the MPI_THREAD_MULTIPLE
 	// endpoint lock). Single-threaded ranks never contend on it; in
@@ -60,8 +67,8 @@ type World struct {
 
 // NewWorld creates a world of size ranks with threadsPerRank hardware lanes
 // each. The fabric (a knl.Node or knl.Cluster) must have been created with
-// size*threadsPerRank lanes.
-func NewWorld(eng *vtime.Engine, node knl.Fabric, tr *trace.Trace, size, threadsPerRank int) *World {
+// size*threadsPerRank lanes. sink receives trace intervals and may be nil.
+func NewWorld(eng *vtime.Engine, node knl.Fabric, sink trace.Sink, size, threadsPerRank int) *World {
 	if threadsPerRank < 1 {
 		threadsPerRank = 1
 	}
@@ -71,7 +78,7 @@ func NewWorld(eng *vtime.Engine, node knl.Fabric, tr *trace.Trace, size, threads
 	w := &World{
 		Eng:            eng,
 		Node:           node,
-		Trace:          tr,
+		Sink:           sink,
 		Size:           size,
 		ThreadsPerRank: threadsPerRank,
 		rendezvous:     map[rvKey]*rendezvous{},
@@ -120,16 +127,21 @@ func (w *World) Spawn(rank, thread int, fn func(ctx *Ctx)) {
 }
 
 // Compute runs a compute phase of the given KNL class and instruction count
-// on the caller's lane, recording a trace interval.
+// on the caller's lane, recording a trace interval and the per-phase
+// compute-time and instruction counters (the live-IPC inputs).
 func (ctx *Ctx) Compute(phase string, class knl.Class, instr float64) {
 	start := ctx.Proc.Now()
 	ctx.Proc.Compute(vtime.Job{Work: instr, Class: int(class), Lane: ctx.Lane})
-	if ctx.W.Trace != nil {
-		ctx.W.Trace.Record(trace.Interval{
-			Lane: ctx.Lane, Start: start, End: ctx.Proc.Now(),
+	end := ctx.Proc.Now()
+	if ctx.W.Sink != nil && end > start {
+		ctx.W.Sink.Record(trace.Interval{
+			Lane: ctx.Lane, Start: start, End: end,
 			Kind: trace.KindCompute, Phase: phase, Class: int(class), Instr: instr,
 		})
 	}
+	pm := ctx.W.phaseMetricsFor(phase)
+	pm.seconds.Add(end - start)
+	pm.instr.Add(instr)
 }
 
 // Comm is a communicator: an ordered subset of world ranks.

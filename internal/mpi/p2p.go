@@ -69,8 +69,17 @@ func Send[T any](ctx *Ctx, c *Comm, dst, tag int, data []T, elemBytes int) {
 		})
 	}
 	w.inComm--
-	if w.Trace != nil {
-		trace.Recorder{T: w.Trace, Lane: ctx.Lane}.MPI(OpSend.Name(), c.id, tag, start, msg.readyAt, ctx.Proc.Now())
+	end := ctx.Proc.Now()
+	if w.Sink != nil && !ctx.Silent {
+		trace.Recorder{S: w.Sink, Lane: ctx.Lane}.MPI(OpSend.Name(), c.id, tag, start, msg.readyAt, end)
+	}
+	com := w.metricsFor(c.id, OpSend)
+	com.calls.Inc()
+	com.bytes.Add(msg.bytes)
+	com.callBytes.Observe(msg.bytes)
+	if !ctx.Silent {
+		com.sync.Add(msg.readyAt - start)
+		com.xfer.Add(end - msg.readyAt)
 	}
 }
 
@@ -106,8 +115,15 @@ func Recv[T any](ctx *Ctx, c *Comm, src, tag int) []T {
 	msg.done = true
 	ctx.Proc.Wake(msg.sender)
 	w.inComm--
-	if w.Trace != nil {
-		trace.Recorder{T: w.Trace, Lane: ctx.Lane}.MPI(OpRecv.Name(), c.id, tag, start, msg.readyAt, ctx.Proc.Now())
+	end := ctx.Proc.Now()
+	if w.Sink != nil && !ctx.Silent {
+		trace.Recorder{S: w.Sink, Lane: ctx.Lane}.MPI(OpRecv.Name(), c.id, tag, start, msg.readyAt, end)
+	}
+	com := w.metricsFor(c.id, OpRecv)
+	com.calls.Inc()
+	if !ctx.Silent {
+		com.sync.Add(msg.readyAt - start)
+		com.xfer.Add(end - msg.readyAt)
 	}
 	return msg.data.([]T)
 }

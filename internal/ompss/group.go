@@ -69,8 +69,7 @@ func (g *Group) Wait(w *Worker) {
 	rt := g.rt
 	for g.pending > 0 {
 		if t := rt.popReadyInGroup(g); t != nil {
-			t.fn(w)
-			rt.complete(w.Proc, t)
+			rt.runTask(w, t)
 			continue
 		}
 		g.wq.Wait(w.Proc)

@@ -72,16 +72,21 @@ type Worker struct {
 }
 
 // Compute runs a compute phase of the given class and instruction count on
-// the worker's lane, recording a trace interval.
+// the worker's lane, recording a trace interval and the per-phase
+// compute-time and instruction counters (the live-IPC inputs).
 func (w *Worker) Compute(phase string, class knl.Class, instr float64) {
 	start := w.Proc.Now()
 	w.Proc.Compute(vtime.Job{Work: instr, Class: int(class), Lane: w.Lane})
-	if w.rt.tr != nil {
-		w.rt.tr.Record(trace.Interval{
-			Lane: w.Lane, Start: start, End: w.Proc.Now(),
+	end := w.Proc.Now()
+	if w.rt.sink != nil && end > start {
+		w.rt.sink.Record(trace.Interval{
+			Lane: w.Lane, Start: start, End: end,
 			Kind: trace.KindCompute, Phase: phase, Class: int(class), Instr: instr,
 		})
 	}
+	pm := w.rt.phaseMetricsFor(phase)
+	pm.seconds.Add(end - start)
+	pm.instr.Add(instr)
 }
 
 // Task is one schedulable unit of work.
@@ -104,7 +109,7 @@ type regionState struct {
 // Runtime is one task runtime instance (one per MPI rank in the kernel).
 type Runtime struct {
 	eng     *vtime.Engine
-	tr      *trace.Trace
+	sink    trace.Sink
 	lanes   []int
 	ready   []*Task
 	readyWQ vtime.WaitQueue
@@ -125,15 +130,20 @@ type Runtime struct {
 	// cannot create cycles (edges always point from older to newer tasks),
 	// so a detected cycle means runtime-internal state corruption.
 	Strict bool
+
+	// phaseCache holds resolved per-phase metric handles (engine is serial,
+	// no locking needed).
+	phaseCache map[string]*phaseMetrics
 }
 
 // New creates a runtime whose workers run on the given hardware lanes. The
 // worker processes are spawned immediately; call Shutdown (usually after a
-// final Taskwait) to let them exit.
-func New(eng *vtime.Engine, tr *trace.Trace, lanes []int) *Runtime {
+// final Taskwait) to let them exit. sink receives trace intervals and may
+// be nil.
+func New(eng *vtime.Engine, sink trace.Sink, lanes []int) *Runtime {
 	rt := &Runtime{
 		eng:      eng,
-		tr:       tr,
+		sink:     sink,
 		lanes:    lanes,
 		regions:  map[any]*regionState{},
 		Overhead: 3e-6,
@@ -166,6 +176,8 @@ func (rt *Runtime) Submit(p *vtime.Proc, label string, deps []Dep, priority int,
 	t := &Task{id: rt.nextID, label: label, fn: fn, priority: priority}
 	rt.nextID++
 	rt.pending++
+	mTasksCreated.Inc()
+	mTasksInFlight.Add(1)
 	rt.tasks = append(rt.tasks, t)
 	for _, d := range deps {
 		rs := rt.regions[d.Region]
@@ -209,6 +221,7 @@ func (rt *Runtime) addEdge(from, to *Task) {
 
 func (rt *Runtime) enqueue(p *vtime.Proc, t *Task) {
 	rt.ready = append(rt.ready, t)
+	mReadyDepth.Add(1)
 	rt.readyWQ.WakeOne(p)
 }
 
@@ -229,6 +242,7 @@ func (rt *Runtime) popReadyInGroup(g *Group) *Task {
 	}
 	t := rt.ready[best]
 	rt.ready = append(rt.ready[:best], rt.ready[best+1:]...)
+	mReadyDepth.Add(-1)
 	return t
 }
 
@@ -246,7 +260,17 @@ func (rt *Runtime) popReady() *Task {
 	}
 	t := rt.ready[best]
 	rt.ready = append(rt.ready[:best], rt.ready[best+1:]...)
+	mReadyDepth.Add(-1)
 	return t
+}
+
+// runTask executes a claimed task's body, observing its virtual duration,
+// and completes it. Shared by the worker loop and inline group execution.
+func (rt *Runtime) runTask(w *Worker, t *Task) {
+	start := w.Proc.Now()
+	t.fn(w)
+	mTaskDuration.Observe(w.Proc.Now() - start)
+	rt.complete(w.Proc, t)
 }
 
 func (rt *Runtime) workerLoop(w *Worker) {
@@ -259,23 +283,24 @@ func (rt *Runtime) workerLoop(w *Worker) {
 			rt.readyWQ.Wait(w.Proc)
 		}
 		t := rt.popReady()
-		if rt.tr != nil && w.Proc.Now() > idleStart {
-			trace.Recorder{T: rt.tr, Lane: w.Lane}.Idle(idleStart, w.Proc.Now())
+		if rt.sink != nil && w.Proc.Now() > idleStart {
+			trace.Recorder{S: rt.sink, Lane: w.Lane}.Idle(idleStart, w.Proc.Now())
 		}
 		if rt.Overhead > 0 {
 			ovStart := w.Proc.Now()
 			w.Proc.Sleep(rt.Overhead)
-			if rt.tr != nil {
-				trace.Recorder{T: rt.tr, Lane: w.Lane}.Runtime(ovStart, w.Proc.Now())
+			if rt.sink != nil {
+				trace.Recorder{S: rt.sink, Lane: w.Lane}.Runtime(ovStart, w.Proc.Now())
 			}
 		}
-		t.fn(w)
-		rt.complete(w.Proc, t)
+		rt.runTask(w, t)
 	}
 }
 
 func (rt *Runtime) complete(p *vtime.Proc, t *Task) {
 	t.done = true
+	mTasksCompleted.Inc()
+	mTasksInFlight.Add(-1)
 	for _, s := range t.succs {
 		s.npred--
 		if s.npred == 0 {
@@ -397,8 +422,13 @@ func (rt *Runtime) Taskwait(p *vtime.Proc) {
 			panic(err.Error())
 		}
 	}
-	for rt.pending > 0 {
-		rt.waitWQ.Wait(p)
+	if rt.pending > 0 {
+		mTaskwaitStalls.Inc()
+		start := p.Now()
+		for rt.pending > 0 {
+			rt.waitWQ.Wait(p)
+		}
+		mTaskwaitSec.Add(p.Now() - start)
 	}
 }
 

@@ -12,7 +12,7 @@ import (
 func perfectTrace() *trace.Trace {
 	tr := trace.New(2, 1e9)
 	for lane := 0; lane < 2; lane++ {
-		trace.Recorder{T: tr, Lane: lane}.Compute(0, 10, "work", 2, 8e9)
+		trace.Recorder{S: tr, Lane: lane}.Compute(0, 10, "work", 2, 8e9)
 	}
 	return tr
 }
@@ -34,9 +34,9 @@ func TestPerfectRunHasUnitFactors(t *testing.T) {
 
 func TestLoadImbalanceDetected(t *testing.T) {
 	tr := trace.New(2, 1e9)
-	trace.Recorder{T: tr, Lane: 0}.Compute(0, 10, "w", 2, 1e9)
-	trace.Recorder{T: tr, Lane: 1}.Compute(0, 5, "w", 2, 0.5e9)
-	trace.Recorder{T: tr, Lane: 1}.MPI("Barrier", "world", 0, 5, 10, 10)
+	trace.Recorder{S: tr, Lane: 0}.Compute(0, 10, "w", 2, 1e9)
+	trace.Recorder{S: tr, Lane: 1}.Compute(0, 5, "w", 2, 0.5e9)
+	trace.Recorder{S: tr, Lane: 1}.MPI("Barrier", "world", 0, 5, 10, 10)
 	f := Analyze(tr)
 	want := 7.5 / 10.0 // avg/max
 	if math.Abs(f.LoadBalance-want) > 1e-12 {
@@ -50,7 +50,7 @@ func TestLoadImbalanceDetected(t *testing.T) {
 func TestTransferLossDetected(t *testing.T) {
 	tr := trace.New(2, 1e9)
 	for lane := 0; lane < 2; lane++ {
-		r := trace.Recorder{T: tr, Lane: lane}
+		r := trace.Recorder{S: tr, Lane: lane}
 		r.Compute(0, 8, "w", 2, 8e9)
 		r.MPI("Alltoall", "world", 0, 8, 8, 10) // 2s pure transfer
 	}
@@ -70,9 +70,9 @@ func TestSyncLossDetected(t *testing.T) {
 	// Lane 1 computes 6s then waits 4s for lane 0's 10s compute: pure
 	// synchronization loss, no transfer.
 	tr := trace.New(2, 1e9)
-	trace.Recorder{T: tr, Lane: 0}.Compute(0, 10, "w", 2, 10e9)
-	trace.Recorder{T: tr, Lane: 1}.Compute(0, 6, "w", 2, 6e9)
-	trace.Recorder{T: tr, Lane: 1}.MPI("Barrier", "world", 0, 6, 10, 10)
+	trace.Recorder{S: tr, Lane: 0}.Compute(0, 10, "w", 2, 10e9)
+	trace.Recorder{S: tr, Lane: 1}.Compute(0, 6, "w", 2, 6e9)
+	trace.Recorder{S: tr, Lane: 1}.MPI("Barrier", "world", 0, 6, 10, 10)
 	f := Analyze(tr)
 	if math.Abs(f.TransferEff-1) > 1e-12 {
 		t.Fatalf("TransferEff = %v, want 1", f.TransferEff)
@@ -88,11 +88,11 @@ func TestSyncLossDetected(t *testing.T) {
 func TestMultiplicativeIdentity(t *testing.T) {
 	// ParEff = LB * CommEff must hold by construction on any trace.
 	tr := trace.New(3, 1e9)
-	trace.Recorder{T: tr, Lane: 0}.Compute(0, 4, "w", 2, 3e9)
-	trace.Recorder{T: tr, Lane: 0}.MPI("A", "c", 0, 4, 5, 6)
-	trace.Recorder{T: tr, Lane: 1}.Compute(0, 6, "w", 2, 5e9)
-	trace.Recorder{T: tr, Lane: 2}.Compute(1, 3, "w", 2, 2e9)
-	trace.Recorder{T: tr, Lane: 2}.MPI("A", "c", 0, 4, 4.5, 6)
+	trace.Recorder{S: tr, Lane: 0}.Compute(0, 4, "w", 2, 3e9)
+	trace.Recorder{S: tr, Lane: 0}.MPI("A", "c", 0, 4, 5, 6)
+	trace.Recorder{S: tr, Lane: 1}.Compute(0, 6, "w", 2, 5e9)
+	trace.Recorder{S: tr, Lane: 2}.Compute(1, 3, "w", 2, 2e9)
+	trace.Recorder{S: tr, Lane: 2}.MPI("A", "c", 0, 4, 4.5, 6)
 	f := Analyze(tr)
 	if math.Abs(f.ParallelEff-f.LoadBalance*f.CommEff) > 1e-12 {
 		t.Fatalf("ParEff %v != LB %v * CommEff %v", f.ParallelEff, f.LoadBalance, f.CommEff)
@@ -105,7 +105,7 @@ func TestScalabilityAgainstReference(t *testing.T) {
 	tr := trace.New(4, 1e9)
 	for lane := 0; lane < 4; lane++ {
 		// 4e9 instr per lane at IPC 0.4 -> 10s each.
-		trace.Recorder{T: tr, Lane: lane}.Compute(0, 10, "w", 2, 4e9)
+		trace.Recorder{S: tr, Lane: lane}.Compute(0, 10, "w", 2, 4e9)
 	}
 	f := Analyze(tr)
 	f.AddScalability(ref)

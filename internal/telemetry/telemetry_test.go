@@ -1,0 +1,77 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServeEndpoints(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("test_serve_total", "a counter").Add(42)
+
+	s, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if !strings.HasPrefix(s.URL, "http://127.0.0.1:") {
+		t.Fatalf("URL = %q", s.URL)
+	}
+
+	code, body := get(t, s.URL+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.Contains(body, "test_serve_total 42") {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+	// Prometheus-parseable: non-comment lines are "name-or-labels value".
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if len(strings.Fields(line)) != 2 {
+			t.Fatalf("malformed /metrics line %q", line)
+		}
+	}
+
+	code, body = get(t, s.URL+"/debug/vars")
+	if code != 200 {
+		t.Fatalf("/debug/vars status %d", code)
+	}
+	if !strings.Contains(body, "cmdline") {
+		t.Fatalf("/debug/vars body unexpected:\n%.200s", body)
+	}
+
+	code, _ = get(t, s.URL+"/debug/pprof/")
+	if code != 200 {
+		t.Fatalf("/debug/pprof/ status %d", code)
+	}
+	code, _ = get(t, s.URL+"/debug/pprof/cmdline")
+	if code != 200 {
+		t.Fatalf("/debug/pprof/cmdline status %d", code)
+	}
+
+	code, _ = get(t, s.URL+"/nope")
+	if code != 404 {
+		t.Fatalf("unknown path status %d, want 404", code)
+	}
+}

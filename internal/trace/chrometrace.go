@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// traceEvent is one event in the Chrome trace-event JSON format understood
+// by Perfetto and chrome://tracing. Complete events (ph "X") carry a start
+// timestamp and duration in microseconds; metadata events (ph "M") name
+// processes and threads.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceEventFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// ExportTraceEvent writes the trace in the Chrome trace-event JSON format,
+// so it opens in Perfetto (ui.perfetto.dev) or chrome://tracing. Each lane
+// becomes a thread of process 0; each interval becomes a complete event
+// whose category is the interval kind. Compute events carry instruction
+// count and IPC in args; MPI events carry communicator and tag.
+func ExportTraceEvent(w io.Writer, t *Trace) error {
+	f := traceEventFile{
+		TraceEvents:     make([]traceEvent, 0, t.Lanes+len(t.Intervals)),
+		DisplayTimeUnit: "ms",
+	}
+	for lane := 0; lane < t.Lanes; lane++ {
+		f.TraceEvents = append(f.TraceEvents, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: lane,
+			Args: map[string]any{"name": fmt.Sprintf("lane %d", lane)},
+		})
+	}
+	ivs := append([]Interval(nil), t.Intervals...)
+	sort.SliceStable(ivs, func(i, j int) bool { return ivs[i].Start < ivs[j].Start })
+	for _, iv := range ivs {
+		name := iv.Phase
+		if name == "" {
+			name = iv.Kind.String()
+		}
+		ev := traceEvent{
+			Name: name,
+			Cat:  iv.Kind.String(),
+			Ph:   "X",
+			Ts:   iv.Start * 1e6, // seconds -> microseconds
+			Dur:  iv.Duration() * 1e6,
+			Pid:  0,
+			Tid:  iv.Lane,
+		}
+		switch iv.Kind {
+		case KindCompute:
+			ev.Args = map[string]any{"instr": iv.Instr, "class": iv.Class}
+			if ipc := t.IPC(iv); ipc > 0 {
+				ev.Args["ipc"] = ipc
+			}
+		case KindMPISync, KindMPITransfer:
+			ev.Args = map[string]any{"comm": iv.Comm, "tag": iv.Tag}
+		}
+		f.TraceEvents = append(f.TraceEvents, ev)
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(f); err != nil {
+		return fmt.Errorf("trace: export trace-event: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// goldenTrace builds a deterministic three-lane trace exercising every
+// interval kind, several phases and two communicators, so the golden files
+// cover the full Paraver mapping and a multi-row commstats table.
+func goldenTrace() *Trace {
+	t := New(3, 1.4e9)
+	r0 := Recorder{S: t, Lane: 0}
+	r1 := Recorder{S: t, Lane: 1}
+	r2 := Recorder{S: t, Lane: 2}
+
+	r0.Compute(0, 1, "fft-z", 1, 0.7e9)
+	r0.MPI("Alltoallv", "grp0", 11, 1, 1.3, 1.6)
+	r0.Compute(1.6, 2.4, "fft-xy", 1, 0.9e9)
+	r0.MPI("Send", "pack0", 21, 2.4, 2.4, 2.5) // pure transfer: no sync part
+	r0.Idle(2.5, 3)
+
+	r1.Compute(0, 1.2, "fft-z", 1, 0.8e9)
+	r1.MPI("Alltoallv", "grp0", 11, 1.2, 1.3, 1.6)
+	r1.Runtime(1.6, 1.7)
+	r1.Compute(1.7, 2.6, "vofr", 2, 1.1e9)
+	r1.Idle(2.6, 3)
+
+	r2.Compute(0, 0.9, "scatter", 1, 0.4e9)
+	r2.MPI("Recv", "pack0", 21, 0.9, 2.5, 2.5) // pure sync wait: no transfer part
+	r2.Compute(2.5, 3, "gamma-pack", 1, 0.6e9)
+	return t
+}
+
+// checkGolden compares got against testdata/<name>, rewriting the file when
+// the -update flag is set.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test -run Golden -update): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("%s differs from golden file\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestGoldenParaverExport(t *testing.T) {
+	tr := goldenTrace()
+	base := filepath.Join(t.TempDir(), "golden")
+	if err := tr.ExportParaver(base); err != nil {
+		t.Fatal(err)
+	}
+	for _, ext := range []string{".prv", ".pcf", ".row"} {
+		data, err := os.ReadFile(base + ext)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, "golden"+ext, data)
+	}
+}
+
+// TestGoldenParaverRoundTrip re-parses the .prv golden file and checks the
+// record stream against the source trace: every interval maps to one state
+// record, every compute interval to an enter/leave phase-event pair, and the
+// header carries the span and lane count.
+func TestGoldenParaverRoundTrip(t *testing.T) {
+	tr := goldenTrace()
+	data, err := os.ReadFile(filepath.Join("testdata", "golden.prv"))
+	if err != nil {
+		t.Fatalf("missing golden file (run go test -run Golden -update): %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	_, end := tr.Span()
+	wantHeader := fmt.Sprintf("#Paraver (01/01/17 at 00:00):%d_ns:1(%d):1:1(%d:1)",
+		int64(end*1e9), tr.Lanes, tr.Lanes)
+	if lines[0] != wantHeader {
+		t.Fatalf("header = %q, want %q", lines[0], wantHeader)
+	}
+	nState, nEnter, nLeave := 0, 0, 0
+	for _, ln := range lines[1:] {
+		f := strings.Split(ln, ":")
+		switch f[0] {
+		case "1":
+			nState++
+		case "2":
+			if f[len(f)-1] == "0" {
+				nLeave++
+			} else {
+				nEnter++
+			}
+		default:
+			t.Fatalf("unknown record type in golden .prv: %s", ln)
+		}
+	}
+	comp := 0
+	for _, iv := range tr.Intervals {
+		if iv.Kind == KindCompute {
+			comp++
+		}
+	}
+	if nState != len(tr.Intervals) {
+		t.Fatalf("state records %d, intervals %d", nState, len(tr.Intervals))
+	}
+	if nEnter != comp || nLeave != comp {
+		t.Fatalf("phase events enter %d leave %d, want %d each", nEnter, nLeave, comp)
+	}
+}
+
+func TestGoldenCommStats(t *testing.T) {
+	checkGolden(t, "commstats.golden", []byte(goldenTrace().FormatCommStats()))
+}
+
+// TestGoldenCommStatsValues pins the aggregation itself, independent of the
+// table formatting: per-communicator call counts, lane counts and times.
+func TestGoldenCommStatsValues(t *testing.T) {
+	stats := goldenTrace().CommStats()
+	if len(stats) != 2 {
+		t.Fatalf("got %d communicators, want 2: %+v", len(stats), stats)
+	}
+	byComm := map[string]CommStat{}
+	for _, s := range stats {
+		byComm[s.Comm] = s
+	}
+	grp := byComm["grp0"]
+	if grp.Calls != 2 || grp.Lanes != 2 {
+		t.Fatalf("grp0 = %+v, want 2 calls on 2 lanes", grp)
+	}
+	if diff := grp.SyncTime - 0.4; diff < -1e-12 || diff > 1e-12 {
+		t.Fatalf("grp0 sync = %g, want 0.4", grp.SyncTime)
+	}
+	if diff := grp.XferTime - 0.6; diff < -1e-12 || diff > 1e-12 {
+		t.Fatalf("grp0 xfer = %g, want 0.6", grp.XferTime)
+	}
+	pack := byComm["pack0"]
+	// The Send is pure transfer (sync interval dropped), the Recv pure sync:
+	// only the Recv contributes a call under the one-sync-per-call rule.
+	if pack.Lanes != 2 {
+		t.Fatalf("pack0 = %+v, want 2 lanes", pack)
+	}
+	if diff := pack.SyncTime - 1.6; diff < -1e-12 || diff > 1e-12 {
+		t.Fatalf("pack0 sync = %g, want 1.6", pack.SyncTime)
+	}
+	if diff := pack.XferTime - 0.1; diff < -1e-12 || diff > 1e-12 {
+		t.Fatalf("pack0 xfer = %g, want 0.1", pack.XferTime)
+	}
+}

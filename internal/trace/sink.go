@@ -1,0 +1,109 @@
+package trace
+
+// Sink is a streaming consumer of trace intervals. *Trace itself is a sink
+// (it accumulates everything in memory); RingSink bounds memory on long
+// runs, SampleSink decimates, and Tee fans out to several sinks at once.
+// The runtime layers (mpi, ompss, fftx) record through this interface so a
+// live run can stream intervals without committing to unbounded storage.
+type Sink interface {
+	Record(iv Interval)
+}
+
+// RingSink keeps the most recent intervals in a fixed-capacity ring buffer.
+// Once full, each new interval overwrites the oldest; Dropped counts the
+// overwritten ones. Memory use is constant regardless of run length.
+type RingSink struct {
+	buf     []Interval
+	next    int // position of the next write
+	full    bool
+	dropped int
+}
+
+// NewRingSink returns a ring sink holding at most capacity intervals.
+func NewRingSink(capacity int) *RingSink {
+	if capacity <= 0 {
+		panic("trace: ring sink capacity must be positive")
+	}
+	return &RingSink{buf: make([]Interval, 0, capacity)}
+}
+
+// Record stores the interval, evicting the oldest one if full.
+func (r *RingSink) Record(iv Interval) {
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, iv)
+		return
+	}
+	r.buf[r.next] = iv
+	r.next = (r.next + 1) % cap(r.buf)
+	r.full = true
+	r.dropped++
+}
+
+// Len returns the number of intervals currently held.
+func (r *RingSink) Len() int { return len(r.buf) }
+
+// Dropped returns how many intervals have been evicted.
+func (r *RingSink) Dropped() int { return r.dropped }
+
+// Snapshot returns the held intervals oldest-first.
+func (r *RingSink) Snapshot() []Interval {
+	out := make([]Interval, 0, len(r.buf))
+	if r.full {
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+		return out
+	}
+	return append(out, r.buf...)
+}
+
+// Trace materializes the held intervals as a *Trace for the offline
+// analyses (POP, timelines, exporters). Lanes and freq describe the run
+// that produced the intervals.
+func (r *RingSink) Trace(lanes int, freq float64) *Trace {
+	t := New(lanes, freq)
+	t.Intervals = r.Snapshot()
+	return t
+}
+
+// SampleSink forwards every Every-th interval to Dst, decimating the
+// stream. Every <= 1 forwards everything.
+type SampleSink struct {
+	Every int
+	Dst   Sink
+	n     int
+}
+
+// Record forwards the interval if it is the next sample.
+func (s *SampleSink) Record(iv Interval) {
+	s.n++
+	if s.Every <= 1 || s.n%s.Every == 1 {
+		s.Dst.Record(iv)
+	}
+}
+
+// Seen returns how many intervals have been offered (sampled or not).
+func (s *SampleSink) Seen() int { return s.n }
+
+// multiSink fans out to several sinks.
+type multiSink []Sink
+
+func (m multiSink) Record(iv Interval) {
+	for _, s := range m {
+		s.Record(iv)
+	}
+}
+
+// Tee returns a sink that forwards each interval to all given sinks. Nil
+// sinks are skipped; a single survivor is returned unwrapped.
+func Tee(sinks ...Sink) Sink {
+	var out multiSink
+	for _, s := range sinks {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	if len(out) == 1 {
+		return out[0]
+	}
+	return out
+}

@@ -1,0 +1,211 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func iv(lane int, start, end float64) Interval {
+	return Interval{Lane: lane, Start: start, End: end, Kind: KindCompute, Phase: "p", Instr: 1e9}
+}
+
+func TestTraceIsASink(t *testing.T) {
+	var _ Sink = New(1, 1e9)
+}
+
+func TestRingSinkBasics(t *testing.T) {
+	r := NewRingSink(4)
+	for i := 0; i < 3; i++ {
+		r.Record(iv(0, float64(i), float64(i)+0.5))
+	}
+	if r.Len() != 3 || r.Dropped() != 0 {
+		t.Fatalf("len=%d dropped=%d, want 3,0", r.Len(), r.Dropped())
+	}
+	snap := r.Snapshot()
+	for i, x := range snap {
+		if x.Start != float64(i) {
+			t.Fatalf("snapshot[%d].Start = %g, want %d", i, x.Start, i)
+		}
+	}
+}
+
+func TestRingSinkEviction(t *testing.T) {
+	r := NewRingSink(4)
+	for i := 0; i < 10; i++ {
+		r.Record(iv(0, float64(i), float64(i)+0.5))
+	}
+	if r.Len() != 4 {
+		t.Fatalf("len = %d, want capacity 4", r.Len())
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", r.Dropped())
+	}
+	snap := r.Snapshot()
+	// Oldest-first: the last 4 recorded, 6..9.
+	for i, x := range snap {
+		if want := float64(6 + i); x.Start != want {
+			t.Fatalf("snapshot[%d].Start = %g, want %g", i, x.Start, want)
+		}
+	}
+}
+
+// TestRingSinkConstantMemory drives the ring with 10x more intervals than
+// its capacity and checks storage stays capped — the acceptance property
+// that long runs no longer grow memory without limit.
+func TestRingSinkConstantMemory(t *testing.T) {
+	const capacity = 1000
+	r := NewRingSink(capacity)
+	short, long := 10*capacity, 100*capacity // long run is 10x the short one
+	for i := 0; i < short; i++ {
+		r.Record(iv(0, float64(i), float64(i)+0.5))
+	}
+	lenShort, capShort := r.Len(), cap(r.buf)
+	for i := short; i < long; i++ {
+		r.Record(iv(0, float64(i), float64(i)+0.5))
+	}
+	if r.Len() != lenShort || cap(r.buf) != capShort {
+		t.Fatalf("ring grew: len %d->%d cap %d->%d", lenShort, r.Len(), capShort, cap(r.buf))
+	}
+	if r.Len() != capacity {
+		t.Fatalf("len = %d, want %d", r.Len(), capacity)
+	}
+	if r.Dropped() != long-capacity {
+		t.Fatalf("dropped = %d, want %d", r.Dropped(), long-capacity)
+	}
+}
+
+func TestRingSinkTrace(t *testing.T) {
+	r := NewRingSink(8)
+	r.Record(iv(0, 0, 1))
+	r.Record(iv(1, 1, 2))
+	tr := r.Trace(2, 1e9)
+	if tr.Lanes != 2 || tr.Freq != 1e9 || len(tr.Intervals) != 2 {
+		t.Fatalf("materialized trace wrong: %+v", tr)
+	}
+}
+
+func TestSampleSink(t *testing.T) {
+	dst := New(1, 1e9)
+	s := &SampleSink{Every: 3, Dst: dst}
+	for i := 0; i < 9; i++ {
+		s.Record(iv(0, float64(i), float64(i)+0.5))
+	}
+	if s.Seen() != 9 {
+		t.Fatalf("seen = %d, want 9", s.Seen())
+	}
+	if len(dst.Intervals) != 3 {
+		t.Fatalf("forwarded %d intervals, want 3", len(dst.Intervals))
+	}
+	// Keeps the 1st, 4th, 7th.
+	for i, want := range []float64{0, 3, 6} {
+		if dst.Intervals[i].Start != want {
+			t.Fatalf("sample[%d].Start = %g, want %g", i, dst.Intervals[i].Start, want)
+		}
+	}
+}
+
+func TestSampleSinkPassthrough(t *testing.T) {
+	dst := New(1, 1e9)
+	s := &SampleSink{Every: 1, Dst: dst}
+	for i := 0; i < 5; i++ {
+		s.Record(iv(0, float64(i), float64(i)+0.5))
+	}
+	if len(dst.Intervals) != 5 {
+		t.Fatalf("Every=1 forwarded %d, want 5", len(dst.Intervals))
+	}
+}
+
+func TestTee(t *testing.T) {
+	a, b := New(1, 1e9), NewRingSink(2)
+	tee := Tee(a, nil, b)
+	tee.Record(iv(0, 0, 1))
+	if len(a.Intervals) != 1 || b.Len() != 1 {
+		t.Fatalf("tee did not fan out: %d, %d", len(a.Intervals), b.Len())
+	}
+	// Single survivor is returned unwrapped.
+	if Tee(nil, a) != Sink(a) {
+		t.Fatal("Tee of one sink should return it directly")
+	}
+}
+
+func TestExportTraceEvent(t *testing.T) {
+	tr := New(2, 1e9)
+	r0 := Recorder{S: tr, Lane: 0}
+	r1 := Recorder{S: tr, Lane: 1}
+	r0.Compute(0, 1, "fft-z", 1, 0.5e9)
+	r0.MPI("Alltoall", "world", 7, 1, 1.25, 1.5)
+	r1.Compute(0, 2, "fft-z", 1, 1.0e9)
+	r1.Idle(2, 2.5)
+
+	var buf bytes.Buffer
+	if err := ExportTraceEvent(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	// Must be valid Chrome trace-event JSON.
+	var f struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if f.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", f.DisplayTimeUnit)
+	}
+	var meta, complete int
+	for _, ev := range f.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+			if ev.Name != "thread_name" {
+				t.Fatalf("metadata event name = %q", ev.Name)
+			}
+		case "X":
+			complete++
+			if ev.Dur <= 0 {
+				t.Fatalf("complete event %q has dur %g", ev.Name, ev.Dur)
+			}
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if meta != 2 {
+		t.Fatalf("thread_name events = %d, want 2 (one per lane)", meta)
+	}
+	// 2 computes + sync + transfer + idle.
+	if complete != 5 {
+		t.Fatalf("complete events = %d, want 5", complete)
+	}
+	// Spot-check: the fft-z compute on lane 0 maps to ts 0, dur 1e6 µs,
+	// carries ipc in args.
+	found := false
+	for _, ev := range f.TraceEvents {
+		if ev.Ph == "X" && ev.Name == "fft-z" && ev.Tid == 0 {
+			found = true
+			if ev.Ts != 0 || ev.Dur != 1e6 {
+				t.Fatalf("fft-z ts/dur = %g/%g, want 0/1e6", ev.Ts, ev.Dur)
+			}
+			if ipc, ok := ev.Args["ipc"].(float64); !ok || ipc != 0.5 {
+				t.Fatalf("fft-z args ipc = %v, want 0.5", ev.Args["ipc"])
+			}
+		}
+		if ev.Ph == "X" && ev.Cat == "mpi-sync" {
+			if ev.Args["comm"] != "world" {
+				t.Fatalf("mpi sync args = %v", ev.Args)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("lane-0 fft-z event missing")
+	}
+}

@@ -250,33 +250,49 @@ func Load(path string) (*Trace, error) {
 }
 
 // Recorder is a convenience for emitting intervals from one lane with
-// begin/end bracketing against a virtual clock.
+// begin/end bracketing against a virtual clock. It writes to any Sink —
+// a *Trace, a ring buffer, or a Tee of several. Zero-duration intervals
+// are dropped before reaching the sink, so every sink behind a Tee sees
+// the identical stream.
 type Recorder struct {
-	T    *Trace
+	S    Sink
 	Lane int
 }
 
 // Compute records a compute interval.
 func (r Recorder) Compute(start, end float64, phase string, class int, instr float64) {
-	r.T.Record(Interval{Lane: r.Lane, Start: start, End: end, Kind: KindCompute,
+	if end == start {
+		return
+	}
+	r.S.Record(Interval{Lane: r.Lane, Start: start, End: end, Kind: KindCompute,
 		Phase: phase, Class: class, Instr: instr})
 }
 
 // MPI records the two components of an MPI call: the wait for other
 // participants (sync) and the data movement (transfer).
 func (r Recorder) MPI(call, comm string, tag int, start, syncEnd, end float64) {
-	r.T.Record(Interval{Lane: r.Lane, Start: start, End: syncEnd, Kind: KindMPISync,
-		Phase: call, Comm: comm, Tag: tag})
-	r.T.Record(Interval{Lane: r.Lane, Start: syncEnd, End: end, Kind: KindMPITransfer,
-		Phase: call, Comm: comm, Tag: tag})
+	if syncEnd > start {
+		r.S.Record(Interval{Lane: r.Lane, Start: start, End: syncEnd, Kind: KindMPISync,
+			Phase: call, Comm: comm, Tag: tag})
+	}
+	if end > syncEnd {
+		r.S.Record(Interval{Lane: r.Lane, Start: syncEnd, End: end, Kind: KindMPITransfer,
+			Phase: call, Comm: comm, Tag: tag})
+	}
 }
 
 // Runtime records task-runtime overhead.
 func (r Recorder) Runtime(start, end float64) {
-	r.T.Record(Interval{Lane: r.Lane, Start: start, End: end, Kind: KindRuntime})
+	if end == start {
+		return
+	}
+	r.S.Record(Interval{Lane: r.Lane, Start: start, End: end, Kind: KindRuntime})
 }
 
 // Idle records worker idle time.
 func (r Recorder) Idle(start, end float64) {
-	r.T.Record(Interval{Lane: r.Lane, Start: start, End: end, Kind: KindIdle})
+	if end == start {
+		return
+	}
+	r.S.Record(Interval{Lane: r.Lane, Start: start, End: end, Kind: KindIdle})
 }

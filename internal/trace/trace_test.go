@@ -10,8 +10,8 @@ import (
 
 func sample() *Trace {
 	t := New(2, 1e9)
-	r0 := Recorder{T: t, Lane: 0}
-	r1 := Recorder{T: t, Lane: 1}
+	r0 := Recorder{S: t, Lane: 0}
+	r1 := Recorder{S: t, Lane: 1}
 	r0.Compute(0, 1, "fft-z", 1, 0.5e9) // IPC 0.5
 	r0.MPI("Alltoall", "world", 7, 1, 1.25, 1.5)
 	r0.Compute(1.5, 2.5, "vofr", 2, 0.8e9) // IPC 0.8
@@ -157,7 +157,7 @@ func TestIPCHistogramPlacement(t *testing.T) {
 
 func TestIPCHistogramClampsHighIPC(t *testing.T) {
 	tr := New(1, 1e9)
-	Recorder{T: tr, Lane: 0}.Compute(0, 1, "x", 0, 5e9) // IPC 5 > max 1
+	Recorder{S: tr, Lane: 0}.Compute(0, 1, "x", 0, 5e9) // IPC 5 > max 1
 	h := tr.IPCHistogram(4, 1.0)
 	if h[0][3] != 1.0 {
 		t.Fatalf("high-IPC interval not clamped to last bin: %v", h[0])
@@ -227,9 +227,9 @@ func TestPropertyKindPartition(t *testing.T) {
 
 func TestCommStatsAggregation(t *testing.T) {
 	tr := New(3, 1e9)
-	r0 := Recorder{T: tr, Lane: 0}
-	r1 := Recorder{T: tr, Lane: 1}
-	r2 := Recorder{T: tr, Lane: 2}
+	r0 := Recorder{S: tr, Lane: 0}
+	r1 := Recorder{S: tr, Lane: 1}
+	r2 := Recorder{S: tr, Lane: 2}
 	r0.MPI("Alltoallv", "pack0", 0, 0, 0.5, 1.0)
 	r1.MPI("Alltoallv", "pack0", 0, 0, 0.25, 1.0)
 	r2.MPI("Alltoallv", "grp0", 0, 0, 0.1, 0.2)
@@ -254,11 +254,11 @@ func TestCommStatsAggregation(t *testing.T) {
 
 func TestDurationTimeline(t *testing.T) {
 	tr := New(2, 1e9)
-	r0 := Recorder{T: tr, Lane: 0}
+	r0 := Recorder{S: tr, Lane: 0}
 	r0.Compute(0, 0.1, "short", 0, 1e7) // short burst
 	r0.MPI("A", "c", 0, 0.1, 0.15, 0.2)
 	r0.Compute(0.2, 2.0, "long", 2, 1e9) // long burst
-	r1 := Recorder{T: tr, Lane: 1}
+	r1 := Recorder{S: tr, Lane: 1}
 	r1.Compute(0, 2.0, "long", 2, 1e9)
 	out := tr.DurationTimeline(40)
 	if !strings.Contains(out, "#") {

@@ -17,6 +17,8 @@ import (
 //   - compute intervals carry a non-negative instruction count
 //   - MPI intervals name their communicator
 //   - intervals on one lane do not overlap
+//   - intervals on one lane appear in monotone (non-decreasing Start)
+//     recorded order, as every simulator recorder emits them
 func (t *Trace) Validate() []error {
 	var errs []error
 	add := func(format string, args ...any) {
@@ -56,6 +58,17 @@ func (t *Trace) Validate() []error {
 	const eps = 1e-12 // tolerate float rounding at interval joints
 	for _, l := range lanes {
 		ivs := perLane[l]
+		// Monotone recorded order: a lane's intervals are emitted as its
+		// process advances through virtual time, so Start must never
+		// decrease in file order. Out-of-order intervals mean the file was
+		// reassembled or hand-edited.
+		for i := 1; i < len(ivs); i++ {
+			if ivs[i].Start < ivs[i-1].Start-eps {
+				add("trace: lane %d: non-monotone interval order: [%g,%g] %s recorded after [%g,%g] %s",
+					l, ivs[i].Start, ivs[i].End, ivs[i].Kind,
+					ivs[i-1].Start, ivs[i-1].End, ivs[i-1].Kind)
+			}
+		}
 		sort.Slice(ivs, func(i, j int) bool { return ivs[i].Start < ivs[j].Start })
 		for i := 1; i < len(ivs); i++ {
 			if ivs[i].Start < ivs[i-1].End-eps {

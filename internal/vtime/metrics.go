@@ -1,0 +1,37 @@
+package vtime
+
+import (
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// Live telemetry for the engine. Families live in the process-wide default
+// registry so every engine in the process feeds the same /metrics view.
+// Per-proc series are labeled by role — the proc name with digits stripped
+// ("rank7" -> "rank", "commthread.r3.1" -> "commthread.r.") — which keeps
+// label cardinality bounded regardless of rank count.
+var (
+	mSteps         = metrics.Default().Counter("fftx_vtime_steps_total", "engine dispatch steps executed")
+	mJobsCompleted = metrics.Default().Counter("fftx_vtime_jobs_completed_total", "compute jobs driven to completion")
+	mProcsSpawned  = metrics.Default().CounterVec("fftx_vtime_procs_spawned_total", "processes created, by role", "proc")
+	mBlockSeconds  = metrics.Default().CounterVec("fftx_vtime_block_seconds_total", "virtual seconds spent blocked, by role", "proc")
+	mRunSeconds    = metrics.Default().CounterVec("fftx_vtime_compute_seconds_total", "virtual seconds spent in compute jobs, by role", "proc")
+	mProcsBlocked  = metrics.Default().Gauge("fftx_vtime_procs_blocked", "processes currently blocked across live engines")
+	mBlockedFrac   = metrics.Default().Gauge("fftx_vtime_blocked_fraction_max", "high-water blocked/alive fraction (1.0 means deadlock)")
+	mDeadlocks     = metrics.Default().Counter("fftx_vtime_deadlocks_total", "deadlocks detected")
+)
+
+// procRole collapses a proc name to its role by dropping digits.
+func procRole(name string) string {
+	if !strings.ContainsAny(name, "0123456789") {
+		return name
+	}
+	var b strings.Builder
+	for _, r := range name {
+		if r < '0' || r > '9' {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

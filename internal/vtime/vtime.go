@@ -19,6 +19,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+
+	"repro/internal/metrics"
 )
 
 // Time is virtual time in seconds.
@@ -84,6 +86,11 @@ type Proc struct {
 	blockedAt Time
 	waitDesc  func() string // what the process waits on, for deadlock dumps
 	panicVal  any           // recovered panic of the process body, if any
+
+	// Telemetry handles resolved once at Spawn so the hot paths below pay
+	// only an atomic add, never a label lookup.
+	blockCtr *metrics.Counter
+	runCtr   *metrics.Counter
 }
 
 // event is a scheduled wake-up for a process.
@@ -195,14 +202,18 @@ func (e *Engine) Now() Time { return e.now }
 // start at time 0; processes spawned by a running process start at the
 // current virtual time, after the spawning process yields.
 func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	role := procRole(name)
 	p := &Proc{
-		eng:    e,
-		name:   name,
-		id:     len(e.procs),
-		state:  stateNew,
-		resume: make(chan struct{}),
+		eng:      e,
+		name:     name,
+		id:       len(e.procs),
+		state:    stateNew,
+		resume:   make(chan struct{}),
+		blockCtr: mBlockSeconds.With(role),
+		runCtr:   mRunSeconds.With(role),
 	}
 	e.stats.ProcsSpawned++
+	mProcsSpawned.With(role).Inc()
 	e.procs = append(e.procs, p)
 	e.nAlive++
 	e.schedule(p, e.now)
@@ -243,6 +254,8 @@ func (e *Engine) wake(p *Proc) {
 		panic(fmt.Sprintf("vtime: wake of proc %q in state %d", p.name, p.state))
 	}
 	e.nBlocked--
+	mProcsBlocked.Add(-1)
+	p.blockCtr.Add(e.now - p.blockedAt)
 	e.schedule(p, e.now)
 }
 
@@ -291,12 +304,14 @@ func (e *Engine) step() error {
 	}
 
 	e.stats.Steps++
+	mSteps.Inc()
 	var next *Proc
 	if jobAt < evAt {
 		e.advanceJobs(jobAt - e.now)
 		e.now = jobAt
 		e.removeJob(jobDone)
 		e.stats.JobsCompleted++
+		mJobsCompleted.Inc()
 		jobDone.proc.state = stateRunnable
 		next = jobDone.proc
 	} else {
@@ -395,6 +410,7 @@ func (e *DeadlockError) Error() string {
 }
 
 func (e *Engine) deadlockError() error {
+	mDeadlocks.Inc()
 	de := &DeadlockError{At: e.now}
 	for _, p := range e.procs {
 		if p.state != stateBlocked {
@@ -455,6 +471,12 @@ func (p *Proc) Block() {
 	p.state = stateBlocked
 	p.blockedAt = p.eng.now
 	p.eng.nBlocked++
+	mProcsBlocked.Add(1)
+	// Deadlock near-miss gauge: the high-water fraction of live processes
+	// simultaneously blocked. 1.0 would be a full deadlock.
+	if p.eng.nAlive > 0 {
+		mBlockedFrac.SetMax(float64(p.eng.nBlocked) / float64(p.eng.nAlive))
+	}
 	p.yield()
 	p.state = stateRunning
 	p.waitDesc = nil
@@ -492,5 +514,7 @@ func (p *Proc) Compute(job Job) Time {
 	p.state = stateComputing
 	p.yield()
 	p.state = stateRunning
-	return p.eng.now - start
+	d := p.eng.now - start
+	p.runCtr.Add(d)
+	return d
 }

@@ -1,0 +1,51 @@
+#!/bin/sh
+# serve-smoke: end-to-end check of the telemetry endpoints. Builds fftxbench,
+# runs the quick fig3 experiment with -serve on an ephemeral port, waits for
+# the advertised URL, scrapes /metrics (must contain fftx_ families in
+# Prometheus text format), /debug/vars and /debug/pprof/cmdline, then shuts
+# the process down. Exits non-zero if any endpoint is missing or empty.
+set -eu
+
+workdir="$(mktemp -d)"
+log="$workdir/fftxbench.log"
+trap 'kill "$pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT INT TERM
+
+go build -o "$workdir/fftxbench" ./cmd/fftxbench
+
+"$workdir/fftxbench" -quick -serve 127.0.0.1:0 fig3 >"$log" 2>&1 &
+pid=$!
+
+# The URL is printed before the experiments start; poll for it.
+url=""
+for _ in $(seq 1 50); do
+    url="$(sed -n 's/^telemetry: serving .* at \(http:[^ ]*\)$/\1/p' "$log")"
+    [ -n "$url" ] && break
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "serve-smoke: fftxbench exited early:" >&2
+        cat "$log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ -z "$url" ]; then
+    echo "serve-smoke: no telemetry URL in output:" >&2
+    cat "$log" >&2
+    exit 1
+fi
+echo "serve-smoke: scraping $url"
+
+metrics="$workdir/metrics.txt"
+curl -fsS "$url/metrics" >"$metrics"
+grep -q '^# TYPE fftx_mpi_bytes_total counter$' "$metrics"
+grep -q '^fftx_runs_total{engine="original"} ' "$metrics"
+echo "serve-smoke: /metrics ok ($(grep -c '^fftx_' "$metrics") sample lines)"
+
+curl -fsS "$url/debug/vars" | grep -q '"fftx"'
+echo "serve-smoke: /debug/vars ok"
+
+curl -fsS "$url/debug/pprof/cmdline" >/dev/null
+echo "serve-smoke: /debug/pprof ok"
+
+kill "$pid"
+wait "$pid" 2>/dev/null || true
+echo "serve-smoke: PASS"
