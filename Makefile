@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test check vet fmt race fuzz-smoke overhead-smoke serve-smoke
+.PHONY: all build test check vet fmt race fuzz-smoke overhead-smoke serve-smoke bench-json
 
 all: check test
 
@@ -52,3 +52,9 @@ overhead-smoke:
 # pprof endpoint, and shuts it down — the end-to-end check CI runs.
 serve-smoke:
 	./scripts/serve-smoke.sh
+
+# bench-json runs the kernel and host-par benchmark pairs and writes
+# BENCH_fft.json, the machine-readable perf baseline (see README
+# "Performance"). BENCHTIME=1x gives a fast harness smoke-run.
+bench-json:
+	./scripts/bench-json.sh

@@ -8,7 +8,7 @@
 //
 //	fftxapp -ecutwfc 80 -alat 20 -nbnd 128 -ntg 8 -nranks 8 \
 //	        -engine original|task-steps|task-iter|task-combined \
-//	        [-gamma] [-niter 5] [-real]
+//	        [-gamma] [-niter 5] [-real] [-hostpar=false]
 //
 // Observability: -serve addr exposes /metrics, /debug/vars and
 // /debug/pprof during and after the run; -cpuprofile and -memprofile write
@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/fftx"
 	"repro/internal/metrics"
+	"repro/internal/par"
 	"repro/internal/pop"
 	"repro/internal/telemetry"
 )
@@ -45,6 +46,7 @@ func realMain() int {
 		niter   = flag.Int("niter", 5, "repetitions of the FFT phase")
 		real    = flag.Bool("real", false, "transform real data (keep the grid small)")
 		strict  = flag.Bool("strict", false, "enable runtime invariant checks (collective shapes, tag discipline, task-graph cycles)")
+		hostpar = flag.Bool("hostpar", true, "fan the real-numerics loops out over host cores (simulated results are identical either way)")
 		serve   = flag.String("serve", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :8080)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -97,6 +99,8 @@ func realMain() int {
 		defer tsrv.Close()
 		fmt.Printf("telemetry: serving /metrics, /debug/vars, /debug/pprof at %s\n", tsrv.URL)
 	}
+
+	par.SetEnabled(*hostpar)
 
 	cfg := fftx.Config{
 		Ecut: *ecut, Alat: *alat, NB: *nbnd, Ranks: *nranks, NTG: *ntg,

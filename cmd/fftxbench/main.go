@@ -17,6 +17,9 @@
 //	-sweep-ranks 16                    total processes of the NTG sweep
 //	-ablation-ranks 8                  rank count of the ablation
 //	-save-trace dir                    write the fig3/fig7 traces as JSON
+//	-hostpar=false                     disable host-core parallelism in the
+//	                                   real-numerics loops (wall clock only;
+//	                                   simulated results are bit-identical)
 //
 // Observability (see README "Observability"):
 //
@@ -38,6 +41,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fftx"
 	"repro/internal/metrics"
+	"repro/internal/par"
 	"repro/internal/telemetry"
 )
 
@@ -57,6 +61,7 @@ func realMain() int {
 		saveDir = flag.String("save-trace", "", "directory to save fig3/fig7 traces as JSON")
 		csvPath = flag.String("csv", "", "also write fig2/fig6 runtime data as CSV to this file")
 		strict  = flag.Bool("strict", false, "enable runtime invariant checks (collective shapes, tag discipline, task-graph cycles)")
+		hostpar = flag.Bool("hostpar", true, "fan the real-numerics loops out over host cores (simulated results are identical either way)")
 		serve   = flag.String("serve", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :8080)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -100,6 +105,8 @@ func realMain() int {
 		// the live endpoints while the run is in progress.
 		fmt.Printf("telemetry: serving /metrics, /debug/vars, /debug/pprof at %s\n", tsrv.URL)
 	}
+
+	par.SetEnabled(*hostpar)
 
 	suite := core.PaperSuite()
 	if *quick {

@@ -16,6 +16,10 @@
 //   - copyvalue: the runtime handle types (mpi.World, mpi.Ctx, vtime.Engine,
 //     ompss.Runtime, ...) carry identity and internal state; copying them
 //     by value silently forks that state.
+//   - parbody: par.ParallelFor bodies run on bare host goroutines outside
+//     the virtual-time engine, so they must stay pure numeric — no mpi
+//     collectives, no blocking vtime waits, no task submission and no
+//     simulated Compute charges.
 //
 // Findings can be suppressed with a trailing or preceding comment of the
 // form:
@@ -58,7 +62,7 @@ type Rule struct {
 
 // AllRules returns every registered rule, in stable order.
 func AllRules() []Rule {
-	return []Rule{DivergenceRule, TagsRule, BlockInTaskRule, CopyValueRule}
+	return []Rule{DivergenceRule, TagsRule, BlockInTaskRule, CopyValueRule, ParBodyRule}
 }
 
 // RuleByName resolves a rule name; ok is false for unknown names.

@@ -96,6 +96,7 @@ func TestDivergenceRule(t *testing.T)  { runRuleTest(t, "divergence", Divergence
 func TestTagsRule(t *testing.T)        { runRuleTest(t, "tags", TagsRule) }
 func TestBlockInTaskRule(t *testing.T) { runRuleTest(t, "blockintask", BlockInTaskRule) }
 func TestCopyValueRule(t *testing.T)   { runRuleTest(t, "copyvalue", CopyValueRule) }
+func TestParBodyRule(t *testing.T)     { runRuleTest(t, "parbody", ParBodyRule) }
 
 // TestModuleClean is the dogfooding gate: every package in the module must
 // pass every rule with zero findings (modulo in-tree suppressions).

@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// ParBodyRule flags simulated-runtime calls inside par.ParallelFor bodies.
+// A ParallelFor body runs on bare host goroutines outside the virtual-time
+// engine: it has no lane, no simulated process and no place in the
+// discrete-event schedule. Blocking mpi/vtime entry points deadlock there
+// (nobody advances virtual time on a host worker — the same class of bug as
+// blockintask), collective posts and task submissions corrupt the engine's
+// deterministic ordering, and Compute charges instructions from a thread
+// the cost model does not know. Host-parallel bodies must be pure numeric
+// kernels over their own index range; all simulated-time accounting belongs
+// in the enclosing phase.
+var ParBodyRule = Rule{
+	Name: "parbody",
+	Doc:  "par.ParallelFor bodies must not touch mpi/vtime/ompss state",
+	Run:  runParBody,
+}
+
+// computeCharges are the simulated instruction-accounting entry points; they
+// may only run on a simulated lane, never on a host worker.
+var computeCharges = map[callTarget]bool{
+	{"internal/mpi", "Ctx", "Compute"}:      true,
+	{"internal/vtime", "Proc", "Compute"}:   true,
+	{"internal/ompss", "Worker", "Compute"}: true,
+}
+
+// parallelForBodies collects the function literals passed to
+// par.ParallelFor anywhere under root.
+func parallelForBodies(info *types.Info, root ast.Node) []*ast.FuncLit {
+	var lits []*ast.FuncLit
+	ast.Inspect(root, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil {
+			return true
+		}
+		t := targetOf(fn)
+		if t.pkg != "internal/par" || t.recv != "" || t.name != "ParallelFor" {
+			return true
+		}
+		if lit, ok := call.Args[len(call.Args)-1].(*ast.FuncLit); ok {
+			lits = append(lits, lit)
+		}
+		return true
+	})
+	return lits
+}
+
+func runParBody(p *Pass) []Diagnostic {
+	info := p.Pkg.Info
+	var diags []Diagnostic
+	for _, f := range p.Pkg.Files {
+		bodies := parallelForBodies(info, f)
+		for _, lit := range bodies {
+			isNestedBody := func(n *ast.FuncLit) bool {
+				for _, b := range bodies {
+					if b == n && b != lit {
+						return true
+					}
+				}
+				return false
+			}
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok && isNestedBody(fl) {
+					return false // the nested body is its own unit
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(info, call)
+				if fn == nil {
+					return true
+				}
+				t := targetOf(fn)
+				var what string
+				if _, isColl := mpiCollectives[t]; isColl {
+					what = "posts an MPI collective"
+				} else if _, isBlocking := blockingCalls[t]; isBlocking {
+					what = "blocks the simulated runtime"
+				} else if taskSubmitters[t] {
+					what = "submits an ompss task"
+				} else if computeCharges[t] {
+					what = "charges simulated compute time"
+				} else {
+					return true
+				}
+				diags = append(diags, Diagnostic{
+					Pos:  p.Fset.Position(call.Pos()),
+					Rule: "parbody",
+					Message: fmt.Sprintf("%s %s inside a par.ParallelFor body, which runs on host goroutines outside the virtual-time engine; keep host-parallel bodies pure numeric and do all mpi/vtime/ompss work in the enclosing phase",
+						t.name, what),
+				})
+				return true
+			})
+		}
+	}
+	return diags
+}

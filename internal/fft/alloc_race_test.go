@@ -1,0 +1,7 @@
+//go:build race
+
+package fft
+
+// The race detector makes sync.Pool drop items at random to surface reuse
+// races, so the zero-allocation pins cannot hold under -race.
+const raceEnabled = true

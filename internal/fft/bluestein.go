@@ -3,6 +3,7 @@ package fft
 import (
 	"math"
 	"math/cmplx"
+	"sync"
 )
 
 // bluestein implements the chirp-z transform for arbitrary lengths,
@@ -16,6 +17,8 @@ type bluestein struct {
 	// kernelFFT[s] is the FFT of the padded convolution kernel for
 	// direction s (0 = Forward, 1 = Backward).
 	kernelFFT [2][]complex128
+	// scratch pools the length-m convolution buffer.
+	scratch sync.Pool
 }
 
 func newBluestein(n int) *bluestein {
@@ -24,6 +27,10 @@ func newBluestein(n int) *bluestein {
 		m *= 2
 	}
 	b := &bluestein{n: n, m: m, inner: NewPlan(m)}
+	b.scratch.New = func() any {
+		s := make([]complex128, m)
+		return &s
+	}
 	b.chirp = make([]complex128, n)
 	for j := 0; j < n; j++ {
 		// j² mod 2n keeps the argument small and exact.
@@ -58,7 +65,11 @@ func (b *bluestein) transform(x []complex128, sign Sign) {
 	if sign == Backward {
 		si = 1
 	}
-	a := make([]complex128, b.m)
+	sp := b.scratch.Get().(*[]complex128)
+	a := *sp
+	for i := range a {
+		a[i] = 0
+	}
 	for j := 0; j < b.n; j++ {
 		a[j] = x[j] * b.dirChirp(j, sign)
 	}
@@ -72,6 +83,7 @@ func (b *bluestein) transform(x []complex128, sign Sign) {
 	for k := 0; k < b.n; k++ {
 		x[k] = a[k] * scale * b.dirChirp(k, sign)
 	}
+	b.scratch.Put(sp)
 }
 
 func (b *bluestein) flops() float64 {

@@ -6,6 +6,12 @@
 // drivers for the XY stage (cft_2xy), plus analytic floating-point
 // operation counts that feed the KNL cost model.
 //
+// The hot kernel is iterative and table-driven: a plan precomputes the
+// digit-reversal permutation of its factorization and one twiddle table per
+// stage and direction, so the per-transform inner loops contain no modular
+// reductions, no conjugations and no recursion — only table lookups and the
+// radix butterflies (specialized for radix 2 and 4).
+//
 // Sign convention: Forward applies X[k] = sum_j x[j]·exp(-2πi·jk/n) and
 // Backward the conjugate kernel; neither scales, so Backward(Forward(x))
 // equals n·x. Use Scale for normalization (Quantum ESPRESSO applies 1/N on
@@ -33,13 +39,28 @@ const (
 // butterfly; larger prime factors switch the whole plan to Bluestein.
 const maxDirectRadix = 13
 
+// stage is one iterative combine pass: it merges groups of r sub-transforms
+// of length m into transforms of length r·m, for every block of the buffer.
+type stage struct {
+	r, m int
+	// tw holds the input twiddles w^(q·k1), w = exp(∓2πi/(r·m)), laid out
+	// as tw[(r-1)·k1 + q-1] for q in [1,r) so the inner loop over q reads
+	// consecutively. Index 0 selects Forward, 1 Backward.
+	tw [2][]complex128
+	// wr is the dense r-point DFT matrix exp(∓2πi·(j·q mod r)/r) at
+	// wr[j·r+q], used by the generic small-prime butterfly (nil for the
+	// specialized radices 2 and 4).
+	wr [2][]complex128
+}
+
 // Plan is a reusable transform of one length. A Plan is safe for concurrent
 // use; per-call scratch comes from an internal pool.
 type Plan struct {
 	n       int
 	factors []int
-	root    []complex128 // root[j] = exp(-2πi j/n)
-	blu     *bluestein   // non-nil when a prime factor > maxDirectRadix exists
+	perm    []int   // perm[i] = digit-reversed source index of work cell i
+	stages  []stage // bottom-up combine passes (smallest sub-length first)
+	blu     *bluestein
 	flops   float64
 	scratch sync.Pool
 }
@@ -61,8 +82,9 @@ func NewPlan(n int) *Plan {
 		return p
 	}
 	p.factors = fs
-	p.root = rootTable(n)
 	p.flops = ctFlops(n, fs)
+	p.buildPerm()
+	p.buildStages()
 	return p
 }
 
@@ -73,13 +95,67 @@ func (p *Plan) N() int { return p.n }
 // transform, used by the simulation's instruction accounting.
 func (p *Plan) Flops() float64 { return p.flops }
 
-// rootTable returns exp(-2πi j/n) for j in [0,n).
-func rootTable(n int) []complex128 {
-	t := make([]complex128, n)
-	for j := range t {
-		t[j] = cmplx.Exp(complex(0, -2*math.Pi*float64(j)/float64(n)))
+// buildPerm computes the mixed-radix digit-reversal permutation of the
+// factor sequence: the leaf at decimation path (q0, q1, ...) holds source
+// index q0 + q1·f0 + q2·f0·f1 + ... and lands at the contiguous work
+// position it would occupy after the recursive decimation in time.
+func (p *Plan) buildPerm() {
+	p.perm = make([]int, p.n)
+	var rec func(dst, src, n, stride, fi int)
+	rec = func(dst, src, n, stride, fi int) {
+		if n == 1 {
+			p.perm[dst] = src
+			return
+		}
+		r := p.factors[fi]
+		m := n / r
+		for q := 0; q < r; q++ {
+			rec(dst+q*m, src+q*stride, m, stride*r, fi+1)
+		}
 	}
-	return t
+	rec(0, 0, p.n, 1, 0)
+}
+
+// buildStages precomputes the twiddle tables of every combine pass for both
+// directions. Stage t (bottom-up) merges radix factors[k-1-t]; the forward
+// tables hold exp(-2πi·q·k1/L) and the backward tables their conjugates, so
+// Transform never conjugates at run time.
+func (p *Plan) buildStages() {
+	m := 1
+	for i := len(p.factors) - 1; i >= 0; i-- {
+		r := p.factors[i]
+		if r == 1 {
+			continue
+		}
+		L := r * m
+		st := stage{r: r, m: m}
+		for si := range st.tw {
+			sgn := float64(Forward)
+			if si == 1 {
+				sgn = float64(Backward)
+			}
+			tw := make([]complex128, (r-1)*m)
+			for k1 := 0; k1 < m; k1++ {
+				for q := 1; q < r; q++ {
+					ang := sgn * 2 * math.Pi * float64(q*k1%L) / float64(L)
+					tw[(r-1)*k1+q-1] = cmplx.Exp(complex(0, ang))
+				}
+			}
+			st.tw[si] = tw
+			if r != 2 && r != 4 {
+				wr := make([]complex128, r*r)
+				for j := 0; j < r; j++ {
+					for q := 0; q < r; q++ {
+						ang := sgn * 2 * math.Pi * float64(j*q%r) / float64(r)
+						wr[j*r+q] = cmplx.Exp(complex(0, ang))
+					}
+				}
+				st.wr[si] = wr
+			}
+		}
+		p.stages = append(p.stages, st)
+		m = L
+	}
 }
 
 // smallFactors factorizes n into radices drawn from {4,2,3,5,7,11,13},
@@ -148,88 +224,118 @@ func (p *Plan) Transform(x []complex128, sign Sign) {
 		return
 	}
 	sp := p.scratch.Get().(*[]complex128)
-	p.recurse(*sp, x, p.n, 1, sign)
-	copy(x, *sp)
+	w := *sp
+	for i, s := range p.perm {
+		w[i] = x[s]
+	}
+	p.combine(w, sign)
+	copy(x, w)
 	p.scratch.Put(sp)
 }
 
-// recurse computes dst[0:n] = DFT_n of src sampled with the given stride,
-// by decimation in time over the first remaining factor.
-func (p *Plan) recurse(dst, src []complex128, n, stride int, sign Sign) {
-	if n == 1 {
-		dst[0] = src[0]
-		return
+// combine runs the iterative bottom-up combine passes over the
+// digit-reversed work buffer.
+func (p *Plan) combine(w []complex128, sign Sign) {
+	si := 0
+	if sign == Backward {
+		si = 1
 	}
-	r := p.factorOf(n)
-	m := n / r
-	// Sub-transforms: the q-th decimated subsequence lands in dst[q*m:].
-	for q := 0; q < r; q++ {
-		p.recurse(dst[q*m:(q+1)*m], src[q*stride:], m, stride*r, sign)
-	}
-	// Combine with twiddles: for output index k = k1 + j*m,
-	// X[k] = sum_q w^(q*(k1+j*m)) · Sub_q[k1], w = exp(sign·2πi/n).
-	step := p.n / n // root table is for full length p.n
-	var tmp [maxDirectRadix]complex128
-	for k1 := 0; k1 < m; k1++ {
-		for q := 0; q < r; q++ {
-			tmp[q] = dst[q*m+k1] * p.twiddle(step*q*k1, sign)
-		}
-		// r-point DFT of tmp into outputs k1 + j*m.
-		switch r {
+	for t := range p.stages {
+		st := &p.stages[t]
+		switch st.r {
 		case 2:
-			a, b := tmp[0], tmp[1]
-			dst[k1] = a + b
-			dst[k1+m] = a - b
+			stageRadix2(w, st.m, st.tw[si])
 		case 4:
-			a, b, c, d := tmp[0], tmp[1], tmp[2], tmp[3]
-			t0, t1 := a+c, a-c
-			t2, t3 := b+d, b-d
-			var jt complex128
-			if sign == Forward {
-				jt = complex(imag(t3), -real(t3)) // -i*t3
-			} else {
-				jt = complex(-imag(t3), real(t3)) // +i*t3
-			}
-			dst[k1] = t0 + t2
-			dst[k1+m] = t1 + jt
-			dst[k1+2*m] = t0 - t2
-			dst[k1+3*m] = t1 - jt
+			stageRadix4(w, st.m, st.tw[si], sign)
 		default:
-			var out [maxDirectRadix]complex128
+			stageGeneric(w, st.r, st.m, st.tw[si], st.wr[si])
+		}
+	}
+}
+
+// stageRadix2 merges pairs of length-m sub-transforms across the buffer.
+func stageRadix2(w []complex128, m int, tw []complex128) {
+	n := len(w)
+	for o := 0; o < n; o += 2 * m {
+		lo := w[o : o+m : o+m]
+		hi := w[o+m : o+2*m : o+2*m]
+		for k := 0; k < m; k++ {
+			a := lo[k]
+			b := hi[k] * tw[k]
+			lo[k] = a + b
+			hi[k] = a - b
+		}
+	}
+}
+
+// stageRadix4 merges quadruples of length-m sub-transforms. The ±i rotation
+// of the radix-4 butterfly is the only direction-dependent operation, so it
+// branches once per stage, not per butterfly.
+func stageRadix4(w []complex128, m int, tw []complex128, sign Sign) {
+	n := len(w)
+	for o := 0; o < n; o += 4 * m {
+		b0 := w[o : o+m : o+m]
+		b1 := w[o+m : o+2*m : o+2*m]
+		b2 := w[o+2*m : o+3*m : o+3*m]
+		b3 := w[o+3*m : o+4*m : o+4*m]
+		if sign == Forward {
+			for k := 0; k < m; k++ {
+				a := b0[k]
+				b := b1[k] * tw[3*k]
+				c := b2[k] * tw[3*k+1]
+				d := b3[k] * tw[3*k+2]
+				t0, t1 := a+c, a-c
+				t2, t3 := b+d, b-d
+				jt := complex(imag(t3), -real(t3)) // -i·t3
+				b0[k] = t0 + t2
+				b1[k] = t1 + jt
+				b2[k] = t0 - t2
+				b3[k] = t1 - jt
+			}
+		} else {
+			for k := 0; k < m; k++ {
+				a := b0[k]
+				b := b1[k] * tw[3*k]
+				c := b2[k] * tw[3*k+1]
+				d := b3[k] * tw[3*k+2]
+				t0, t1 := a+c, a-c
+				t2, t3 := b+d, b-d
+				jt := complex(-imag(t3), real(t3)) // +i·t3
+				b0[k] = t0 + t2
+				b1[k] = t1 + jt
+				b2[k] = t0 - t2
+				b3[k] = t1 - jt
+			}
+		}
+	}
+}
+
+// stageGeneric merges groups of r length-m sub-transforms with the dense
+// precomputed r-point DFT matrix (odd radices 3/5/7/11/13).
+func stageGeneric(w []complex128, r, m int, tw, wr []complex128) {
+	n := len(w)
+	var tmp, out [maxDirectRadix]complex128
+	for o := 0; o < n; o += r * m {
+		blk := w[o : o+r*m : o+r*m]
+		for k := 0; k < m; k++ {
+			tmp[0] = blk[k]
+			tb := tw[(r-1)*k : (r-1)*k+r-1]
+			for q := 1; q < r; q++ {
+				tmp[q] = blk[q*m+k] * tb[q-1]
+			}
 			for j := 0; j < r; j++ {
 				acc := tmp[0]
+				row := wr[j*r : j*r+r]
 				for q := 1; q < r; q++ {
-					acc += tmp[q] * p.twiddle(step*m*((j*q)%r)%p.n, sign)
+					acc += tmp[q] * row[q]
 				}
 				out[j] = acc
 			}
 			for j := 0; j < r; j++ {
-				dst[k1+j*m] = out[j]
+				blk[j*m+k] = out[j]
 			}
 		}
 	}
-}
-
-// twiddle returns root^idx honoring the direction.
-func (p *Plan) twiddle(idx int, sign Sign) complex128 {
-	w := p.root[idx%p.n]
-	if sign == Backward {
-		return cmplx.Conj(w)
-	}
-	return w
-}
-
-// factorOf returns the planned radix to use at recursion size n.
-func (p *Plan) factorOf(n int) int {
-	// Walk the factor list consuming factors until the running product
-	// leaves n; cheaper: pick any stored factor dividing n preferring the
-	// plan order. The factor list is small, so a scan is fine.
-	for _, r := range p.factors {
-		if r > 1 && n%r == 0 {
-			return r
-		}
-	}
-	panic(fmt.Sprintf("fft: no factor for sub-length %d", n))
 }
 
 // Scale multiplies every element by s.

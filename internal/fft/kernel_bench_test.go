@@ -1,0 +1,82 @@
+package fft
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Benchmark pairs comparing the iterative table-driven kernel against the
+// recursive baseline it replaced (kept in recursive_test.go), and the
+// blocked 2-D column pass against the per-column strided form. The
+// Iterative/Recursive and Blocked/PerColumn name pairs are what
+// scripts/bench-json.sh turns into the kernel_speedups section of
+// BENCH_fft.json.
+
+func benchVec(n int) []complex128 {
+	return randVec(rand.New(rand.NewSource(11)), n)
+}
+
+func benchmarkKernelIterative(b *testing.B, n int) {
+	p := NewPlan(n)
+	x := benchVec(n)
+	b.SetBytes(int64(16 * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Transform(x, Forward)
+	}
+}
+
+func benchmarkKernelRecursive(b *testing.B, n int) {
+	p := newRecursivePlan(n)
+	x := benchVec(n)
+	b.SetBytes(int64(16 * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.transform(x, Forward)
+	}
+}
+
+// 120 = 4·2·3·5 is the QE-style mixed-radix length; 128 is the pure
+// radix-4/2 fast path; 486 = 2·3^5 stresses the generic odd-radix stage.
+func BenchmarkKernel_Iterative_120(b *testing.B) { benchmarkKernelIterative(b, 120) }
+func BenchmarkKernel_Recursive_120(b *testing.B) { benchmarkKernelRecursive(b, 120) }
+func BenchmarkKernel_Iterative_128(b *testing.B) { benchmarkKernelIterative(b, 128) }
+func BenchmarkKernel_Recursive_128(b *testing.B) { benchmarkKernelRecursive(b, 128) }
+func BenchmarkKernel_Iterative_486(b *testing.B) { benchmarkKernelIterative(b, 486) }
+func BenchmarkKernel_Recursive_486(b *testing.B) { benchmarkKernelRecursive(b, 486) }
+
+func BenchmarkPlan2D_Blocked_60x60(b *testing.B) {
+	p := NewPlan2D(60, 60)
+	plane := benchVec(60 * 60)
+	b.SetBytes(int64(16 * len(plane)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Transform(plane, Forward)
+	}
+}
+
+// BenchmarkPlan2D_PerColumn_60x60 is the pre-blocking column pass: rows via
+// TransformMany, then one strided gather/transform/scatter per column.
+func BenchmarkPlan2D_PerColumn_60x60(b *testing.B) {
+	nx, ny := 60, 60
+	px, py := NewPlan(nx), NewPlan(ny)
+	plane := benchVec(nx * ny)
+	b.SetBytes(int64(16 * len(plane)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		py.TransformMany(plane, nx, Forward)
+		for iy := 0; iy < ny; iy++ {
+			px.TransformStrided(plane, iy, ny, Forward)
+		}
+	}
+}
+
+func BenchmarkPlan3D_20x18x24(b *testing.B) {
+	p := NewPlan3D(20, 18, 24)
+	box := benchVec(20 * 18 * 24)
+	b.SetBytes(int64(16 * len(box)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Transform(box, Backward)
+	}
+}

@@ -2,19 +2,35 @@ package fft
 
 import (
 	"fmt"
+	"sync"
 )
+
+// colBlock is the number of columns gathered per cache block of the 2-D
+// column pass: 32 columns × 16 bytes = one 512-byte row segment, small
+// enough that the gathered block stays cache-resident through transform and
+// scatter.
+const colBlock = 32
 
 // Plan2D transforms nx × ny planes stored row-major (index ix*ny + iy),
 // the cft_2xy equivalent: a 1-D transform along y for every row followed by
-// a 1-D transform along x for every column.
+// a 1-D transform along x for every column. The column pass is batched and
+// cache-blocked: columns are transposed colBlock at a time into a pooled
+// contiguous buffer, transformed with TransformMany and transposed back,
+// instead of gather/scatter per column.
 type Plan2D struct {
 	nx, ny int
 	px, py *Plan
+	colBuf sync.Pool // *[]complex128 of nx*colBlock
 }
 
 // NewPlan2D creates a plane transform for nx × ny grids.
 func NewPlan2D(nx, ny int) *Plan2D {
-	return &Plan2D{nx: nx, ny: ny, px: NewPlan(nx), py: NewPlan(ny)}
+	p := &Plan2D{nx: nx, ny: ny, px: NewPlan(nx), py: NewPlan(ny)}
+	p.colBuf.New = func() any {
+		s := make([]complex128, nx*colBlock)
+		return &s
+	}
+	return p
 }
 
 // Nx returns the slow (row) dimension.
@@ -34,14 +50,38 @@ func (p *Plan2D) Transform(plane []complex128, sign Sign) {
 		panic(fmt.Sprintf("fft: Plan2D.Transform on %d elements, want %d", len(plane), p.nx*p.ny))
 	}
 	// Rows (contiguous along y).
-	for ix := 0; ix < p.nx; ix++ {
-		p.py.Transform(plane[ix*p.ny:(ix+1)*p.ny], sign)
+	p.py.TransformMany(plane, p.nx, sign)
+	// Columns, blocked: each pass transposes up to colBlock columns into
+	// the contiguous buffer (rows are read sequentially), transforms them
+	// as a batch and transposes back.
+	sp := p.colBuf.Get().(*[]complex128)
+	buf := *sp
+	for iy0 := 0; iy0 < p.ny; iy0 += colBlock {
+		nb := p.ny - iy0
+		if nb > colBlock {
+			nb = colBlock
+		}
+		for ix := 0; ix < p.nx; ix++ {
+			row := plane[ix*p.ny+iy0 : ix*p.ny+iy0+nb]
+			for c, v := range row {
+				buf[c*p.nx+ix] = v
+			}
+		}
+		p.px.TransformMany(buf[:nb*p.nx], nb, sign)
+		for ix := 0; ix < p.nx; ix++ {
+			row := plane[ix*p.ny+iy0 : ix*p.ny+iy0+nb]
+			for c := range row {
+				row[c] = buf[c*p.nx+ix]
+			}
+		}
 	}
-	// Columns (stride ny).
-	for iy := 0; iy < p.ny; iy++ {
-		p.px.TransformStrided(plane, iy, p.ny, sign)
-	}
+	p.colBuf.Put(sp)
 }
+
+// zBlock is the number of z-planes gathered per pass of the 3-D transpose;
+// each gather reads zBlock consecutive elements of every z-stick, so the
+// stick traversal stays sequential instead of striding nz per plane.
+const zBlock = 8
 
 // Plan3D transforms nx × ny × nz boxes stored with z fastest
 // (index (ix*ny+iy)*nz + iz). It is the serial reference used to validate
@@ -52,11 +92,17 @@ type Plan3D struct {
 	nx, ny, nz int
 	pz         *Plan
 	pxy        *Plan2D
+	planes     sync.Pool // *[]complex128 of nx*ny*zBlock
 }
 
 // NewPlan3D creates a 3-D transform for nx × ny × nz boxes.
 func NewPlan3D(nx, ny, nz int) *Plan3D {
-	return &Plan3D{nx: nx, ny: ny, nz: nz, pz: NewPlan(nz), pxy: NewPlan2D(nx, ny)}
+	p := &Plan3D{nx: nx, ny: ny, nz: nz, pz: NewPlan(nz), pxy: NewPlan2D(nx, ny)}
+	p.planes.New = func() any {
+		s := make([]complex128, nx*ny*zBlock)
+		return &s
+	}
+	return p
 }
 
 // Flops returns the analytic flop count of one 3-D transform.
@@ -71,15 +117,32 @@ func (p *Plan3D) Transform(box []complex128, sign Sign) {
 	}
 	// Z sticks are contiguous.
 	p.pz.TransformMany(box, p.nx*p.ny, sign)
-	// XY planes have stride nz between xy neighbors: gather each plane.
-	plane := make([]complex128, p.nx*p.ny)
-	for iz := 0; iz < p.nz; iz++ {
-		for ixy := 0; ixy < p.nx*p.ny; ixy++ {
-			plane[ixy] = box[ixy*p.nz+iz]
+	// XY planes have stride nz between xy neighbors: gather zBlock planes
+	// at a time from the pooled buffer (blocked transpose), transform, and
+	// scatter back.
+	nxy := p.nx * p.ny
+	sp := p.planes.Get().(*[]complex128)
+	buf := *sp
+	for iz0 := 0; iz0 < p.nz; iz0 += zBlock {
+		nb := p.nz - iz0
+		if nb > zBlock {
+			nb = zBlock
 		}
-		p.pxy.Transform(plane, sign)
-		for ixy := 0; ixy < p.nx*p.ny; ixy++ {
-			box[ixy*p.nz+iz] = plane[ixy]
+		for ixy := 0; ixy < nxy; ixy++ {
+			src := box[ixy*p.nz+iz0 : ixy*p.nz+iz0+nb]
+			for dz, v := range src {
+				buf[dz*nxy+ixy] = v
+			}
+		}
+		for dz := 0; dz < nb; dz++ {
+			p.pxy.Transform(buf[dz*nxy:(dz+1)*nxy], sign)
+		}
+		for ixy := 0; ixy < nxy; ixy++ {
+			dst := box[ixy*p.nz+iz0 : ixy*p.nz+iz0+nb]
+			for dz := range dst {
+				dst[dz] = buf[dz*nxy+ixy]
+			}
 		}
 	}
+	p.planes.Put(sp)
 }

@@ -3,6 +3,7 @@ package fft
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Strided and cached-plan utilities.
@@ -38,40 +39,67 @@ func (p *Plan) TransformStrided(data []complex128, offset, stride int, sign Sign
 
 // Cache is a concurrency-safe plan cache keyed by length — the "wisdom"
 // reuse pattern of FFTW. The zero value is ready to use.
+//
+// Reads are lock-free: lookups load an immutable map snapshot through an
+// atomic pointer, so host-parallel workers hitting DefaultCache never
+// serialize on a mutex. Only a miss takes the mutex, rebuilds the snapshot
+// copy-on-write and publishes it.
 type Cache struct {
 	mu    sync.Mutex
-	plans map[int]*Plan
-	real  map[int]*RealPlan
+	plans atomic.Pointer[map[int]*Plan]
+	real  atomic.Pointer[map[int]*RealPlan]
 }
 
 // Get returns the cached plan for length n, creating it on first use.
 func (c *Cache) Get(n int) *Plan {
+	if m := c.plans.Load(); m != nil {
+		if p := (*m)[n]; p != nil {
+			return p
+		}
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.plans == nil {
-		c.plans = map[int]*Plan{}
+	var cur map[int]*Plan
+	if m := c.plans.Load(); m != nil {
+		cur = *m
+		if p := cur[n]; p != nil {
+			return p
+		}
 	}
-	p := c.plans[n]
-	if p == nil {
-		p = NewPlan(n)
-		c.plans[n] = p
+	p := NewPlan(n)
+	next := make(map[int]*Plan, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
 	}
+	next[n] = p
+	c.plans.Store(&next)
 	return p
 }
 
 // GetReal returns the cached real plan for length n, creating it on first
 // use.
 func (c *Cache) GetReal(n int) *RealPlan {
+	if m := c.real.Load(); m != nil {
+		if p := (*m)[n]; p != nil {
+			return p
+		}
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.real == nil {
-		c.real = map[int]*RealPlan{}
+	var cur map[int]*RealPlan
+	if m := c.real.Load(); m != nil {
+		cur = *m
+		if p := cur[n]; p != nil {
+			return p
+		}
 	}
-	p := c.real[n]
-	if p == nil {
-		p = NewRealPlan(n)
-		c.real[n] = p
+	p := NewRealPlan(n)
+	next := make(map[int]*RealPlan, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
 	}
+	next[n] = p
+	c.real.Store(&next)
 	return p
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/fft"
 	"repro/internal/knl"
+	"repro/internal/par"
 )
 
 // Gamma-point mode (Quantum ESPRESSO's gamma_only): wavefunctions are real
@@ -52,21 +53,27 @@ func (k *kernel) prepSticksGamma(p int, c1, c2 []complex128) []complex128 {
 	buf := make([]complex128, k.gammaCols(p)*nz)
 	fill := k.stickFill[p]
 	sticksOf := k.layout.SticksOf[p]
-	for i, tgt := range fill {
-		s, iz := tgt/nz, tgt%nz
-		mz := (nz - iz) % nz
-		vp := c1[i] + complex(0, 1)*c2[i]
-		vm := cmplx.Conj(c1[i] - complex(0, 1)*c2[i])
-		if k.sphere.Stick[sticksOf[s]].IsZeroStick() {
-			buf[2*s*nz+iz] = vp
-			if iz != 0 {
-				buf[2*s*nz+mz] = vm
+	// Distinct coefficients write distinct cells: the stored half-sphere
+	// keeps one of each ±kz pair, so the +cell set and the mirrored -cell
+	// set never overlap (the self-conjugate kz=0 case is guarded below).
+	par.ParallelFor(len(fill), grainIndex, func(ilo, ihi int) {
+		for i := ilo; i < ihi; i++ {
+			tgt := fill[i]
+			s, iz := tgt/nz, tgt%nz
+			mz := (nz - iz) % nz
+			vp := c1[i] + complex(0, 1)*c2[i]
+			vm := cmplx.Conj(c1[i] - complex(0, 1)*c2[i])
+			if k.sphere.Stick[sticksOf[s]].IsZeroStick() {
+				buf[2*s*nz+iz] = vp
+				if iz != 0 {
+					buf[2*s*nz+mz] = vm
+				}
+				continue
 			}
-			continue
+			buf[2*s*nz+iz] = vp
+			buf[(2*s+1)*nz+mz] = vm
 		}
-		buf[2*s*nz+iz] = vp
-		buf[(2*s+1)*nz+mz] = vm
-	}
+	})
 	return buf
 }
 
@@ -79,25 +86,28 @@ func (k *kernel) extractCoeffsGamma(p int, buf []complex128) (c1, c2 []complex12
 	c1 = make([]complex128, len(fill))
 	c2 = make([]complex128, len(fill))
 	scale := complex(1/float64(k.sphere.Grid.Size()), 0)
-	for i, tgt := range fill {
-		s, iz := tgt/nz, tgt%nz
-		mz := (nz - iz) % nz
-		vP := buf[2*s*nz+iz]
-		var vM complex128
-		if k.sphere.Stick[sticksOf[s]].IsZeroStick() {
-			vM = buf[2*s*nz+mz]
-		} else {
-			vM = buf[(2*s+1)*nz+mz]
+	par.ParallelFor(len(fill), grainIndex, func(ilo, ihi int) {
+		for i := ilo; i < ihi; i++ {
+			tgt := fill[i]
+			s, iz := tgt/nz, tgt%nz
+			mz := (nz - iz) % nz
+			vP := buf[2*s*nz+iz]
+			var vM complex128
+			if k.sphere.Stick[sticksOf[s]].IsZeroStick() {
+				vM = buf[2*s*nz+mz]
+			} else {
+				vM = buf[(2*s+1)*nz+mz]
+			}
+			c1[i] = (vP + cmplx.Conj(vM)) * 0.5 * scale
+			c2[i] = (vP - cmplx.Conj(vM)) * complex(0, -0.5) * scale
 		}
-		c1[i] = (vP + cmplx.Conj(vM)) * 0.5 * scale
-		c2[i] = (vP - cmplx.Conj(vM)) * complex(0, -0.5) * scale
-	}
+	})
 	return c1, c2
 }
 
 // fftZGamma transforms all columns (two per stick) along z.
 func (k *kernel) fftZGamma(p int, buf []complex128, sign fft.Sign) {
-	k.planZ.TransformMany(buf, k.gammaCols(p), sign)
+	transformManyPar(k.planZ, buf, k.gammaCols(p), sign)
 }
 
 // scatterSplitGamma builds the forward-scatter send chunks over the doubled
@@ -120,20 +130,25 @@ func (k *kernel) planesFromScatterGamma(p int, recv [][]complex128) []complex128
 	npl := l.NPlanesOf(p)
 	nxy := g.Nx * g.Ny
 	planes := make([]complex128, npl*nxy)
-	for q := 0; q < l.R; q++ {
-		nsq := l.NSticksOf(q)
-		for t := 0; t < nsq; t++ {
-			gs := k.groupStickOffset[q] + t
-			cellP := k.stickPlaneIdx[gs]
-			cellM := minus[gs]
-			for z := 0; z < npl; z++ {
-				planes[z*nxy+cellP] = recv[q][(2*t)*npl+z]
-				if cellM >= 0 {
-					planes[z*nxy+cellM] = recv[q][(2*t+1)*npl+z]
+	// Each (q,t) writes its own +cell and -cell: the -cells are the cells
+	// of the unstored Hermitian partner sticks, so the write sets of
+	// distinct source positions stay disjoint and q can fan out.
+	par.ParallelFor(l.R, 1, func(qlo, qhi int) {
+		for q := qlo; q < qhi; q++ {
+			nsq := l.NSticksOf(q)
+			for t := 0; t < nsq; t++ {
+				gs := k.groupStickOffset[q] + t
+				cellP := k.stickPlaneIdx[gs]
+				cellM := minus[gs]
+				for z := 0; z < npl; z++ {
+					planes[z*nxy+cellP] = recv[q][(2*t)*npl+z]
+					if cellM >= 0 {
+						planes[z*nxy+cellM] = recv[q][(2*t+1)*npl+z]
+					}
 				}
 			}
 		}
-	}
+	})
 	return planes
 }
 
@@ -145,22 +160,24 @@ func (k *kernel) planesToScatterGamma(p int, planes []complex128) [][]complex128
 	npl := l.NPlanesOf(p)
 	nxy := g.Nx * g.Ny
 	out := make([][]complex128, l.R)
-	for q := 0; q < l.R; q++ {
-		nsq := l.NSticksOf(q)
-		chunk := make([]complex128, 2*nsq*npl)
-		for t := 0; t < nsq; t++ {
-			gs := k.groupStickOffset[q] + t
-			cellP := k.stickPlaneIdx[gs]
-			cellM := minus[gs]
-			for z := 0; z < npl; z++ {
-				chunk[(2*t)*npl+z] = planes[z*nxy+cellP]
-				if cellM >= 0 {
-					chunk[(2*t+1)*npl+z] = planes[z*nxy+cellM]
+	par.ParallelFor(l.R, 1, func(qlo, qhi int) {
+		for q := qlo; q < qhi; q++ {
+			nsq := l.NSticksOf(q)
+			chunk := make([]complex128, 2*nsq*npl)
+			for t := 0; t < nsq; t++ {
+				gs := k.groupStickOffset[q] + t
+				cellP := k.stickPlaneIdx[gs]
+				cellM := minus[gs]
+				for z := 0; z < npl; z++ {
+					chunk[(2*t)*npl+z] = planes[z*nxy+cellP]
+					if cellM >= 0 {
+						chunk[(2*t+1)*npl+z] = planes[z*nxy+cellM]
+					}
 				}
 			}
+			out[q] = chunk
 		}
-		out[q] = chunk
-	}
+	})
 	return out
 }
 

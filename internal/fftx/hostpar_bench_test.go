@@ -1,0 +1,37 @@
+package fftx
+
+import (
+	"testing"
+
+	"repro/internal/par"
+)
+
+// The multi-lane wall-clock pair behind BENCH_fft.json's hostpar speedup:
+// the same ModeReal run with the host-parallel fan-out off and on. The
+// simulated results are bit-identical (TestHostParEquivalence); only host
+// wall clock moves, by roughly the core count on a multi-core machine.
+
+func benchHostParConfig() Config {
+	return Config{
+		Ecut: 12, Alat: 10, NB: 8, Ranks: 2, NTG: 2,
+		Engine: EngineTaskIter, Mode: ModeReal,
+	}
+}
+
+func runHostParBench(b *testing.B, enabled bool) {
+	b.Cleanup(func() {
+		par.SetEnabled(true)
+		par.SetWorkers(0)
+	})
+	par.SetEnabled(enabled)
+	cfg := benchHostParConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunReal_HostParOff(b *testing.B) { runHostParBench(b, false) }
+func BenchmarkRunReal_HostParOn(b *testing.B)  { runHostParBench(b, true) }

@@ -1,0 +1,107 @@
+package fftx
+
+import (
+	"testing"
+
+	"repro/internal/par"
+)
+
+// hostparConfigs are small ModeReal runs covering every engine plus gamma
+// mode — the surfaces the par.ParallelFor fan-out touches.
+func hostparConfigs() []Config {
+	return []Config{
+		{Ecut: 8, Alat: 8, NB: 4, Ranks: 2, NTG: 2, Engine: EngineOriginal, Mode: ModeReal},
+		{Ecut: 8, Alat: 8, NB: 4, Ranks: 2, NTG: 2, Engine: EngineTaskSteps, Mode: ModeReal},
+		{Ecut: 8, Alat: 8, NB: 4, Ranks: 2, NTG: 2, Engine: EngineTaskSteps, Mode: ModeReal, NestedLoops: true, NestedGrainXY: 2, NestedGrainZ: 8},
+		{Ecut: 8, Alat: 8, NB: 4, Ranks: 2, NTG: 2, Engine: EngineTaskIter, Mode: ModeReal},
+		{Ecut: 8, Alat: 8, NB: 4, Ranks: 2, NTG: 2, Engine: EngineTaskCombined, Mode: ModeReal},
+		{Ecut: 8, Alat: 8, NB: 4, Ranks: 2, NTG: 2, Engine: EngineOriginal, Mode: ModeReal, Gamma: true},
+		{Ecut: 8, Alat: 8, NB: 4, Ranks: 2, NTG: 2, Engine: EngineTaskIter, Mode: ModeReal, Gamma: true},
+	}
+}
+
+// TestHostParEquivalence proves the determinism contract of internal/par:
+// with host parallelism off and on (forced to 4 workers so even a 1-core
+// host really fans out — under -race this also exercises the memory
+// accesses concurrently), every engine must produce bit-identical
+// wavefunctions, the identical simulated runtime and an identical
+// virtual-time trace.
+func TestHostParEquivalence(t *testing.T) {
+	t.Cleanup(func() {
+		par.SetEnabled(true)
+		par.SetWorkers(0)
+	})
+	for _, cfg := range hostparConfigs() {
+		name := cfg.Engine.String()
+		if cfg.Gamma {
+			name += "-gamma"
+		}
+		if cfg.NestedLoops {
+			name += "-nested"
+		}
+		t.Run(name, func(t *testing.T) {
+			par.SetEnabled(false)
+			serial, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par.SetEnabled(true)
+			par.SetWorkers(4)
+			parallel, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if serial.Runtime != parallel.Runtime {
+				t.Errorf("simulated runtime differs: serial %v parallel %v", serial.Runtime, parallel.Runtime)
+			}
+			if len(serial.Bands) != len(parallel.Bands) {
+				t.Fatalf("band count differs: %d vs %d", len(serial.Bands), len(parallel.Bands))
+			}
+			for b := range serial.Bands {
+				sb, pb := serial.Bands[b], parallel.Bands[b]
+				if len(sb) != len(pb) {
+					t.Fatalf("band %d length differs", b)
+				}
+				for i := range sb {
+					if sb[i] != pb[i] {
+						t.Fatalf("band %d coefficient %d not bit-identical: %v vs %v", b, i, sb[i], pb[i])
+					}
+				}
+			}
+			si, pi := serial.Trace.Intervals, parallel.Trace.Intervals
+			if len(si) != len(pi) {
+				t.Fatalf("trace length differs: %d vs %d intervals", len(si), len(pi))
+			}
+			for i := range si {
+				if si[i] != pi[i] {
+					t.Fatalf("trace interval %d differs:\nserial   %+v\nparallel %+v", i, si[i], pi[i])
+				}
+			}
+		})
+	}
+}
+
+// TestHostParCostMode checks the switch is inert where there is no real
+// data: ModeCost runs charge identical virtual time either way.
+func TestHostParCostMode(t *testing.T) {
+	t.Cleanup(func() {
+		par.SetEnabled(true)
+		par.SetWorkers(0)
+	})
+	cfg := Config{Ecut: 20, Alat: 10, NB: 8, Ranks: 2, NTG: 2, Engine: EngineOriginal, Mode: ModeCost}
+	par.SetEnabled(false)
+	serial, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par.SetEnabled(true)
+	par.SetWorkers(4)
+	parallel, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Runtime != parallel.Runtime {
+		t.Errorf("ModeCost runtime differs: %v vs %v", serial.Runtime, parallel.Runtime)
+	}
+}

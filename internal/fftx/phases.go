@@ -2,12 +2,29 @@ package fftx
 
 import (
 	"repro/internal/fft"
+	"repro/internal/par"
 	"repro/internal/pw"
 )
 
 // The data transforms of the pipeline, shared by every engine in ModeReal.
 // Each operates on one position p of the layout (the rank inside a task
 // group that owns a subset of sticks and a contiguous block of planes).
+//
+// The hot loops fan out over host cores with par.ParallelFor: every body
+// writes only data indexed by its own [lo,hi) range, and the simulated cost
+// of each phase comes from the analytic instruction model (kernel.phase),
+// so host parallelism changes wall clock only — simulated results are
+// bit-identical with par enabled or disabled (see TestHostParEquivalence).
+// Bodies must not touch mpi/vtime/ompss state (fftxvet's parbody rule).
+
+// Host-parallel grain sizes: sticks are cheap (one length-Nz FFT each), so
+// they batch; planes are expensive (a full 2-D FFT), so they split singly;
+// flat index loops batch by the thousand to amortize dispatch.
+const (
+	grainSticks = 32
+	grainPlanes = 1
+	grainIndex  = 4096
+)
 
 // prepSticks builds the zero-padded stick buffer (stick-major, full Nz per
 // stick) from position p's local sphere coefficients — the "preparation of
@@ -15,15 +32,26 @@ import (
 func (k *kernel) prepSticks(p int, coeffs []complex128) []complex128 {
 	buf := make([]complex128, k.layout.NSticksOf(p)*k.sphere.Grid.Nz)
 	fill := k.stickFill[p]
-	for i, c := range coeffs {
-		buf[fill[i]] = c
-	}
+	par.ParallelFor(len(coeffs), grainIndex, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			buf[fill[i]] = coeffs[i]
+		}
+	})
 	return buf
+}
+
+// transformManyPar runs a batched 1-D transform over count contiguous rows,
+// split over host cores in grainSticks batches.
+func transformManyPar(plan *fft.Plan, buf []complex128, count int, sign fft.Sign) {
+	n := plan.N()
+	par.ParallelFor(count, grainSticks, func(lo, hi int) {
+		plan.TransformMany(buf[lo*n:hi*n], hi-lo, sign)
+	})
 }
 
 // fftZ transforms every local stick along z in place.
 func (k *kernel) fftZ(p int, buf []complex128, sign fft.Sign) {
-	k.planZ.TransformMany(buf, k.layout.NSticksOf(p), sign)
+	transformManyPar(k.planZ, buf, k.layout.NSticksOf(p), sign)
 }
 
 // splitCols builds the sticks→planes Alltoallv send chunks over nCols
@@ -33,14 +61,16 @@ func (k *kernel) splitCols(p int, buf []complex128, nCols int) [][]complex128 {
 	l := k.layout
 	nz := k.sphere.Grid.Nz
 	out := make([][]complex128, l.R)
-	for q := 0; q < l.R; q++ {
-		lo, hi := l.PlaneLo[q], l.PlaneHi[q]
-		chunk := make([]complex128, 0, nCols*(hi-lo))
-		for s := 0; s < nCols; s++ {
-			chunk = append(chunk, buf[s*nz+lo:s*nz+hi]...)
+	par.ParallelFor(l.R, 1, func(qlo, qhi int) {
+		for q := qlo; q < qhi; q++ {
+			lo, hi := l.PlaneLo[q], l.PlaneHi[q]
+			chunk := make([]complex128, 0, nCols*(hi-lo))
+			for s := 0; s < nCols; s++ {
+				chunk = append(chunk, buf[s*nz+lo:s*nz+hi]...)
+			}
+			out[q] = chunk
 		}
-		out[q] = chunk
-	}
+	})
 	return out
 }
 
@@ -49,13 +79,15 @@ func (k *kernel) joinCols(p int, recv [][]complex128, nCols int) []complex128 {
 	l := k.layout
 	nz := k.sphere.Grid.Nz
 	buf := make([]complex128, nCols*nz)
-	for q := 0; q < l.R; q++ {
-		lo, hi := l.PlaneLo[q], l.PlaneHi[q]
-		w := hi - lo
-		for s := 0; s < nCols; s++ {
-			copy(buf[s*nz+lo:s*nz+hi], recv[q][s*w:(s+1)*w])
+	par.ParallelFor(l.R, 1, func(qlo, qhi int) {
+		for q := qlo; q < qhi; q++ {
+			lo, hi := l.PlaneLo[q], l.PlaneHi[q]
+			w := hi - lo
+			for s := 0; s < nCols; s++ {
+				copy(buf[s*nz+lo:s*nz+hi], recv[q][s*w:(s+1)*w])
+			}
 		}
-	}
+	})
 	return buf
 }
 
@@ -67,33 +99,38 @@ func (k *kernel) scatterSplit(p int, buf []complex128) [][]complex128 {
 
 // planesFromScatter assembles position p's full XY planes (plane-major,
 // row-major within a plane) from the forward-scatter receive chunks: the
-// "xy-fill" memory phase.
+// "xy-fill" memory phase. Each source position q owns a disjoint set of
+// plane cells, so the fan-out is over q.
 func (k *kernel) planesFromScatter(p int, recv [][]complex128) []complex128 {
 	l := k.layout
 	g := k.sphere.Grid
 	npl := l.NPlanesOf(p)
 	nxy := g.Nx * g.Ny
 	planes := make([]complex128, npl*nxy)
-	for q := 0; q < l.R; q++ {
-		nsq := l.NSticksOf(q)
-		for t := 0; t < nsq; t++ {
-			cell := k.stickPlaneIdx[k.groupStickOffset[q]+t]
-			base := t * npl
-			for z := 0; z < npl; z++ {
-				planes[z*nxy+cell] = recv[q][base+z]
+	par.ParallelFor(l.R, 1, func(qlo, qhi int) {
+		for q := qlo; q < qhi; q++ {
+			nsq := l.NSticksOf(q)
+			for t := 0; t < nsq; t++ {
+				cell := k.stickPlaneIdx[k.groupStickOffset[q]+t]
+				base := t * npl
+				for z := 0; z < npl; z++ {
+					planes[z*nxy+cell] = recv[q][base+z]
+				}
 			}
 		}
-	}
+	})
 	return planes
 }
 
-// fftXY transforms every owned plane in place.
+// fftXY transforms every owned plane in place, one host task per plane.
 func (k *kernel) fftXY(p int, planes []complex128, sign fft.Sign) {
 	g := k.sphere.Grid
 	nxy := g.Nx * g.Ny
-	for z := 0; z < k.layout.NPlanesOf(p); z++ {
-		k.plan2D.Transform(planes[z*nxy:(z+1)*nxy], sign)
-	}
+	par.ParallelFor(k.layout.NPlanesOf(p), grainPlanes, func(lo, hi int) {
+		for z := lo; z < hi; z++ {
+			k.plan2D.Transform(planes[z*nxy:(z+1)*nxy], sign)
+		}
+	})
 }
 
 // vOfR multiplies the owned real-space planes by the local potential — the
@@ -101,13 +138,15 @@ func (k *kernel) fftXY(p int, planes []complex128, sign fft.Sign) {
 func (k *kernel) vOfR(p int, planes []complex128) {
 	g := k.sphere.Grid
 	nxy := g.Nx * g.Ny
-	for z := 0; z < k.layout.NPlanesOf(p); z++ {
-		vp := k.potPl[k.layout.PlaneLo[p]+z]
-		pl := planes[z*nxy : (z+1)*nxy]
-		for i := range pl {
-			pl[i] *= complex(vp[i], 0)
+	par.ParallelFor(k.layout.NPlanesOf(p), grainPlanes, func(zlo, zhi int) {
+		for z := zlo; z < zhi; z++ {
+			vp := k.potPl[k.layout.PlaneLo[p]+z]
+			pl := planes[z*nxy : (z+1)*nxy]
+			for i := range pl {
+				pl[i] *= complex(vp[i], 0)
+			}
 		}
-	}
+	})
 }
 
 // planesToScatter is the inverse of planesFromScatter: it builds the
@@ -118,17 +157,19 @@ func (k *kernel) planesToScatter(p int, planes []complex128) [][]complex128 {
 	npl := l.NPlanesOf(p)
 	nxy := g.Nx * g.Ny
 	out := make([][]complex128, l.R)
-	for q := 0; q < l.R; q++ {
-		nsq := l.NSticksOf(q)
-		chunk := make([]complex128, nsq*npl)
-		for t := 0; t < nsq; t++ {
-			cell := k.stickPlaneIdx[k.groupStickOffset[q]+t]
-			for z := 0; z < npl; z++ {
-				chunk[t*npl+z] = planes[z*nxy+cell]
+	par.ParallelFor(l.R, 1, func(qlo, qhi int) {
+		for q := qlo; q < qhi; q++ {
+			nsq := l.NSticksOf(q)
+			chunk := make([]complex128, nsq*npl)
+			for t := 0; t < nsq; t++ {
+				cell := k.stickPlaneIdx[k.groupStickOffset[q]+t]
+				for z := 0; z < npl; z++ {
+					chunk[t*npl+z] = planes[z*nxy+cell]
+				}
 			}
+			out[q] = chunk
 		}
-		out[q] = chunk
-	}
+	})
 	return out
 }
 
@@ -145,9 +186,11 @@ func (k *kernel) extractCoeffs(p int, buf []complex128) []complex128 {
 	fill := k.stickFill[p]
 	out := make([]complex128, k.layout.NGOf[p])
 	scale := complex(1/float64(k.sphere.Grid.Size()), 0)
-	for i := range out {
-		out[i] = buf[fill[i]] * scale
-	}
+	par.ParallelFor(len(out), grainIndex, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = buf[fill[i]] * scale
+		}
+	})
 	return out
 }
 

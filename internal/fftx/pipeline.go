@@ -4,6 +4,7 @@ import (
 	"repro/internal/fft"
 	"repro/internal/knl"
 	"repro/internal/mpi"
+	"repro/internal/par"
 )
 
 // Pipeline fragments shared by the engines. Each fragment bundles the real
@@ -79,9 +80,11 @@ func (k *kernel) xyFFTPart(c computer, band, p int, planes []complex128, sign ff
 	k.phase(c, band, p, "fft-xy", knl.ClassVector, k.instrFFTXY(p)*frac, func() {
 		g := k.sphere.Grid
 		nxy := g.Nx * g.Ny
-		for z := lo; z < hi; z++ {
-			k.plan2D.Transform(planes[z*nxy:(z+1)*nxy], sign)
-		}
+		par.ParallelFor(hi-lo, grainPlanes, func(zlo, zhi int) {
+			for z := lo + zlo; z < lo+zhi; z++ {
+				k.plan2D.Transform(planes[z*nxy:(z+1)*nxy], sign)
+			}
+		})
 	})
 }
 
@@ -92,7 +95,7 @@ func (k *kernel) zFFTPart(c computer, band, p int, buf []complex128, sign fft.Si
 	frac := float64(hi-lo) / float64(n)
 	nz := k.sphere.Grid.Nz
 	k.phase(c, band, p, "fft-z", knl.ClassStream, k.instrFFTZ(p)*frac, func() {
-		k.planZ.TransformMany(buf[lo*nz:hi*nz], hi-lo, sign)
+		transformManyPar(k.planZ, buf[lo*nz:hi*nz], hi-lo, sign)
 	})
 }
 

@@ -1,0 +1,168 @@
+// Package par is a small deterministic host-parallel loop runner for the
+// real-numerics kernels of the simulator. It exists to make the repo's
+// wall-clock cost scale with host cores: the virtual-time engine runs one
+// simulated lane at a time, so without host parallelism a 64-lane run uses
+// one core no matter how many the machine has.
+//
+// ParallelFor(n, grain, fn) splits [0,n) into fixed contiguous chunks and
+// runs fn(lo, hi) over them on a pool of worker goroutines sized by
+// GOMAXPROCS (the caller participates). The chunk boundaries depend only on
+// the arguments and the configured worker count — never on scheduling — and
+// the contract is that fn writes only data indexed by [lo,hi), so results
+// are bit-identical to the serial loop regardless of execution order.
+// Simulated virtual time is charged by the analytic cost model outside
+// these loops, so enabling or disabling host parallelism changes host wall
+// clock only, never simulated results.
+//
+// The package-wide switch mirrors metrics.SetEnabled: SetEnabled(false)
+// turns every ParallelFor into the plain serial loop, which is what the
+// equivalence tests and the -hostpar=false CLI flag use.
+//
+// Bodies passed to ParallelFor run on host threads OUTSIDE the virtual-time
+// engine: they must not touch mpi.Ctx, vtime procs/waiters or the ompss
+// runtime (the fftxvet parbody rule enforces this — the same deadlock class
+// as blockintask, on a new surface).
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// enabled is the process-wide host-parallelism switch.
+var enabled atomic.Bool
+
+// workers is the target concurrency of one ParallelFor call (chunk
+// executors, including the caller).
+var workers atomic.Int32
+
+func init() {
+	enabled.Store(true)
+	workers.Store(int32(runtime.GOMAXPROCS(0)))
+}
+
+// SetEnabled turns host parallelism on or off process-wide. When off,
+// ParallelFor runs its body serially on the calling goroutine.
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// Enabled reports whether ParallelFor fans out to the worker pool.
+func Enabled() bool { return enabled.Load() }
+
+// SetWorkers overrides the per-call concurrency (chunk executors including
+// the caller). n < 1 restores the GOMAXPROCS default. Tests use it to force
+// real concurrency on small hosts; results are identical either way.
+func SetWorkers(n int) {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	workers.Store(int32(n))
+}
+
+// Workers returns the current per-call concurrency target.
+func Workers() int { return int(workers.Load()) }
+
+// pool is the lazily started persistent helper pool. Helpers beyond the
+// pool size (e.g. SetWorkers above GOMAXPROCS in tests) fall back to fresh
+// goroutines, so submit never blocks behind a busy pool.
+var (
+	poolOnce sync.Once
+	poolCh   chan func()
+)
+
+func startPool() {
+	size := runtime.GOMAXPROCS(0) - 1
+	if size < 0 {
+		size = 0
+	}
+	poolCh = make(chan func())
+	for i := 0; i < size; i++ {
+		go func() {
+			for f := range poolCh {
+				f()
+			}
+		}()
+	}
+}
+
+func submit(f func()) {
+	select {
+	case poolCh <- f:
+	default:
+		go f()
+	}
+}
+
+// ParallelFor runs fn over [0,n) in disjoint contiguous chunks of at least
+// grain indices. fn must confine its writes to data indexed by its [lo,hi)
+// range and must not touch the simulation runtimes (mpi/vtime/ompss). A
+// panic in any chunk is re-raised on the caller after all chunks finish.
+func ParallelFor(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	w := Workers()
+	if !Enabled() || w <= 1 || n <= grain {
+		fn(0, n)
+		return
+	}
+	// Fixed chunking: big enough to respect grain, small enough to give
+	// each executor a few chunks for load balance. Boundaries depend only
+	// on (n, grain, w).
+	chunk := (n + 4*w - 1) / (4 * w)
+	if chunk < grain {
+		chunk = grain
+	}
+	nc := (n + chunk - 1) / chunk
+	if nc <= 1 {
+		fn(0, n)
+		return
+	}
+	poolOnce.Do(startPool)
+
+	var next atomic.Int32
+	var panicked atomic.Pointer[panicValue]
+	body := func() {
+		defer func() {
+			if r := recover(); r != nil {
+				panicked.CompareAndSwap(nil, &panicValue{r})
+			}
+		}()
+		for {
+			c := int(next.Add(1)) - 1
+			if c >= nc {
+				return
+			}
+			lo := c * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+		}
+	}
+	helpers := w - 1
+	if nc-1 < helpers {
+		helpers = nc - 1
+	}
+	var wg sync.WaitGroup
+	wg.Add(helpers)
+	for i := 0; i < helpers; i++ {
+		submit(func() {
+			defer wg.Done()
+			body()
+		})
+	}
+	body()
+	wg.Wait()
+	if pv := panicked.Load(); pv != nil {
+		panic(fmt.Sprintf("par: panic in ParallelFor body: %v", pv.v))
+	}
+}
+
+// panicValue boxes the first recovered panic of a ParallelFor call.
+type panicValue struct{ v any }

@@ -1,0 +1,125 @@
+package par
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// resetState restores the package defaults after a test that toggles them.
+func resetState(t *testing.T) {
+	t.Helper()
+	t.Cleanup(func() {
+		SetEnabled(true)
+		SetWorkers(0)
+	})
+}
+
+// Every index must be visited exactly once, whatever the worker count.
+func TestParallelForCoversRange(t *testing.T) {
+	resetState(t)
+	for _, w := range []int{1, 2, 3, 8} {
+		SetWorkers(w)
+		for _, n := range []int{0, 1, 7, 64, 1000} {
+			for _, grain := range []int{1, 3, 64, 100000} {
+				visits := make([]int32, n)
+				ParallelFor(n, grain, func(lo, hi int) {
+					if lo < 0 || hi > n || lo >= hi {
+						t.Errorf("w=%d n=%d grain=%d: bad range [%d,%d)", w, n, grain, lo, hi)
+						return
+					}
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&visits[i], 1)
+					}
+				})
+				for i, v := range visits {
+					if v != 1 {
+						t.Fatalf("w=%d n=%d grain=%d: index %d visited %d times", w, n, grain, i, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Results must be bit-identical with parallelism on and off: the chunk
+// layout is fixed, and bodies only write their own range.
+func TestParallelForDeterministic(t *testing.T) {
+	resetState(t)
+	n := 513
+	run := func() []float64 {
+		out := make([]float64, n)
+		ParallelFor(n, 10, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out[i] = float64(i) * 1.5
+			}
+		})
+		return out
+	}
+	SetEnabled(false)
+	serial := run()
+	SetEnabled(true)
+	SetWorkers(4)
+	parallel := run()
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("index %d: serial %v parallel %v", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestParallelForDisabledRunsInline(t *testing.T) {
+	resetState(t)
+	SetEnabled(false)
+	calls := 0
+	ParallelFor(100, 1, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 100 {
+			t.Fatalf("disabled ParallelFor split the range: [%d,%d)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("disabled ParallelFor ran %d chunks", calls)
+	}
+}
+
+func TestParallelForGrainFloorsChunks(t *testing.T) {
+	resetState(t)
+	SetWorkers(8)
+	ParallelFor(100, 30, func(lo, hi int) {
+		if hi-lo < 30 && hi != 100 {
+			t.Fatalf("chunk [%d,%d) smaller than grain", lo, hi)
+		}
+	})
+}
+
+func TestParallelForPanicPropagates(t *testing.T) {
+	resetState(t)
+	SetWorkers(4)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic in body was swallowed")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "boom") {
+			t.Fatalf("unexpected panic value %v", r)
+		}
+	}()
+	ParallelFor(100, 1, func(lo, hi int) {
+		if lo == 0 {
+			panic("boom")
+		}
+	})
+}
+
+func TestSetWorkersRestoresDefault(t *testing.T) {
+	resetState(t)
+	SetWorkers(7)
+	if Workers() != 7 {
+		t.Fatalf("Workers() = %d, want 7", Workers())
+	}
+	SetWorkers(0)
+	if Workers() < 1 {
+		t.Fatalf("Workers() = %d after reset", Workers())
+	}
+}

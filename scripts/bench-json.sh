@@ -1,0 +1,69 @@
+#!/bin/sh
+# bench-json.sh — run the performance benchmark suite and write BENCH_fft.json,
+# the machine-readable baseline of the repo's perf trajectory.
+#
+# The file has two sections:
+#   benchmarks      every benchmark result (name, iterations, ns/op)
+#   kernel_speedups the headline before/after ratios computed from the
+#                   benchmark pairs (Recursive vs Iterative 1-D kernel,
+#                   per-column vs blocked 2-D column pass, host-par off vs on)
+#
+# Environment:
+#   BENCHTIME  go test -benchtime value (default 200ms; CI smoke uses 1x,
+#              which exercises the harness but makes the ratios meaningless)
+#   OUT        output path (default BENCH_fft.json in the repo root)
+set -eu
+
+cd "$(dirname "$0")/.."
+BENCHTIME="${BENCHTIME:-200ms}"
+OUT="${OUT:-BENCH_fft.json}"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+echo "bench-json: running FFT kernel benchmarks (benchtime=$BENCHTIME)" >&2
+go test ./internal/fft -run '^$' -bench 'Kernel|Plan2D|Plan3D_20' \
+	-benchtime="$BENCHTIME" -count=1 >>"$TMP"
+echo "bench-json: running host-par pipeline benchmarks" >&2
+go test ./internal/fftx -run '^$' -bench 'RunReal_HostPar' \
+	-benchtime="$BENCHTIME" -count=1 >>"$TMP"
+
+GOVERSION="$(go env GOVERSION)"
+DATE="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+
+awk -v goversion="$GOVERSION" -v date="$DATE" -v benchtime="$BENCHTIME" '
+/^Benchmark/ && NF >= 4 {
+	name = $1
+	sub(/-[0-9]+$/, "", name)       # strip the -GOMAXPROCS suffix
+	sub(/^Benchmark/, "", name)
+	iters[name] = $2
+	ns[name] = $3
+	order[n++] = name
+}
+function ratio(num, den) {
+	if (!(num in ns) || !(den in ns) || ns[den] + 0 == 0)
+		return "null"
+	return sprintf("%.3f", ns[num] / ns[den])
+}
+END {
+	printf "{\n"
+	printf "  \"generated\": \"%s\",\n", date
+	printf "  \"go\": \"%s\",\n", goversion
+	printf "  \"benchtime\": \"%s\",\n", benchtime
+	printf "  \"benchmarks\": [\n"
+	for (i = 0; i < n; i++) {
+		name = order[i]
+		printf "    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s}%s\n", \
+			name, iters[name], ns[name], (i < n - 1 ? "," : "")
+	}
+	printf "  ],\n"
+	printf "  \"kernel_speedups\": {\n"
+	printf "    \"fft1d_120\": %s,\n", ratio("Kernel_Recursive_120", "Kernel_Iterative_120")
+	printf "    \"fft1d_128\": %s,\n", ratio("Kernel_Recursive_128", "Kernel_Iterative_128")
+	printf "    \"fft1d_486\": %s,\n", ratio("Kernel_Recursive_486", "Kernel_Iterative_486")
+	printf "    \"plan2d_60x60\": %s,\n", ratio("Plan2D_PerColumn_60x60", "Plan2D_Blocked_60x60")
+	printf "    \"hostpar_real\": %s\n", ratio("RunReal_HostParOff", "RunReal_HostParOn")
+	printf "  }\n"
+	printf "}\n"
+}' "$TMP" >"$OUT"
+
+echo "bench-json: wrote $OUT" >&2
