@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test check vet fmt race fuzz-smoke overhead-smoke serve-smoke bench-json
+.PHONY: all build test check vet fmt race fuzz-smoke overhead-smoke serve-smoke serve-bench bench-json
 
 all: check test
 
@@ -36,10 +36,12 @@ check: build vet
 race:
 	$(GO) test -race -count=1 ./internal/...
 
-# fuzz-smoke runs a short bounded fuzz of the FFT round-trip property.
-# The package has several fuzz targets, so the -fuzz pattern must pick one.
+# fuzz-smoke runs a short bounded fuzz of the FFT round-trip property and
+# of the fftxd binary request decoder (malformed input must error, never
+# panic). Each package has several fuzz targets, so -fuzz must pick one.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzRoundTrip -fuzztime=10s -run='^$$' ./internal/fft
+	$(GO) test -fuzz=FuzzRequestDecode -fuzztime=10s -run='^$$' ./internal/serve
 
 # overhead-smoke measures the cost of the always-on telemetry: the
 # enabled/disabled benchmark pair plus the min-of-N smoke test that fails on
@@ -48,10 +50,18 @@ overhead-smoke:
 	$(GO) test ./internal/fftx -run '^$$' -bench RunTelemetry -benchtime 5x
 	$(GO) test ./internal/fftx -run TestTelemetryOverheadSmoke -count=1 -v
 
-# serve-smoke starts fftxbench on an ephemeral port, scrapes /metrics and a
-# pprof endpoint, and shuts it down — the end-to-end check CI runs.
+# serve-smoke is the end-to-end check CI runs: fftxbench's telemetry
+# endpoints, then the fftxd daemon (POST /fft, /healthz, fftxd_* metrics and
+# a clean SIGTERM drain), each on an ephemeral port.
 serve-smoke:
 	./scripts/serve-smoke.sh
+
+# serve-bench drives the fftxd load generator (closed loop with and without
+# batching, plus an open-loop pass) and writes BENCH_serve.json, the
+# machine-readable serving baseline (see README "Serving"). DURATION=200ms
+# gives a fast harness smoke-run.
+serve-bench:
+	./scripts/serve-bench.sh
 
 # bench-json runs the kernel and host-par benchmark pairs and writes
 # BENCH_fft.json, the machine-readable perf baseline (see README

@@ -1,0 +1,227 @@
+// Command fftxd is the network-facing FFT daemon: it serves 1-D/2-D/3-D
+// transform requests and cost-mode pipeline simulations over HTTP, batching
+// same-shape requests to amortize plan lookup and twiddle-table reuse, with
+// bounded queueing and 503 + Retry-After backpressure (see README
+// "Serving").
+//
+// Usage:
+//
+//	fftxd [flags]            serve until SIGINT/SIGTERM, then drain
+//	fftxd -loadgen [flags]   drive load against -target (or a self-hosted
+//	                         in-process server) and print a report
+//
+// Server flags:
+//
+//	-addr 127.0.0.1:8472   listen address (use :0 for an ephemeral port)
+//	-workers N             batch-executing goroutines (default GOMAXPROCS)
+//	-queue 256             admission queue depth (full => 503 + Retry-After)
+//	-max-batch 32          transforms coalesced per batch (1 disables)
+//	-batch-window 500us    how long a partial batch waits for company
+//	-max-elems N           per-request element budget
+//	-drain-timeout 10s     graceful-drain budget on shutdown
+//	-hostpar               host-parallel kernels (default true)
+//
+// Endpoints: POST /fft (JSON or binary wire format), /healthz, plus the
+// standard telemetry surface /metrics, /debug/vars, /debug/pprof/*.
+//
+// Loadgen flags (with -loadgen):
+//
+//	-target URL        server to load (default: self-host in process)
+//	-concurrency 8     client goroutines (closed loop keeps one request
+//	                   in flight per client)
+//	-duration 2s       run length (or -requests N for a fixed count)
+//	-rate 0            open-loop arrival rate in req/s (0 = closed loop)
+//	-dims 16x16x16     transform shape
+//	-batch 1           transforms per request
+//	-binary            use the length-prefixed wire format
+//	-json              print the report as JSON (BENCH_serve.json input)
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/fft"
+	"repro/internal/metrics"
+	"repro/internal/par"
+	"repro/internal/serve"
+	"repro/internal/serve/loadgen"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8472", "listen address")
+		workers     = flag.Int("workers", 0, "batch-executing goroutines (0 = GOMAXPROCS)")
+		queueDepth  = flag.Int("queue", 256, "admission queue depth")
+		maxBatch    = flag.Int("max-batch", 32, "max transforms coalesced per batch (1 disables batching)")
+		batchWindow = flag.Duration("batch-window", 500*time.Microsecond, "batch coalescing window")
+		maxElems    = flag.Int("max-elems", serve.DefaultMaxElements, "per-request element budget")
+		drainT      = flag.Duration("drain-timeout", 10*time.Second, "graceful-drain budget on shutdown")
+		hostpar     = flag.Bool("hostpar", true, "fan batch rows out over host cores")
+
+		lgMode    = flag.Bool("loadgen", false, "drive load instead of serving")
+		lgTarget  = flag.String("target", "", "loadgen: server base URL (default: self-host in process)")
+		lgConc    = flag.Int("concurrency", 8, "loadgen: client goroutines")
+		lgReqs    = flag.Int("requests", 0, "loadgen: stop after this many requests (0 = -duration)")
+		lgDur     = flag.Duration("duration", 2*time.Second, "loadgen: run length")
+		lgRate    = flag.Float64("rate", 0, "loadgen: open-loop arrival rate in req/s (0 = closed loop)")
+		lgDims    = flag.String("dims", "16x16x16", "loadgen: transform shape, e.g. 256 or 64x64 or 16x16x16")
+		lgBatch   = flag.Int("batch", 1, "loadgen: transforms per request")
+		lgBinary  = flag.Bool("binary", false, "loadgen: use the binary wire format")
+		lgJSON    = flag.Bool("json", false, "loadgen: print the report as JSON")
+		lgDeadl   = flag.Duration("deadline", 0, "loadgen: per-request queueing deadline")
+		lgBackwrd = flag.Bool("backward", false, "loadgen: request backward transforms")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: fftxd [flags] | fftxd -loadgen [flags]")
+		return 2
+	}
+	par.SetEnabled(*hostpar)
+
+	cfg := serve.Config{
+		Addr:        *addr,
+		Workers:     *workers,
+		QueueDepth:  *queueDepth,
+		MaxBatch:    *maxBatch,
+		BatchWindow: *batchWindow,
+		MaxElements: *maxElems,
+		Cache:       &fft.Cache{},
+	}
+
+	if *lgMode {
+		dims, err := parseDims(*lgDims)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fftxd:", err)
+			return 2
+		}
+		opts := loadgen.Options{
+			Target:      *lgTarget,
+			Concurrency: *lgConc,
+			Requests:    *lgReqs,
+			Duration:    *lgDur,
+			Rate:        *lgRate,
+			Dims:        dims,
+			Batch:       *lgBatch,
+			Backward:    *lgBackwrd,
+			Binary:      *lgBinary,
+			Deadline:    *lgDeadl,
+		}
+		return runLoadgen(cfg, opts, *lgJSON, *drainT)
+	}
+	return runServer(cfg, *drainT)
+}
+
+// runServer serves until SIGINT/SIGTERM, then drains gracefully and prints
+// a latency summary from the live metrics.
+func runServer(cfg serve.Config, drainTimeout time.Duration) int {
+	cfg.Mux = telemetry.Mux(metrics.Default(), "/fft", "/healthz")
+	srv := serve.New(cfg)
+	if err := srv.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "fftxd:", err)
+		return 1
+	}
+	fmt.Printf("fftxd: serving /fft, /healthz, /metrics, /debug/pprof at %s (workers=%d queue=%d max-batch=%d window=%s)\n",
+		srv.URL(), srv.Workers(), cfg.QueueDepth, cfg.MaxBatch, cfg.BatchWindow)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	got := <-sig
+	fmt.Printf("fftxd: %v — draining (budget %s)\n", got, drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "fftxd: drain:", err)
+		return 1
+	}
+	printLatencySummary(os.Stdout)
+	fmt.Println("fftxd: drained cleanly")
+	return 0
+}
+
+// runLoadgen drives load, self-hosting a server when no target is given.
+func runLoadgen(cfg serve.Config, opts loadgen.Options, asJSON bool, drainTimeout time.Duration) int {
+	var srv *serve.Server
+	if opts.Target == "" {
+		cfg.Addr = "127.0.0.1:0"
+		srv = serve.New(cfg)
+		if err := srv.Start(); err != nil {
+			fmt.Fprintln(os.Stderr, "fftxd:", err)
+			return 1
+		}
+		opts.Target = srv.URL()
+		fmt.Fprintf(os.Stderr, "fftxd: self-hosted server at %s (workers=%d max-batch=%d)\n",
+			opts.Target, srv.Workers(), cfg.MaxBatch)
+	}
+	rep, err := loadgen.Run(context.Background(), opts)
+	if srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		if derr := srv.Shutdown(ctx); derr != nil && err == nil {
+			err = derr
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fftxd:", err)
+		return 1
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rep)
+		return 0
+	}
+	fmt.Printf("fftxd loadgen: %s %s, %d clients: %d sent, %d ok, %d errors in %.2fs\n",
+		rep.Mode, rep.Shape, rep.Concurrency, rep.Sent, rep.OK, rep.Errors, rep.ElapsedSec)
+	fmt.Printf("  throughput %.1f req/s, mean batch %.2f rows\n", rep.Throughput, rep.MeanBatchRows)
+	fmt.Printf("  latency mean %.3fms p50 %.3fms p90 %.3fms p99 %.3fms max %.3fms\n",
+		rep.MeanSec*1e3, rep.P50Sec*1e3, rep.P90Sec*1e3, rep.P99Sec*1e3, rep.MaxSec*1e3)
+	return 0
+}
+
+// printLatencySummary renders p50/p99 of the /fft latency histogram from
+// the default registry — what the server actually observed, bucketed.
+func printLatencySummary(w *os.File) {
+	snap := metrics.Default().Gather()
+	fam := snap.Find("fftxd_request_seconds")
+	if fam == nil {
+		return
+	}
+	for _, s := range fam.Series {
+		if len(s.Labels) != 1 || s.Labels[0].Value != "fft" || s.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "fftxd: served %d /fft requests, latency ~p50 %.3fms ~p99 %.3fms (bucketed)\n",
+			s.Count, s.Quantile(0.50)*1e3, s.Quantile(0.99)*1e3)
+	}
+}
+
+// parseDims parses "256", "64x64" or "16x16x16".
+func parseDims(s string) ([]int, error) {
+	parts := strings.Split(s, "x")
+	if len(parts) < 1 || len(parts) > 3 {
+		return nil, fmt.Errorf("dims %q: want 1 to 3 x-separated sizes", s)
+	}
+	dims := make([]int, len(parts))
+	for i, p := range parts {
+		d, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || d <= 0 {
+			return nil, fmt.Errorf("dims %q: bad size %q", s, p)
+		}
+		dims[i] = d
+	}
+	return dims, nil
+}

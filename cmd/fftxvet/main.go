@@ -3,7 +3,9 @@
 // the communication and task-model contracts the runtimes cannot express in
 // the type system: collective divergence under rank-dependent branches, tag
 // discipline, blocking calls inside task bodies through captured contexts,
-// and by-value copies of runtime handle types.
+// by-value copies of runtime handle types, and simulated-runtime calls from
+// contexts that run on bare host goroutines (par.ParallelFor bodies, HTTP
+// handler bodies in internal/serve).
 //
 // Usage:
 //

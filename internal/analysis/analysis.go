@@ -20,6 +20,10 @@
 //     the virtual-time engine, so they must stay pure numeric — no mpi
 //     collectives, no blocking vtime waits, no task submission and no
 //     simulated Compute charges.
+//   - handlerbody: HTTP handler bodies (the net/http
+//     (ResponseWriter, *Request) shape, as in internal/serve) run on
+//     service goroutines and must not call into mpi/vtime/ompss at all;
+//     handlers decode, admit and await while the worker pool does the work.
 //
 // Findings can be suppressed with a trailing or preceding comment of the
 // form:
@@ -62,7 +66,7 @@ type Rule struct {
 
 // AllRules returns every registered rule, in stable order.
 func AllRules() []Rule {
-	return []Rule{DivergenceRule, TagsRule, BlockInTaskRule, CopyValueRule, ParBodyRule}
+	return []Rule{DivergenceRule, TagsRule, BlockInTaskRule, CopyValueRule, ParBodyRule, HandlerBodyRule}
 }
 
 // RuleByName resolves a rule name; ok is false for unknown names.

@@ -97,6 +97,7 @@ func TestTagsRule(t *testing.T)        { runRuleTest(t, "tags", TagsRule) }
 func TestBlockInTaskRule(t *testing.T) { runRuleTest(t, "blockintask", BlockInTaskRule) }
 func TestCopyValueRule(t *testing.T)   { runRuleTest(t, "copyvalue", CopyValueRule) }
 func TestParBodyRule(t *testing.T)     { runRuleTest(t, "parbody", ParBodyRule) }
+func TestHandlerBodyRule(t *testing.T) { runRuleTest(t, "handlerbody", HandlerBodyRule) }
 
 // TestModuleClean is the dogfooding gate: every package in the module must
 // pass every rule with zero findings (modulo in-tree suppressions).

@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// HandlerBodyRule flags simulated-runtime calls inside HTTP handler bodies.
+// A handler — any function with the net/http signature
+// (http.ResponseWriter, *http.Request) — runs on a net/http service
+// goroutine: like a par.ParallelFor body it has no lane, no simulated
+// process and no place in the discrete-event schedule, and unlike a
+// ParallelFor body it also holds a client connection open for as long as it
+// runs. Touching internal/mpi, internal/vtime or internal/ompss from there
+// either deadlocks (nobody advances virtual time on a service goroutine) or
+// corrupts the engine's deterministic ordering. Handlers must stay thin:
+// decode, admit to the bounded queue, wait on the task outcome; all
+// simulated work runs on the worker pool (internal/serve's exec layer) or
+// behind cost-mode entry points like fftx.Run, which the workers call.
+var HandlerBodyRule = Rule{
+	Name: "handlerbody",
+	Doc:  "HTTP handler bodies must not touch mpi/vtime/ompss state",
+	Run:  runHandlerBody,
+}
+
+// simulatedRuntimePkgs are the packages a handler body may not call into.
+var simulatedRuntimePkgs = map[string]bool{
+	"internal/mpi":   true,
+	"internal/vtime": true,
+	"internal/ompss": true,
+}
+
+// isHandlerSig reports whether sig is the net/http handler shape
+// func(http.ResponseWriter, *http.Request).
+func isHandlerSig(sig *types.Signature) bool {
+	if sig == nil || sig.Params().Len() != 2 || sig.Results().Len() != 0 {
+		return false
+	}
+	return typeIs(sig.Params().At(0).Type(), "net/http", "ResponseWriter") &&
+		typeIs(sig.Params().At(1).Type(), "net/http", "Request")
+}
+
+// handlerBodies collects the bodies of handler-shaped functions in f: both
+// declared methods/functions and function literals (as registered with
+// mux.HandleFunc).
+func handlerBodies(info *types.Info, f *ast.File) []*ast.BlockStmt {
+	var bodies []*ast.BlockStmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body == nil {
+				return true
+			}
+			if obj, ok := info.Defs[fn.Name].(*types.Func); ok {
+				if sig, ok := obj.Type().(*types.Signature); ok && isHandlerSig(sig) {
+					bodies = append(bodies, fn.Body)
+				}
+			}
+		case *ast.FuncLit:
+			if sig, ok := info.Types[fn].Type.(*types.Signature); ok && isHandlerSig(sig) {
+				bodies = append(bodies, fn.Body)
+			}
+		}
+		return true
+	})
+	return bodies
+}
+
+func runHandlerBody(p *Pass) []Diagnostic {
+	info := p.Pkg.Info
+	var diags []Diagnostic
+	for _, f := range p.Pkg.Files {
+		for _, body := range handlerBodies(info, f) {
+			ast.Inspect(body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(info, call)
+				if fn == nil {
+					return true
+				}
+				t := targetOf(fn)
+				if !simulatedRuntimePkgs[t.pkg] {
+					return true
+				}
+				diags = append(diags, Diagnostic{
+					Pos:  p.Fset.Position(call.Pos()),
+					Rule: "handlerbody",
+					Message: fmt.Sprintf("%s calls %s inside an HTTP handler, which runs on a net/http goroutine outside the virtual-time engine; keep handlers thin (decode, admit, await) and do all simulated-runtime work on the worker pool",
+						t.name, t.pkg),
+				})
+				return true
+			})
+		}
+	}
+	return diags
+}

@@ -1,0 +1,78 @@
+package fft
+
+import (
+	"fmt"
+
+	"repro/internal/par"
+)
+
+// Host-parallel batch drivers. These are the serving-path counterparts of
+// TransformMany: the rows of a batch are independent transforms, so they fan
+// out over host cores via par.ParallelFor. Plans are safe for concurrent
+// use (per-call scratch comes from a pool), which makes these the
+// thread-safe batch execution path the fftxd server leans on: one plan
+// lookup and one fan-out amortized over the whole batch.
+//
+// grainBatchRows is 1 because every row is a full transform — already far
+// more work than the fan-out overhead.
+const grainBatchRows = 1
+
+// TransformBatch applies the plan in place to count contiguous rows of
+// length N starting at data[0], fanning the rows out over host cores.
+// Results are bit-identical to TransformMany.
+func (p *Plan) TransformBatch(data []complex128, count int, sign Sign) {
+	if len(data) < count*p.n {
+		panic("fft: TransformBatch: slice too short")
+	}
+	par.ParallelFor(count, grainBatchRows, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			p.Transform(data[b*p.n:(b+1)*p.n], sign)
+		}
+	})
+}
+
+// TransformBatch applies the plane transform in place to count contiguous
+// row-major planes, one host-parallel row per plane.
+func (p *Plan2D) TransformBatch(data []complex128, count int, sign Sign) {
+	sz := p.nx * p.ny
+	if len(data) < count*sz {
+		panic("fft: Plan2D.TransformBatch: slice too short")
+	}
+	par.ParallelFor(count, grainBatchRows, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			p.Transform(data[b*sz:(b+1)*sz], sign)
+		}
+	})
+}
+
+// TransformBatch applies the 3-D transform in place to count contiguous
+// z-fastest boxes, one host-parallel row per box.
+func (p *Plan3D) TransformBatch(data []complex128, count int, sign Sign) {
+	sz := p.nx * p.ny * p.nz
+	if len(data) < count*sz {
+		panic("fft: Plan3D.TransformBatch: slice too short")
+	}
+	par.ParallelFor(count, grainBatchRows, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			p.Transform(data[b*sz:(b+1)*sz], sign)
+		}
+	})
+}
+
+// Size returns the number of elements of one transform (nx·ny).
+func (p *Plan2D) Size() int { return p.nx * p.ny }
+
+// Size returns the number of elements of one transform (nx·ny·nz).
+func (p *Plan3D) Size() int { return p.nx * p.ny * p.nz }
+
+// Dims returns the transform dimensions (nx, ny, nz).
+func (p *Plan3D) Dims() (nx, ny, nz int) { return p.nx, p.ny, p.nz }
+
+// checkDim panics on non-positive transform dimensions; the cached
+// constructors call it before keying their maps so every caller gets the
+// same error text.
+func checkDim(n int) {
+	if n <= 0 {
+		panic(fmt.Sprintf("fft: invalid length %d", n))
+	}
+}

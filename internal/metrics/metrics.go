@@ -380,6 +380,39 @@ type Series struct {
 	Buckets []Bucket
 }
 
+// Quantile estimates the q-quantile (0 < q <= 1) of a histogram series by
+// linear interpolation inside the bucket that crosses the target rank — the
+// Prometheus histogram_quantile estimator. The lowest bucket interpolates
+// from zero; ranks landing in the +Inf bucket return the highest finite
+// bound. It returns NaN for non-histogram series or empty histograms.
+func (s Series) Quantile(q float64) float64 {
+	if len(s.Buckets) == 0 || s.Count == 0 || q <= 0 || q > 1 {
+		return math.NaN()
+	}
+	rank := q * float64(s.Count)
+	for i, b := range s.Buckets {
+		if float64(b.Count) < rank {
+			continue
+		}
+		lo, loCount := 0.0, uint64(0)
+		if i > 0 {
+			lo, loCount = s.Buckets[i-1].UpperBound, s.Buckets[i-1].Count
+		}
+		hi := b.UpperBound
+		if math.IsInf(hi, 1) {
+			// Rank lands past every finite bound: the best available
+			// estimate is the highest finite bound.
+			return lo
+		}
+		inBucket := float64(b.Count - loCount)
+		if inBucket <= 0 {
+			return hi
+		}
+		return lo + (hi-lo)*(rank-float64(loCount))/inBucket
+	}
+	return s.Buckets[len(s.Buckets)-1].UpperBound
+}
+
 // Family is one family of a snapshot.
 type Family struct {
 	Name   string

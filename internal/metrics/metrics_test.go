@@ -245,3 +245,55 @@ func TestConcurrentMutation(t *testing.T) {
 		t.Fatalf("concurrent sum = %g, want 8000", got)
 	}
 }
+
+func TestSeriesQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("quantile_test_seconds", "quantile estimator input", []float64{0.1, 0.2, 0.4, 0.8})
+	// 10 observations spread over the first three buckets:
+	// 4 in (0, 0.1], 4 in (0.1, 0.2], 2 in (0.2, 0.4].
+	for i := 0; i < 4; i++ {
+		h.Observe(0.05)
+	}
+	for i := 0; i < 4; i++ {
+		h.Observe(0.15)
+	}
+	h.Observe(0.3)
+	h.Observe(0.35)
+
+	f := r.Gather().Find("quantile_test_seconds")
+	if f == nil || len(f.Series) != 1 {
+		t.Fatal("missing quantile_test_seconds family")
+	}
+	s := f.Series[0]
+
+	cases := []struct{ q, want float64 }{
+		{0.2, 0.05}, // rank 2 of 4 inside (0,0.1] -> 0.05
+		{0.4, 0.1},  // rank 4 = bucket boundary
+		{0.8, 0.2},  // rank 8 = boundary of second bucket
+		{0.9, 0.3},  // rank 9: halfway into (0.2,0.4]
+		{1.0, 0.4},  // rank 10 = top of the last occupied bucket
+	}
+	for _, c := range cases {
+		if got := s.Quantile(c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(s.Quantile(0)) || !math.IsNaN(s.Quantile(1.5)) {
+		t.Error("out-of-range quantiles must be NaN")
+	}
+
+	// Observations beyond every finite bound: the estimate clamps to the
+	// highest finite bound.
+	h.Observe(5)
+	s = r.Gather().Find("quantile_test_seconds").Series[0]
+	if got := s.Quantile(1.0); got != 0.8 {
+		t.Errorf("Quantile(1.0) with +Inf rank = %g, want clamp to 0.8", got)
+	}
+
+	// Counter series have no buckets.
+	r.Counter("quantile_test_total", "not a histogram").Inc()
+	cs := r.Gather().Find("quantile_test_total").Series[0]
+	if !math.IsNaN(cs.Quantile(0.5)) {
+		t.Error("Quantile on a counter series must be NaN")
+	}
+}

@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+)
+
+// Admission control and the batching dispatcher.
+//
+// Every admitted request becomes a task on the bounded queue. A dispatcher
+// goroutine pulls tasks and coalesces same-shape transforms into groups: a
+// group flushes to the worker pool when it reaches MaxBatch rows or when
+// its BatchWindow expires, whichever comes first — the serving-side
+// analogue of the paper's per-iteration task grouping (many independent
+// same-shape kernels become one scheduled unit). Pipeline tasks and
+// servers with batching disabled dispatch immediately as singleton groups.
+//
+// Admission rejects with 503 + Retry-After instead of queueing unboundedly:
+// when the queue is full, when the request's deadline cannot be met, and
+// while the server drains. On drain, tasks already handed to the worker
+// pool complete; everything still queued or pending in a batch window is
+// rejected.
+
+// task is one admitted request travelling through the queue.
+type task struct {
+	req  *Request
+	key  string       // batching key (transforms); "" dispatches immediately
+	data []complex128 // decoded transform payload
+	rows int          // transforms carried (req.Batch for transforms, 1 otherwise)
+
+	enq      time.Time
+	deadline time.Time // zero = none
+
+	// done receives exactly one outcome; it is buffered so resolution
+	// never blocks on a departed client.
+	done chan taskOutcome
+}
+
+// taskOutcome resolves one task: a response or a status error.
+type taskOutcome struct {
+	resp *Response
+	err  *statusError
+}
+
+// statusError is an error with an HTTP status; RetryAfter > 0 adds a
+// Retry-After header (the backpressure signal).
+type statusError struct {
+	code       int
+	retryAfter int // seconds
+	msg        string
+}
+
+func (e *statusError) Error() string { return e.msg }
+
+// group is a batch of same-key tasks executed as one unit.
+type group struct {
+	key   string
+	tasks []*task
+}
+
+// rows counts the transforms of the whole group.
+func (g *group) rows() int {
+	n := 0
+	for _, t := range g.tasks {
+		n += t.rows
+	}
+	return n
+}
+
+// newTask builds the task of a validated request.
+func newTask(req *Request) *task {
+	t := &task{
+		req:  req,
+		enq:  time.Now(),
+		rows: 1,
+		done: make(chan taskOutcome, 1),
+	}
+	if req.Op == OpTransform {
+		t.key = req.ShapeKey()
+		t.data = req.complexData()
+		t.rows = req.Batch
+		mShapeReqs.With(t.key).Inc()
+	}
+	if req.DeadlineMillis > 0 {
+		t.deadline = t.enq.Add(time.Duration(req.DeadlineMillis) * time.Millisecond)
+	}
+	return t
+}
+
+// expired reports whether the task's deadline has passed at now.
+func (t *task) expired(now time.Time) bool {
+	return !t.deadline.IsZero() && now.After(t.deadline)
+}
+
+// resolve delivers the outcome (exactly once per task).
+func (t *task) resolve(out taskOutcome) { t.done <- out }
+
+func (t *task) fail(code int, retryAfter int, format string, args ...any) {
+	t.resolve(taskOutcome{err: &statusError{code: code, retryAfter: retryAfter, msg: fmt.Sprintf(format, args...)}})
+}
+
+// admit places a task on the bounded queue, or explains the rejection.
+func (s *Server) admit(t *task) *statusError {
+	s.admitMu.RLock()
+	defer s.admitMu.RUnlock()
+	if s.draining {
+		mRejects.With("draining").Inc()
+		return &statusError{code: 503, retryAfter: s.retryAfter(), msg: "server is draining"}
+	}
+	if t.expired(time.Now()) {
+		mRejects.With("deadline").Inc()
+		return &statusError{code: 503, retryAfter: s.retryAfter(), msg: "deadline expired before admission"}
+	}
+	select {
+	case s.queue <- t:
+		mQueueDepth.Add(1)
+		return nil
+	default:
+		mRejects.With("full").Inc()
+		return &statusError{code: 503, retryAfter: s.retryAfter(),
+			msg: fmt.Sprintf("queue full (%d requests waiting)", s.cfg.QueueDepth)}
+	}
+}
+
+// retryAfter estimates how long a rejected client should back off, in whole
+// seconds: one batch window per queued request spread over the workers,
+// floored at 1 s — deliberately coarse, it is a hint, not a promise.
+func (s *Server) retryAfter() int {
+	est := time.Duration(s.cfg.QueueDepth/s.cfg.Workers+1) * s.cfg.BatchWindow
+	if sec := int(est / time.Second); sec > 1 {
+		return sec
+	}
+	return 1
+}
+
+// batching reports whether the server coalesces transform requests at all.
+func (s *Server) batching() bool {
+	return s.cfg.MaxBatch > 1 && s.cfg.BatchWindow > 0
+}
+
+// dispatch is the dispatcher goroutine: it owns the pending-group map and
+// is the only sender on s.batches.
+func (s *Server) dispatch() {
+	defer close(s.dispatcherDone)
+	pending := map[string]*group{}
+
+	flush := func(key string) {
+		g := pending[key]
+		if g == nil {
+			return
+		}
+		delete(pending, key)
+		s.batches <- g
+	}
+
+	for {
+		select {
+		case t, ok := <-s.queue:
+			if !ok {
+				// Drain: everything not yet handed to the workers is
+				// rejected; batches already queued for execution complete.
+				for key, g := range pending {
+					delete(pending, key)
+					for _, t := range g.tasks {
+						mQueueDepth.Add(-1)
+						mRejects.With("draining").Inc()
+						t.fail(503, s.retryAfter(), "server is draining")
+					}
+				}
+				close(s.batches)
+				return
+			}
+			if s.Draining() {
+				// Admitted before the drain began but not yet handed to the
+				// worker pool: rejected, like everything still queued.
+				mQueueDepth.Add(-1)
+				mRejects.With("draining").Inc()
+				t.fail(503, s.retryAfter(), "server is draining")
+				continue
+			}
+			if t.expired(time.Now()) {
+				mQueueDepth.Add(-1)
+				mRejects.With("deadline").Inc()
+				t.fail(503, s.retryAfter(), "deadline expired while queued")
+				continue
+			}
+			if t.key == "" || !s.batching() {
+				s.batches <- &group{key: t.key, tasks: []*task{t}}
+				continue
+			}
+			g := pending[t.key]
+			if g == nil {
+				g = &group{key: t.key}
+				pending[t.key] = g
+				// Arm the window timer for this group. The timer goroutine
+				// abandons the send once the dispatcher has exited.
+				key := t.key
+				time.AfterFunc(s.cfg.BatchWindow, func() {
+					select {
+					case s.flushCh <- key:
+					case <-s.dispatcherDone:
+					}
+				})
+			}
+			g.tasks = append(g.tasks, t)
+			if g.rows() >= s.cfg.MaxBatch {
+				flush(t.key)
+			}
+		case key := <-s.flushCh:
+			flush(key)
+		}
+	}
+}

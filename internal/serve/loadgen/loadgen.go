@@ -1,0 +1,366 @@
+// Package loadgen drives synthetic load against an fftxd server and
+// reports throughput and latency quantiles. Two disciplines are supported:
+//
+//   - closed loop (Rate == 0): Concurrency clients each keep exactly one
+//     request in flight — offered load adapts to the server, which is how
+//     capacity (max sustainable req/s) is measured.
+//   - open loop (Rate > 0): requests start on a fixed schedule regardless
+//     of completions — offered load is constant, which is how latency
+//     under a target arrival rate (and overload behavior) is measured.
+//
+// Latencies are recorded exactly (one sample per request) and quantiles
+// computed from the sorted samples, so small runs are not distorted by
+// histogram bucketing.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// Options configures one load run.
+type Options struct {
+	// Target is the server's base URL, e.g. "http://127.0.0.1:8472".
+	Target string
+	// Concurrency is the number of client goroutines (default 8). In open
+	// loop it bounds the in-flight requests; arrivals beyond it count as
+	// errors (the client side of backpressure).
+	Concurrency int
+	// Requests stops the run after this many requests (0 = run for
+	// Duration).
+	Requests int
+	// Duration stops the run after this wall-clock time (default 2 s when
+	// Requests is 0).
+	Duration time.Duration
+	// Rate > 0 switches to open loop at that many requests per second.
+	Rate float64
+	// Dims, Batch and Backward shape the transform request payload
+	// (defaults: 16×16×16, batch 1, forward).
+	Dims     []int
+	Batch    int
+	Backward bool
+	// Binary uses the length-prefixed wire format instead of JSON.
+	Binary bool
+	// Deadline, when > 0, stamps every request with a queueing deadline.
+	Deadline time.Duration
+	// Client overrides the HTTP client (tests).
+	Client *http.Client
+}
+
+func (o Options) withDefaults() Options {
+	if o.Concurrency <= 0 {
+		o.Concurrency = 8
+	}
+	if o.Requests == 0 && o.Duration <= 0 {
+		o.Duration = 2 * time.Second
+	}
+	if len(o.Dims) == 0 {
+		o.Dims = []int{16, 16, 16}
+	}
+	if o.Batch <= 0 {
+		o.Batch = 1
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return o
+}
+
+// Report is the outcome of one load run.
+type Report struct {
+	Mode        string         `json:"mode"` // "closed" or "open"
+	Target      string         `json:"target"`
+	Concurrency int            `json:"concurrency"`
+	Shape       string         `json:"shape"`
+	Sent        int            `json:"sent"`
+	OK          int            `json:"ok"`
+	Errors      int            `json:"errors"`
+	StatusCount map[string]int `json:"status_counts"`
+	ElapsedSec  float64        `json:"elapsed_s"`
+	Throughput  float64        `json:"req_per_s"` // successful replies per second
+	MeanSec     float64        `json:"mean_s"`
+	P50Sec      float64        `json:"p50_s"`
+	P90Sec      float64        `json:"p90_s"`
+	P99Sec      float64        `json:"p99_s"`
+	MaxSec      float64        `json:"max_s"`
+	// MeanBatchRows is the average batch size the server reports having
+	// coalesced successful requests into (1 = no batching happened).
+	MeanBatchRows float64 `json:"mean_batch_rows"`
+}
+
+// sample is one request's result.
+type sample struct {
+	latency   time.Duration
+	status    int
+	batchRows int
+	err       error
+}
+
+// Run executes the configured load and aggregates the report. The context
+// cancels the run early.
+func Run(ctx context.Context, opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	if opts.Target == "" {
+		return nil, fmt.Errorf("loadgen: no target URL")
+	}
+	payload, contentType, err := buildPayload(opts)
+	if err != nil {
+		return nil, err
+	}
+
+	// The duration bounds scheduling only: at the deadline clients stop
+	// issuing, but requests already in flight run to completion on the
+	// parent context so the tail is measured rather than aborted.
+	schedCtx := ctx
+	if opts.Duration > 0 {
+		var cancel context.CancelFunc
+		schedCtx, cancel = context.WithTimeout(ctx, opts.Duration)
+		defer cancel()
+	}
+
+	samples := make(chan sample, 4*opts.Concurrency)
+	var collected []sample
+	collectDone := make(chan struct{})
+	go func() {
+		defer close(collectDone)
+		for sm := range samples {
+			collected = append(collected, sm)
+		}
+	}()
+
+	begin := time.Now()
+	if opts.Rate > 0 {
+		runOpen(ctx, schedCtx, opts, payload, contentType, samples)
+	} else {
+		runClosed(ctx, schedCtx, opts, payload, contentType, samples)
+	}
+	close(samples)
+	<-collectDone
+	elapsed := time.Since(begin)
+
+	return aggregate(opts, collected, elapsed), nil
+}
+
+// runClosed keeps Concurrency requests in flight until the budget runs out.
+func runClosed(ctx, schedCtx context.Context, opts Options, payload []byte, ct string, out chan<- sample) {
+	var issued int
+	var mu sync.Mutex
+	takeTicket := func() bool {
+		if opts.Requests == 0 {
+			return schedCtx.Err() == nil
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if issued >= opts.Requests || schedCtx.Err() != nil {
+			return false
+		}
+		issued++
+		return true
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < opts.Concurrency; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for takeTicket() {
+				out <- doRequest(ctx, opts, payload, ct)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// runOpen fires requests on a fixed schedule; arrivals finding every client
+// slot busy are recorded as local drops.
+func runOpen(ctx, schedCtx context.Context, opts Options, payload []byte, ct string, out chan<- sample) {
+	interval := time.Duration(float64(time.Second) / opts.Rate)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	slots := make(chan struct{}, opts.Concurrency)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	var wg sync.WaitGroup
+	issued := 0
+	for {
+		if opts.Requests > 0 && issued >= opts.Requests {
+			break
+		}
+		select {
+		case <-schedCtx.Done():
+		case <-ticker.C:
+		}
+		if schedCtx.Err() != nil {
+			break
+		}
+		issued++
+		select {
+		case slots <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				out <- doRequest(ctx, opts, payload, ct)
+				<-slots
+			}()
+		default:
+			out <- sample{err: fmt.Errorf("all %d client slots busy", opts.Concurrency), status: 0}
+		}
+	}
+	wg.Wait()
+}
+
+// doRequest posts one payload and classifies the reply.
+func doRequest(ctx context.Context, opts Options, payload []byte, ct string) sample {
+	start := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, opts.Target+"/fft", bytes.NewReader(payload))
+	if err != nil {
+		return sample{err: err}
+	}
+	req.Header.Set("Content-Type", ct)
+	resp, err := opts.Client.Do(req)
+	if err != nil {
+		return sample{err: err, latency: time.Since(start)}
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	sm := sample{latency: time.Since(start), status: resp.StatusCode, err: err}
+	if err == nil && resp.StatusCode == http.StatusOK {
+		sm.batchRows, sm.err = batchRowsOf(opts, body)
+	}
+	return sm
+}
+
+// batchRowsOf extracts the server-reported batch size from a success body.
+func batchRowsOf(opts Options, body []byte) (int, error) {
+	if opts.Binary {
+		r, err := serve.DecodeResponse(body)
+		if err != nil {
+			return 0, err
+		}
+		return r.BatchSize, nil
+	}
+	var r serve.Response
+	if err := json.Unmarshal(body, &r); err != nil {
+		return 0, err
+	}
+	return r.BatchSize, nil
+}
+
+// buildPayload renders the request body once; every request reuses it.
+func buildPayload(opts Options) ([]byte, string, error) {
+	n := 1
+	for _, d := range opts.Dims {
+		if d <= 0 {
+			return nil, "", fmt.Errorf("loadgen: invalid dim %d", d)
+		}
+		n *= d
+	}
+	rng := rand.New(rand.NewSource(42))
+	data := make([]float64, 2*opts.Batch*n)
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	req := &serve.Request{
+		Op:    serve.OpTransform,
+		Dims:  opts.Dims,
+		Batch: opts.Batch,
+		Data:  data,
+	}
+	if opts.Backward {
+		req.Sign = 1
+	}
+	if opts.Deadline > 0 {
+		req.DeadlineMillis = int64(opts.Deadline / time.Millisecond)
+	}
+	if opts.Binary {
+		b, err := serve.EncodeRequest(req)
+		return b, "application/octet-stream", err
+	}
+	b, err := json.Marshal(req)
+	return b, "application/json", err
+}
+
+// aggregate folds the samples into a report.
+func aggregate(opts Options, samples []sample, elapsed time.Duration) *Report {
+	rep := &Report{
+		Mode:        "closed",
+		Target:      opts.Target,
+		Concurrency: opts.Concurrency,
+		Shape:       shapeString(opts),
+		StatusCount: map[string]int{},
+		ElapsedSec:  elapsed.Seconds(),
+	}
+	if opts.Rate > 0 {
+		rep.Mode = "open"
+	}
+	var lat []time.Duration
+	var sumLat time.Duration
+	var sumRows int
+	for _, sm := range samples {
+		rep.Sent++
+		switch {
+		case sm.err == nil && sm.status == http.StatusOK:
+			rep.OK++
+			lat = append(lat, sm.latency)
+			sumLat += sm.latency
+			sumRows += sm.batchRows
+		default:
+			rep.Errors++
+		}
+		if sm.status != 0 {
+			rep.StatusCount[fmt.Sprint(sm.status)]++
+		} else {
+			rep.StatusCount["transport"]++
+		}
+	}
+	if elapsed > 0 {
+		rep.Throughput = float64(rep.OK) / elapsed.Seconds()
+	}
+	if len(lat) == 0 {
+		return rep
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	rep.MeanSec = (sumLat / time.Duration(len(lat))).Seconds()
+	rep.P50Sec = quantile(lat, 0.50).Seconds()
+	rep.P90Sec = quantile(lat, 0.90).Seconds()
+	rep.P99Sec = quantile(lat, 0.99).Seconds()
+	rep.MaxSec = lat[len(lat)-1].Seconds()
+	rep.MeanBatchRows = float64(sumRows) / float64(rep.OK)
+	return rep
+}
+
+// quantile reads the q-quantile of sorted latencies by nearest rank.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted)) + 0.5)
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func shapeString(opts Options) string {
+	s := ""
+	for i, d := range opts.Dims {
+		if i > 0 {
+			s += "x"
+		}
+		s += fmt.Sprint(d)
+	}
+	if opts.Batch > 1 {
+		s += fmt.Sprintf("(batch %d)", opts.Batch)
+	}
+	return s
+}

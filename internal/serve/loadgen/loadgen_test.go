@@ -1,0 +1,116 @@
+package loadgen
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func startServer(t *testing.T, cfg serve.Config) *serve.Server {
+	t.Helper()
+	s := serve.New(cfg)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return s
+}
+
+// TestClosedLoopZeroErrors is the acceptance check: a closed-loop run at
+// twice the server's worker count completes without a single error — the
+// closed loop never offers more than Concurrency requests at once, so a
+// sanely-sized queue must absorb all of it.
+func TestClosedLoopZeroErrors(t *testing.T) {
+	s := startServer(t, serve.Config{Workers: 2})
+	rep, err := Run(context.Background(), Options{
+		Target:      s.URL(),
+		Concurrency: 2 * s.Workers(),
+		Duration:    time.Second,
+		Dims:        []int{8, 8, 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "closed" {
+		t.Errorf("mode %q, want closed", rep.Mode)
+	}
+	if rep.Sent == 0 {
+		t.Fatal("no requests sent")
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d/%d requests errored: %v", rep.Errors, rep.Sent, rep.StatusCount)
+	}
+	if rep.OK != rep.Sent {
+		t.Errorf("%d ok of %d sent", rep.OK, rep.Sent)
+	}
+	if rep.Throughput <= 0 || rep.P99Sec < rep.P50Sec || rep.MaxSec < rep.P99Sec {
+		t.Errorf("implausible latency aggregates: %+v", rep)
+	}
+	if rep.MeanBatchRows < 1 {
+		t.Errorf("mean batch rows %.2f < 1", rep.MeanBatchRows)
+	}
+}
+
+// TestClosedLoopRequestCount pins the fixed-request mode and the binary
+// wire path.
+func TestClosedLoopRequestCount(t *testing.T) {
+	s := startServer(t, serve.Config{Workers: 1})
+	rep, err := Run(context.Background(), Options{
+		Target:      s.URL(),
+		Concurrency: 3,
+		Requests:    25,
+		Dims:        []int{64},
+		Batch:       2,
+		Binary:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sent != 25 {
+		t.Errorf("sent %d, want exactly 25", rep.Sent)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("%d errors: %v", rep.Errors, rep.StatusCount)
+	}
+	if rep.MeanBatchRows < 2 {
+		t.Errorf("mean batch rows %.2f < request batch 2", rep.MeanBatchRows)
+	}
+}
+
+// TestOpenLoopOverload drives an open loop well past a tiny server's
+// capacity and checks the report separates successes from shed load
+// instead of erroring out.
+func TestOpenLoopOverload(t *testing.T) {
+	s := startServer(t, serve.Config{Workers: 1, QueueDepth: 1, MaxBatch: 1})
+	rep, err := Run(context.Background(), Options{
+		Target:      s.URL(),
+		Concurrency: 4,
+		Rate:        300,
+		Duration:    500 * time.Millisecond,
+		Dims:        []int{16, 16, 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "open" {
+		t.Errorf("mode %q, want open", rep.Mode)
+	}
+	if rep.Sent == 0 || rep.OK == 0 {
+		t.Fatalf("no traffic flowed: %+v", rep)
+	}
+	if rep.OK+rep.Errors != rep.Sent {
+		t.Errorf("sent %d != ok %d + errors %d", rep.Sent, rep.OK, rep.Errors)
+	}
+}
+
+func TestRunRejectsMissingTarget(t *testing.T) {
+	if _, err := Run(context.Background(), Options{}); err == nil {
+		t.Fatal("no error for missing target")
+	}
+}

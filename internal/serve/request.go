@@ -1,0 +1,296 @@
+// Package serve is the network-facing FFT serving subsystem (the fftxd
+// daemon): an HTTP service that accepts 1-D/2-D/3-D transform requests and
+// full-pipeline (fftx.Run-shaped) simulation requests, executes them on a
+// bounded worker pool, shares one fft.Cache of plans across all requests
+// and coalesces same-shape requests into batches — the paper's
+// per-iteration task grouping applied to serving: grouping transforms of
+// one shape amortizes plan lookup and twiddle-table reuse and turns many
+// small independent kernels into one host-parallel fan-out.
+//
+// The subsystem has four layers:
+//
+//   - request.go / wire.go — the JSON and length-prefixed binary codecs and
+//     request validation (shape limits, finiteness; decoders never panic).
+//   - batch.go — admission control (bounded queue, deadline- and
+//     drain-aware rejection with Retry-After) and the batching dispatcher
+//     that groups same-shape requests inside a short window.
+//   - exec.go — batch execution on the plan cache via the host-parallel
+//     fft batch drivers, and cost-mode fftx.Run for pipeline requests.
+//   - serve.go — the HTTP server: /fft, /healthz, plus the standard
+//     telemetry mux (/metrics, /debug/vars, /debug/pprof) and graceful
+//     drain on shutdown.
+//
+// Handlers here run on wall-clock host time and must never touch the
+// simulator's virtual-time runtimes directly; the fftxvet handlerbody rule
+// enforces that (pipeline requests reach vtime only through fftx.Run, which
+// owns a complete simulation per call).
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/fft"
+	"repro/internal/fftx"
+)
+
+// Op selects what a request asks the server to do.
+const (
+	// OpTransform is an in-place complex FFT of one or more equally-shaped
+	// arrays.
+	OpTransform = "transform"
+	// OpPipeline is a full FFTXlib pipeline simulation (fftx.Run in cost
+	// mode): the request carries the workload parameters, the response the
+	// simulated runtime.
+	OpPipeline = "pipeline"
+)
+
+// DefaultMaxElements bounds the total complex elements of one transform
+// request (dims product × batch): 2^22 elements = 64 MiB of complex128.
+const DefaultMaxElements = 1 << 22
+
+// maxPipelineLanes bounds the simulated hardware occupancy one pipeline
+// request may ask for, so a single request cannot allocate an arbitrarily
+// large simulation.
+const maxPipelineLanes = 1024
+
+// Request is one FFT service request. The JSON form posts to /fft with
+// Content-Type application/json; the equivalent binary form (transforms
+// only) uses the length-prefixed wire format of wire.go with Content-Type
+// application/octet-stream.
+type Request struct {
+	// Op is OpTransform (default when Data is present) or OpPipeline.
+	Op string `json:"op,omitempty"`
+
+	// Dims are the transform dimensions, outermost first: [n] for 1-D,
+	// [nx, ny] for row-major planes, [nx, ny, nz] for z-fastest boxes
+	// (OpTransform).
+	Dims []int `json:"dims,omitempty"`
+	// Sign is the transform direction: -1 forward, +1 backward (default
+	// forward).
+	Sign int `json:"sign,omitempty"`
+	// Scale applies the 1/N normalization after the transform.
+	Scale bool `json:"scale,omitempty"`
+	// Batch is the number of equally-shaped transforms carried in Data
+	// (default 1). All of them share one plan and one host-parallel
+	// fan-out.
+	Batch int `json:"batch,omitempty"`
+	// Data holds batch × product(Dims) complex values as interleaved
+	// re,im float64 pairs.
+	Data []float64 `json:"data,omitempty"`
+
+	// Pipeline carries the workload of an OpPipeline request.
+	Pipeline *PipelineRequest `json:"pipeline,omitempty"`
+
+	// DeadlineMillis is the client's tolerance for queueing: if the request
+	// cannot start executing within this many milliseconds of arrival, the
+	// server rejects it with 503 + Retry-After instead of holding it (0 =
+	// no deadline).
+	DeadlineMillis int64 `json:"deadline_ms,omitempty"`
+}
+
+// PipelineRequest mirrors the fftx.Config surface exposed to the network.
+// Runs are always cost-mode: the full problem sizes of the paper simulate
+// in milliseconds without allocating band data.
+type PipelineRequest struct {
+	Ecut   float64 `json:"ecut"`
+	Alat   float64 `json:"alat"`
+	NB     int     `json:"nb"`
+	Ranks  int     `json:"ranks"`
+	NTG    int     `json:"ntg"`
+	Engine string  `json:"engine,omitempty"` // original|task-steps|task-iter|task-combined
+	Seed   int     `json:"seed,omitempty"`
+}
+
+// Response is the JSON reply of /fft.
+type Response struct {
+	// Data echoes the transformed payload of an OpTransform request
+	// (interleaved re,im).
+	Data []float64 `json:"data,omitempty"`
+	// BatchSize is the number of transforms the server coalesced into the
+	// batch this request rode in (≥ its own Batch; the batching tests and
+	// loadgen read it).
+	BatchSize int `json:"batch_size,omitempty"`
+	// Runtime is the simulated runtime in virtual seconds (OpPipeline).
+	Runtime float64 `json:"runtime,omitempty"`
+	// Engine echoes the engine that ran (OpPipeline).
+	Engine string `json:"engine,omitempty"`
+}
+
+// errorBody is the JSON error payload of non-2xx replies.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// NumElements returns product(Dims), or 0 for invalid dims.
+func (r *Request) NumElements() int {
+	if len(r.Dims) == 0 {
+		return 0
+	}
+	n := 1
+	for _, d := range r.Dims {
+		if d <= 0 || n > DefaultMaxElements/d {
+			return 0
+		}
+		n *= d
+	}
+	return n
+}
+
+// ShapeKey is the batching key: requests with equal keys can execute as one
+// batch (same dims, direction and scaling). The key doubles as the "shape"
+// metric label, e.g. "f3d:20x20x20" for a forward 3-D transform.
+func (r *Request) ShapeKey() string {
+	var b strings.Builder
+	// Sign is normalized to ±1 by Validate; backward is +1.
+	if r.Sign > 0 {
+		b.WriteByte('b')
+	} else {
+		b.WriteByte('f')
+	}
+	fmt.Fprintf(&b, "%dd:", len(r.Dims))
+	for i, d := range r.Dims {
+		if i > 0 {
+			b.WriteByte('x')
+		}
+		b.WriteString(strconv.Itoa(d))
+	}
+	if r.Scale {
+		b.WriteString(":s")
+	}
+	return b.String()
+}
+
+// Validate normalizes and checks a decoded request against the server's
+// element budget. It returns a client-error description (HTTP 400) on
+// violation.
+func (r *Request) Validate(maxElements int) error {
+	if maxElements <= 0 {
+		maxElements = DefaultMaxElements
+	}
+	switch r.Op {
+	case "":
+		if r.Pipeline != nil {
+			r.Op = OpPipeline
+		} else {
+			r.Op = OpTransform
+		}
+	case OpTransform, OpPipeline:
+	default:
+		return fmt.Errorf("unknown op %q", r.Op)
+	}
+	if r.Op == OpPipeline {
+		p := r.Pipeline
+		if p == nil {
+			return fmt.Errorf("pipeline request without pipeline parameters")
+		}
+		if _, err := engineByName(p.Engine); err != nil {
+			return err
+		}
+		if p.Ecut <= 0 || p.Alat <= 0 || p.NB <= 0 || p.Ranks <= 0 || p.NTG <= 0 {
+			return fmt.Errorf("pipeline parameters must be positive (ecut=%g alat=%g nb=%d ranks=%d ntg=%d)",
+				p.Ecut, p.Alat, p.NB, p.Ranks, p.NTG)
+		}
+		if lanes := p.Ranks * p.NTG; lanes > maxPipelineLanes {
+			return fmt.Errorf("pipeline occupies %d lanes, limit %d", lanes, maxPipelineLanes)
+		}
+		if p.NB%p.NTG != 0 {
+			return fmt.Errorf("nb=%d not divisible by ntg=%d", p.NB, p.NTG)
+		}
+		return nil
+	}
+	if len(r.Dims) < 1 || len(r.Dims) > 3 {
+		return fmt.Errorf("dims must have 1 to 3 entries, got %d", len(r.Dims))
+	}
+	n := r.NumElements()
+	if n == 0 {
+		return fmt.Errorf("invalid dims %v", r.Dims)
+	}
+	if r.Batch == 0 {
+		r.Batch = 1
+	}
+	if r.Batch < 0 {
+		return fmt.Errorf("invalid batch %d", r.Batch)
+	}
+	if r.Batch > maxElements/n {
+		return fmt.Errorf("request of %d×%d elements exceeds the %d-element limit", r.Batch, n, maxElements)
+	}
+	switch r.Sign {
+	case 0, -1:
+		r.Sign = -1
+	case 1:
+	default:
+		return fmt.Errorf("sign must be -1 (forward) or +1 (backward), got %d", r.Sign)
+	}
+	if len(r.Data) != 2*r.Batch*n {
+		return fmt.Errorf("data carries %d floats, want %d (batch %d × %d elements × re,im)",
+			len(r.Data), 2*r.Batch*n, r.Batch, n)
+	}
+	for i, v := range r.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("data[%d] is not finite", i)
+		}
+	}
+	return nil
+}
+
+// engineByName maps the wire engine name to the fftx engine ("" means
+// task-iter, the paper's best-performing version).
+func engineByName(name string) (fftx.Engine, error) {
+	switch name {
+	case "", "task-iter":
+		return fftx.EngineTaskIter, nil
+	case "original":
+		return fftx.EngineOriginal, nil
+	case "task-steps":
+		return fftx.EngineTaskSteps, nil
+	case "task-combined":
+		return fftx.EngineTaskCombined, nil
+	}
+	return 0, fmt.Errorf("unknown engine %q", name)
+}
+
+// complexData reinterprets the request payload as complex values.
+func (r *Request) complexData() []complex128 {
+	out := make([]complex128, len(r.Data)/2)
+	for i := range out {
+		out[i] = complex(r.Data[2*i], r.Data[2*i+1])
+	}
+	return out
+}
+
+// floatData flattens complex values into interleaved re,im pairs.
+func floatData(x []complex128) []float64 {
+	out := make([]float64, 2*len(x))
+	for i, v := range x {
+		out[2*i] = real(v)
+		out[2*i+1] = imag(v)
+	}
+	return out
+}
+
+// signOf converts the wire sign to the fft package direction.
+func signOf(sign int) fft.Sign {
+	if sign > 0 {
+		return fft.Backward
+	}
+	return fft.Forward
+}
+
+// DecodeJSONRequest parses and validates a JSON request body.
+func DecodeJSONRequest(body []byte, maxElements int) (*Request, error) {
+	var req Request
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("malformed JSON request: %w", err)
+	}
+	if err := req.Validate(maxElements); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}

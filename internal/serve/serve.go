@@ -1,0 +1,286 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/fft"
+)
+
+// Config tunes one Server. The zero value serves on an ephemeral localhost
+// port with GOMAXPROCS workers and batching enabled.
+type Config struct {
+	// Addr is the listen address (default "127.0.0.1:0").
+	Addr string
+	// Workers is the number of batch-executing goroutines (default
+	// GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the admission queue; a full queue rejects with 503
+	// + Retry-After (default 256).
+	QueueDepth int
+	// MaxBatch is the most transform rows coalesced into one batch; 1
+	// disables batching (default 32).
+	MaxBatch int
+	// BatchWindow is how long a partial batch waits for same-shape company
+	// before flushing; 0 disables batching (default 500 µs).
+	BatchWindow time.Duration
+	// MaxElements bounds one request's total complex elements (default
+	// DefaultMaxElements).
+	MaxElements int
+	// Cache is the shared plan cache (default: a private cache).
+	Cache *fft.Cache
+	// Mux, when non-nil, is the base mux the /fft and /healthz endpoints
+	// mount onto — fftxd passes telemetry.Mux so one listener serves both
+	// the FFT API and /metrics + /debug/pprof.
+	Mux *http.ServeMux
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 32
+	}
+	if c.BatchWindow == 0 {
+		c.BatchWindow = 500 * time.Microsecond
+	}
+	if c.MaxElements <= 0 {
+		c.MaxElements = DefaultMaxElements
+	}
+	if c.Cache == nil {
+		c.Cache = &fft.Cache{}
+	}
+	if c.Mux == nil {
+		c.Mux = http.NewServeMux()
+	}
+	return c
+}
+
+// Server is a running FFT service.
+type Server struct {
+	cfg   Config
+	cache *fft.Cache
+
+	queue   chan *task
+	batches chan *group
+	flushCh chan string
+
+	admitMu  sync.RWMutex
+	draining bool
+
+	dispatcherDone chan struct{}
+	workerWG       sync.WaitGroup
+
+	ln    net.Listener
+	httpS *http.Server
+	start time.Time
+
+	shutdownOnce sync.Once
+	shutdownErr  error
+
+	// testExecDelay stretches every batch execution (tests only).
+	testExecDelay time.Duration
+}
+
+// New builds a Server from cfg. Call Start to bind and serve.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:            cfg,
+		cache:          cfg.Cache,
+		queue:          make(chan *task, cfg.QueueDepth),
+		batches:        make(chan *group, cfg.Workers),
+		flushCh:        make(chan string, 1),
+		dispatcherDone: make(chan struct{}),
+	}
+	cfg.Mux.HandleFunc("/fft", s.handleFFT)
+	cfg.Mux.HandleFunc("/healthz", s.handleHealthz)
+	return s
+}
+
+// Start binds the listener and serves in the background until Shutdown.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("serve: listen %s: %w", s.cfg.Addr, err)
+	}
+	s.ln = ln
+	s.start = time.Now()
+	s.httpS = &http.Server{Handler: s.cfg.Mux, ReadHeaderTimeout: 5 * time.Second}
+	mDrainState.Set(0)
+	go s.dispatch()
+	s.workerWG.Add(s.cfg.Workers)
+	for i := 0; i < s.cfg.Workers; i++ {
+		go s.worker()
+	}
+	go func() { _ = s.httpS.Serve(ln) }()
+	return nil
+}
+
+// Addr returns the bound listen address (host:port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the server's base URL.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Workers returns the effective worker-pool size.
+func (s *Server) Workers() int { return s.cfg.Workers }
+
+// Shutdown drains gracefully: admission closes immediately (new requests
+// get 503 + Retry-After), batches already handed to the worker pool
+// complete, everything still queued is rejected with 503, then the
+// listener closes once the in-flight HTTP exchanges finish. It is
+// idempotent and bounded by ctx.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.shutdownOnce.Do(func() {
+		s.admitMu.Lock()
+		s.draining = true
+		mDrainState.Set(1)
+		close(s.queue)
+		s.admitMu.Unlock()
+
+		workDone := make(chan struct{})
+		go func() {
+			<-s.dispatcherDone
+			s.workerWG.Wait()
+			close(workDone)
+		}()
+		select {
+		case <-workDone:
+		case <-ctx.Done():
+			s.shutdownErr = ctx.Err()
+			_ = s.httpS.Close()
+			return
+		}
+		s.shutdownErr = s.httpS.Shutdown(ctx)
+	})
+	return s.shutdownErr
+}
+
+// Draining reports whether the server has begun shutting down.
+func (s *Server) Draining() bool {
+	s.admitMu.RLock()
+	defer s.admitMu.RUnlock()
+	return s.draining
+}
+
+// maxBody bounds an /fft request body: the element budget in complex128
+// bytes plus codec overhead.
+func (s *Server) maxBody() int64 {
+	return int64(s.cfg.MaxElements)*16 + 1<<16
+}
+
+// handleFFT is the transform/pipeline endpoint. The response format follows
+// the request format: application/octet-stream for the binary wire format,
+// JSON otherwise.
+func (s *Server) handleFFT(w http.ResponseWriter, r *http.Request) {
+	startAt := time.Now()
+	code := 0
+	defer func() {
+		mReqTotal.With("fft", fmt.Sprint(code)).Inc()
+		mReqSeconds.With("fft").Observe(time.Since(startAt).Seconds())
+	}()
+	if r.Method != http.MethodPost {
+		code = http.StatusMethodNotAllowed
+		writeError(w, false, code, 0, "POST only")
+		return
+	}
+	binary := r.Header.Get("Content-Type") == "application/octet-stream"
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody()))
+	if err != nil {
+		code = http.StatusRequestEntityTooLarge
+		writeError(w, binary, code, 0, "request body rejected: %v", err)
+		return
+	}
+	var req *Request
+	if binary {
+		req, err = DecodeRequest(body, s.cfg.MaxElements)
+	} else {
+		req, err = DecodeJSONRequest(body, s.cfg.MaxElements)
+	}
+	if err != nil {
+		code = http.StatusBadRequest
+		writeError(w, binary, code, 0, "%v", err)
+		return
+	}
+
+	t := newTask(req)
+	if serr := s.admit(t); serr != nil {
+		code = serr.code
+		writeError(w, binary, serr.code, serr.retryAfter, "%s", serr.msg)
+		return
+	}
+	select {
+	case out := <-t.done:
+		if out.err != nil {
+			code = out.err.code
+			writeError(w, binary, out.err.code, out.err.retryAfter, "%s", out.err.msg)
+			return
+		}
+		code = http.StatusOK
+		if binary {
+			w.Header().Set("Content-Type", "application/octet-stream")
+			_, _ = w.Write(EncodeResponse(out.resp))
+			return
+		}
+		writeJSON(w, http.StatusOK, out.resp)
+	case <-r.Context().Done():
+		// The client went away; the batch still executes, the outcome
+		// lands in the buffered channel and is garbage collected.
+		code = 499 // nginx's "client closed request", for the metrics only
+	}
+}
+
+// handleHealthz reports liveness: 200 while serving, 503 while draining —
+// the signal load balancers use to stop routing before the listener goes
+// away.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	code := http.StatusOK
+	state := "ok"
+	if s.Draining() {
+		code = http.StatusServiceUnavailable
+		state = "draining"
+	}
+	writeJSON(w, code, map[string]any{
+		"status":   state,
+		"workers":  s.cfg.Workers,
+		"queue":    len(s.queue),
+		"uptime_s": time.Since(s.start).Seconds(),
+	})
+	mReqTotal.With("healthz", fmt.Sprint(code)).Inc()
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError replies with a problem description; retryAfter > 0 sets the
+// Retry-After backpressure header. Binary-format clients get plain text
+// (they only read the status line and headers on errors).
+func writeError(w http.ResponseWriter, binary bool, code, retryAfter int, format string, args ...any) {
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", fmt.Sprint(retryAfter))
+	}
+	msg := fmt.Sprintf(format, args...)
+	if binary {
+		http.Error(w, msg, code)
+		return
+	}
+	writeJSON(w, code, errorBody{Error: msg})
+}

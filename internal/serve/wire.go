@@ -1,0 +1,192 @@
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Length-prefixed binary wire format for transform requests — the
+// low-overhead alternative to JSON for bulk payloads. All integers are
+// little-endian; complex values are float64 re,im pairs.
+//
+// Request layout:
+//
+//	offset  size  field
+//	0       4     magic "FXD1"
+//	4       1     sign: 0 forward, 1 backward
+//	5       1     rank: 1, 2 or 3
+//	6       1     flags: bit0 = scale by 1/N
+//	7       1     reserved, must be 0
+//	8       4     u32 batch count (≥ 1)
+//	12      4     u32 deadline in milliseconds (0 = none)
+//	16      4·r   u32 dims, outermost first
+//	…             batch × product(dims) × 16 bytes payload
+//
+// Response layout:
+//
+//	0       4     magic "FXR1"
+//	4       4     u32 batch size the request was coalesced into
+//	8       …     payload, same shape as the request
+//
+// Decoders validate every length before allocating and return errors —
+// never panic — on malformed input (FuzzRequestDecode holds them to that).
+
+// Wire format constants.
+var (
+	magicRequest  = [4]byte{'F', 'X', 'D', '1'}
+	magicResponse = [4]byte{'F', 'X', 'R', '1'}
+)
+
+const (
+	wireReqHeader  = 16 // fixed request header bytes before dims
+	wireRespHeader = 8
+	flagScale      = 1 << 0
+)
+
+// EncodeRequest renders a validated transform request in the binary wire
+// format.
+func EncodeRequest(r *Request) ([]byte, error) {
+	if r.Op != "" && r.Op != OpTransform {
+		return nil, fmt.Errorf("binary wire format carries transform requests only, not %q", r.Op)
+	}
+	if len(r.Dims) < 1 || len(r.Dims) > 3 {
+		return nil, fmt.Errorf("invalid rank %d", len(r.Dims))
+	}
+	batch := r.Batch
+	if batch == 0 {
+		batch = 1
+	}
+	out := make([]byte, 0, wireReqHeader+4*len(r.Dims)+8*len(r.Data))
+	out = append(out, magicRequest[:]...)
+	sign := byte(0)
+	if r.Sign > 0 {
+		sign = 1
+	}
+	flags := byte(0)
+	if r.Scale {
+		flags |= flagScale
+	}
+	out = append(out, sign, byte(len(r.Dims)), flags, 0)
+	out = binary.LittleEndian.AppendUint32(out, uint32(batch))
+	out = binary.LittleEndian.AppendUint32(out, uint32(r.DeadlineMillis))
+	for _, d := range r.Dims {
+		if d <= 0 || d > math.MaxUint32 {
+			return nil, fmt.Errorf("invalid dim %d", d)
+		}
+		out = binary.LittleEndian.AppendUint32(out, uint32(d))
+	}
+	for _, v := range r.Data {
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(v))
+	}
+	return out, nil
+}
+
+// DecodeRequest parses and validates a binary transform request. It never
+// panics: malformed lengths, truncated payloads and non-finite components
+// all return errors.
+func DecodeRequest(data []byte, maxElements int) (*Request, error) {
+	if maxElements <= 0 {
+		maxElements = DefaultMaxElements
+	}
+	if len(data) < wireReqHeader {
+		return nil, fmt.Errorf("request truncated: %d bytes, header is %d", len(data), wireReqHeader)
+	}
+	if [4]byte(data[:4]) != magicRequest {
+		return nil, fmt.Errorf("bad magic %q", data[:4])
+	}
+	sign, rank, flags, reserved := data[4], data[5], data[6], data[7]
+	if sign > 1 {
+		return nil, fmt.Errorf("bad sign byte %d", sign)
+	}
+	if rank < 1 || rank > 3 {
+		return nil, fmt.Errorf("bad rank %d", rank)
+	}
+	if flags&^byte(flagScale) != 0 || reserved != 0 {
+		return nil, fmt.Errorf("unknown flags %#x / reserved %#x", flags, reserved)
+	}
+	batch := binary.LittleEndian.Uint32(data[8:12])
+	deadline := binary.LittleEndian.Uint32(data[12:16])
+	if batch == 0 {
+		return nil, fmt.Errorf("zero batch count")
+	}
+	if len(data) < wireReqHeader+4*int(rank) {
+		return nil, fmt.Errorf("request truncated inside dims")
+	}
+	req := &Request{
+		Op:             OpTransform,
+		Sign:           -1,
+		Scale:          flags&flagScale != 0,
+		Batch:          int(batch),
+		DeadlineMillis: int64(deadline),
+		Dims:           make([]int, rank),
+	}
+	if sign == 1 {
+		req.Sign = 1
+	}
+	n := 1
+	for i := 0; i < int(rank); i++ {
+		d := binary.LittleEndian.Uint32(data[wireReqHeader+4*i:])
+		if d == 0 || int(d) > maxElements {
+			return nil, fmt.Errorf("dim %d out of range", d)
+		}
+		if n > maxElements/int(d) {
+			return nil, fmt.Errorf("dims %v exceed the %d-element limit", data[wireReqHeader:wireReqHeader+4*int(rank)], maxElements)
+		}
+		n *= int(d)
+		req.Dims[i] = int(d)
+	}
+	if int(batch) > maxElements/n {
+		return nil, fmt.Errorf("batch of %d×%d elements exceeds the %d-element limit", batch, n, maxElements)
+	}
+	payload := data[wireReqHeader+4*int(rank):]
+	want := int(batch) * n * 16
+	if len(payload) != want {
+		return nil, fmt.Errorf("payload carries %d bytes, want %d", len(payload), want)
+	}
+	req.Data = make([]float64, 2*int(batch)*n)
+	for i := range req.Data {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("payload component %d is not finite", i)
+		}
+		req.Data[i] = v
+	}
+	if err := req.Validate(maxElements); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// EncodeResponse renders a transform response in the binary wire format.
+func EncodeResponse(resp *Response) []byte {
+	out := make([]byte, 0, wireRespHeader+8*len(resp.Data))
+	out = append(out, magicResponse[:]...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(resp.BatchSize))
+	for _, v := range resp.Data {
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(v))
+	}
+	return out
+}
+
+// DecodeResponse parses a binary transform response (the loadgen's read
+// path).
+func DecodeResponse(data []byte) (*Response, error) {
+	if len(data) < wireRespHeader {
+		return nil, fmt.Errorf("response truncated: %d bytes", len(data))
+	}
+	if [4]byte(data[:4]) != magicResponse {
+		return nil, fmt.Errorf("bad magic %q", data[:4])
+	}
+	if (len(data)-wireRespHeader)%16 != 0 {
+		return nil, fmt.Errorf("payload of %d bytes is not whole complex values", len(data)-wireRespHeader)
+	}
+	resp := &Response{
+		BatchSize: int(binary.LittleEndian.Uint32(data[4:8])),
+		Data:      make([]float64, (len(data)-wireRespHeader)/8),
+	}
+	for i := range resp.Data {
+		resp.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[wireRespHeader+8*i:]))
+	}
+	return resp, nil
+}

@@ -24,14 +24,13 @@ type Server struct {
 	srv *http.Server
 }
 
-// Serve starts the telemetry HTTP server on addr (e.g. ":8080" or
-// "127.0.0.1:0" for an ephemeral port) exposing reg. It returns once the
-// listener is bound; requests are served in the background until Close.
-func Serve(addr string, reg *metrics.Registry) (*Server, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
-	}
+// Mux returns a fresh ServeMux with the standard telemetry surface
+// mounted: /metrics, /debug/vars, /debug/pprof/* and a plain-text index at
+// /. Servers that carry their own endpoints beside the telemetry ones (the
+// fftxd FFT service) build on this mux instead of running a second
+// listener; extra index lines name the additional endpoints on the front
+// page.
+func Mux(reg *metrics.Registry, extraIndex ...string) *http.ServeMux {
 	metrics.PublishExpvar("fftx", reg)
 
 	mux := http.NewServeMux()
@@ -48,7 +47,22 @@ func Serve(addr string, reg *metrics.Registry) (*Server, error) {
 			return
 		}
 		fmt.Fprintf(w, "fftx telemetry\n\n/metrics\n/debug/vars\n/debug/pprof/\n")
+		for _, line := range extraIndex {
+			fmt.Fprintln(w, line)
+		}
 	})
+	return mux
+}
+
+// Serve starts the telemetry HTTP server on addr (e.g. ":8080" or
+// "127.0.0.1:0" for an ephemeral port) exposing reg. It returns once the
+// listener is bound; requests are served in the background until Close.
+func Serve(addr string, reg *metrics.Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	mux := Mux(reg)
 
 	s := &Server{
 		URL: "http://" + ln.Addr().String(),

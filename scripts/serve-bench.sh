@@ -1,0 +1,61 @@
+#!/bin/sh
+# serve-bench: measures fftxd serving throughput and latency and writes
+# BENCH_serve.json, the machine-readable serving baseline alongside
+# BENCH_fft.json (see README "Serving").
+#
+# Three passes, each against a self-hosted in-process server so no port or
+# process juggling is needed:
+#
+#   closed_batched   closed loop, batching on  — sustainable capacity
+#   closed_unbatched closed loop, -max-batch 1 — the same load without
+#                    coalescing, to quantify the batching win
+#   open_loop        fixed arrival rate — latency under constant load
+#
+# DURATION and RATE tune run length and open-loop arrival rate;
+# DURATION=200ms gives a fast harness smoke-run for CI.
+set -eu
+
+duration="${DURATION:-2s}"
+rate="${RATE:-100}"
+dims="${DIMS:-16x16x16}"
+out="${OUT:-BENCH_serve.json}"
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT INT TERM
+
+go build -o "$workdir/fftxd" ./cmd/fftxd
+
+echo "serve-bench: closed loop, batching on (dims $dims, $duration)" >&2
+"$workdir/fftxd" -loadgen -json -duration "$duration" -dims "$dims" \
+    -concurrency 8 >"$workdir/closed_batched.json"
+
+echo "serve-bench: closed loop, batching off" >&2
+"$workdir/fftxd" -loadgen -json -duration "$duration" -dims "$dims" \
+    -concurrency 8 -max-batch 1 >"$workdir/closed_unbatched.json"
+
+echo "serve-bench: open loop at $rate req/s" >&2
+"$workdir/fftxd" -loadgen -json -duration "$duration" -dims "$dims" \
+    -concurrency 8 -rate "$rate" >"$workdir/open_loop.json"
+
+{
+    printf '{\n"closed_batched":\n'
+    cat "$workdir/closed_batched.json"
+    printf ',\n"closed_unbatched":\n'
+    cat "$workdir/closed_unbatched.json"
+    printf ',\n"open_loop":\n'
+    cat "$workdir/open_loop.json"
+    printf '}\n'
+} >"$out"
+
+# Sanity: every section made it into the file with real numbers.
+grep -q '"closed_batched"' "$out"
+grep -q '"closed_unbatched"' "$out"
+grep -q '"open_loop"' "$out"
+grep -q '"req_per_s"' "$out"
+
+echo "serve-bench: wrote $out"
+for section in closed_batched closed_unbatched open_loop; do
+    reqs="$(sed -n 's/.*"req_per_s": \([0-9.]*\).*/\1/p' "$workdir/$section.json")"
+    p99="$(sed -n 's/.*"p99_s": \([0-9.e+-]*\).*/\1/p' "$workdir/$section.json")"
+    echo "serve-bench: $section: $reqs req/s, p99 ${p99}s"
+done

@@ -1,13 +1,21 @@
 #!/bin/sh
-# serve-smoke: end-to-end check of the telemetry endpoints. Builds fftxbench,
-# runs the quick fig3 experiment with -serve on an ephemeral port, waits for
-# the advertised URL, scrapes /metrics (must contain fftx_ families in
-# Prometheus text format), /debug/vars and /debug/pprof/cmdline, then shuts
-# the process down. Exits non-zero if any endpoint is missing or empty.
+# serve-smoke: end-to-end check of the network-facing surfaces.
+#
+# Leg 1 (telemetry): builds fftxbench, runs the quick fig3 experiment with
+# -serve on an ephemeral port, waits for the advertised URL, scrapes
+# /metrics (must contain fftx_ families in Prometheus text format),
+# /debug/vars and /debug/pprof/cmdline, then shuts the process down.
+#
+# Leg 2 (fftxd): builds the FFT daemon, starts it on an ephemeral port,
+# POSTs a 3-D transform to /fft, checks /healthz, scrapes /metrics for the
+# fftxd_* families, then SIGTERMs it and requires a clean drain.
+#
+# Exits non-zero if any endpoint is missing or empty.
 set -eu
 
 workdir="$(mktemp -d)"
 log="$workdir/fftxbench.log"
+pid=""
 trap 'kill "$pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT INT TERM
 
 go build -o "$workdir/fftxbench" ./cmd/fftxbench
@@ -48,4 +56,68 @@ echo "serve-smoke: /debug/pprof ok"
 
 kill "$pid"
 wait "$pid" 2>/dev/null || true
+pid=""
+echo "serve-smoke: telemetry leg ok"
+
+# ---- leg 2: the fftxd FFT daemon ----------------------------------------
+
+dlog="$workdir/fftxd.log"
+go build -o "$workdir/fftxd" ./cmd/fftxd
+
+"$workdir/fftxd" -addr 127.0.0.1:0 >"$dlog" 2>&1 &
+pid=$!
+
+durl=""
+for _ in $(seq 1 50); do
+    durl="$(sed -n 's/^fftxd: serving .* at \(http:[^ ]*\).*$/\1/p' "$dlog")"
+    [ -n "$durl" ] && break
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "serve-smoke: fftxd exited early:" >&2
+        cat "$dlog" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ -z "$durl" ]; then
+    echo "serve-smoke: no fftxd URL in output:" >&2
+    cat "$dlog" >&2
+    exit 1
+fi
+echo "serve-smoke: fftxd at $durl"
+
+# A 4x4x4 forward transform with a deterministic payload.
+reqjson="$workdir/req.json"
+awk 'BEGIN{
+    printf "{\"dims\":[4,4,4],\"data\":[";
+    for (i = 0; i < 128; i++) printf "%s%.3f", (i ? "," : ""), i % 5 - 2;
+    print "]}"
+}' >"$reqjson"
+
+fftresp="$workdir/fft.json"
+curl -fsS -X POST -H 'Content-Type: application/json' \
+    --data-binary @"$reqjson" "$durl/fft" >"$fftresp"
+grep -q '"data":\[' "$fftresp"
+grep -q '"batch_size":' "$fftresp"
+echo "serve-smoke: /fft ok ($(wc -c <"$fftresp") byte reply)"
+
+curl -fsS "$durl/healthz" | grep -q '"status":"ok"'
+echo "serve-smoke: /healthz ok"
+
+dmetrics="$workdir/fftxd-metrics.txt"
+curl -fsS "$durl/metrics" >"$dmetrics"
+grep -q '^# TYPE fftxd_requests_total counter$' "$dmetrics"
+grep -q '^fftxd_shape_requests_total{shape="f3d:4x4x4"} ' "$dmetrics"
+grep -q '^# TYPE fftxd_batch_rows histogram$' "$dmetrics"
+echo "serve-smoke: fftxd /metrics ok ($(grep -c '^fftxd_' "$dmetrics") sample lines)"
+
+kill -TERM "$pid"
+drained=1
+wait "$pid" || drained=0
+pid=""
+if [ "$drained" != 1 ] || ! grep -q 'drained cleanly' "$dlog"; then
+    echo "serve-smoke: fftxd did not drain cleanly:" >&2
+    cat "$dlog" >&2
+    exit 1
+fi
+echo "serve-smoke: fftxd drained cleanly"
 echo "serve-smoke: PASS"
