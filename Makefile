@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test check vet fmt race fuzz-smoke overhead-smoke serve-smoke serve-bench bench-json
+.PHONY: all build test check vet fmt race fuzz-smoke overhead-smoke serve-smoke serve-bench bench-json engines-matrix
 
 all: check test
 
@@ -65,6 +65,15 @@ serve-bench:
 
 # bench-json runs the kernel and host-par benchmark pairs and writes
 # BENCH_fft.json, the machine-readable perf baseline (see README
-# "Performance"). BENCHTIME=1x gives a fast harness smoke-run.
+# "Performance"). BENCHTIME=1x gives a fast harness smoke-run. It also
+# records the per-engine runtime matrix as BENCH_engines.json.
 bench-json:
 	./scripts/bench-json.sh
+
+# engines-matrix is the cross-engine smoke gate: the short-mode equivalence
+# matrix (all engines x modes x {complex,gamma} through the shared stage
+# graph) plus the auto-selector contract, then the quick-suite runtime
+# matrix for eyeballing.
+engines-matrix:
+	$(GO) test ./internal/fftx -short -count=1 -run 'TestEngineMatrix|TestAutoSelectsFastestEngine|TestAutoRunResolvesAndMatches'
+	$(GO) run ./cmd/fftxbench -quick engines

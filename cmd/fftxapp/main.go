@@ -7,8 +7,12 @@
 // Usage:
 //
 //	fftxapp -ecutwfc 80 -alat 20 -nbnd 128 -ntg 8 -nranks 8 \
-//	        -engine original|task-steps|task-iter|task-combined \
+//	        -engine original|task-steps|task-iter|task-combined|auto \
 //	        [-gamma] [-niter 5] [-real] [-hostpar=false]
+//
+// -engine auto asks the cost-model selector to probe the applicable engines
+// and run the fastest for this workload shape; the banner reports which one
+// was picked.
 //
 // Observability: -serve addr exposes /metrics, /debug/vars and
 // /debug/pprof during and after the run; -cpuprofile and -memprofile write
@@ -41,7 +45,7 @@ func realMain() int {
 		nbnd    = flag.Int("nbnd", 128, "number of bands")
 		ntg     = flag.Int("ntg", 8, "task groups / threads per rank")
 		nranks  = flag.Int("nranks", 8, "ranks per task group (positions)")
-		engine  = flag.String("engine", "original", "original|task-steps|task-iter|task-combined")
+		engine  = flag.String("engine", "original", "original|task-steps|task-iter|task-combined|auto")
 		gamma   = flag.Bool("gamma", false, "gamma-point mode (half sphere, 2 bands per FFT)")
 		niter   = flag.Int("niter", 5, "repetitions of the FFT phase")
 		real    = flag.Bool("real", false, "transform real data (keep the grid small)")
@@ -53,17 +57,8 @@ func realMain() int {
 	)
 	flag.Parse()
 
-	var eng fftx.Engine
-	switch *engine {
-	case "original":
-		eng = fftx.EngineOriginal
-	case "task-steps":
-		eng = fftx.EngineTaskSteps
-	case "task-iter":
-		eng = fftx.EngineTaskIter
-	case "task-combined":
-		eng = fftx.EngineTaskCombined
-	default:
+	eng, err := fftx.ParseEngine(*engine)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "fftxapp: unknown engine %q\n", *engine)
 		return 2
 	}
@@ -121,9 +116,13 @@ func realMain() int {
 		}
 		if it == 0 {
 			first = res
-			fmt.Printf("grid %d %d %d, %d G-vectors on %d sticks, %d lanes, engine %v\n",
+			label := res.Engine.String()
+			if eng == fftx.EngineAuto {
+				label += " (auto-selected)"
+			}
+			fmt.Printf("grid %d %d %d, %d G-vectors on %d sticks, %d lanes, engine %s\n",
 				res.Sphere.Grid.Nx, res.Sphere.Grid.Ny, res.Sphere.Grid.Nz,
-				res.Sphere.NG(), res.Sphere.NSticks(), cfg.Lanes(), eng)
+				res.Sphere.NG(), res.Sphere.NSticks(), res.Config.Lanes(), label)
 		}
 		times = append(times, res.Runtime)
 		fmt.Printf("iteration %3d: FFT phase wall time %10.6f s\n", it+1, res.Runtime)

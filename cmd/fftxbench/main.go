@@ -7,7 +7,9 @@
 //
 //	fftxbench [flags] <experiment>
 //
-// Experiments: fig2, table1, fig3, table2, fig6, fig7, sweep, ablation, all.
+// Experiments: fig2, table1, fig3, table2, fig6, fig7, sweep, ablation,
+// engines (the per-engine runtime matrix with the auto selector's pick),
+// machines, predict, sensitivity, bandsweep, multinode, scaling, report, all.
 //
 // Flags select the workload (defaults are the paper's parameters: energy
 // cutoff 80 Ry, lattice parameter 20 bohr, 128 bands, 8 task groups):
@@ -68,7 +70,7 @@ func realMain() int {
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: fftxbench [flags] fig2|table1|fig3|table2|fig6|fig7|sweep|ablation|machines|predict|sensitivity|bandsweep|multinode|scaling|report|all")
+		fmt.Fprintln(os.Stderr, "usage: fftxbench [flags] fig2|table1|fig3|table2|fig6|fig7|sweep|ablation|engines|machines|predict|sensitivity|bandsweep|multinode|scaling|report|all")
 		return 2
 	}
 
@@ -203,6 +205,33 @@ func realMain() int {
 					fmt.Println("trace saved to", path)
 				}
 			}
+		case "engines":
+			r, err := suite.Engines()
+			if err != nil {
+				return err
+			}
+			fmt.Println(r.Format())
+			if *csvPath != "" {
+				f, err := os.Create(*csvPath)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintln(f, "ranks,ntg,engine,runtime_s,selected")
+				for _, row := range r.Rows {
+					for i, e := range r.Engines {
+						sel := 0
+						if e == row.Selected {
+							sel = 1
+						}
+						fmt.Fprintf(f, "%d,%d,%s,%.6f,%d\n",
+							row.Ranks, suite.NTG, e.String(), row.Runtime[i], sel)
+					}
+				}
+				if err := f.Close(); err != nil {
+					return err
+				}
+				fmt.Println("csv written to", *csvPath)
+			}
 		case "sweep":
 			r, err := suite.SweepNTG(*sweepR)
 			if err != nil {
@@ -271,7 +300,7 @@ func realMain() int {
 
 	names := []string{flag.Arg(0)}
 	if flag.Arg(0) == "all" {
-		names = []string{"fig2", "table1", "fig3", "table2", "fig6", "fig7", "sweep", "ablation", "machines", "predict", "sensitivity", "bandsweep", "multinode", "scaling"}
+		names = []string{"fig2", "table1", "fig3", "table2", "fig6", "fig7", "sweep", "ablation", "engines", "machines", "predict", "sensitivity", "bandsweep", "multinode", "scaling"}
 	}
 	for _, nm := range names {
 		if err := run(nm); err != nil {

@@ -20,6 +20,9 @@
 //	-max-elems N           per-request element budget
 //	-drain-timeout 10s     graceful-drain budget on shutdown
 //	-hostpar               host-parallel kernels (default true)
+//	-engine task-iter      default fftx engine for pipeline requests that do
+//	                       not name one (original|task-steps|task-iter|
+//	                       task-combined|auto); requests override per call
 //
 // Endpoints: POST /fft (JSON or binary wire format), /healthz, plus the
 // standard telemetry surface /metrics, /debug/vars, /debug/pprof/*.
@@ -50,6 +53,7 @@ import (
 	"time"
 
 	"repro/internal/fft"
+	"repro/internal/fftx"
 	"repro/internal/metrics"
 	"repro/internal/par"
 	"repro/internal/serve"
@@ -71,6 +75,7 @@ func realMain() int {
 		maxElems    = flag.Int("max-elems", serve.DefaultMaxElements, "per-request element budget")
 		drainT      = flag.Duration("drain-timeout", 10*time.Second, "graceful-drain budget on shutdown")
 		hostpar     = flag.Bool("hostpar", true, "fan batch rows out over host cores")
+		defEngine   = flag.String("engine", "", "default engine for pipeline requests (original|task-steps|task-iter|task-combined|auto; empty = task-iter)")
 
 		lgMode    = flag.Bool("loadgen", false, "drive load instead of serving")
 		lgTarget  = flag.String("target", "", "loadgen: server base URL (default: self-host in process)")
@@ -91,15 +96,22 @@ func realMain() int {
 		return 2
 	}
 	par.SetEnabled(*hostpar)
+	if *defEngine != "" {
+		if _, err := fftx.ParseEngine(*defEngine); err != nil {
+			fmt.Fprintf(os.Stderr, "fftxd: unknown engine %q\n", *defEngine)
+			return 2
+		}
+	}
 
 	cfg := serve.Config{
-		Addr:        *addr,
-		Workers:     *workers,
-		QueueDepth:  *queueDepth,
-		MaxBatch:    *maxBatch,
-		BatchWindow: *batchWindow,
-		MaxElements: *maxElems,
-		Cache:       &fft.Cache{},
+		Addr:          *addr,
+		Workers:       *workers,
+		QueueDepth:    *queueDepth,
+		MaxBatch:      *maxBatch,
+		BatchWindow:   *batchWindow,
+		MaxElements:   *maxElems,
+		Cache:         &fft.Cache{},
+		DefaultEngine: *defEngine,
 	}
 
 	if *lgMode {

@@ -3,9 +3,11 @@
 // the communication and task-model contracts the runtimes cannot express in
 // the type system: collective divergence under rank-dependent branches, tag
 // discipline, blocking calls inside task bodies through captured contexts,
-// by-value copies of runtime handle types, and simulated-runtime calls from
+// by-value copies of runtime handle types, simulated-runtime calls from
 // contexts that run on bare host goroutines (par.ParallelFor bodies, HTTP
-// handler bodies in internal/serve).
+// handler bodies in internal/serve), and runtime calls inside the stage
+// closures of the fftx stage-graph IR, which must stay pure so every
+// scheduler executes the same pipeline.
 //
 // Usage:
 //

@@ -24,6 +24,11 @@
 //     (ResponseWriter, *Request) shape, as in internal/serve) run on
 //     service goroutines and must not call into mpi/vtime/ompss at all;
 //     handlers decode, admit and await while the worker pool does the work.
+//   - stagepure: the stage-graph IR (internal/fftx/graph) describes the FFT
+//     pipeline as data walked by interchangeable schedulers, so the Stage
+//     closures (Instr, Bytes, Count, Body, Part) and the graph package
+//     itself must never call mpi/vtime/ompss — synchronization and
+//     accounting are the scheduler's job.
 //
 // Findings can be suppressed with a trailing or preceding comment of the
 // form:
@@ -66,7 +71,7 @@ type Rule struct {
 
 // AllRules returns every registered rule, in stable order.
 func AllRules() []Rule {
-	return []Rule{DivergenceRule, TagsRule, BlockInTaskRule, CopyValueRule, ParBodyRule, HandlerBodyRule}
+	return []Rule{DivergenceRule, TagsRule, BlockInTaskRule, CopyValueRule, ParBodyRule, HandlerBodyRule, StagePureRule}
 }
 
 // RuleByName resolves a rule name; ok is false for unknown names.

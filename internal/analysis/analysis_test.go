@@ -98,6 +98,7 @@ func TestBlockInTaskRule(t *testing.T) { runRuleTest(t, "blockintask", BlockInTa
 func TestCopyValueRule(t *testing.T)   { runRuleTest(t, "copyvalue", CopyValueRule) }
 func TestParBodyRule(t *testing.T)     { runRuleTest(t, "parbody", ParBodyRule) }
 func TestHandlerBodyRule(t *testing.T) { runRuleTest(t, "handlerbody", HandlerBodyRule) }
+func TestStagePureRule(t *testing.T)   { runRuleTest(t, "stagepure", StagePureRule) }
 
 // TestModuleClean is the dogfooding gate: every package in the module must
 // pass every rule with zero findings (modulo in-tree suppressions).

@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// StagePureRule flags simulated-runtime calls inside graph.Stage closures.
+// The stage-graph IR (internal/fftx/graph) describes the FFT pipeline as
+// data: each Stage carries pure model closures (Instr, Bytes, Count) and
+// pure numeric transforms (Body, Part) that every engine executes under its
+// own scheduling policy. Synchronization, communication and compute-time
+// accounting are the scheduler's job — a stage body that reaches into
+// internal/mpi, internal/vtime or internal/ompss would run collectives or
+// charge simulated time once per engine policy instead of once per the
+// graph's contract, silently breaking cross-engine equivalence. The same
+// ban applies to the whole graph package: it is deliberately runtime-free.
+var StagePureRule = Rule{
+	Name: "stagepure",
+	Doc:  "graph.Stage closures (and the graph package) must not touch mpi/vtime/ompss",
+	Run:  runStagePure,
+}
+
+// stageClosureFields are the graph.Stage fields that hold the pure model
+// and numeric closures the rule polices.
+var stageClosureFields = map[string]bool{
+	"Instr": true, // instruction model
+	"Bytes": true, // communication-volume model
+	"Count": true, // task-loop partition domain
+	"Body":  true, // whole-stage numeric transform
+	"Part":  true, // sub-range numeric transform
+}
+
+// graphPkgSuffix identifies the stage-graph package itself, which must stay
+// runtime-free end to end (helpers included, not just literal closures).
+const graphPkgSuffix = "/fftx/graph"
+
+// isStageLit reports whether lit builds a value of the graph package's
+// Stage type.
+func isStageLit(info *types.Info, lit *ast.CompositeLit) bool {
+	tv, ok := info.Types[lit]
+	return ok && typeIs(tv.Type, "fftx/graph", "Stage")
+}
+
+// packageFuncDecls maps the package's declared functions and methods to
+// their bodies, so closures spelled as function references (Body: helper)
+// are checked like inline literals.
+func packageFuncDecls(info *types.Info, files []*ast.File) map[*types.Func]*ast.FuncDecl {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+	return decls
+}
+
+func runStagePure(p *Pass) []Diagnostic {
+	info := p.Pkg.Info
+	var diags []Diagnostic
+
+	seen := map[ast.Node]bool{}
+	checkBody := func(body ast.Node, where string) {
+		if body == nil || seen[body] {
+			return
+		}
+		seen[body] = true
+		ast.Inspect(body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil {
+				return true
+			}
+			t := targetOf(fn)
+			if !simulatedRuntimePkgs[t.pkg] {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pos:  p.Fset.Position(call.Pos()),
+				Rule: "stagepure",
+				Message: fmt.Sprintf("%s calls %s %s; stage closures are pure model/numeric code — synchronization, communication and compute accounting belong to the scheduler that walks the graph",
+					t.name, t.pkg, where),
+			})
+			return true
+		})
+	}
+
+	// The graph package itself is runtime-free wholesale: any mpi/vtime/ompss
+	// call there is a violation, helper functions included.
+	if strings.HasSuffix(p.Pkg.Path, graphPkgSuffix) {
+		for _, f := range p.Pkg.Files {
+			checkBody(f, "in the runtime-free stage-graph package")
+		}
+		return diags
+	}
+
+	// Everywhere else, police the closures wired into graph.Stage literals:
+	// inline function literals and references to same-package functions.
+	decls := packageFuncDecls(info, p.Pkg.Files)
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok || !isStageLit(info, lit) {
+				return true
+			}
+			for _, elt := range lit.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok || !stageClosureFields[key.Name] {
+					continue
+				}
+				where := fmt.Sprintf("in a graph.Stage %s closure", key.Name)
+				switch v := unparen(kv.Value).(type) {
+				case *ast.FuncLit:
+					checkBody(v.Body, where)
+				case *ast.Ident:
+					if fn, ok := info.Uses[v].(*types.Func); ok {
+						if fd := decls[fn]; fd != nil {
+							checkBody(fd.Body, where)
+						}
+					}
+				case *ast.SelectorExpr:
+					if fn, ok := info.Uses[v.Sel].(*types.Func); ok {
+						if fd := decls[fn]; fd != nil {
+							checkBody(fd.Body, where)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}

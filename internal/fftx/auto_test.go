@@ -1,0 +1,141 @@
+package fftx
+
+import (
+	"math"
+	"testing"
+)
+
+// sweepPoints are the (ranks, ntg) workload shapes the selector is held
+// against — a spread of group counts and widths around the test grid.
+func autoSweepPoints(t *testing.T) []Config {
+	t.Helper()
+	shapes := []struct{ ranks, ntg int }{
+		{1, 1}, {1, 2}, {1, 4}, {2, 1}, {2, 2}, {2, 4}, {3, 2}, {4, 1}, {4, 2},
+	}
+	if testing.Short() {
+		shapes = shapes[:4]
+	}
+	cfgs := make([]Config, 0, len(shapes))
+	for _, s := range shapes {
+		cfgs = append(cfgs, Config{
+			Ecut: testEcut, Alat: testAlat, NB: 8,
+			Ranks: s.ranks, NTG: s.ntg, Mode: ModeCost,
+		})
+	}
+	return cfgs
+}
+
+// The selector's contract: on (nearly) every sweep point, SelectEngine
+// returns the argmin of the per-engine ModeCost runtimes, with deterministic
+// declaration-order ties. The ≥90% floor leaves room for measurement-model
+// degeneracy without letting the selector drift from the cost model.
+func TestAutoSelectsFastestEngine(t *testing.T) {
+	points := autoSweepPoints(t)
+	agree := 0
+	for _, cfg := range points {
+		// Independent ground truth: run every applicable engine the way the
+		// selector's probes do and take the argmin in declaration order.
+		best, bestT := EngineOriginal, math.Inf(1)
+		found := false
+		for _, e := range []Engine{EngineOriginal, EngineTaskSteps, EngineTaskIter, EngineTaskCombined} {
+			pc := cfg.withDefaults()
+			pc.Engine = e
+			if err := pc.validate(); err != nil {
+				continue
+			}
+			res, err := Run(pc)
+			if err != nil {
+				t.Fatalf("%v %dx%d: %v", e, cfg.Ranks, cfg.NTG, err)
+			}
+			if res.Runtime < bestT {
+				best, bestT, found = e, res.Runtime, true
+			}
+		}
+		if !found {
+			t.Fatalf("no engine applicable at %dx%d", cfg.Ranks, cfg.NTG)
+		}
+
+		sel, err := SelectEngine(cfg)
+		if err != nil {
+			t.Fatalf("SelectEngine %dx%d: %v", cfg.Ranks, cfg.NTG, err)
+		}
+		if sel == best {
+			agree++
+		} else {
+			t.Logf("%dx%d: selector picked %v, argmin is %v (%.6fs)", cfg.Ranks, cfg.NTG, sel, best, bestT)
+		}
+
+		// Determinism: asking again (cached or not) returns the same engine.
+		again, err := SelectEngine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again != sel {
+			t.Errorf("%dx%d: selection not deterministic: %v then %v", cfg.Ranks, cfg.NTG, sel, again)
+		}
+	}
+	if frac := float64(agree) / float64(len(points)); frac < 0.9 {
+		t.Errorf("selector matched the argmin on %d/%d points (%.0f%%), want >= 90%%", agree, len(points), 100*frac)
+	}
+}
+
+// Running with EngineAuto end-to-end resolves to a concrete engine, records
+// both the executed and the requested engine in the trace metadata, and
+// matches a direct run of the selected engine bit-for-bit.
+func TestAutoRunResolvesAndMatches(t *testing.T) {
+	cfg := Config{
+		Ecut: testEcut, Alat: testAlat, NB: 8, Ranks: 2, NTG: 2,
+		Engine: EngineAuto, Mode: ModeCost,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Engine == EngineAuto {
+		t.Fatal("auto run did not resolve to a concrete engine")
+	}
+	if got := res.Trace.Meta["engine"]; got != res.Engine.String() {
+		t.Errorf("trace engine label %q, want %q", got, res.Engine)
+	}
+	if got := res.Trace.Meta["engine-requested"]; got != "auto" {
+		t.Errorf("trace engine-requested label %q, want auto", got)
+	}
+
+	direct := cfg
+	direct.Engine = res.Engine
+	want, err := Run(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runtime != want.Runtime {
+		t.Errorf("auto runtime %v differs from direct %v run %v", res.Runtime, res.Engine, want.Runtime)
+	}
+}
+
+// Gamma mode restricts the candidate set; the selector must never hand back
+// an engine the configuration cannot run.
+func TestAutoRespectsGammaRestriction(t *testing.T) {
+	cfg := Config{
+		Ecut: testEcut, Alat: testAlat, NB: 8, Ranks: 2, NTG: 2,
+		Engine: EngineAuto, Mode: ModeCost, Gamma: true,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Engine != EngineOriginal && res.Engine != EngineTaskIter {
+		t.Errorf("gamma auto run resolved to unsupported engine %v", res.Engine)
+	}
+}
+
+func TestParseEngine(t *testing.T) {
+	for e := EngineOriginal; e <= EngineAuto; e++ {
+		got, err := ParseEngine(e.String())
+		if err != nil || got != e {
+			t.Errorf("ParseEngine(%q) = %v, %v", e.String(), got, err)
+		}
+	}
+	if _, err := ParseEngine("warp-drive"); err == nil {
+		t.Error("ParseEngine accepted an unknown name")
+	}
+}

@@ -4,7 +4,9 @@
 // by V(r), backward FFT), distributed with the two-layer MPI scheme of the
 // paper's Figure 1 (task-group pack/unpack + sticks→planes scatter).
 //
-// Three execution engines share one numerical kernel:
+// The per-band pipeline is a declarative stage graph (package
+// fftx/graph) built once from the problem geometry; the execution engines
+// are schedulers that walk that one graph under different policies:
 //
 //   - EngineOriginal — the baseline: R·T single-threaded MPI ranks arranged
 //     as T FFT task groups of R positions each, statically synchronized by
@@ -17,18 +19,23 @@
 //     layer is replaced by threads (R ranks × T workers, NTG = 1); every
 //     band's whole pipeline is one task, scheduled asynchronously, which
 //     de-synchronizes the compute phases and softens resource contention.
+//   - EngineTaskCombined — the future-work combination: per-band tasks
+//     with asynchronous, communication-thread-driven scatters.
+//   - EngineAuto — a cost-model-driven selector: it probes the applicable
+//     engines in ModeCost against the calibrated knl model and runs the
+//     fastest for the given (grid, ranks, NTG, threads) point.
 //
 // In ModeReal the engines move and transform actual wavefunction data and
-// all three produce identical results (verified against a serial
-// reference); in ModeCost they charge identical instruction counts and
-// communication volumes without touching data, which is what the paper
-// reproduction benchmarks use at full problem size.
+// all produce identical results (verified against a serial reference); in
+// ModeCost they charge identical instruction counts and communication
+// volumes without touching data, which is what the paper reproduction
+// benchmarks use at full problem size.
 package fftx
 
 import (
 	"fmt"
 
-	"repro/internal/fft"
+	"repro/internal/fftx/graph"
 	"repro/internal/knl"
 	"repro/internal/pw"
 	"repro/internal/trace"
@@ -49,6 +56,9 @@ const (
 	// tasks with asynchronous, communication-thread-driven scatters, so
 	// communication overlaps computation AND phases de-synchronize.
 	EngineTaskCombined
+	// EngineAuto probes the applicable engines in ModeCost and runs the
+	// fastest for the configured workload shape (see auto.go).
+	EngineAuto
 )
 
 // String names the engine.
@@ -62,6 +72,8 @@ func (e Engine) String() string {
 		return "task-iter"
 	case EngineTaskCombined:
 		return "task-combined"
+	case EngineAuto:
+		return "auto"
 	}
 	return fmt.Sprintf("engine(%d)", int(e))
 }
@@ -225,6 +237,9 @@ type Result struct {
 	Config  Config
 	Runtime float64      // virtual seconds of the FFT phase
 	Trace   *trace.Trace // full state trace of the run
+	// Engine is the engine that actually executed the run — the selected
+	// one when Config asked for EngineAuto.
+	Engine Engine
 	// Bands holds the transformed band coefficients (full sphere ordering)
 	// in ModeReal; nil in ModeCost.
 	Bands [][]complex128
@@ -233,88 +248,29 @@ type Result struct {
 	Layout *pw.Layout
 }
 
-// kernel bundles the problem geometry, FFT plans and precomputed index maps
-// shared by all engines. All fields are read-only after newKernel.
+// kernel couples the runtime-free stage graph (problem geometry, numeric
+// bodies, instruction models — package fftx/graph) with this run's
+// configuration: the mode, the deterministic work-variance draws and the
+// per-phase compute accounting the schedulers charge.
 type kernel struct {
-	cfg    Config
-	sphere *pw.Sphere
-	layout *pw.Layout
-	planZ  *fft.Plan
-	plan2D *fft.Plan2D
-	pot    []float64   // V(r), z-fastest volume (ModeReal)
-	potPl  [][]float64 // V per z-plane, row-major (ModeReal)
-
-	// stickFill[p][i] is the target index in position p's stick buffer
-	// (stick-major, full Nz per stick) of local coefficient i.
-	stickFill [][]int
-	// groupSticks is the stick order after the scatter (position-major).
-	groupSticks []int
-	// stickPlaneIdx[gs] is the row-major (ix·Ny+iy) cell of group stick gs.
-	stickPlaneIdx []int
-	// groupStickOffset[q] is the first group-stick index of position q.
-	groupStickOffset []int
-	// gammaMinus caches the -column plane cells (gamma mode), built lazily.
-	gammaMinus []int
+	cfg Config
+	*graph.Kernel
+	// pipe is the stage graph every engine of this run walks.
+	pipe *graph.Graph
 }
 
 func newKernel(cfg Config) *kernel {
-	var s *pw.Sphere
-	if cfg.Gamma {
-		s = pw.NewSphereGamma(cfg.Ecut, cfg.Alat)
-	} else {
-		s = pw.NewSphere(cfg.Ecut, cfg.Alat)
-	}
-	l := pw.NewLayout(s, cfg.Ranks)
-	k := &kernel{
-		cfg:    cfg,
-		sphere: s,
-		layout: l,
-		planZ:  fft.NewPlan(s.Grid.Nz),
-		plan2D: fft.NewPlan2D(s.Grid.Nx, s.Grid.Ny),
-	}
-	if cfg.Mode == ModeReal {
-		if cfg.UnitPotential {
-			k.pot = make([]float64, s.Grid.Size())
-			for i := range k.pot {
-				k.pot[i] = 1
-			}
-		} else {
-			k.pot = pw.Potential(s.Grid)
-		}
-		k.potPl = make([][]float64, s.Grid.Nz)
-		for z := 0; z < s.Grid.Nz; z++ {
-			k.potPl[z] = pw.PotentialPlane(s.Grid, k.pot, z)
-		}
-	}
-	nz := s.Grid.Nz
-	k.stickFill = make([][]int, cfg.Ranks)
-	for p := 0; p < cfg.Ranks; p++ {
-		fill := make([]int, 0, l.NGOf[p])
-		for sl, si := range l.SticksOf[p] {
-			st := s.Stick[si]
-			for _, kz := range st.Zs {
-				iz := kz % nz
-				if iz < 0 {
-					iz += nz
-				}
-				fill = append(fill, sl*nz+iz)
-			}
-		}
-		k.stickFill[p] = fill
-	}
-	k.groupSticks = l.GroupStickOrder()
-	k.stickPlaneIdx = make([]int, len(k.groupSticks))
-	for gs, si := range k.groupSticks {
-		k.stickPlaneIdx[gs] = s.PlaneIndex(s.Stick[si])
-	}
-	k.groupStickOffset = make([]int, cfg.Ranks+1)
-	off := 0
-	for q := 0; q < cfg.Ranks; q++ {
-		k.groupStickOffset[q] = off
-		off += l.NSticksOf(q)
-	}
-	k.groupStickOffset[cfg.Ranks] = off
-	return k
+	gk := graph.NewKernel(graph.Spec{
+		Ecut:          cfg.Ecut,
+		Alat:          cfg.Alat,
+		Ranks:         cfg.Ranks,
+		Gamma:         cfg.Gamma,
+		RealData:      cfg.Mode == ModeReal,
+		UnitPotential: cfg.UnitPotential,
+		InstrPerFlop:  cfg.Params.InstrPerFlop,
+		InstrPerByte:  cfg.Params.InstrPerByte,
+	})
+	return &kernel{cfg: cfg, Kernel: gk, pipe: gk.Pipeline(cfg.Gamma)}
 }
 
 // computer abstracts the two compute contexts (mpi.Ctx and ompss.Worker).
@@ -362,58 +318,4 @@ func (k *kernel) phase(c computer, band, p int, name string, class knl.Class, in
 		work()
 	}
 	c.Compute(name, class, instr*k.jitter(band, p, name)+fixedPhaseInstr)
-}
-
-// --- instruction counts (position p, one band) ---
-
-func (k *kernel) instrPack(p int) float64 {
-	// Chunk reassembly: read + write of the local coefficients.
-	return float64(k.layout.NGOf[p]) * 2 * 16 * k.cfg.Params.InstrPerByte
-}
-
-func (k *kernel) instrPrep(p int) float64 {
-	// Zero-fill of the stick buffer plus scatter of the coefficients.
-	bytes := float64(k.layout.NSticksOf(p)*k.sphere.Grid.Nz)*16 + float64(k.layout.NGOf[p])*2*16
-	return bytes * k.cfg.Params.InstrPerByte
-}
-
-func (k *kernel) instrFFTZ(p int) float64 {
-	return float64(k.layout.NSticksOf(p)) * k.planZ.Flops() * k.cfg.Params.InstrPerFlop
-}
-
-func (k *kernel) instrXYFill(p int) float64 {
-	g := k.sphere.Grid
-	bytes := float64(k.layout.NPlanesOf(p)) * (float64(g.Nx*g.Ny)*16 + float64(len(k.groupSticks))*2*16)
-	return bytes * k.cfg.Params.InstrPerByte
-}
-
-func (k *kernel) instrFFTXY(p int) float64 {
-	return float64(k.layout.NPlanesOf(p)) * k.plan2D.Flops() * k.cfg.Params.InstrPerFlop
-}
-
-func (k *kernel) instrVOfR(p int) float64 {
-	g := k.sphere.Grid
-	// complex × real multiply: 2 flops per point.
-	return float64(k.layout.NPlanesOf(p)) * float64(g.Nx*g.Ny) * 2 * k.cfg.Params.InstrPerFlop
-}
-
-func (k *kernel) instrXYExtract(p int) float64 {
-	bytes := float64(k.layout.NPlanesOf(p)) * float64(len(k.groupSticks)) * 2 * 16
-	return bytes * k.cfg.Params.InstrPerByte
-}
-
-func (k *kernel) instrUnpack(p int) float64 {
-	// Sphere extraction with backward scaling plus chunk split.
-	return float64(k.layout.NGOf[p])*2*k.cfg.Params.InstrPerFlop +
-		float64(k.layout.NGOf[p])*2*16*k.cfg.Params.InstrPerByte
-}
-
-// --- communication volumes (bytes per rank, one band) ---
-
-func (k *kernel) bytesPack(p int) float64 {
-	return float64(k.layout.NGOf[p]) * 16
-}
-
-func (k *kernel) bytesScatter(p int) float64 {
-	return float64(k.layout.NSticksOf(p)*k.sphere.Grid.Nz) * 16
 }

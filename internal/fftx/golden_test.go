@@ -1,0 +1,197 @@
+package fftx
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The stage-graph refactor contract: scheduling policy moved out of the
+// engines, behaviour did not. These digests were captured from the
+// pre-refactor hand-rolled engines (original.go/tasksteps.go/taskiter.go/
+// taskcombined.go before the graph package existed) and every run must
+// still reproduce them bit-for-bit: same simulated runtime, same trace
+// interval stream, same transformed bands.
+//
+// Regenerate (only when a behaviour change is intended and understood):
+//
+//	go test ./internal/fftx -run TestGoldenEngineDigests -update
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden_engines.json from the current engines")
+
+const goldenPath = "testdata/golden_engines.json"
+
+type goldenDigest struct {
+	Name      string `json:"name"`
+	Runtime   string `json:"runtime"` // float64 bits, hex
+	Intervals int    `json:"intervals"`
+	TraceHash string `json:"trace_hash"`
+	BandsHash string `json:"bands_hash,omitempty"` // ModeReal only
+}
+
+// goldenConfigs is the engine × mode × gamma × shape matrix the digests
+// cover. Every entry must stay runnable forever; names key the golden file.
+func goldenConfigs() []struct {
+	name string
+	cfg  Config
+} {
+	mk := func(e Engine, ranks, ntg, nb int, m Mode) Config {
+		return Config{Ecut: testEcut, Alat: testAlat, NB: nb, Ranks: ranks, NTG: ntg, Engine: e, Mode: m}
+	}
+	var out []struct {
+		name string
+		cfg  Config
+	}
+	add := func(name string, cfg Config) {
+		out = append(out, struct {
+			name string
+			cfg  Config
+		}{name, cfg})
+	}
+	for _, e := range []Engine{EngineOriginal, EngineTaskSteps, EngineTaskIter, EngineTaskCombined} {
+		for _, m := range []Mode{ModeReal, ModeCost} {
+			for _, rt := range [][2]int{{2, 2}, {3, 2}} {
+				add(fmt.Sprintf("%v-%dx%d-%v", e, rt[0], rt[1], modeName(m)), mk(e, rt[0], rt[1], 8, m))
+			}
+		}
+	}
+	for _, e := range []Engine{EngineOriginal, EngineTaskIter} {
+		for _, m := range []Mode{ModeReal, ModeCost} {
+			cfg := mk(e, 2, 2, 8, m)
+			cfg.Gamma = true
+			add(fmt.Sprintf("%v-2x2-%v-gamma", e, modeName(m)), cfg)
+		}
+	}
+	for _, m := range []Mode{ModeReal, ModeCost} {
+		cfg := mk(EngineTaskSteps, 2, 2, 8, m)
+		cfg.NestedLoops = true
+		cfg.NestedGrainXY = 3
+		cfg.NestedGrainZ = 4
+		add(fmt.Sprintf("task-steps-2x2-%v-nested", modeName(m)), cfg)
+	}
+	// Uneven pack/scatter extremes and a multi-node case.
+	add("original-4x1-real", mk(EngineOriginal, 4, 1, 4, ModeReal))
+	add("original-1x4-real", mk(EngineOriginal, 1, 4, 8, ModeReal))
+	multi := mk(EngineTaskCombined, 2, 2, 8, ModeCost)
+	multi.NodesCount = 2
+	add("task-combined-2x2-cost-2nodes", multi)
+	seeded := mk(EngineTaskIter, 2, 2, 8, ModeCost)
+	seeded.Seed = 3
+	add("task-iter-2x2-cost-seed3", seeded)
+	return out
+}
+
+func modeName(m Mode) string {
+	if m == ModeCost {
+		return "cost"
+	}
+	return "real"
+}
+
+func digestOf(name string, res *Result) goldenDigest {
+	h := fnv.New64a()
+	var buf [8]byte
+	w64 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	wf := func(f float64) { w64(math.Float64bits(f)) }
+	ws := func(s string) { w64(uint64(len(s))); h.Write([]byte(s)) }
+	for _, iv := range res.Trace.Intervals {
+		w64(uint64(iv.Lane))
+		w64(uint64(iv.Kind))
+		wf(iv.Start)
+		wf(iv.End)
+		ws(iv.Phase)
+		w64(uint64(iv.Class))
+		wf(iv.Instr)
+		ws(iv.Comm)
+		w64(uint64(int64(iv.Tag)))
+	}
+	d := goldenDigest{
+		Name:      name,
+		Runtime:   fmt.Sprintf("%016x", math.Float64bits(res.Runtime)),
+		Intervals: len(res.Trace.Intervals),
+		TraceHash: fmt.Sprintf("%016x", h.Sum64()),
+	}
+	if res.Bands != nil {
+		hb := fnv.New64a()
+		wb := func(v uint64) {
+			for i := 0; i < 8; i++ {
+				buf[i] = byte(v >> (8 * i))
+			}
+			hb.Write(buf[:])
+		}
+		for _, band := range res.Bands {
+			wb(uint64(len(band)))
+			for _, c := range band {
+				wb(math.Float64bits(real(c)))
+				wb(math.Float64bits(imag(c)))
+			}
+		}
+		d.BandsHash = fmt.Sprintf("%016x", hb.Sum64())
+	}
+	return d
+}
+
+// TestGoldenEngineDigests holds every engine to the pre-refactor goldens:
+// simulated runtime, full trace interval stream and transformed bands are
+// bit-identical in both modes.
+func TestGoldenEngineDigests(t *testing.T) {
+	var got []goldenDigest
+	for _, c := range goldenConfigs() {
+		res, err := Run(c.cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		got = append(got, digestOf(c.name, res))
+	}
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.MarshalIndent(got, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(b, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d digests to %s", len(got), goldenPath)
+		return
+	}
+
+	b, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read goldens (regenerate with -update): %v", err)
+	}
+	var want []goldenDigest
+	if err := json.Unmarshal(b, &want); err != nil {
+		t.Fatal(err)
+	}
+	wantBy := map[string]goldenDigest{}
+	for _, d := range want {
+		wantBy[d.Name] = d
+	}
+	if len(want) != len(got) {
+		t.Errorf("golden file has %d cases, matrix has %d (regenerate with -update after an intended change)", len(want), len(got))
+	}
+	for _, g := range got {
+		w, ok := wantBy[g.Name]
+		if !ok {
+			t.Errorf("%s: no golden entry (regenerate with -update after an intended change)", g.Name)
+			continue
+		}
+		if g != w {
+			t.Errorf("%s: behaviour diverged from pre-refactor golden:\n got  %+v\n want %+v", g.Name, g, w)
+		}
+	}
+}

@@ -1,21 +1,21 @@
-package fftx
+package graph
 
 import (
 	"repro/internal/fft"
 	"repro/internal/par"
-	"repro/internal/pw"
 )
 
-// The data transforms of the pipeline, shared by every engine in ModeReal.
+// The data transforms of the pipeline — the stage bodies in ModeReal.
 // Each operates on one position p of the layout (the rank inside a task
 // group that owns a subset of sticks and a contiguous block of planes).
 //
 // The hot loops fan out over host cores with par.ParallelFor: every body
 // writes only data indexed by its own [lo,hi) range, and the simulated cost
-// of each phase comes from the analytic instruction model (kernel.phase),
+// of each phase comes from the analytic instruction model (Stage.Instr),
 // so host parallelism changes wall clock only — simulated results are
 // bit-identical with par enabled or disabled (see TestHostParEquivalence).
-// Bodies must not touch mpi/vtime/ompss state (fftxvet's parbody rule).
+// Bodies must not touch mpi/vtime/ompss state (fftxvet's parbody and
+// stagepure rules).
 
 // Host-parallel grain sizes: sticks are cheap (one length-Nz FFT each), so
 // they batch; planes are expensive (a full 2-D FFT), so they split singly;
@@ -26,12 +26,12 @@ const (
 	grainIndex  = 4096
 )
 
-// prepSticks builds the zero-padded stick buffer (stick-major, full Nz per
+// PrepSticks builds the zero-padded stick buffer (stick-major, full Nz per
 // stick) from position p's local sphere coefficients — the "preparation of
 // the Psis" phase with very low IPC in Figure 3.
-func (k *kernel) prepSticks(p int, coeffs []complex128) []complex128 {
-	buf := make([]complex128, k.layout.NSticksOf(p)*k.sphere.Grid.Nz)
-	fill := k.stickFill[p]
+func (k *Kernel) PrepSticks(p int, coeffs []complex128) []complex128 {
+	buf := make([]complex128, k.Layout.NSticksOf(p)*k.Sphere.Grid.Nz)
+	fill := k.StickFill[p]
 	par.ParallelFor(len(coeffs), grainIndex, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			buf[fill[i]] = coeffs[i]
@@ -49,17 +49,24 @@ func transformManyPar(plan *fft.Plan, buf []complex128, count int, sign fft.Sign
 	})
 }
 
-// fftZ transforms every local stick along z in place.
-func (k *kernel) fftZ(p int, buf []complex128, sign fft.Sign) {
-	transformManyPar(k.planZ, buf, k.layout.NSticksOf(p), sign)
+// FFTZ transforms every local stick along z in place.
+func (k *Kernel) FFTZ(p int, buf []complex128, sign fft.Sign) {
+	transformManyPar(k.PlanZ, buf, k.Layout.NSticksOf(p), sign)
+}
+
+// FFTZPart transforms the stick range [lo,hi) of position p's stick
+// buffer — the body of the nested task loop over cft_1z calls.
+func (k *Kernel) FFTZPart(buf []complex128, sign fft.Sign, lo, hi int) {
+	nz := k.Sphere.Grid.Nz
+	transformManyPar(k.PlanZ, buf[lo*nz:hi*nz], hi-lo, sign)
 }
 
 // splitCols builds the sticks→planes Alltoallv send chunks over nCols
 // columns of the stick buffer: send[q] holds, column-major, the values at
 // q's plane range.
-func (k *kernel) splitCols(p int, buf []complex128, nCols int) [][]complex128 {
-	l := k.layout
-	nz := k.sphere.Grid.Nz
+func (k *Kernel) splitCols(p int, buf []complex128, nCols int) [][]complex128 {
+	l := k.Layout
+	nz := k.Sphere.Grid.Nz
 	out := make([][]complex128, l.R)
 	par.ParallelFor(l.R, 1, func(qlo, qhi int) {
 		for q := qlo; q < qhi; q++ {
@@ -75,9 +82,9 @@ func (k *kernel) splitCols(p int, buf []complex128, nCols int) [][]complex128 {
 }
 
 // joinCols is the inverse of splitCols.
-func (k *kernel) joinCols(p int, recv [][]complex128, nCols int) []complex128 {
-	l := k.layout
-	nz := k.sphere.Grid.Nz
+func (k *Kernel) joinCols(p int, recv [][]complex128, nCols int) []complex128 {
+	l := k.Layout
+	nz := k.Sphere.Grid.Nz
 	buf := make([]complex128, nCols*nz)
 	par.ParallelFor(l.R, 1, func(qlo, qhi int) {
 		for q := qlo; q < qhi; q++ {
@@ -91,19 +98,19 @@ func (k *kernel) joinCols(p int, recv [][]complex128, nCols int) []complex128 {
 	return buf
 }
 
-// scatterSplit builds the sticks→planes Alltoallv send chunks: send[q]
+// ScatterSplit builds the sticks→planes Alltoallv send chunks: send[q]
 // holds, stick-major, the values of my sticks at q's plane range.
-func (k *kernel) scatterSplit(p int, buf []complex128) [][]complex128 {
-	return k.splitCols(p, buf, k.layout.NSticksOf(p))
+func (k *Kernel) ScatterSplit(p int, buf []complex128) [][]complex128 {
+	return k.splitCols(p, buf, k.Layout.NSticksOf(p))
 }
 
-// planesFromScatter assembles position p's full XY planes (plane-major,
+// PlanesFromScatter assembles position p's full XY planes (plane-major,
 // row-major within a plane) from the forward-scatter receive chunks: the
 // "xy-fill" memory phase. Each source position q owns a disjoint set of
 // plane cells, so the fan-out is over q.
-func (k *kernel) planesFromScatter(p int, recv [][]complex128) []complex128 {
-	l := k.layout
-	g := k.sphere.Grid
+func (k *Kernel) PlanesFromScatter(p int, recv [][]complex128) []complex128 {
+	l := k.Layout
+	g := k.Sphere.Grid
 	npl := l.NPlanesOf(p)
 	nxy := g.Nx * g.Ny
 	planes := make([]complex128, npl*nxy)
@@ -111,7 +118,7 @@ func (k *kernel) planesFromScatter(p int, recv [][]complex128) []complex128 {
 		for q := qlo; q < qhi; q++ {
 			nsq := l.NSticksOf(q)
 			for t := 0; t < nsq; t++ {
-				cell := k.stickPlaneIdx[k.groupStickOffset[q]+t]
+				cell := k.StickPlaneIdx[k.GroupStickOffset[q]+t]
 				base := t * npl
 				for z := 0; z < npl; z++ {
 					planes[z*nxy+cell] = recv[q][base+z]
@@ -122,25 +129,37 @@ func (k *kernel) planesFromScatter(p int, recv [][]complex128) []complex128 {
 	return planes
 }
 
-// fftXY transforms every owned plane in place, one host task per plane.
-func (k *kernel) fftXY(p int, planes []complex128, sign fft.Sign) {
-	g := k.sphere.Grid
+// FFTXY transforms every owned plane in place, one host task per plane.
+func (k *Kernel) FFTXY(p int, planes []complex128, sign fft.Sign) {
+	g := k.Sphere.Grid
 	nxy := g.Nx * g.Ny
-	par.ParallelFor(k.layout.NPlanesOf(p), grainPlanes, func(lo, hi int) {
+	par.ParallelFor(k.Layout.NPlanesOf(p), grainPlanes, func(lo, hi int) {
 		for z := lo; z < hi; z++ {
-			k.plan2D.Transform(planes[z*nxy:(z+1)*nxy], sign)
+			k.Plan2D.Transform(planes[z*nxy:(z+1)*nxy], sign)
 		}
 	})
 }
 
-// vOfR multiplies the owned real-space planes by the local potential — the
-// operator the miniapp exists to apply.
-func (k *kernel) vOfR(p int, planes []complex128) {
-	g := k.sphere.Grid
+// FFTXYPart transforms the plane range [lo,hi) of position p — the body
+// of the nested task loop over cft_2xy calls.
+func (k *Kernel) FFTXYPart(planes []complex128, sign fft.Sign, lo, hi int) {
+	g := k.Sphere.Grid
 	nxy := g.Nx * g.Ny
-	par.ParallelFor(k.layout.NPlanesOf(p), grainPlanes, func(zlo, zhi int) {
+	par.ParallelFor(hi-lo, grainPlanes, func(zlo, zhi int) {
+		for z := lo + zlo; z < lo+zhi; z++ {
+			k.Plan2D.Transform(planes[z*nxy:(z+1)*nxy], sign)
+		}
+	})
+}
+
+// VOfR multiplies the owned real-space planes by the local potential — the
+// operator the miniapp exists to apply.
+func (k *Kernel) VOfR(p int, planes []complex128) {
+	g := k.Sphere.Grid
+	nxy := g.Nx * g.Ny
+	par.ParallelFor(k.Layout.NPlanesOf(p), grainPlanes, func(zlo, zhi int) {
 		for z := zlo; z < zhi; z++ {
-			vp := k.potPl[k.layout.PlaneLo[p]+z]
+			vp := k.PotPl[k.Layout.PlaneLo[p]+z]
 			pl := planes[z*nxy : (z+1)*nxy]
 			for i := range pl {
 				pl[i] *= complex(vp[i], 0)
@@ -149,11 +168,11 @@ func (k *kernel) vOfR(p int, planes []complex128) {
 	})
 }
 
-// planesToScatter is the inverse of planesFromScatter: it builds the
+// PlanesToScatter is the inverse of PlanesFromScatter: it builds the
 // backward-scatter send chunks (send[q] = q's sticks' values at my planes).
-func (k *kernel) planesToScatter(p int, planes []complex128) [][]complex128 {
-	l := k.layout
-	g := k.sphere.Grid
+func (k *Kernel) PlanesToScatter(p int, planes []complex128) [][]complex128 {
+	l := k.Layout
+	g := k.Sphere.Grid
 	npl := l.NPlanesOf(p)
 	nxy := g.Nx * g.Ny
 	out := make([][]complex128, l.R)
@@ -162,7 +181,7 @@ func (k *kernel) planesToScatter(p int, planes []complex128) [][]complex128 {
 			nsq := l.NSticksOf(q)
 			chunk := make([]complex128, nsq*npl)
 			for t := 0; t < nsq; t++ {
-				cell := k.stickPlaneIdx[k.groupStickOffset[q]+t]
+				cell := k.StickPlaneIdx[k.GroupStickOffset[q]+t]
 				for z := 0; z < npl; z++ {
 					chunk[t*npl+z] = planes[z*nxy+cell]
 				}
@@ -173,51 +192,23 @@ func (k *kernel) planesToScatter(p int, planes []complex128) [][]complex128 {
 	return out
 }
 
-// sticksFromScatter is the inverse of scatterSplit: it reassembles the full
+// SticksFromScatter is the inverse of ScatterSplit: it reassembles the full
 // stick buffer from the backward-scatter receive chunks.
-func (k *kernel) sticksFromScatter(p int, recv [][]complex128) []complex128 {
-	return k.joinCols(p, recv, k.layout.NSticksOf(p))
+func (k *Kernel) SticksFromScatter(p int, recv [][]complex128) []complex128 {
+	return k.joinCols(p, recv, k.Layout.NSticksOf(p))
 }
 
-// extractCoeffs gathers the sphere coefficients back out of the stick
+// ExtractCoeffs gathers the sphere coefficients back out of the stick
 // buffer, applying the backward 1/N normalization of the full 3-D
 // transform.
-func (k *kernel) extractCoeffs(p int, buf []complex128) []complex128 {
-	fill := k.stickFill[p]
-	out := make([]complex128, k.layout.NGOf[p])
-	scale := complex(1/float64(k.sphere.Grid.Size()), 0)
+func (k *Kernel) ExtractCoeffs(p int, buf []complex128) []complex128 {
+	fill := k.StickFill[p]
+	out := make([]complex128, k.Layout.NGOf[p])
+	scale := complex(1/float64(k.Sphere.Grid.Size()), 0)
 	par.ParallelFor(len(out), grainIndex, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			out[i] = buf[fill[i]] * scale
 		}
 	})
-	return out
-}
-
-// Reference computes the result of the miniapp serially: for every band,
-// fill the full 3-D box, backward-transform to real space, multiply by
-// V(r), forward-transform back and extract the sphere with 1/N scaling.
-// Every engine's ModeReal output must match it to rounding error.
-func Reference(cfg Config) [][]complex128 {
-	s := pw.NewSphere(cfg.Ecut, cfg.Alat)
-	bands := pw.WavefunctionBands(s, cfg.NB)
-	pot := pw.Potential(s.Grid)
-	plan := fft.NewPlan3D(s.Grid.Nx, s.Grid.Ny, s.Grid.Nz)
-	box := make([]complex128, s.Grid.Size())
-	out := make([][]complex128, cfg.NB)
-	for b, coeffs := range bands {
-		s.FillBox(box, coeffs)
-		plan.Transform(box, fft.Backward) // G -> r, unscaled
-		for i := range box {
-			box[i] *= complex(pot[i], 0)
-		}
-		plan.Transform(box, fft.Forward) // r -> G
-		res := make([]complex128, s.NG())
-		s.ExtractBox(res, box)
-		for i := range res {
-			res[i] *= complex(1/float64(s.Grid.Size()), 0)
-		}
-		out[b] = res
-	}
 	return out
 }

@@ -1,0 +1,355 @@
+package fftx
+
+import (
+	"fmt"
+
+	"repro/internal/fftx/graph"
+	"repro/internal/knl"
+	"repro/internal/mpi"
+	"repro/internal/ompss"
+	"repro/internal/pw"
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+// harness is the shared scaffolding of every engine: the kernel, the
+// simulated machine and fabric, the virtual-time engine, the trace and the
+// MPI world. The schedulers only add their spawn/task structure on top.
+type harness struct {
+	cfg  Config
+	k    *kernel
+	eng  *vtime.Engine
+	tr   *trace.Trace
+	sink trace.Sink
+	w    *mpi.World
+}
+
+// newHarness builds the run scaffolding for ranks MPI ranks of
+// lanesPerRank hardware lanes each (grouped engines: R·T ranks × 1 or
+// StepWorkers lanes; flat engines: R ranks × NTG lanes).
+func newHarness(cfg Config, ranks, lanesPerRank int) *harness {
+	k := newKernel(cfg)
+	lanes := ranks * lanesPerRank
+	machine, fabric := cfg.buildMachine(lanes)
+	eng := vtime.NewEngine(machine)
+	tr := trace.New(lanes, cfg.Params.Freq)
+	tr.Meta["engine"] = cfg.Engine.String()
+	sink := cfg.traceSink(tr)
+	w := mpi.NewWorld(eng, fabric, sink, ranks, lanesPerRank)
+	w.Strict = cfg.Strict
+	return &harness{cfg: cfg, k: k, eng: eng, tr: tr, sink: sink, w: w}
+}
+
+// jobs is the FFT job count: one band per job, or one band pair in gamma
+// mode.
+func (h *harness) jobs() int {
+	if h.cfg.Gamma {
+		return h.cfg.NB / 2
+	}
+	return h.cfg.NB
+}
+
+// inputBands returns the initial band coefficients (gamma-aware).
+func (h *harness) inputBands() [][]complex128 {
+	if h.cfg.Gamma {
+		return pw.WavefunctionBandsGamma(h.k.Sphere, h.cfg.NB)
+	}
+	return pw.WavefunctionBands(h.k.Sphere, h.cfg.NB)
+}
+
+// newRankRuntime builds the OmpSs runtime of one rank over workers lanes
+// starting at rank·workers (the flat engines) — callers spawn the rank's
+// main process right after, preserving the engine's lane ordering.
+func (h *harness) newRankRuntime(firstLane, workers int) *ompss.Runtime {
+	workerLanes := make([]int, workers)
+	for t := 0; t < workers; t++ {
+		workerLanes[t] = firstLane + t
+	}
+	rt := ompss.New(h.eng, h.sink, workerLanes)
+	rt.Strict = h.cfg.Strict
+	return rt
+}
+
+// ctx builds a worker's MPI context for the given rank.
+func (h *harness) ctx(wk *ompss.Worker, rank int) *mpi.Ctx {
+	return &mpi.Ctx{W: h.w, Proc: wk.Proc, Rank: rank, Lane: wk.Lane}
+}
+
+// groupComms registers the two communicator layers of the grouped
+// topology for rank (p,g): the "neighboring" pack communicator over the
+// T groups of position p and the "alternating" group communicator over
+// the R positions of group g. Must be called from the rank's process.
+func (h *harness) groupComms(p, g int) (packComm, grpComm *mpi.Comm) {
+	T := h.cfg.NTG
+	packRanks := make([]int, T)
+	for gg := 0; gg < T; gg++ {
+		packRanks[gg] = p*T + gg
+	}
+	packComm = h.w.NewSubComm(fmt.Sprintf("pack%d", p), packRanks)
+	grpRanks := make([]int, h.cfg.Ranks)
+	for q := 0; q < h.cfg.Ranks; q++ {
+		grpRanks[q] = q*T + g
+	}
+	grpComm = h.w.NewSubComm(fmt.Sprintf("grp%d", g), grpRanks)
+	return packComm, grpComm
+}
+
+// finish runs the virtual-time engine and assembles the Result, gathering
+// the transformed bands in ModeReal via collect.
+func (h *harness) finish(collect func() [][]complex128) (*Result, error) {
+	if err := h.eng.Run(); err != nil {
+		return nil, fmt.Errorf("fftx: %s engine: %w", h.cfg.Engine, err)
+	}
+	res := &Result{
+		Config:  h.cfg,
+		Runtime: h.tr.Runtime(),
+		Trace:   h.tr,
+		Engine:  h.cfg.Engine,
+		Sphere:  h.k.Sphere,
+		Layout:  h.k.Layout,
+	}
+	if h.cfg.Mode == ModeReal {
+		res.Bands = collect()
+	}
+	return res, nil
+}
+
+// --- grouped topology (original, task-steps): P = R·T ranks, rank
+// (p,g) = p·T+g holds chunk g of position p's local coefficients ---
+
+type grouped struct {
+	h *harness
+	// chunkBounds[p] are the T+1 chunk boundaries of position p's locals.
+	chunkBounds [][]int
+	// in[rank][b] / out[rank][b] hold chunk g of band b's position-p
+	// locals (ModeReal; nil in ModeCost).
+	in, out [][][]complex128
+}
+
+// newGrouped computes the task-group chunking and, in ModeReal,
+// distributes the input bands over the P ranks.
+func (h *harness) newGrouped() *grouped {
+	cfg := h.cfg
+	R, T := cfg.Ranks, cfg.NTG
+	gt := &grouped{h: h, chunkBounds: make([][]int, R)}
+	for p := range gt.chunkBounds {
+		gt.chunkBounds[p] = h.k.Layout.TaskChunks(p, T)
+	}
+	if cfg.Mode != ModeReal {
+		return gt
+	}
+	P := R * T
+	gt.in = make([][][]complex128, P)
+	gt.out = make([][][]complex128, P)
+	for r := 0; r < P; r++ {
+		gt.in[r] = make([][]complex128, cfg.NB)
+		gt.out[r] = make([][]complex128, cfg.NB)
+	}
+	for b, coeffs := range h.inputBands() {
+		locals := h.k.Layout.Distribute(coeffs)
+		for p := 0; p < R; p++ {
+			bd := gt.chunkBounds[p]
+			for g := 0; g < T; g++ {
+				gt.in[p*T+g][b] = locals[p][bd[g]:bd[g+1]]
+			}
+		}
+	}
+	return gt
+}
+
+// pack redistributes iteration it's NTG bands' chunks among the groups
+// over packComm, so group g assembles job it·T+g into the state: the
+// task-group pack Alltoallv plus the "pack" reassembly phase. In gamma
+// mode each chunk is the concatenation of the band pair's sub-chunks.
+func (gt *grouped) pack(c computer, ctx *mpi.Ctx, packComm *mpi.Comm, rank, p, g, it int, s *graph.State) {
+	k, cfg := gt.h.k, gt.h.cfg
+	T := cfg.NTG
+	i := it * T
+	bd := gt.chunkBounds[p]
+	if cfg.Gamma {
+		if cfg.Mode == ModeReal {
+			send := make([][]complex128, T)
+			for gg := 0; gg < T; gg++ {
+				pair := make([]complex128, 0, 2*len(gt.in[rank][2*(i+gg)]))
+				pair = append(pair, gt.in[rank][2*(i+gg)]...)
+				pair = append(pair, gt.in[rank][2*(i+gg)+1]...)
+				send[gg] = pair
+			}
+			recv := mpi.Alltoallv(ctx, packComm, 2*it, send, mpi.BytesComplex128)
+			k.phase(c, s.Job, p, "pack", knl.ClassMem, graph.GammaFactor*k.InstrPack(p), func() {
+				s.Coeffs = make([]complex128, 0, k.Layout.NGOf[p])
+				s.Coeffs2 = make([]complex128, 0, k.Layout.NGOf[p])
+				for gg := 0; gg < T; gg++ {
+					csz := bd[gg+1] - bd[gg]
+					s.Coeffs = append(s.Coeffs, recv[gg][:csz]...)
+					s.Coeffs2 = append(s.Coeffs2, recv[gg][csz:]...)
+				}
+			})
+		} else {
+			packComm.CollectiveCost(ctx, mpi.OpAlltoallv, 2*it, graph.GammaFactor*k.BytesPack(p))
+			k.phase(c, s.Job, p, "pack", knl.ClassMem, graph.GammaFactor*k.InstrPack(p), nil)
+		}
+		return
+	}
+	if cfg.Mode == ModeReal {
+		send := make([][]complex128, T)
+		for gg := 0; gg < T; gg++ {
+			send[gg] = gt.in[rank][i+gg]
+		}
+		recv := mpi.Alltoallv(ctx, packComm, 2*it, send, mpi.BytesComplex128)
+		k.phase(c, s.Job, p, "pack", knl.ClassMem, k.InstrPack(p), func() {
+			s.Coeffs = make([]complex128, 0, k.Layout.NGOf[p])
+			for gg := 0; gg < T; gg++ {
+				s.Coeffs = append(s.Coeffs, recv[gg]...)
+			}
+		})
+	} else {
+		packComm.CollectiveCost(ctx, mpi.OpAlltoallv, 2*it, k.BytesPack(p))
+		k.phase(c, s.Job, p, "pack", knl.ClassMem, k.InstrPack(p), nil)
+	}
+}
+
+// unpack returns each group's chunk of the transformed job to its home
+// rank: the "unpack" split phase plus the mirrored pack Alltoallv.
+func (gt *grouped) unpack(c computer, ctx *mpi.Ctx, packComm *mpi.Comm, rank, p, g, it int, s *graph.State) {
+	k, cfg := gt.h.k, gt.h.cfg
+	T := cfg.NTG
+	i := it * T
+	bd := gt.chunkBounds[p]
+	if cfg.Gamma {
+		if cfg.Mode == ModeReal {
+			send := make([][]complex128, T)
+			k.phase(c, s.Job, p, "unpack", knl.ClassMem, graph.GammaFactor*k.InstrPack(p), func() {
+				for gg := 0; gg < T; gg++ {
+					pair := make([]complex128, 0, 2*(bd[gg+1]-bd[gg]))
+					pair = append(pair, s.Res[bd[gg]:bd[gg+1]]...)
+					pair = append(pair, s.Res2[bd[gg]:bd[gg+1]]...)
+					send[gg] = pair
+				}
+			})
+			recv := mpi.Alltoallv(ctx, packComm, 2*it+1, send, mpi.BytesComplex128)
+			csz := bd[g+1] - bd[g]
+			for gg := 0; gg < T; gg++ {
+				gt.out[rank][2*(i+gg)] = recv[gg][:csz]
+				gt.out[rank][2*(i+gg)+1] = recv[gg][csz:]
+			}
+		} else {
+			k.phase(c, s.Job, p, "unpack", knl.ClassMem, graph.GammaFactor*k.InstrPack(p), nil)
+			packComm.CollectiveCost(ctx, mpi.OpAlltoallv, 2*it+1, graph.GammaFactor*k.BytesPack(p))
+		}
+		return
+	}
+	if cfg.Mode == ModeReal {
+		send := make([][]complex128, T)
+		k.phase(c, s.Job, p, "unpack", knl.ClassMem, k.InstrPack(p), func() {
+			for gg := 0; gg < T; gg++ {
+				send[gg] = s.Res[bd[gg]:bd[gg+1]]
+			}
+		})
+		recv := mpi.Alltoallv(ctx, packComm, 2*it+1, send, mpi.BytesComplex128)
+		for gg := 0; gg < T; gg++ {
+			gt.out[rank][i+gg] = recv[gg]
+		}
+	} else {
+		k.phase(c, s.Job, p, "unpack", knl.ClassMem, k.InstrPack(p), nil)
+		packComm.CollectiveCost(ctx, mpi.OpAlltoallv, 2*it+1, k.BytesPack(p))
+	}
+}
+
+// collect concatenates each position's group chunks and gathers the full
+// bands.
+func (gt *grouped) collect() [][]complex128 {
+	cfg, k := gt.h.cfg, gt.h.k
+	R, T := cfg.Ranks, cfg.NTG
+	bands := make([][]complex128, cfg.NB)
+	for b := 0; b < cfg.NB; b++ {
+		locals := make([][]complex128, R)
+		for p := 0; p < R; p++ {
+			loc := make([]complex128, 0, k.Layout.NGOf[p])
+			for g := 0; g < T; g++ {
+				loc = append(loc, gt.out[p*T+g][b]...)
+			}
+			locals[p] = loc
+		}
+		bands[b] = k.Layout.Collect(locals)
+	}
+	return bands
+}
+
+// --- flat topology (task-iter, task-combined): R ranks, rank p holds
+// every band's full position-p local coefficients ---
+
+type flat struct {
+	h *harness
+	// in[p][b] / out[p][b] hold band b's full position-p locals
+	// (ModeReal; nil in ModeCost).
+	in, out [][][]complex128
+}
+
+// newFlat distributes the input bands over the R ranks in ModeReal.
+func (h *harness) newFlat() *flat {
+	cfg := h.cfg
+	ft := &flat{h: h}
+	if cfg.Mode != ModeReal {
+		return ft
+	}
+	R := cfg.Ranks
+	ft.in = make([][][]complex128, R)
+	ft.out = make([][][]complex128, R)
+	for p := 0; p < R; p++ {
+		ft.in[p] = make([][]complex128, cfg.NB)
+		ft.out[p] = make([][]complex128, cfg.NB)
+	}
+	for b, coeffs := range h.inputBands() {
+		locals := h.k.Layout.Distribute(coeffs)
+		for p := 0; p < R; p++ {
+			ft.in[p][b] = locals[p]
+		}
+	}
+	return ft
+}
+
+// pack copies job b's local coefficients into the state — the flat
+// topology's task-group pack degenerates to a local copy.
+func (ft *flat) pack(c computer, p, b int, s *graph.State) {
+	k, cfg := ft.h.k, ft.h.cfg
+	if cfg.Gamma {
+		k.phase(c, b, p, "pack", knl.ClassMem, graph.GammaFactor*k.InstrPack(p), func() {
+			s.Coeffs = append([]complex128(nil), ft.in[p][2*b]...)
+			s.Coeffs2 = append([]complex128(nil), ft.in[p][2*b+1]...)
+		})
+		return
+	}
+	k.phase(c, b, p, "pack", knl.ClassMem, k.InstrPack(p), func() {
+		s.Coeffs = append([]complex128(nil), ft.in[p][b]...)
+	})
+}
+
+// unpack stores job b's transformed coefficients.
+func (ft *flat) unpack(c computer, p, b int, s *graph.State) {
+	k, cfg := ft.h.k, ft.h.cfg
+	if cfg.Gamma {
+		k.phase(c, b, p, "unpack", knl.ClassMem, graph.GammaFactor*k.InstrPack(p), func() {
+			ft.out[p][2*b] = s.Res
+			ft.out[p][2*b+1] = s.Res2
+		})
+		return
+	}
+	k.phase(c, b, p, "unpack", knl.ClassMem, k.InstrPack(p), func() {
+		ft.out[p][b] = s.Res
+	})
+}
+
+// collect gathers the full bands from the per-rank locals.
+func (ft *flat) collect() [][]complex128 {
+	cfg, k := ft.h.cfg, ft.h.k
+	bands := make([][]complex128, cfg.NB)
+	for b := 0; b < cfg.NB; b++ {
+		locals := make([][]complex128, cfg.Ranks)
+		for p := 0; p < cfg.Ranks; p++ {
+			locals[p] = ft.out[p][b]
+		}
+		bands[b] = k.Layout.Collect(locals)
+	}
+	return bands
+}

@@ -1,0 +1,108 @@
+package fftx
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The cross-engine equivalence matrix: one table spanning engines × modes ×
+// {complex, gamma} numerics, every cell run through the shared harness and
+// held to the full contract — ModeReal bands reproduce the serial reference,
+// repeated runs are bit-identical (runtime and trace interval stream), the
+// trace validates, and the trace metadata names the engine. The satellite
+// point of the stage-graph refactor: all engines walk ONE pipeline
+// definition, so equivalence is now a property of the schedulers alone.
+func TestEngineMatrix(t *testing.T) {
+	type cell struct {
+		engine Engine
+		mode   Mode
+		gamma  bool
+		ranks  int
+		ntg    int
+	}
+	var cells []cell
+	for _, engine := range []Engine{EngineOriginal, EngineTaskSteps, EngineTaskIter, EngineTaskCombined} {
+		for _, mode := range []Mode{ModeReal, ModeCost} {
+			for _, gamma := range []bool{false, true} {
+				if gamma && engine != EngineOriginal && engine != EngineTaskIter {
+					continue // validate() rejects gamma on the other engines
+				}
+				cells = append(cells, cell{engine, mode, gamma, 2, 2})
+				if !testing.Short() {
+					cells = append(cells, cell{engine, mode, gamma, 3, 2})
+				}
+			}
+		}
+	}
+
+	const nb = 8
+	refComplex := Reference(Config{Ecut: testEcut, Alat: testAlat, NB: nb})
+	refGamma := gammaReference(t, Config{Ecut: testEcut, Alat: testAlat, NB: nb})
+
+	for _, tc := range cells {
+		tc := tc
+		name := fmt.Sprintf("%v/%dx%d", tc.engine, tc.ranks, tc.ntg)
+		if tc.mode == ModeCost {
+			name += "/cost"
+		} else {
+			name += "/real"
+		}
+		if tc.gamma {
+			name += "/gamma"
+		}
+		t.Run(name, func(t *testing.T) {
+			cfg := Config{
+				Ecut: testEcut, Alat: testAlat, NB: nb,
+				Ranks: tc.ranks, NTG: tc.ntg,
+				Engine: tc.engine, Mode: tc.mode, Gamma: tc.gamma,
+				Strict: true,
+			}
+			a, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Determinism: bit-identical runtime and interval stream.
+			if a.Runtime != b.Runtime {
+				t.Errorf("runtimes differ: %v vs %v", a.Runtime, b.Runtime)
+			}
+			if len(a.Trace.Intervals) != len(b.Trace.Intervals) {
+				t.Fatalf("interval counts differ: %d vs %d", len(a.Trace.Intervals), len(b.Trace.Intervals))
+			}
+			for i := range a.Trace.Intervals {
+				if a.Trace.Intervals[i] != b.Trace.Intervals[i] {
+					t.Fatalf("trace diverges at interval %d", i)
+				}
+			}
+
+			// The trace is well-formed and labeled with the engine.
+			if errs := a.Trace.Validate(); len(errs) != 0 {
+				t.Fatalf("trace validation: %v", errs)
+			}
+			if got := a.Trace.Meta["engine"]; got != tc.engine.String() {
+				t.Errorf("trace engine label %q, want %q", got, tc.engine)
+			}
+			if a.Engine != tc.engine {
+				t.Errorf("result engine %v, want %v", a.Engine, tc.engine)
+			}
+
+			// ModeReal cells reproduce the serial reference; ModeCost cells
+			// carry no band data.
+			if tc.mode == ModeReal {
+				ref := refComplex
+				if tc.gamma {
+					ref = refGamma
+				}
+				if d := maxBandDiff(t, a.Bands, ref); d > 1e-10 {
+					t.Errorf("max deviation from reference %g", d)
+				}
+			} else if a.Bands != nil {
+				t.Error("cost mode produced band data")
+			}
+		})
+	}
+}

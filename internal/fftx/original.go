@@ -1,219 +1,38 @@
 package fftx
 
 import (
-	"fmt"
-
-	"repro/internal/knl"
+	"repro/internal/fftx/graph"
 	"repro/internal/mpi"
-	"repro/internal/pw"
-	"repro/internal/trace"
-	"repro/internal/vtime"
 )
 
-// runOriginal executes the static task-group baseline of Figure 1:
-// P = Ranks·NTG single-threaded MPI processes, rank = p·NTG + g for
-// position p and task group g. Each outer iteration processes NTG bands
-// (one per group): the pack Alltoallv inside the R "neighboring" pack
-// communicators redistributes the G-chunks so group g assembles band i+g,
-// the scatter Alltoall inside the T "alternating" group communicators moves
-// sticks to planes, and everything mirrors back after VOFR.
+// runOriginal schedules the stage graph as the static task-group baseline
+// of Figure 1: P = Ranks·NTG single-threaded MPI processes, rank = p·NTG+g
+// for position p and task group g, every job walked fully synchronously.
+// Each outer iteration processes NTG bands (one per group): the pack
+// Alltoallv inside the R "neighboring" pack communicators redistributes
+// the G-chunks so group g assembles band i+g, the scatter Alltoall inside
+// the T "alternating" group communicators moves sticks to planes, and
+// everything mirrors back after VOFR.
 func runOriginal(cfg Config) (*Result, error) {
-	k := newKernel(cfg)
 	R, T := cfg.Ranks, cfg.NTG
 	P := R * T
-	machine, fabric := cfg.buildMachine(P)
-	eng := vtime.NewEngine(machine)
-	tr := trace.New(P, cfg.Params.Freq)
-	sink := cfg.traceSink(tr)
-	w := mpi.NewWorld(eng, fabric, sink, P, 1)
-	w.Strict = cfg.Strict
+	h := newHarness(cfg, P, 1)
+	k := h.k
+	gt := h.newGrouped()
+	jobs := h.jobs()
 
-	chunkBounds := make([][]int, R)
-	for p := range chunkBounds {
-		chunkBounds[p] = k.layout.TaskChunks(p, T)
-	}
-
-	// Initial distribution: rank (g,p) holds chunk g of position p's local
-	// coefficients for every band.
-	var in, out [][][]complex128
-	if cfg.Mode == ModeReal {
-		in = make([][][]complex128, P)
-		out = make([][][]complex128, P)
-		for r := 0; r < P; r++ {
-			in[r] = make([][]complex128, cfg.NB)
-			out[r] = make([][]complex128, cfg.NB)
-		}
-		var bands [][]complex128
-		if cfg.Gamma {
-			bands = pw.WavefunctionBandsGamma(k.sphere, cfg.NB)
-		} else {
-			bands = pw.WavefunctionBands(k.sphere, cfg.NB)
-		}
-		for b, coeffs := range bands {
-			locals := k.layout.Distribute(coeffs)
-			for p := 0; p < R; p++ {
-				bd := chunkBounds[p]
-				for g := 0; g < T; g++ {
-					in[p*T+g][b] = locals[p][bd[g]:bd[g+1]]
-				}
-			}
-		}
-	}
-
-	// An outer-loop iteration processes NTG jobs: one band per task group,
-	// or one band pair in gamma mode.
-	jobs := cfg.NB
-	if cfg.Gamma {
-		jobs = cfg.NB / 2
-	}
 	for rank := 0; rank < P; rank++ {
 		rank := rank
-		w.Spawn(rank, 0, func(ctx *mpi.Ctx) {
+		h.w.Spawn(rank, 0, func(ctx *mpi.Ctx) {
 			p, g := rank/T, rank%T
-			packRanks := make([]int, T)
-			for gg := 0; gg < T; gg++ {
-				packRanks[gg] = p*T + gg
-			}
-			packComm := w.NewSubComm(fmt.Sprintf("pack%d", p), packRanks)
-			grpRanks := make([]int, R)
-			for q := 0; q < R; q++ {
-				grpRanks[q] = q*T + g
-			}
-			grpComm := w.NewSubComm(fmt.Sprintf("grp%d", g), grpRanks)
-			bd := chunkBounds[p]
-
+			packComm, grpComm := h.groupComms(p, g)
 			for it := 0; it*T < jobs; it++ {
-				i := it * T // this iteration's rank processes job i+g
-				if cfg.Gamma {
-					k.gammaIteration(ctx, packComm, grpComm, rank, p, g, it, i, bd, in, out)
-					continue
-				}
-
-				// Pack: redistribute the NTG bands' chunks among the
-				// groups; group g assembles band i+g.
-				var coeffs []complex128
-				if cfg.Mode == ModeReal {
-					send := make([][]complex128, T)
-					for gg := 0; gg < T; gg++ {
-						send[gg] = in[rank][i+gg]
-					}
-					recv := mpi.Alltoallv(ctx, packComm, 2*it, send, mpi.BytesComplex128)
-					k.phase(ctx, i+g, p, "pack", knl.ClassMem, k.instrPack(p), func() {
-						coeffs = make([]complex128, 0, k.layout.NGOf[p])
-						for gg := 0; gg < T; gg++ {
-							coeffs = append(coeffs, recv[gg]...)
-						}
-					})
-				} else {
-					packComm.CollectiveCost(ctx, mpi.OpAlltoallv, 2*it, k.bytesPack(p))
-					k.phase(ctx, i+g, p, "pack", knl.ClassMem, k.instrPack(p), nil)
-				}
-
-				sendZ := k.zForward(ctx, i+g, p, coeffs)
-				recvZ := k.alltoall(ctx, grpComm, 2*it, sendZ, k.bytesScatter(p))
-				sendXY := k.xyPart(ctx, i+g, p, recvZ)
-				recvXY := k.alltoall(ctx, grpComm, 2*it+1, sendXY, k.bytesScatter(p))
-				res := k.zBackward(ctx, i+g, p, recvXY)
-
-				// Unpack: return each group's chunk of the transformed
-				// band to its home rank.
-				if cfg.Mode == ModeReal {
-					send := make([][]complex128, T)
-					k.phase(ctx, i+g, p, "unpack", knl.ClassMem, k.instrPack(p), func() {
-						for gg := 0; gg < T; gg++ {
-							send[gg] = res[bd[gg]:bd[gg+1]]
-						}
-					})
-					recv := mpi.Alltoallv(ctx, packComm, 2*it+1, send, mpi.BytesComplex128)
-					for gg := 0; gg < T; gg++ {
-						out[rank][i+gg] = recv[gg]
-					}
-				} else {
-					k.phase(ctx, i+g, p, "unpack", knl.ClassMem, k.instrPack(p), nil)
-					packComm.CollectiveCost(ctx, mpi.OpAlltoallv, 2*it+1, k.bytesPack(p))
-				}
+				s := &graph.State{Job: it*T + g}
+				gt.pack(ctx, ctx, packComm, rank, p, g, it, s)
+				k.walk(ctx, ctx, grpComm, it, s, p)
+				gt.unpack(ctx, ctx, packComm, rank, p, g, it, s)
 			}
 		})
 	}
-	if err := eng.Run(); err != nil {
-		return nil, fmt.Errorf("fftx: original engine: %w", err)
-	}
-
-	res := &Result{Config: cfg, Runtime: tr.Runtime(), Trace: tr, Sphere: k.sphere, Layout: k.layout}
-	if cfg.Mode == ModeReal {
-		res.Bands = make([][]complex128, cfg.NB)
-		for b := 0; b < cfg.NB; b++ {
-			locals := make([][]complex128, R)
-			for p := 0; p < R; p++ {
-				loc := make([]complex128, 0, k.layout.NGOf[p])
-				for g := 0; g < T; g++ {
-					loc = append(loc, out[p*T+g][b]...)
-				}
-				locals[p] = loc
-			}
-			res.Bands[b] = k.layout.Collect(locals)
-		}
-	}
-	return res, nil
-}
-
-// gammaIteration runs one outer-loop iteration of the original engine in
-// gamma mode: the pack moves band PAIRS between the groups (each chunk is
-// the concatenation of the pair's two sub-chunks), the pipeline transforms
-// two bands per FFT, and the unpack splits the pair again.
-func (k *kernel) gammaIteration(ctx *mpi.Ctx, packComm, grpComm *mpi.Comm,
-	rank, p, g, it, i int, bd []int, in, out [][][]complex128) {
-	cfg := k.cfg
-	T := cfg.NTG
-	job := i + g
-	var c1, c2 []complex128
-	if cfg.Mode == ModeReal {
-		send := make([][]complex128, T)
-		for gg := 0; gg < T; gg++ {
-			pair := make([]complex128, 0, 2*len(in[rank][2*(i+gg)]))
-			pair = append(pair, in[rank][2*(i+gg)]...)
-			pair = append(pair, in[rank][2*(i+gg)+1]...)
-			send[gg] = pair
-		}
-		recv := mpi.Alltoallv(ctx, packComm, 2*it, send, mpi.BytesComplex128)
-		k.phase(ctx, job, p, "pack", knl.ClassMem, gammaFactor*k.instrPack(p), func() {
-			c1 = make([]complex128, 0, k.layout.NGOf[p])
-			c2 = make([]complex128, 0, k.layout.NGOf[p])
-			for gg := 0; gg < T; gg++ {
-				csz := bd[gg+1] - bd[gg]
-				c1 = append(c1, recv[gg][:csz]...)
-				c2 = append(c2, recv[gg][csz:]...)
-			}
-		})
-	} else {
-		packComm.CollectiveCost(ctx, mpi.OpAlltoallv, 2*it, gammaFactor*k.bytesPack(p))
-		k.phase(ctx, job, p, "pack", knl.ClassMem, gammaFactor*k.instrPack(p), nil)
-	}
-
-	sendZ := k.zForwardGamma(ctx, job, p, c1, c2)
-	recvZ := k.alltoall(ctx, grpComm, 2*it, sendZ, k.bytesScatterGamma(p))
-	sendXY := k.xyPartGamma(ctx, job, p, recvZ)
-	recvXY := k.alltoall(ctx, grpComm, 2*it+1, sendXY, k.bytesScatterGamma(p))
-	r1, r2 := k.zBackwardGamma(ctx, job, p, recvXY)
-
-	if cfg.Mode == ModeReal {
-		send := make([][]complex128, T)
-		k.phase(ctx, job, p, "unpack", knl.ClassMem, gammaFactor*k.instrPack(p), func() {
-			for gg := 0; gg < T; gg++ {
-				pair := make([]complex128, 0, 2*(bd[gg+1]-bd[gg]))
-				pair = append(pair, r1[bd[gg]:bd[gg+1]]...)
-				pair = append(pair, r2[bd[gg]:bd[gg+1]]...)
-				send[gg] = pair
-			}
-		})
-		recv := mpi.Alltoallv(ctx, packComm, 2*it+1, send, mpi.BytesComplex128)
-		csz := bd[g+1] - bd[g]
-		for gg := 0; gg < T; gg++ {
-			out[rank][2*(i+gg)] = recv[gg][:csz]
-			out[rank][2*(i+gg)+1] = recv[gg][csz:]
-		}
-	} else {
-		k.phase(ctx, job, p, "unpack", knl.ClassMem, gammaFactor*k.instrPack(p), nil)
-		packComm.CollectiveCost(ctx, mpi.OpAlltoallv, 2*it+1, gammaFactor*k.bytesPack(p))
-	}
+	return h.finish(gt.collect)
 }

@@ -1,152 +1,129 @@
 package fftx
 
 import (
-	"repro/internal/fft"
-	"repro/internal/knl"
+	"fmt"
+
+	"repro/internal/fftx/graph"
 	"repro/internal/mpi"
-	"repro/internal/par"
+	"repro/internal/ompss"
+	"repro/internal/vtime"
 )
 
-// Pipeline fragments shared by the engines. Each fragment bundles the real
-// data transform (skipped in ModeCost) with its compute-phase accounting.
-// The miniapp's "forward" direction (reciprocal → real space) is the
-// exp(+iGr) kernel, i.e. fft.Backward in this library's convention; the
-// return leg applies fft.Forward with the 1/N scaling in gExtract.
+// The stage walkers: how a scheduler executes the nodes of the stage
+// graph. Compute stages become jittered compute phases on the calling
+// lane (with the real data transform in ModeReal); scatter stages become
+// Alltoallv collectives — synchronous, cost-only or asynchronous,
+// whichever policy the engine implements.
 
-func (k *kernel) instrZSplit(p int) float64 {
-	return float64(k.layout.NSticksOf(p)*k.sphere.Grid.Nz) * 2 * 16 * k.cfg.Params.InstrPerByte
-}
-
-func (k *kernel) instrZFill(p int) float64 {
-	return k.instrZSplit(p)
-}
-
-// zForward runs psi preparation, the forward Z FFTs and the scatter-send
-// split for position p, returning the scatter send chunks (nil in
-// ModeCost).
-func (k *kernel) zForward(c computer, band, p int, coeffs []complex128) [][]complex128 {
-	var buf []complex128
-	k.phase(c, band, p, "prep", knl.ClassMem, k.instrPrep(p), func() {
-		buf = k.prepSticks(p, coeffs)
-	})
-	k.phase(c, band, p, "fft-z", knl.ClassStream, k.instrFFTZ(p), func() {
-		k.fftZ(p, buf, fft.Backward)
-	})
-	var send [][]complex128
-	k.phase(c, band, p, "z-split", knl.ClassMem, k.instrZSplit(p), func() {
-		send = k.scatterSplit(p, buf)
-	})
-	return send
-}
-
-// xyFill assembles the received stick fragments into full planes.
-func (k *kernel) xyFill(c computer, band, p int, recv [][]complex128) []complex128 {
-	var planes []complex128
-	k.phase(c, band, p, "xy-fill", knl.ClassMem, k.instrXYFill(p), func() {
-		planes = k.planesFromScatter(p, recv)
-	})
-	return planes
-}
-
-// xyFFT transforms the owned planes in the given direction.
-func (k *kernel) xyFFT(c computer, band, p int, planes []complex128, sign fft.Sign) {
-	k.phase(c, band, p, "fft-xy", knl.ClassVector, k.instrFFTXY(p), func() {
-		k.fftXY(p, planes, sign)
-	})
-}
-
-// vofr applies the real-space potential to the owned planes.
-func (k *kernel) vofr(c computer, band, p int, planes []complex128) {
-	k.phase(c, band, p, "vofr", knl.ClassVector, k.instrVOfR(p), func() {
-		k.vOfR(p, planes)
-	})
-}
-
-// xyExtract disassembles the planes into backward-scatter send chunks.
-func (k *kernel) xyExtract(c computer, band, p int, planes []complex128) [][]complex128 {
-	var send [][]complex128
-	k.phase(c, band, p, "xy-extract", knl.ClassMem, k.instrXYExtract(p), func() {
-		send = k.planesToScatter(p, planes)
-	})
-	return send
-}
-
-// xyFFTPart transforms the plane range [lo,hi) of position p, charging the
-// proportional share of the phase's instructions. It is the body of the
-// nested task loop over cft_2xy calls (paper Figure 4, grain 10).
-func (k *kernel) xyFFTPart(c computer, band, p int, planes []complex128, sign fft.Sign, lo, hi int) {
-	n := k.layout.NPlanesOf(p)
-	frac := float64(hi-lo) / float64(n)
-	k.phase(c, band, p, "fft-xy", knl.ClassVector, k.instrFFTXY(p)*frac, func() {
-		g := k.sphere.Grid
-		nxy := g.Nx * g.Ny
-		par.ParallelFor(hi-lo, grainPlanes, func(zlo, zhi int) {
-			for z := lo + zlo; z < lo+zhi; z++ {
-				k.plan2D.Transform(planes[z*nxy:(z+1)*nxy], sign)
-			}
-		})
-	})
-}
-
-// zFFTPart transforms the stick range [lo,hi) of position p's stick buffer,
-// the body of the nested task loop over cft_1z calls (grain 200).
-func (k *kernel) zFFTPart(c computer, band, p int, buf []complex128, sign fft.Sign, lo, hi int) {
-	n := k.layout.NSticksOf(p)
-	frac := float64(hi-lo) / float64(n)
-	nz := k.sphere.Grid.Nz
-	k.phase(c, band, p, "fft-z", knl.ClassStream, k.instrFFTZ(p)*frac, func() {
-		transformManyPar(k.planZ, buf[lo*nz:hi*nz], hi-lo, sign)
-	})
-}
-
-// xyPart runs the central high-intensity block of Figure 3 — plane
-// assembly, forward XY FFTs, the V(r) application, backward XY FFTs and
-// plane disassembly — returning the backward-scatter send chunks.
-func (k *kernel) xyPart(c computer, band, p int, recv [][]complex128) [][]complex128 {
-	planes := k.xyFill(c, band, p, recv)
-	k.xyFFT(c, band, p, planes, fft.Backward)
-	k.vofr(c, band, p, planes)
-	k.xyFFT(c, band, p, planes, fft.Forward)
-	return k.xyExtract(c, band, p, planes)
-}
-
-// zBackward reassembles the sticks from the backward scatter, runs the
-// backward Z FFTs and extracts the normalized sphere coefficients.
-func (k *kernel) zBackward(c computer, band, p int, recv [][]complex128) []complex128 {
-	var buf []complex128
-	k.phase(c, band, p, "z-fill", knl.ClassMem, k.instrZFill(p), func() {
-		buf = k.sticksFromScatter(p, recv)
-	})
-	k.phase(c, band, p, "fft-z", knl.ClassStream, k.instrFFTZ(p), func() {
-		k.fftZ(p, buf, fft.Forward)
-	})
-	var out []complex128
-	k.phase(c, band, p, "g-extract", knl.ClassMem, k.instrUnpack(p), func() {
-		out = k.extractCoeffs(p, buf)
-	})
-	return out
-}
-
-// alltoall performs the engines' Alltoallv: real data in ModeReal, the
-// equivalent synchronization and transfer cost without payload in ModeCost.
-// bytesPerRank is the cost-model volume (ignored in ModeReal, where the
-// actual payload sizes drive the cost).
-func (k *kernel) alltoall(ctx *mpi.Ctx, comm *mpi.Comm, tag int, send [][]complex128, bytesPerRank float64) [][]complex128 {
-	if k.cfg.Mode == ModeReal {
-		return mpi.Alltoallv(ctx, comm, tag, send, mpi.BytesComplex128)
+// runStage executes one compute stage of the graph on computer c.
+func (k *kernel) runStage(c computer, st *graph.Stage, s *graph.State, p int) {
+	var work func()
+	if st.Body != nil {
+		work = func() { st.Body(s, p) }
 	}
-	comm.CollectiveCost(ctx, mpi.OpAlltoallv, tag, bytesPerRank)
-	return nil
+	k.phase(c, s.Job, p, st.Name, st.Class, st.Instr(p), work)
 }
 
-// Run executes the configured engine and returns its result.
+// partStage executes the [lo,hi) sub-range of a splittable compute stage,
+// charging the proportional share of the stage's instructions — the body
+// of the nested task loops (paper Figure 4, cft_1z/cft_2xy).
+func (k *kernel) partStage(c computer, st *graph.Stage, s *graph.State, p, lo, hi int) {
+	frac := float64(hi-lo) / float64(st.Count(p))
+	var work func()
+	if st.Part != nil {
+		work = func() { st.Part(s, p, lo, hi) }
+	}
+	k.phase(c, s.Job, p, st.Name, st.Class, st.Instr(p)*frac, work)
+}
+
+// nestedLoop runs a splittable stage as a nested task loop executed by all
+// of the rank's workers, waiting for the group before continuing the step.
+func (k *kernel) nestedLoop(rt *ompss.Runtime, wk *ompss.Worker, it int, st *graph.Stage, s *graph.State, p int) {
+	grain := k.cfg.NestedGrainZ
+	if st.Split == graph.SplitPlanes {
+		grain = k.cfg.NestedGrainXY
+	}
+	grp := rt.NewGroup()
+	rt.TaskLoopInGroup(wk.Proc, grp, fmt.Sprintf("%s.it%d", st.LoopName, it),
+		st.Count(p), grain,
+		func(w2 *ompss.Worker, lo, hi int) {
+			k.partStage(w2, st, s, p, lo, hi)
+		})
+	grp.Wait(wk)
+}
+
+// runScatter executes a scatter stage synchronously on comm: real data in
+// ModeReal, the equivalent synchronization and transfer cost without
+// payload in ModeCost. seq is the scheduler's tag base (the iteration for
+// the grouped engines, the job for the flat ones).
+func (k *kernel) runScatter(ctx *mpi.Ctx, comm *mpi.Comm, seq int, st *graph.Stage, s *graph.State, p int) {
+	tag := 2*seq + st.TagOff
+	if k.cfg.Mode == ModeReal {
+		s.Chunks = mpi.Alltoallv(ctx, comm, tag, s.Chunks, mpi.BytesComplex128)
+		return
+	}
+	comm.CollectiveCost(ctx, mpi.OpAlltoallv, tag, st.Bytes(p))
+	s.Chunks = nil
+}
+
+// runScatterAsync posts a scatter stage asynchronously (the combined
+// engine's communication-thread scatters) and calls done from the
+// handling process once the exchange completes.
+func (k *kernel) runScatterAsync(ctx *mpi.Ctx, comm *mpi.Comm, seq int, st *graph.Stage, s *graph.State, p int, done func(hp *vtime.Proc)) {
+	tag := 2*seq + st.TagOff
+	if k.cfg.Mode == ModeReal {
+		mpi.IAlltoallv(ctx, comm, tag, s.Chunks, mpi.BytesComplex128,
+			func(hp *vtime.Proc, recv [][]complex128) {
+				s.Chunks = recv
+				done(hp)
+			})
+		return
+	}
+	mpi.ICollectiveCost(ctx, comm, mpi.OpAlltoallv, tag, st.Bytes(p), done)
+}
+
+// walk executes the whole pipeline in stage order on one computer, with
+// synchronous scatters on comm — the fully sequential per-job schedule of
+// the original and per-iteration engines.
+func (k *kernel) walk(c computer, ctx *mpi.Ctx, comm *mpi.Comm, seq int, s *graph.State, p int) {
+	for i := range k.pipe.Stages {
+		st := &k.pipe.Stages[i]
+		if st.Kind == graph.Scatter {
+			k.runScatter(ctx, comm, seq, st, s, p)
+			continue
+		}
+		k.runStage(c, st, s, p)
+	}
+}
+
+// Run executes the configured engine and returns its result. EngineAuto
+// resolves to the cost-model-fastest applicable engine first (see
+// SelectEngine).
 func Run(cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
+	requestedAuto := cfg.Engine == EngineAuto
+	if requestedAuto {
+		e, err := selectEngine(cfg)
+		if err != nil {
+			return nil, err
+		}
+		mAutoSelected.With(e.String()).Inc()
+		cfg.Engine = e
+	}
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 	mRuns.With(cfg.Engine.String()).Inc()
 	mFreq.Set(cfg.Params.Freq)
+	res, err := runEngine(cfg)
+	if err == nil && requestedAuto {
+		res.Trace.Meta["engine-requested"] = EngineAuto.String()
+	}
+	return res, err
+}
+
+// runEngine dispatches an already-validated, concrete-engine config.
+func runEngine(cfg Config) (*Result, error) {
 	switch cfg.Engine {
 	case EngineOriginal:
 		return runOriginal(cfg)

@@ -3,132 +3,68 @@ package fftx
 import (
 	"fmt"
 
-	"repro/internal/knl"
-	"repro/internal/mpi"
+	"repro/internal/fftx/graph"
 	"repro/internal/ompss"
-	"repro/internal/pw"
-	"repro/internal/trace"
 	"repro/internal/vtime"
 )
 
-// runTaskCombined executes the paper's future-work direction (Section VI:
-// "combine the approaches to overlap communication and computation with
-// asynchronously scheduled tasks", referencing the hybrid MPI/SMPSs
-// communication-thread technique): the per-band task structure of the
-// per-iteration version, but with the two scatter collectives posted
-// asynchronously from communication threads. A band's pipeline becomes
-// three compute tasks (forward Z part, XY part, backward Z part) chained
-// through dependency promises that the communication threads fulfill, so a
-// worker thread never blocks inside MPI — while band b's scatter is in
-// flight, the worker immediately picks up another band's compute task.
+// runTaskCombined schedules the stage graph as the paper's future-work
+// direction (Section VI: "combine the approaches to overlap communication
+// and computation with asynchronously scheduled tasks", referencing the
+// hybrid MPI/SMPSs communication-thread technique): the per-band task
+// structure of the per-iteration version, but with the two scatter edges
+// posted asynchronously from communication threads. The graph's scatter
+// stages split the pipeline into three compute segments (forward Z part,
+// XY part, backward Z part) chained through dependency promises that the
+// communication threads fulfill, so a worker thread never blocks inside
+// MPI — while band b's scatter is in flight, the worker immediately picks
+// up another band's compute task.
 func runTaskCombined(cfg Config) (*Result, error) {
-	k := newKernel(cfg)
 	R, T := cfg.Ranks, cfg.NTG
-	lanes := R * T
-	machine, fabric := cfg.buildMachine(lanes)
-	eng := vtime.NewEngine(machine)
-	tr := trace.New(lanes, cfg.Params.Freq)
-	sink := cfg.traceSink(tr)
-	w := mpi.NewWorld(eng, fabric, sink, R, T)
-	w.Strict = cfg.Strict
-
-	var in, out [][][]complex128
-	if cfg.Mode == ModeReal {
-		in = make([][][]complex128, R)
-		out = make([][][]complex128, R)
-		for p := 0; p < R; p++ {
-			in[p] = make([][]complex128, cfg.NB)
-			out[p] = make([][]complex128, cfg.NB)
-		}
-		bands := pw.WavefunctionBands(k.sphere, cfg.NB)
-		for b, coeffs := range bands {
-			locals := k.layout.Distribute(coeffs)
-			for p := 0; p < R; p++ {
-				in[p][b] = locals[p]
-			}
-		}
-	}
+	h := newHarness(cfg, R, T)
+	k := h.k
+	ft := h.newFlat()
+	segs, scatters := k.pipe.Segments()
 
 	type fwdKey struct{ b int }
 	type bwdKey struct{ b int }
-	type bandState struct {
-		recvZ  [][]complex128
-		recvXY [][]complex128
-	}
 
-	worldComm := w.CommWorld()
+	worldComm := h.w.CommWorld()
 	for p := 0; p < R; p++ {
 		p := p
-		workerLanes := make([]int, T)
-		for t := 0; t < T; t++ {
-			workerLanes[t] = p*T + t
-		}
-		rt := ompss.New(eng, sink, workerLanes)
-		rt.Strict = cfg.Strict
-		eng.Spawn(fmt.Sprintf("rank%d.main", p), func(mp *vtime.Proc) {
+		rt := h.newRankRuntime(p*T, T)
+		h.eng.Spawn(fmt.Sprintf("rank%d.main", p), func(mp *vtime.Proc) {
 			for b := 0; b < cfg.NB; b++ {
 				b := b
-				st := &bandState{}
+				s := &graph.State{Job: b}
 				prFwd := rt.NewPromise(fmt.Sprintf("scat-fwd%d", b), fwdKey{b})
 				prBwd := rt.NewPromise(fmt.Sprintf("scat-bwd%d", b), bwdKey{b})
 
 				rt.Submit(mp, fmt.Sprintf("fwd%d", b), nil, 0, func(wk *ompss.Worker) {
-					ctx := &mpi.Ctx{W: w, Proc: wk.Proc, Rank: p, Lane: wk.Lane}
-					var coeffs []complex128
-					k.phase(wk, b, p, "pack", knl.ClassMem, k.instrPack(p), func() {
-						coeffs = append([]complex128(nil), in[p][b]...)
-					})
-					sendZ := k.zForward(wk, b, p, coeffs)
-					if cfg.Mode == ModeReal {
-						mpi.IAlltoallv(ctx, worldComm, 2*b, sendZ, mpi.BytesComplex128,
-							func(hp *vtime.Proc, recv [][]complex128) {
-								st.recvZ = recv
-								prFwd.Fulfill(hp)
-							})
-					} else {
-						mpi.ICollectiveCost(ctx, worldComm, mpi.OpAlltoallv, 2*b, k.bytesScatter(p),
-							func(hp *vtime.Proc) { prFwd.Fulfill(hp) })
+					ctx := h.ctx(wk, p)
+					ft.pack(wk, p, b, s)
+					for _, st := range segs[0] {
+						k.runStage(wk, st, s, p)
 					}
+					k.runScatterAsync(ctx, worldComm, b, scatters[0], s, p, prFwd.Fulfill)
 				})
 				rt.Submit(mp, fmt.Sprintf("xy%d", b), []ompss.Dep{ompss.In(fwdKey{b})}, 0, func(wk *ompss.Worker) {
-					ctx := &mpi.Ctx{W: w, Proc: wk.Proc, Rank: p, Lane: wk.Lane}
-					sendXY := k.xyPart(wk, b, p, st.recvZ)
-					if cfg.Mode == ModeReal {
-						mpi.IAlltoallv(ctx, worldComm, 2*b+1, sendXY, mpi.BytesComplex128,
-							func(hp *vtime.Proc, recv [][]complex128) {
-								st.recvXY = recv
-								prBwd.Fulfill(hp)
-							})
-					} else {
-						mpi.ICollectiveCost(ctx, worldComm, mpi.OpAlltoallv, 2*b+1, k.bytesScatter(p),
-							func(hp *vtime.Proc) { prBwd.Fulfill(hp) })
+					ctx := h.ctx(wk, p)
+					for _, st := range segs[1] {
+						k.runStage(wk, st, s, p)
 					}
+					k.runScatterAsync(ctx, worldComm, b, scatters[1], s, p, prBwd.Fulfill)
 				})
 				rt.Submit(mp, fmt.Sprintf("bwd%d", b), []ompss.Dep{ompss.In(bwdKey{b})}, 0, func(wk *ompss.Worker) {
-					res := k.zBackward(wk, b, p, st.recvXY)
-					k.phase(wk, b, p, "unpack", knl.ClassMem, k.instrPack(p), func() {
-						out[p][b] = res
-					})
+					for _, st := range segs[2] {
+						k.runStage(wk, st, s, p)
+					}
+					ft.unpack(wk, p, b, s)
 				})
 			}
 			rt.Taskwait(mp)
 			rt.Shutdown(mp)
 		})
 	}
-	if err := eng.Run(); err != nil {
-		return nil, fmt.Errorf("fftx: task-combined engine: %w", err)
-	}
-
-	res := &Result{Config: cfg, Runtime: tr.Runtime(), Trace: tr, Sphere: k.sphere, Layout: k.layout}
-	if cfg.Mode == ModeReal {
-		res.Bands = make([][]complex128, cfg.NB)
-		for b := 0; b < cfg.NB; b++ {
-			locals := make([][]complex128, R)
-			for p := 0; p < R; p++ {
-				locals[p] = out[p][b]
-			}
-			res.Bands[b] = k.layout.Collect(locals)
-		}
-	}
-	return res, nil
+	return h.finish(ft.collect)
 }

@@ -3,129 +3,49 @@ package fftx
 import (
 	"fmt"
 
-	"repro/internal/knl"
-	"repro/internal/mpi"
+	"repro/internal/fftx/graph"
 	"repro/internal/ompss"
-	"repro/internal/pw"
-	"repro/internal/trace"
 	"repro/internal/vtime"
 )
 
-// runTaskIter executes optimization 2 of the paper (Figure 5): the FFT
-// task-group MPI layer is replaced by NTG worker threads per rank, and
-// every band's whole pipeline — pack, forward Z FFT, scatter, forward XY
-// FFT, VOFR, backward XY FFT, scatter, backward Z FFT, unpack — is one
-// OmpSs task. Bands are independent, so the runtime schedules them
-// asynchronously: at any instant a rank's workers are in different phases,
-// which de-synchronizes the high- and low-intensity compute phases across
-// the node and softens the resource contention that caps the original
-// version's IPC.
+// runTaskIter schedules the stage graph as optimization 2 of the paper
+// (Figure 5): the FFT task-group MPI layer is replaced by NTG worker
+// threads per rank, and every job's whole pipeline walk — pack, forward Z
+// FFT, scatter, forward XY FFT, VOFR, backward XY FFT, scatter, backward
+// Z FFT, unpack — is one OmpSs task. Bands are independent, so the runtime
+// schedules them asynchronously: at any instant a rank's workers are in
+// different phases, which de-synchronizes the high- and low-intensity
+// compute phases across the node and softens the resource contention that
+// caps the original version's IPC.
 //
 // The per-band scatter collectives span all ranks (the task groups are
 // gone, the Section II "extreme case" NTG=1) and match across ranks by the
 // band tag.
 func runTaskIter(cfg Config) (*Result, error) {
-	k := newKernel(cfg)
 	R, T := cfg.Ranks, cfg.NTG
-	lanes := R * T
-	machine, fabric := cfg.buildMachine(lanes)
-	eng := vtime.NewEngine(machine)
-	tr := trace.New(lanes, cfg.Params.Freq)
-	sink := cfg.traceSink(tr)
-	w := mpi.NewWorld(eng, fabric, sink, R, T)
-	w.Strict = cfg.Strict
+	h := newHarness(cfg, R, T)
+	k := h.k
+	ft := h.newFlat()
+	jobs := h.jobs()
 
-	// Rank p holds every band's position-p local coefficients.
-	var in, out [][][]complex128
-	if cfg.Mode == ModeReal {
-		in = make([][][]complex128, R)
-		out = make([][][]complex128, R)
-		for p := 0; p < R; p++ {
-			in[p] = make([][]complex128, cfg.NB)
-			out[p] = make([][]complex128, cfg.NB)
-		}
-		var bands [][]complex128
-		if cfg.Gamma {
-			bands = pw.WavefunctionBandsGamma(k.sphere, cfg.NB)
-		} else {
-			bands = pw.WavefunctionBands(k.sphere, cfg.NB)
-		}
-		for b, coeffs := range bands {
-			locals := k.layout.Distribute(coeffs)
-			for p := 0; p < R; p++ {
-				in[p][b] = locals[p]
-			}
-		}
-	}
-
-	// One task per FFT job: a single band, or a band pair in gamma mode.
-	jobs := cfg.NB
-	if cfg.Gamma {
-		jobs = cfg.NB / 2
-	}
-	worldComm := w.CommWorld()
+	worldComm := h.w.CommWorld()
 	for p := 0; p < R; p++ {
 		p := p
-		workerLanes := make([]int, T)
-		for t := 0; t < T; t++ {
-			workerLanes[t] = p*T + t
-		}
-		rt := ompss.New(eng, sink, workerLanes)
-		rt.Strict = cfg.Strict
-		eng.Spawn(fmt.Sprintf("rank%d.main", p), func(mp *vtime.Proc) {
+		rt := h.newRankRuntime(p*T, T)
+		h.eng.Spawn(fmt.Sprintf("rank%d.main", p), func(mp *vtime.Proc) {
 			for b := 0; b < jobs; b++ {
 				b := b
 				rt.Submit(mp, fmt.Sprintf("band%d", b), nil, 0, func(wk *ompss.Worker) {
-					ctx := &mpi.Ctx{W: w, Proc: wk.Proc, Rank: p, Lane: wk.Lane}
-					if cfg.Gamma {
-						var c1, c2 []complex128
-						k.phase(wk, b, p, "pack", knl.ClassMem, gammaFactor*k.instrPack(p), func() {
-							c1 = append([]complex128(nil), in[p][2*b]...)
-							c2 = append([]complex128(nil), in[p][2*b+1]...)
-						})
-						sendZ := k.zForwardGamma(wk, b, p, c1, c2)
-						recvZ := k.alltoall(ctx, worldComm, 2*b, sendZ, k.bytesScatterGamma(p))
-						sendXY := k.xyPartGamma(wk, b, p, recvZ)
-						recvXY := k.alltoall(ctx, worldComm, 2*b+1, sendXY, k.bytesScatterGamma(p))
-						r1, r2 := k.zBackwardGamma(wk, b, p, recvXY)
-						k.phase(wk, b, p, "unpack", knl.ClassMem, gammaFactor*k.instrPack(p), func() {
-							out[p][2*b] = r1
-							out[p][2*b+1] = r2
-						})
-						return
-					}
-					var coeffs []complex128
-					k.phase(wk, b, p, "pack", knl.ClassMem, k.instrPack(p), func() {
-						coeffs = append([]complex128(nil), in[p][b]...)
-					})
-					sendZ := k.zForward(wk, b, p, coeffs)
-					recvZ := k.alltoall(ctx, worldComm, 2*b, sendZ, k.bytesScatter(p))
-					sendXY := k.xyPart(wk, b, p, recvZ)
-					recvXY := k.alltoall(ctx, worldComm, 2*b+1, sendXY, k.bytesScatter(p))
-					res := k.zBackward(wk, b, p, recvXY)
-					k.phase(wk, b, p, "unpack", knl.ClassMem, k.instrPack(p), func() {
-						out[p][b] = res
-					})
+					ctx := h.ctx(wk, p)
+					s := &graph.State{Job: b}
+					ft.pack(wk, p, b, s)
+					k.walk(wk, ctx, worldComm, b, s, p)
+					ft.unpack(wk, p, b, s)
 				})
 			}
 			rt.Taskwait(mp)
 			rt.Shutdown(mp)
 		})
 	}
-	if err := eng.Run(); err != nil {
-		return nil, fmt.Errorf("fftx: task-iter engine: %w", err)
-	}
-
-	res := &Result{Config: cfg, Runtime: tr.Runtime(), Trace: tr, Sphere: k.sphere, Layout: k.layout}
-	if cfg.Mode == ModeReal {
-		res.Bands = make([][]complex128, cfg.NB)
-		for b := 0; b < cfg.NB; b++ {
-			locals := make([][]complex128, R)
-			for p := 0; p < R; p++ {
-				locals[p] = out[p][b]
-			}
-			res.Bands[b] = k.layout.Collect(locals)
-		}
-	}
-	return res, nil
+	return h.finish(ft.collect)
 }

@@ -3,236 +3,75 @@ package fftx
 import (
 	"fmt"
 
-	"repro/internal/fft"
-	"repro/internal/knl"
+	"repro/internal/fftx/graph"
 	"repro/internal/mpi"
 	"repro/internal/ompss"
-	"repro/internal/pw"
-	"repro/internal/trace"
 	"repro/internal/vtime"
 )
 
-// runTaskSteps executes optimization 1 of the paper (Figure 4): the MPI
-// layout of the original version (Ranks·NTG processes, two communicator
-// layers) is kept, but every step of the FFT pipeline becomes an OmpSs task
-// with flow dependencies on the iteration's psi/aux buffers, and the outer
-// band loop is a taskloop, so several iterations are in flight per rank.
-// While one iteration's step task is blocked inside a collective, the
-// rank's other worker threads execute compute steps of neighboring
-// iterations — communication overlaps computation.
+// runTaskSteps schedules the stage graph as optimization 1 of the paper
+// (Figure 4): the MPI layout of the original version (Ranks·NTG processes,
+// two communicator layers) is kept, but every step of the pipeline — a
+// same-label run of graph stages — becomes an OmpSs task with flow
+// dependencies on the iteration's psi/aux buffers, and the outer band loop
+// is a taskloop, so several iterations are in flight per rank. While one
+// iteration's step task is blocked inside a collective, the rank's other
+// worker threads execute compute steps of neighboring iterations —
+// communication overlaps computation. With NestedLoops the splittable FFT
+// stages additionally fan out as nested task loops (cft_1z/cft_2xy) over
+// all of the rank's workers.
 func runTaskSteps(cfg Config) (*Result, error) {
-	k := newKernel(cfg)
 	R, T, W := cfg.Ranks, cfg.NTG, cfg.StepWorkers
 	P := R * T
-	lanes := P * W
-	machine, fabric := cfg.buildMachine(lanes)
-	eng := vtime.NewEngine(machine)
-	tr := trace.New(lanes, cfg.Params.Freq)
-	sink := cfg.traceSink(tr)
-	w := mpi.NewWorld(eng, fabric, sink, P, W)
-	w.Strict = cfg.Strict
+	h := newHarness(cfg, P, W)
+	k := h.k
+	gt := h.newGrouped()
+	steps := k.pipe.Steps()
 
-	chunkBounds := make([][]int, R)
-	for p := range chunkBounds {
-		chunkBounds[p] = k.layout.TaskChunks(p, T)
-	}
-
-	var in, out [][][]complex128
-	if cfg.Mode == ModeReal {
-		in = make([][][]complex128, P)
-		out = make([][][]complex128, P)
-		for r := 0; r < P; r++ {
-			in[r] = make([][]complex128, cfg.NB)
-			out[r] = make([][]complex128, cfg.NB)
-		}
-		bands := pw.WavefunctionBands(k.sphere, cfg.NB)
-		for b, coeffs := range bands {
-			locals := k.layout.Distribute(coeffs)
-			for p := 0; p < R; p++ {
-				bd := chunkBounds[p]
-				for g := 0; g < T; g++ {
-					in[p*T+g][b] = locals[p][bd[g]:bd[g+1]]
-				}
-			}
-		}
-	}
-
-	// iterState carries one in-flight iteration's buffers between its step
-	// tasks (the psis/aux arrays of Figure 4).
-	type iterState struct {
-		coeffs []complex128
-		zbuf   []complex128   // stick buffer (nested-loop mode)
-		sticks [][]complex128 // scatter chunks in flight
-		planes []complex128
-		res    []complex128
-	}
-	// region keys for the dependency clauses
+	// region key for the iteration's dependency clause
 	type psisKey struct{ it int }
 
 	nIter := cfg.NB / T
 	for rank := 0; rank < P; rank++ {
 		rank := rank
 		p, g := rank/T, rank%T
-		packRanks := make([]int, T)
-		for gg := 0; gg < T; gg++ {
-			packRanks[gg] = p*T + gg
-		}
-		grpRanks := make([]int, R)
-		for q := 0; q < R; q++ {
-			grpRanks[q] = q*T + g
-		}
-		workerLanes := make([]int, W)
-		for t := 0; t < W; t++ {
-			workerLanes[t] = rank*W + t
-		}
-		rt := ompss.New(eng, sink, workerLanes)
-		rt.Strict = cfg.Strict
-		eng.Spawn(fmt.Sprintf("rank%d.main", rank), func(mp *vtime.Proc) {
-			packComm := w.NewSubComm(fmt.Sprintf("pack%d", p), packRanks)
-			grpComm := w.NewSubComm(fmt.Sprintf("grp%d", g), grpRanks)
-			bd := chunkBounds[p]
-
+		rt := h.newRankRuntime(rank*W, W)
+		h.eng.Spawn(fmt.Sprintf("rank%d.main", rank), func(mp *vtime.Proc) {
+			packComm, grpComm := h.groupComms(p, g)
 			for it := 0; it < nIter; it++ {
 				it := it
-				st := &iterState{}
+				s := &graph.State{Job: it*T + g}
 				dep := []ompss.Dep{ompss.Inout(psisKey{it})}
 				submit := func(label string, fn func(wk *ompss.Worker, ctx *mpi.Ctx)) {
 					rt.Submit(mp, fmt.Sprintf("%s.it%d", label, it), dep, -it, func(wk *ompss.Worker) {
-						ctx := &mpi.Ctx{W: w, Proc: wk.Proc, Rank: rank, Lane: wk.Lane}
-						fn(wk, ctx)
+						fn(wk, h.ctx(wk, rank))
 					})
 				}
-				i := it * T
 				submit("pack", func(wk *ompss.Worker, ctx *mpi.Ctx) {
-					if cfg.Mode == ModeReal {
-						send := make([][]complex128, T)
-						for gg := 0; gg < T; gg++ {
-							send[gg] = in[rank][i+gg]
-						}
-						recv := mpi.Alltoallv(ctx, packComm, 2*it, send, mpi.BytesComplex128)
-						k.phase(wk, i+g, p, "pack", knl.ClassMem, k.instrPack(p), func() {
-							st.coeffs = make([]complex128, 0, k.layout.NGOf[p])
-							for gg := 0; gg < T; gg++ {
-								st.coeffs = append(st.coeffs, recv[gg]...)
+					gt.pack(wk, ctx, packComm, rank, p, g, it, s)
+				})
+				for _, step := range steps {
+					step := step
+					submit(step.Label, func(wk *ompss.Worker, ctx *mpi.Ctx) {
+						for _, st := range step.Stages {
+							switch {
+							case st.Kind == graph.Scatter:
+								k.runScatter(ctx, grpComm, it, st, s, p)
+							case cfg.NestedLoops && st.Split != graph.SplitNone:
+								k.nestedLoop(rt, wk, it, st, s, p)
+							default:
+								k.runStage(wk, st, s, p)
 							}
-						})
-					} else {
-						packComm.CollectiveCost(ctx, mpi.OpAlltoallv, 2*it, k.bytesPack(p))
-						k.phase(wk, i+g, p, "pack", knl.ClassMem, k.instrPack(p), nil)
-					}
-				})
-				// Nested task loops (Figure 4: cft_2xy and cft_1z converted
-				// to task loops, grain sizes 10 and 200) let every worker
-				// of the rank participate in a step's FFT compute.
-				zLoop := func(wk *ompss.Worker, sign fft.Sign) {
-					grp := rt.NewGroup()
-					rt.TaskLoopInGroup(wk.Proc, grp, fmt.Sprintf("cft_1z.it%d", it),
-						k.layout.NSticksOf(p), cfg.NestedGrainZ,
-						func(w2 *ompss.Worker, lo, hi int) {
-							k.zFFTPart(w2, i+g, p, st.zbuf, sign, lo, hi)
-						})
-					grp.Wait(wk)
+						}
+					})
 				}
-				xyLoop := func(wk *ompss.Worker, sign fft.Sign) {
-					grp := rt.NewGroup()
-					rt.TaskLoopInGroup(wk.Proc, grp, fmt.Sprintf("cft_2xy.it%d", it),
-						k.layout.NPlanesOf(p), cfg.NestedGrainXY,
-						func(w2 *ompss.Worker, lo, hi int) {
-							k.xyFFTPart(w2, i+g, p, st.planes, sign, lo, hi)
-						})
-					grp.Wait(wk)
-				}
-				submit("fft-z-fw", func(wk *ompss.Worker, ctx *mpi.Ctx) {
-					if !cfg.NestedLoops {
-						st.sticks = k.zForward(wk, i+g, p, st.coeffs)
-						return
-					}
-					k.phase(wk, i+g, p, "prep", knl.ClassMem, k.instrPrep(p), func() {
-						st.zbuf = k.prepSticks(p, st.coeffs)
-					})
-					zLoop(wk, fft.Backward)
-					k.phase(wk, i+g, p, "z-split", knl.ClassMem, k.instrZSplit(p), func() {
-						st.sticks = k.scatterSplit(p, st.zbuf)
-					})
-				})
-				submit("scatter-fw", func(wk *ompss.Worker, ctx *mpi.Ctx) {
-					st.sticks = k.alltoall(ctx, grpComm, 2*it, st.sticks, k.bytesScatter(p))
-				})
-				submit("fft-xy-fw", func(wk *ompss.Worker, ctx *mpi.Ctx) {
-					st.planes = k.xyFill(wk, i+g, p, st.sticks)
-					if cfg.NestedLoops {
-						xyLoop(wk, fft.Backward)
-					} else {
-						k.xyFFT(wk, i+g, p, st.planes, fft.Backward)
-					}
-				})
-				submit("vofr", func(wk *ompss.Worker, ctx *mpi.Ctx) {
-					k.vofr(wk, i+g, p, st.planes)
-				})
-				submit("fft-xy-bw", func(wk *ompss.Worker, ctx *mpi.Ctx) {
-					if cfg.NestedLoops {
-						xyLoop(wk, fft.Forward)
-					} else {
-						k.xyFFT(wk, i+g, p, st.planes, fft.Forward)
-					}
-					st.sticks = k.xyExtract(wk, i+g, p, st.planes)
-				})
-				submit("scatter-bw", func(wk *ompss.Worker, ctx *mpi.Ctx) {
-					st.sticks = k.alltoall(ctx, grpComm, 2*it+1, st.sticks, k.bytesScatter(p))
-				})
-				submit("fft-z-bw", func(wk *ompss.Worker, ctx *mpi.Ctx) {
-					if !cfg.NestedLoops {
-						st.res = k.zBackward(wk, i+g, p, st.sticks)
-						return
-					}
-					k.phase(wk, i+g, p, "z-fill", knl.ClassMem, k.instrZFill(p), func() {
-						st.zbuf = k.sticksFromScatter(p, st.sticks)
-					})
-					zLoop(wk, fft.Forward)
-					k.phase(wk, i+g, p, "g-extract", knl.ClassMem, k.instrUnpack(p), func() {
-						st.res = k.extractCoeffs(p, st.zbuf)
-					})
-				})
 				submit("unpack", func(wk *ompss.Worker, ctx *mpi.Ctx) {
-					if cfg.Mode == ModeReal {
-						send := make([][]complex128, T)
-						k.phase(wk, i+g, p, "unpack", knl.ClassMem, k.instrPack(p), func() {
-							for gg := 0; gg < T; gg++ {
-								send[gg] = st.res[bd[gg]:bd[gg+1]]
-							}
-						})
-						recv := mpi.Alltoallv(ctx, packComm, 2*it+1, send, mpi.BytesComplex128)
-						for gg := 0; gg < T; gg++ {
-							out[rank][i+gg] = recv[gg]
-						}
-					} else {
-						k.phase(wk, i+g, p, "unpack", knl.ClassMem, k.instrPack(p), nil)
-						packComm.CollectiveCost(ctx, mpi.OpAlltoallv, 2*it+1, k.bytesPack(p))
-					}
+					gt.unpack(wk, ctx, packComm, rank, p, g, it, s)
 				})
 			}
 			rt.Taskwait(mp)
 			rt.Shutdown(mp)
 		})
 	}
-	if err := eng.Run(); err != nil {
-		return nil, fmt.Errorf("fftx: task-steps engine: %w", err)
-	}
-
-	res := &Result{Config: cfg, Runtime: tr.Runtime(), Trace: tr, Sphere: k.sphere, Layout: k.layout}
-	if cfg.Mode == ModeReal {
-		res.Bands = make([][]complex128, cfg.NB)
-		for b := 0; b < cfg.NB; b++ {
-			locals := make([][]complex128, R)
-			for p := 0; p < R; p++ {
-				loc := make([]complex128, 0, k.layout.NGOf[p])
-				for g := 0; g < T; g++ {
-					loc = append(loc, out[p*T+g][b]...)
-				}
-				locals[p] = loc
-			}
-			res.Bands[b] = k.layout.Collect(locals)
-		}
-	}
-	return res, nil
+	return h.finish(gt.collect)
 }

@@ -139,10 +139,17 @@ func transformContiguous(plan rowPlan, data []complex128, count int, sign fft.Si
 	}
 }
 
-// runPipeline executes one cost-mode pipeline simulation.
+// runPipeline executes one cost-mode pipeline simulation. The request's
+// engine name wins; a request without one runs on the server's configured
+// default. The response and the fftxd_pipeline_runs_total metric report the
+// engine that actually executed — the resolved one when "auto" was asked.
 func (s *Server) runPipeline(t *task) {
 	p := t.req.Pipeline
-	eng, err := engineByName(p.Engine)
+	name := p.Engine
+	if name == "" {
+		name = s.cfg.DefaultEngine
+	}
+	eng, err := engineByName(name)
 	if err != nil {
 		t.fail(400, 0, "%v", err)
 		return
@@ -164,9 +171,10 @@ func (s *Server) runPipeline(t *task) {
 	}
 	mBatches.With("pipeline").Inc()
 	mExecSeconds.With("pipeline").Observe(time.Since(start).Seconds())
+	mPipelineRuns.With(res.Engine.String()).Inc()
 	t.resolve(taskOutcome{resp: &Response{
 		Runtime:   res.Runtime,
-		Engine:    eng.String(),
+		Engine:    res.Engine.String(),
 		BatchSize: 1,
 	}})
 }

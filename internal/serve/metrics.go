@@ -29,6 +29,8 @@ var (
 		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256}, "shape")
 	mExecSeconds = metrics.Default().HistogramVec("fftxd_batch_exec_seconds",
 		"wall-clock batch execution time, by shape key", serveBuckets, "shape")
+	mPipelineRuns = metrics.Default().CounterVec("fftxd_pipeline_runs_total",
+		"pipeline simulations executed, by the engine that actually ran (auto resolved)", "engine")
 	mPlanBuilds = metrics.Default().Gauge("fftxd_plan_builds",
 		"cumulative plan constructions of the server's shared plan cache")
 	mDrainState = metrics.Default().Gauge("fftxd_draining",

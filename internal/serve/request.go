@@ -55,8 +55,11 @@ const DefaultMaxElements = 1 << 22
 
 // maxPipelineLanes bounds the simulated hardware occupancy one pipeline
 // request may ask for, so a single request cannot allocate an arbitrarily
-// large simulation.
-const maxPipelineLanes = 1024
+// large simulation. maxPipelineBands bounds the band count the same way.
+const (
+	maxPipelineLanes = 1024
+	maxPipelineBands = 1 << 16
+)
 
 // Request is one FFT service request. The JSON form posts to /fft with
 // Content-Type application/json; the equivalent binary form (transforms
@@ -97,13 +100,18 @@ type Request struct {
 // Runs are always cost-mode: the full problem sizes of the paper simulate
 // in milliseconds without allocating band data.
 type PipelineRequest struct {
-	Ecut   float64 `json:"ecut"`
-	Alat   float64 `json:"alat"`
-	NB     int     `json:"nb"`
-	Ranks  int     `json:"ranks"`
-	NTG    int     `json:"ntg"`
-	Engine string  `json:"engine,omitempty"` // original|task-steps|task-iter|task-combined
-	Seed   int     `json:"seed,omitempty"`
+	Ecut  float64 `json:"ecut"`
+	Alat  float64 `json:"alat"`
+	NB    int     `json:"nb"`
+	Ranks int     `json:"ranks"`
+	NTG   int     `json:"ntg"`
+	// Engine selects the scheduling per request:
+	// original|task-steps|task-iter|task-combined|auto. Empty means the
+	// server's configured default (task-iter out of the box); "auto" asks
+	// the cost-model selector to pick, and the response's Engine field
+	// reports what actually ran.
+	Engine string `json:"engine,omitempty"`
+	Seed   int    `json:"seed,omitempty"`
 }
 
 // Response is the JSON reply of /fft.
@@ -195,8 +203,12 @@ func (r *Request) Validate(maxElements int) error {
 			return fmt.Errorf("pipeline parameters must be positive (ecut=%g alat=%g nb=%d ranks=%d ntg=%d)",
 				p.Ecut, p.Alat, p.NB, p.Ranks, p.NTG)
 		}
-		if lanes := p.Ranks * p.NTG; lanes > maxPipelineLanes {
-			return fmt.Errorf("pipeline occupies %d lanes, limit %d", lanes, maxPipelineLanes)
+		// Per-factor bounds first, so the product cannot overflow.
+		if p.Ranks > maxPipelineLanes || p.NTG > maxPipelineLanes || p.Ranks*p.NTG > maxPipelineLanes {
+			return fmt.Errorf("pipeline occupies %d×%d lanes, limit %d", p.Ranks, p.NTG, maxPipelineLanes)
+		}
+		if p.NB > maxPipelineBands {
+			return fmt.Errorf("pipeline nb=%d exceeds the %d-band limit", p.NB, maxPipelineBands)
 		}
 		if p.NB%p.NTG != 0 {
 			return fmt.Errorf("nb=%d not divisible by ntg=%d", p.NB, p.NTG)
@@ -238,20 +250,18 @@ func (r *Request) Validate(maxElements int) error {
 	return nil
 }
 
-// engineByName maps the wire engine name to the fftx engine ("" means
-// task-iter, the paper's best-performing version).
+// engineByName maps the wire engine name — including "auto" — to the fftx
+// engine ("" means task-iter, the paper's best-performing version; servers
+// override that via Config.DefaultEngine).
 func engineByName(name string) (fftx.Engine, error) {
-	switch name {
-	case "", "task-iter":
+	if name == "" {
 		return fftx.EngineTaskIter, nil
-	case "original":
-		return fftx.EngineOriginal, nil
-	case "task-steps":
-		return fftx.EngineTaskSteps, nil
-	case "task-combined":
-		return fftx.EngineTaskCombined, nil
 	}
-	return 0, fmt.Errorf("unknown engine %q", name)
+	e, err := fftx.ParseEngine(name)
+	if err != nil {
+		return 0, fmt.Errorf("unknown engine %q", name)
+	}
+	return e, nil
 }
 
 // complexData reinterprets the request payload as complex values.

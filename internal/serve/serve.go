@@ -40,6 +40,11 @@ type Config struct {
 	// mount onto — fftxd passes telemetry.Mux so one listener serves both
 	// the FFT API and /metrics + /debug/pprof.
 	Mux *http.ServeMux
+	// DefaultEngine is the fftx engine pipeline requests run on when they
+	// do not name one: original, task-steps, task-iter, task-combined or
+	// auto (the cost-model selector). Empty means task-iter, the paper's
+	// best-performing version.
+	DefaultEngine string
 }
 
 func (c Config) withDefaults() Config {

@@ -194,6 +194,61 @@ func TestServePipeline(t *testing.T) {
 	}
 }
 
+// TestServePipelineEngineSelection drives engine choice end to end: an
+// explicit per-request engine, the auto selector resolving to a concrete
+// engine, a server-level default, and the binary FXP1/FXQ1 frames.
+func TestServePipelineEngineSelection(t *testing.T) {
+	concrete := map[string]bool{
+		"original": true, "task-steps": true, "task-iter": true, "task-combined": true,
+	}
+	pipe := func(engine string) *Request {
+		return &Request{
+			Op:       OpPipeline,
+			Pipeline: &PipelineRequest{Ecut: 30, Alat: 10, NB: 8, Ranks: 2, NTG: 2, Engine: engine},
+		}
+	}
+
+	s := startServer(t, Config{})
+	code, resp, _ := postJSON(t, s.URL(), pipe("original"))
+	if code != http.StatusOK || resp.Engine != "original" {
+		t.Errorf("explicit engine: status %d engine %q, want 200 original", code, resp.Engine)
+	}
+	code, resp, _ = postJSON(t, s.URL(), pipe("auto"))
+	if code != http.StatusOK || !concrete[resp.Engine] {
+		t.Errorf("auto: status %d engine %q, want 200 and a concrete engine", code, resp.Engine)
+	}
+
+	// The same request over the binary wire format: the FXQ1 response frame
+	// carries the resolved engine too.
+	wire, err := EncodeRequest(pipe("auto"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpResp, err := http.Post(s.URL()+"/fft", "application/octet-stream", bytes.NewReader(wire))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(httpResp.Body)
+	httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		t.Fatalf("binary auto: status %d: %s", httpResp.StatusCode, raw)
+	}
+	dec, err := DecodeResponse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !concrete[dec.Engine] || dec.Runtime <= 0 {
+		t.Errorf("binary auto: engine %q runtime %g, want a concrete engine and runtime > 0", dec.Engine, dec.Runtime)
+	}
+
+	// A server-level default applies when the request names no engine.
+	sd := startServer(t, Config{DefaultEngine: "original"})
+	code, resp, _ = postJSON(t, sd.URL(), pipe(""))
+	if code != http.StatusOK || resp.Engine != "original" {
+		t.Errorf("server default: status %d engine %q, want 200 original", code, resp.Engine)
+	}
+}
+
 func TestServeRejectsBadRequests(t *testing.T) {
 	s := startServer(t, Config{MaxElements: 256})
 	url := s.URL() + "/fft"

@@ -6,11 +6,11 @@ import (
 	"math"
 )
 
-// Length-prefixed binary wire format for transform requests — the
-// low-overhead alternative to JSON for bulk payloads. All integers are
+// Length-prefixed binary wire format — the low-overhead alternative to
+// JSON for bulk payloads and tight request loops. All integers are
 // little-endian; complex values are float64 re,im pairs.
 //
-// Request layout:
+// Transform request layout:
 //
 //	offset  size  field
 //	0       4     magic "FXD1"
@@ -23,32 +23,61 @@ import (
 //	16      4·r   u32 dims, outermost first
 //	…             batch × product(dims) × 16 bytes payload
 //
-// Response layout:
+// Transform response layout:
 //
 //	0       4     magic "FXR1"
 //	4       4     u32 batch size the request was coalesced into
 //	8       …     payload, same shape as the request
+//
+// Pipeline request layout (the binary form of OpPipeline):
+//
+//	0       4     magic "FXP1"
+//	4       1     engine name length L (0 = the server's default engine)
+//	5       3     reserved, must be 0
+//	8       8     f64 ecut
+//	16      8     f64 alat
+//	24      4     u32 nb
+//	28      4     u32 ranks
+//	32      4     u32 ntg
+//	36      4     u32 seed
+//	40      4     u32 deadline in milliseconds (0 = none)
+//	44      L     engine name (original|task-steps|task-iter|task-combined|auto)
+//
+// Pipeline response layout:
+//
+//	0       4     magic "FXQ1"
+//	4       8     f64 simulated runtime in virtual seconds
+//	12      1     engine name length L
+//	13      L     the engine that actually ran (auto resolved)
 //
 // Decoders validate every length before allocating and return errors —
 // never panic — on malformed input (FuzzRequestDecode holds them to that).
 
 // Wire format constants.
 var (
-	magicRequest  = [4]byte{'F', 'X', 'D', '1'}
-	magicResponse = [4]byte{'F', 'X', 'R', '1'}
+	magicRequest      = [4]byte{'F', 'X', 'D', '1'}
+	magicResponse     = [4]byte{'F', 'X', 'R', '1'}
+	magicPipeRequest  = [4]byte{'F', 'X', 'P', '1'}
+	magicPipeResponse = [4]byte{'F', 'X', 'Q', '1'}
 )
 
 const (
-	wireReqHeader  = 16 // fixed request header bytes before dims
-	wireRespHeader = 8
-	flagScale      = 1 << 0
+	wireReqHeader      = 16 // fixed transform request header bytes before dims
+	wireRespHeader     = 8
+	wirePipeReqHeader  = 44 // fixed pipeline request bytes before the engine name
+	wirePipeRespHeader = 13
+	maxEngineNameLen   = 32
+	flagScale          = 1 << 0
 )
 
-// EncodeRequest renders a validated transform request in the binary wire
-// format.
+// EncodeRequest renders a validated request in the binary wire format:
+// transforms as an "FXD1" frame, pipeline simulations as an "FXP1" frame.
 func EncodeRequest(r *Request) ([]byte, error) {
+	if r.Op == OpPipeline || (r.Op == "" && r.Pipeline != nil) {
+		return encodePipelineRequest(r)
+	}
 	if r.Op != "" && r.Op != OpTransform {
-		return nil, fmt.Errorf("binary wire format carries transform requests only, not %q", r.Op)
+		return nil, fmt.Errorf("binary wire format carries transform and pipeline requests only, not %q", r.Op)
 	}
 	if len(r.Dims) < 1 || len(r.Dims) > 3 {
 		return nil, fmt.Errorf("invalid rank %d", len(r.Dims))
@@ -82,12 +111,77 @@ func EncodeRequest(r *Request) ([]byte, error) {
 	return out, nil
 }
 
-// DecodeRequest parses and validates a binary transform request. It never
+// encodePipelineRequest renders an OpPipeline request as an "FXP1" frame.
+func encodePipelineRequest(r *Request) ([]byte, error) {
+	p := r.Pipeline
+	if p == nil {
+		return nil, fmt.Errorf("pipeline request without pipeline parameters")
+	}
+	if len(p.Engine) > maxEngineNameLen {
+		return nil, fmt.Errorf("engine name %q too long", p.Engine)
+	}
+	out := make([]byte, 0, wirePipeReqHeader+len(p.Engine))
+	out = append(out, magicPipeRequest[:]...)
+	out = append(out, byte(len(p.Engine)), 0, 0, 0)
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(p.Ecut))
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(p.Alat))
+	for _, v := range []int{p.NB, p.Ranks, p.NTG, p.Seed} {
+		if v < 0 || v > math.MaxUint32 {
+			return nil, fmt.Errorf("pipeline field %d out of wire range", v)
+		}
+		out = binary.LittleEndian.AppendUint32(out, uint32(v))
+	}
+	out = binary.LittleEndian.AppendUint32(out, uint32(r.DeadlineMillis))
+	out = append(out, p.Engine...)
+	return out, nil
+}
+
+// decodePipelineRequest parses and validates an "FXP1" frame.
+func decodePipelineRequest(data []byte, maxElements int) (*Request, error) {
+	if len(data) < wirePipeReqHeader {
+		return nil, fmt.Errorf("pipeline request truncated: %d bytes, header is %d", len(data), wirePipeReqHeader)
+	}
+	nameLen := int(data[4])
+	if data[5] != 0 || data[6] != 0 || data[7] != 0 {
+		return nil, fmt.Errorf("reserved pipeline header bytes set")
+	}
+	if len(data) != wirePipeReqHeader+nameLen {
+		return nil, fmt.Errorf("pipeline request carries %d bytes, want %d", len(data), wirePipeReqHeader+nameLen)
+	}
+	ecut := math.Float64frombits(binary.LittleEndian.Uint64(data[8:16]))
+	alat := math.Float64frombits(binary.LittleEndian.Uint64(data[16:24]))
+	if math.IsNaN(ecut) || math.IsInf(ecut, 0) || math.IsNaN(alat) || math.IsInf(alat, 0) {
+		return nil, fmt.Errorf("pipeline ecut/alat not finite")
+	}
+	req := &Request{
+		Op: OpPipeline,
+		Pipeline: &PipelineRequest{
+			Ecut:   ecut,
+			Alat:   alat,
+			NB:     int(binary.LittleEndian.Uint32(data[24:28])),
+			Ranks:  int(binary.LittleEndian.Uint32(data[28:32])),
+			NTG:    int(binary.LittleEndian.Uint32(data[32:36])),
+			Seed:   int(binary.LittleEndian.Uint32(data[36:40])),
+			Engine: string(data[wirePipeReqHeader:]),
+		},
+		DeadlineMillis: int64(binary.LittleEndian.Uint32(data[40:44])),
+	}
+	if err := req.Validate(maxElements); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// DecodeRequest parses and validates a binary request, dispatching on the
+// frame magic: "FXD1" transforms, "FXP1" pipeline simulations. It never
 // panics: malformed lengths, truncated payloads and non-finite components
 // all return errors.
 func DecodeRequest(data []byte, maxElements int) (*Request, error) {
 	if maxElements <= 0 {
 		maxElements = DefaultMaxElements
+	}
+	if len(data) >= 4 && [4]byte(data[:4]) == magicPipeRequest {
+		return decodePipelineRequest(data, maxElements)
 	}
 	if len(data) < wireReqHeader {
 		return nil, fmt.Errorf("request truncated: %d bytes, header is %d", len(data), wireReqHeader)
@@ -158,8 +252,18 @@ func DecodeRequest(data []byte, maxElements int) (*Request, error) {
 	return req, nil
 }
 
-// EncodeResponse renders a transform response in the binary wire format.
+// EncodeResponse renders a response in the binary wire format: pipeline
+// replies (recognizable by their engine label) as an "FXQ1" frame,
+// transforms as "FXR1".
 func EncodeResponse(resp *Response) []byte {
+	if resp.Engine != "" {
+		out := make([]byte, 0, wirePipeRespHeader+len(resp.Engine))
+		out = append(out, magicPipeResponse[:]...)
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(resp.Runtime))
+		out = append(out, byte(len(resp.Engine)))
+		out = append(out, resp.Engine...)
+		return out
+	}
 	out := make([]byte, 0, wireRespHeader+8*len(resp.Data))
 	out = append(out, magicResponse[:]...)
 	out = binary.LittleEndian.AppendUint32(out, uint32(resp.BatchSize))
@@ -169,9 +273,23 @@ func EncodeResponse(resp *Response) []byte {
 	return out
 }
 
-// DecodeResponse parses a binary transform response (the loadgen's read
-// path).
+// DecodeResponse parses a binary response (the loadgen's read path),
+// dispatching on the frame magic.
 func DecodeResponse(data []byte) (*Response, error) {
+	if len(data) >= 4 && [4]byte(data[:4]) == magicPipeResponse {
+		if len(data) < wirePipeRespHeader {
+			return nil, fmt.Errorf("pipeline response truncated: %d bytes", len(data))
+		}
+		nameLen := int(data[12])
+		if len(data) != wirePipeRespHeader+nameLen {
+			return nil, fmt.Errorf("pipeline response carries %d bytes, want %d", len(data), wirePipeRespHeader+nameLen)
+		}
+		return &Response{
+			Runtime:   math.Float64frombits(binary.LittleEndian.Uint64(data[4:12])),
+			Engine:    string(data[wirePipeRespHeader:]),
+			BatchSize: 1,
+		}, nil
+	}
 	if len(data) < wireRespHeader {
 		return nil, fmt.Errorf("response truncated: %d bytes", len(data))
 	}

@@ -68,6 +68,105 @@ func TestWireRoundTrip(t *testing.T) {
 	}
 }
 
+func TestWirePipelineRoundTrip(t *testing.T) {
+	orig := &Request{
+		Op: OpPipeline,
+		Pipeline: &PipelineRequest{
+			Ecut: 20, Alat: 10, NB: 8, Ranks: 2, NTG: 2,
+			Engine: "auto", Seed: 3,
+		},
+		DeadlineMillis: 125,
+	}
+	b, err := EncodeRequest(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRequest(b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Op != OpPipeline || got.DeadlineMillis != 125 {
+		t.Errorf("header fields lost: %+v", got)
+	}
+	if *got.Pipeline != *orig.Pipeline {
+		t.Errorf("pipeline fields lost: %+v, want %+v", got.Pipeline, orig.Pipeline)
+	}
+
+	// Empty engine name (server default) survives too.
+	orig.Pipeline.Engine = ""
+	b, err = EncodeRequest(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = DecodeRequest(b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Pipeline.Engine != "" {
+		t.Errorf("empty engine became %q", got.Pipeline.Engine)
+	}
+
+	resp := &Response{Runtime: 0.125, Engine: "task-iter", BatchSize: 1}
+	rt, err := DecodeResponse(EncodeResponse(resp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Runtime != 0.125 || rt.Engine != "task-iter" || rt.BatchSize != 1 {
+		t.Errorf("pipeline response round trip lost fields: %+v", rt)
+	}
+}
+
+func TestDecodePipelineRequestErrors(t *testing.T) {
+	valid := &Request{
+		Op:       OpPipeline,
+		Pipeline: &PipelineRequest{Ecut: 20, Alat: 10, NB: 8, Ranks: 2, NTG: 2, Engine: "task-steps"},
+	}
+	base, err := EncodeRequest(valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(f func(b []byte) []byte) []byte {
+		b := append([]byte(nil), base...)
+		return f(b)
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"short header", base[:wirePipeReqHeader-1], "truncated"},
+		{"reserved set", mutate(func(b []byte) []byte { b[5] = 1; return b }), "reserved"},
+		{"name length mismatch", mutate(func(b []byte) []byte { b[4] = 3; return b }), "carries"},
+		{"NaN ecut", mutate(func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[8:], math.Float64bits(math.NaN()))
+			return b
+		}), "not finite"},
+		{"unknown engine", mutate(func(b []byte) []byte { b[wirePipeReqHeader] = 'x'; return b }), "unknown engine"},
+		{"huge ranks", mutate(func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[28:], math.MaxUint32)
+			return b
+		}), "lanes"},
+		{"huge nb", mutate(func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[24:], math.MaxUint32)
+			return b
+		}), "band limit"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := DecodeRequest(tc.data, 0)
+			if err == nil {
+				t.Fatalf("accepted malformed input: %+v", req)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+	if _, err := DecodeRequest(base, 0); err != nil {
+		t.Fatalf("valid pipeline request rejected: %v", err)
+	}
+}
+
 // TestDecodeRequestErrors pins the deterministic rejection cases the fuzzer
 // explores at random: every mutation must produce an error, never a panic
 // and never a silently-accepted request.
@@ -152,8 +251,14 @@ func FuzzRequestDecode(f *testing.F) {
 		f.Add(seed[:wireReqHeader+4])
 		f.Add(append(append([]byte(nil), seed...), 1, 2, 3))
 	}
+	pipe := &Request{Op: OpPipeline, Pipeline: &PipelineRequest{Ecut: 20, Alat: 10, NB: 4, Ranks: 2, NTG: 2, Engine: "auto"}}
+	if seed, err := EncodeRequest(pipe); err == nil {
+		f.Add(seed)
+		f.Add(seed[:wirePipeReqHeader])
+	}
 	f.Add([]byte{})
 	f.Add([]byte("FXD1"))
+	f.Add([]byte("FXP1"))
 	f.Add([]byte("FXR1aaaaaaaaaaaaaaaa"))
 	short := []byte{'F', 'X', 'D', '1', 0, 1, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 2, 0, 0, 0}
 	f.Add(append(append([]byte(nil), short...), make([]byte, 32)...))
@@ -170,6 +275,18 @@ func FuzzRequestDecode(f *testing.F) {
 		// Whatever decoded must satisfy the same contract Validate enforces.
 		if err := req.Validate(fuzzMaxElements); err != nil {
 			t.Fatalf("decoded request fails validation: %v", err)
+		}
+		if req.Op == OpPipeline {
+			// Pipeline frames carry no payload; the contract is the
+			// encode/decode fixed point.
+			b, err := EncodeRequest(req)
+			if err != nil {
+				t.Fatalf("re-encode failed: %v", err)
+			}
+			if !bytes.Equal(b, mustEncode(t, mustDecode(t, b))) {
+				t.Fatal("pipeline encode/decode is not a fixed point")
+			}
+			return
 		}
 		n := req.NumElements()
 		if n == 0 || req.Batch*n > fuzzMaxElements {
@@ -205,4 +322,13 @@ func mustEncode(t *testing.T, r *Request) []byte {
 		t.Fatal(err)
 	}
 	return b
+}
+
+func mustDecode(t *testing.T, b []byte) *Request {
+	t.Helper()
+	r, err := DecodeRequest(b, 1<<12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
 }

@@ -31,11 +31,23 @@ type traceEventFile struct {
 // so it opens in Perfetto (ui.perfetto.dev) or chrome://tracing. Each lane
 // becomes a thread of process 0; each interval becomes a complete event
 // whose category is the interval kind. Compute events carry instruction
-// count and IPC in args; MPI events carry communicator and tag.
+// count and IPC in args; MPI events carry communicator and tag. Trace
+// metadata (the engine that produced the run, notably) becomes the process
+// name, so the label shows in the Perfetto track header.
 func ExportTraceEvent(w io.Writer, t *Trace) error {
 	f := traceEventFile{
 		TraceEvents:     make([]traceEvent, 0, t.Lanes+len(t.Intervals)),
 		DisplayTimeUnit: "ms",
+	}
+	if eng := t.Meta["engine"]; eng != "" {
+		name := "fftx " + eng
+		if req := t.Meta["engine-requested"]; req != "" && req != eng {
+			name = fmt.Sprintf("fftx %s (requested %s)", eng, req)
+		}
+		f.TraceEvents = append(f.TraceEvents, traceEvent{
+			Name: "process_name", Ph: "M", Pid: 0, Tid: 0,
+			Args: map[string]any{"name": name},
+		})
 	}
 	for lane := 0; lane < t.Lanes; lane++ {
 		f.TraceEvents = append(f.TraceEvents, traceEvent{

@@ -1,0 +1,64 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The exporters surface the trace metadata — which engine produced the run —
+// so the label is visible inside Perfetto and Paraver, not just in the Go
+// API. Traces without metadata must export exactly as before (the golden
+// files pin that).
+
+func TestTraceEventExportsEngineMeta(t *testing.T) {
+	tr := goldenTrace()
+	tr.Meta["engine"] = "task-iter"
+	tr.Meta["engine-requested"] = "auto"
+	var buf bytes.Buffer
+	if err := ExportTraceEvent(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"process_name"`) {
+		t.Fatalf("export has no process_name metadata event:\n%s", out)
+	}
+	if !strings.Contains(out, "fftx task-iter (requested auto)") {
+		t.Fatalf("export does not label the engine:\n%s", out)
+	}
+
+	var plain bytes.Buffer
+	if err := ExportTraceEvent(&plain, goldenTrace()); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), "process_name") {
+		t.Fatal("metadata-free trace grew a process_name event")
+	}
+}
+
+func TestParaverExportsEngineMeta(t *testing.T) {
+	tr := goldenTrace()
+	tr.Meta["engine"] = "task-combined"
+	base := filepath.Join(t.TempDir(), "meta")
+	if err := tr.ExportParaver(base); err != nil {
+		t.Fatal(err)
+	}
+	prv, err := os.ReadFile(base + ".prv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRec := fmt.Sprintf("2:1:1:1:1:0:%d:1", paraverEngineEvent)
+	if !strings.Contains(string(prv), wantRec) {
+		t.Fatalf(".prv has no engine event record %q", wantRec)
+	}
+	pcf, err := os.ReadFile(base + ".pcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(pcf), "FFT engine") || !strings.Contains(string(pcf), "task-combined") {
+		t.Fatalf(".pcf does not label the engine:\n%s", pcf)
+	}
+}

@@ -19,9 +19,14 @@ import (
 //	  overhead -> 7 (Scheduling), idle -> 0 (Idle)
 //	event records (type 2): phase identifiers are emitted as user events of
 //	  type 90000001 at each compute interval start (value = phase id, 0 at
-//	  interval end), matching how Extrae encodes user functions.
+//	  interval end), matching how Extrae encodes user functions. When the
+//	  trace metadata names the engine that produced the run, it is emitted
+//	  once at t=0 as user event 90000002, labeled in the .pcf.
 
-const paraverPhaseEvent = 90000001
+const (
+	paraverPhaseEvent  = 90000001
+	paraverEngineEvent = 90000002
+)
 
 func paraverState(k Kind) int {
 	switch k {
@@ -71,6 +76,10 @@ func (t *Trace) ExportParaver(base string) error {
 		line string
 	}
 	recs := make([]rec, 0, 2*len(t.Intervals))
+	engine := t.Meta["engine"]
+	if engine != "" {
+		recs = append(recs, rec{0, fmt.Sprintf("2:1:1:1:1:0:%d:%d", paraverEngineEvent, 1)})
+	}
 	for _, iv := range t.Intervals {
 		cpu := iv.Lane + 1
 		b, e := ns(iv.Start), ns(iv.End)
@@ -105,6 +114,9 @@ func (t *Trace) ExportParaver(base string) error {
 	fmt.Fprintf(&pcf, "\nEVENT_TYPE\n0\t%d\tFFT pipeline phase\nVALUES\n0\tEnd\n", paraverPhaseEvent)
 	for _, ph := range phases {
 		fmt.Fprintf(&pcf, "%d\t%s\n", phaseID[ph], ph)
+	}
+	if engine != "" {
+		fmt.Fprintf(&pcf, "\nEVENT_TYPE\n0\t%d\tFFT engine\nVALUES\n1\t%s\n", paraverEngineEvent, engine)
 	}
 	if err := os.WriteFile(base+".pcf", []byte(pcf.String()), 0o644); err != nil {
 		return fmt.Errorf("trace: write pcf: %w", err)

@@ -1,24 +1,33 @@
 #!/bin/sh
 # bench-json.sh — run the performance benchmark suite and write BENCH_fft.json,
-# the machine-readable baseline of the repo's perf trajectory.
+# the machine-readable baseline of the repo's perf trajectory, plus
+# BENCH_engines.json, the per-engine simulated-runtime matrix.
 #
-# The file has two sections:
+# BENCH_fft.json has two sections:
 #   benchmarks      every benchmark result (name, iterations, ns/op)
 #   kernel_speedups the headline before/after ratios computed from the
 #                   benchmark pairs (Recursive vs Iterative 1-D kernel,
 #                   per-column vs blocked 2-D column pass, host-par off vs on)
 #
+# BENCH_engines.json records the quick-suite cost-mode runtime of every fftx
+# engine at every rank point plus the EngineAuto pick — the record that the
+# stage-graph refactor kept the engines' simulated runtimes neutral and that
+# "auto" tracks the per-row minimum.
+#
 # Environment:
-#   BENCHTIME  go test -benchtime value (default 200ms; CI smoke uses 1x,
-#              which exercises the harness but makes the ratios meaningless)
-#   OUT        output path (default BENCH_fft.json in the repo root)
+#   BENCHTIME    go test -benchtime value (default 200ms; CI smoke uses 1x,
+#                which exercises the harness but makes the ratios meaningless)
+#   OUT          output path (default BENCH_fft.json in the repo root)
+#   OUT_ENGINES  engine-matrix output path (default BENCH_engines.json)
 set -eu
 
 cd "$(dirname "$0")/.."
 BENCHTIME="${BENCHTIME:-200ms}"
 OUT="${OUT:-BENCH_fft.json}"
+OUT_ENGINES="${OUT_ENGINES:-BENCH_engines.json}"
 TMP="$(mktemp)"
-trap 'rm -f "$TMP"' EXIT
+CSV="$(mktemp)"
+trap 'rm -f "$TMP" "$CSV"' EXIT
 
 echo "bench-json: running FFT kernel benchmarks (benchtime=$BENCHTIME)" >&2
 go test ./internal/fft -run '^$' -bench 'Kernel|Plan2D|Plan3D_20' \
@@ -67,3 +76,28 @@ END {
 }' "$TMP" >"$OUT"
 
 echo "bench-json: wrote $OUT" >&2
+
+echo "bench-json: running the engine matrix (quick suite)" >&2
+go run ./cmd/fftxbench -quick -csv "$CSV" engines >/dev/null
+
+awk -v goversion="$GOVERSION" -v date="$DATE" -F, '
+NR == 1 { next }                       # header: ranks,ntg,engine,runtime_s,selected
+{
+	runtime = $4
+	if (runtime == "NaN") runtime = "null"   # inapplicable engine/shape cell
+	rows[n++] = sprintf("    {\"ranks\": %s, \"ntg\": %s, \"engine\": \"%s\", \"runtime_s\": %s, \"selected\": %s}", \
+		$1, $2, $3, runtime, ($5 == 1 ? "true" : "false"))
+}
+END {
+	printf "{\n"
+	printf "  \"generated\": \"%s\",\n", date
+	printf "  \"go\": \"%s\",\n", goversion
+	printf "  \"mode\": \"cost\",\n"
+	printf "  \"engines\": [\n"
+	for (i = 0; i < n; i++)
+		printf "%s%s\n", rows[i], (i < n - 1 ? "," : "")
+	printf "  ]\n"
+	printf "}\n"
+}' "$CSV" >"$OUT_ENGINES"
+
+echo "bench-json: wrote $OUT_ENGINES" >&2
