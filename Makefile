@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test check vet fmt race fuzz-smoke overhead-smoke serve-smoke serve-bench bench-json engines-matrix
+.PHONY: all build test check vet fmt race fuzz-smoke overhead-smoke serve-smoke serve-bench bench-json engines-matrix vet-bench
 
 all: check test
 
@@ -24,9 +24,11 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-# check is the tier-1 verification gate.
+# check is the tier-1 verification gate. fftxvet runs with the stale-
+# suppression audit on: a //fftxvet:ignore that no longer suppresses
+# anything fails the gate like a finding would.
 check: build vet
-	$(GO) run ./cmd/fftxvet ./...
+	$(GO) run ./cmd/fftxvet -unused-ignores ./...
 	$(MAKE) fmt
 	$(GO) test ./...
 
@@ -69,6 +71,14 @@ serve-bench:
 # records the per-engine runtime matrix as BENCH_engines.json.
 bench-json:
 	./scripts/bench-json.sh
+
+# vet-bench times a full interprocedural fftxvet run over the module and
+# writes BENCH_vet.json; it fails if the run exceeds VET_BUDGET_SECONDS
+# (default 60). The analyzer runs on every check/CI pass, so its wall
+# clock is part of the edit-compile-test loop and is pinned like any other
+# perf baseline.
+vet-bench:
+	./scripts/vet-bench.sh
 
 # engines-matrix is the cross-engine smoke gate: the short-mode equivalence
 # matrix (all engines x modes x {complex,gamma} through the shared stage

@@ -5,18 +5,30 @@
 // discipline, blocking calls inside task bodies through captured contexts,
 // by-value copies of runtime handle types, simulated-runtime calls from
 // contexts that run on bare host goroutines (par.ParallelFor bodies, HTTP
-// handler bodies in internal/serve), and runtime calls inside the stage
-// closures of the fftx stage-graph IR, which must stay pure so every
-// scheduler executes the same pipeline.
+// handler bodies in internal/serve), runtime calls inside the stage
+// closures of the fftx stage-graph IR, allocation on the zero-alloc
+// transform hot paths, and admission-queue sends missing their drain or
+// deadline guards.
+//
+// The checks are interprocedural: fftxvet builds a call graph with
+// per-function effect summaries over every package it loads, so a violation
+// buried behind helper functions is reported at the call site with its full
+// path (ParallelFor body → distribute → mpi.Alltoallv). Full precision
+// therefore needs the whole module in one run — the default "./..." — since
+// helpers in packages outside the loaded set have no summaries.
 //
 // Usage:
 //
-//	fftxvet [-rules name,name] [patterns...]
+//	fftxvet [-rules name,name] [-json] [-github] [-unused-ignores] [patterns...]
 //
 // Patterns follow the go tool's convention: "./..." (the default) analyzes
 // every package of the enclosing module; plain directories name single
 // packages. Findings print as file:line:col: [rule] message; the exit code
 // is 1 when there are findings, 2 on usage or load errors.
+//
+//	-json            emit findings as a JSON array instead of text
+//	-github          additionally emit GitHub Actions ::error annotations
+//	-unused-ignores  report //fftxvet:ignore comments that suppress nothing
 //
 // Suppress a finding with a trailing or preceding comment:
 //
@@ -24,6 +36,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +48,9 @@ import (
 
 func main() {
 	ruleNames := flag.String("rules", "", "comma-separated rule subset (default: all rules)")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	github := flag.Bool("github", false, "additionally emit GitHub Actions ::error annotations")
+	unusedIgnores := flag.Bool("unused-ignores", false, "report //fftxvet:ignore comments that suppress nothing")
 	flag.Parse()
 
 	rules := analysis.AllRules()
@@ -75,7 +91,10 @@ func main() {
 		os.Exit(2)
 	}
 
-	found := 0
+	// Load everything first: the call graph and effect summaries span every
+	// package of the run, so helper chains crossing package boundaries
+	// resolve.
+	var pkgs []*analysis.Package
 	for _, dir := range dirs {
 		pkg, err := ldr.Load(dir)
 		if err != nil {
@@ -88,16 +107,66 @@ func main() {
 			}
 			os.Exit(2)
 		}
-		for _, d := range analysis.RunRules(ldr.Fset, pkg, rules) {
-			d.Pos.Filename = rel(d.Pos.Filename)
-			fmt.Println(d)
-			found++
+		pkgs = append(pkgs, pkg)
+	}
+	prog := analysis.NewProgram(ldr, pkgs)
+
+	var all []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		diags, unused := analysis.RunRulesWithIgnores(prog, pkg, rules)
+		all = append(all, diags...)
+		if *unusedIgnores {
+			all = append(all, unused...)
 		}
 	}
-	if found > 0 {
-		fmt.Fprintf(os.Stderr, "fftxvet: %d finding(s)\n", found)
+	for i := range all {
+		all[i].Pos.Filename = rel(all[i].Pos.Filename)
+	}
+
+	if *jsonOut {
+		type finding struct {
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Col     int    `json:"col"`
+			Rule    string `json:"rule"`
+			Message string `json:"message"`
+		}
+		findings := make([]finding, 0, len(all))
+		for _, d := range all {
+			findings = append(findings, finding{
+				File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
+				Rule: d.Rule, Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "fftxvet:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range all {
+			fmt.Println(d)
+		}
+	}
+	if *github {
+		for _, d := range all {
+			fmt.Printf("::error file=%s,line=%d,col=%d::%s\n",
+				d.Pos.Filename, d.Pos.Line, d.Pos.Column, annotationEscape("["+d.Rule+"] "+d.Message))
+		}
+	}
+	if len(all) > 0 {
+		fmt.Fprintf(os.Stderr, "fftxvet: %d finding(s)\n", len(all))
 		os.Exit(1)
 	}
+}
+
+// annotationEscape escapes a message for a GitHub Actions workflow command.
+func annotationEscape(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
 }
 
 // rel shortens a path relative to the working directory for readable

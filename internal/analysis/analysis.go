@@ -29,11 +29,28 @@
 //     closures (Instr, Bytes, Count, Body, Part) and the graph package
 //     itself must never call mpi/vtime/ompss — synchronization and
 //     accounting are the scheduler's job.
+//   - hotalloc: the transform hot paths — fft Plan Transform* methods and
+//     the graph.Stage model closures — must not heap-allocate in steady
+//     state (PR 3's zero-alloc contract), directly or through any helper.
+//   - waitleak: every send on a serve.Server admission queue must be
+//     dominated by a drain guard and a deadline check, so requests are
+//     rejected with 503 + Retry-After instead of queueing unboundedly.
+//
+// The contract rules are interprocedural: a call graph over every loaded
+// package (callgraph.go) carries per-function effect summaries computed by
+// fixpoint (summary.go, taint.go), so a violation buried N helpers deep is
+// reported at the offending call with its full path, e.g.
+//
+//	call to fftx.distribute posts an MPI collective (ParallelFor body →
+//	fftx.distribute → fftx.shuffle → mpi.Alltoallv) inside a ...
 //
 // Findings can be suppressed with a trailing or preceding comment of the
 // form:
 //
 //	//fftxvet:ignore rulename — reason
+//
+// Stale suppressions (comments that no longer match any finding) are
+// reported by UnusedIgnores / fftxvet -unused-ignores.
 package analysis
 
 import (
@@ -56,10 +73,13 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
 }
 
-// Pass carries everything a rule run needs.
+// Pass carries everything a rule run needs. Prog may be nil (a rule must
+// degrade to its direct-call checks without it); Pkg is the package under
+// analysis, always one of Prog.Pkgs when Prog is set.
 type Pass struct {
 	Fset *token.FileSet
 	Pkg  *Package
+	Prog *Program
 }
 
 // Rule is one named check.
@@ -71,7 +91,7 @@ type Rule struct {
 
 // AllRules returns every registered rule, in stable order.
 func AllRules() []Rule {
-	return []Rule{DivergenceRule, TagsRule, BlockInTaskRule, CopyValueRule, ParBodyRule, HandlerBodyRule, StagePureRule}
+	return []Rule{DivergenceRule, TagsRule, BlockInTaskRule, CopyValueRule, ParBodyRule, HandlerBodyRule, StagePureRule, HotAllocRule, WaitLeakRule}
 }
 
 // RuleByName resolves a rule name; ok is false for unknown names.
@@ -84,15 +104,58 @@ func RuleByName(name string) (Rule, bool) {
 	return Rule{}, false
 }
 
-// RunRules executes the rules over the package and returns the surviving
-// (non-suppressed) findings sorted by position.
-func RunRules(fset *token.FileSet, pkg *Package, rules []Rule) []Diagnostic {
-	pass := &Pass{Fset: fset, Pkg: pkg}
-	var diags []Diagnostic
+// RunRules executes the rules over one package of prog and returns the
+// surviving (non-suppressed) findings sorted by position.
+func RunRules(prog *Program, pkg *Package, rules []Rule) []Diagnostic {
+	diags, _ := RunRulesWithIgnores(prog, pkg, rules)
+	return diags
+}
+
+// RunRulesWithIgnores is RunRules plus the stale-suppression report: unused
+// holds one "unused-ignore" pseudo-finding per //fftxvet:ignore comment that
+// suppressed nothing, restricted to comments this rule set could have
+// exercised (an ignore naming a rule that did not run is never reported).
+func RunRulesWithIgnores(prog *Program, pkg *Package, rules []Rule) (diags, unused []Diagnostic) {
+	pass := &Pass{Fset: prog.Fset, Pkg: pkg, Prog: prog}
 	for _, r := range rules {
 		diags = append(diags, r.Run(pass)...)
 	}
-	diags = suppress(fset, pkg.Files, diags)
+	ignores := collectIgnores(prog.Fset, pkg.Files)
+	diags = suppress(ignores, diags)
+	sortDiags(diags)
+
+	ran := map[string]bool{}
+	for _, r := range rules {
+		ran[r.Name] = true
+	}
+	allRan := len(ran) >= len(AllRules())
+	for _, ig := range ignores {
+		if ig.used {
+			continue
+		}
+		coverable := true
+		for name := range ig.rules {
+			if name == "all" && !allRan {
+				coverable = false
+			} else if name != "all" && !ran[name] {
+				coverable = false
+			}
+		}
+		if !coverable {
+			continue
+		}
+		unused = append(unused, Diagnostic{
+			Pos:     ig.pos,
+			Rule:    "unused-ignore",
+			Message: "//fftxvet:ignore comment suppresses no finding on this line or the next; remove the stale suppression",
+		})
+	}
+	sortDiags(unused)
+	return diags, unused
+}
+
+// sortDiags orders findings by file, line, column, rule.
+func sortDiags(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {
@@ -106,19 +169,18 @@ func RunRules(fset *token.FileSet, pkg *Package, rules []Rule) []Diagnostic {
 		}
 		return diags[i].Rule < diags[j].Rule
 	})
-	return diags
 }
 
-// ignoreKey locates one //fftxvet:ignore comment.
-type ignoreKey struct {
-	file string
-	line int
+// ignoreComment is one parsed //fftxvet:ignore comment.
+type ignoreComment struct {
+	pos   token.Position
+	rules map[string]bool // rule names, or {"all": true}
+	used  bool
 }
 
-// suppress drops diagnostics covered by an //fftxvet:ignore comment on the
-// same line or the line directly above.
-func suppress(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
-	ignores := map[ignoreKey]map[string]bool{}
+// collectIgnores parses every //fftxvet:ignore comment of the files.
+func collectIgnores(fset *token.FileSet, files []*ast.File) []*ignoreComment {
+	var ignores []*ignoreComment
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -142,23 +204,32 @@ func suppress(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diag
 				if len(rules) == 0 {
 					rules["all"] = true
 				}
-				pos := fset.Position(c.Pos())
-				ignores[ignoreKey{pos.Filename, pos.Line}] = rules
+				ignores = append(ignores, &ignoreComment{pos: fset.Position(c.Pos()), rules: rules})
 			}
 		}
 	}
+	return ignores
+}
+
+// suppress drops diagnostics covered by an //fftxvet:ignore comment on the
+// same line or the line directly above, marking the comments that fired.
+func suppress(ignores []*ignoreComment, diags []Diagnostic) []Diagnostic {
 	if len(ignores) == 0 {
 		return diags
 	}
 	kept := diags[:0]
 	for _, d := range diags {
 		covered := false
-		for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
-			if rules := ignores[ignoreKey{d.Pos.Filename, line}]; rules != nil {
-				if rules[d.Rule] || rules["all"] {
-					covered = true
-					break
-				}
+		for _, ig := range ignores {
+			if ig.pos.Filename != d.Pos.Filename {
+				continue
+			}
+			if ig.pos.Line != d.Pos.Line && ig.pos.Line != d.Pos.Line-1 {
+				continue
+			}
+			if ig.rules[d.Rule] || ig.rules["all"] {
+				ig.used = true
+				covered = true
 			}
 		}
 		if !covered {

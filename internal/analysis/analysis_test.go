@@ -71,7 +71,8 @@ func runRuleTest(t *testing.T, dir string, rule Rule) {
 		t.Fatalf("testdata/%s has no want comments", dir)
 	}
 
-	for _, d := range RunRules(ldr.Fset, pkg, []Rule{rule}) {
+	prog := NewProgram(ldr, []*Package{pkg})
+	for _, d := range RunRules(prog, pkg, []Rule{rule}) {
 		claimed := false
 		for _, w := range wants {
 			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line &&
@@ -99,6 +100,32 @@ func TestCopyValueRule(t *testing.T)   { runRuleTest(t, "copyvalue", CopyValueRu
 func TestParBodyRule(t *testing.T)     { runRuleTest(t, "parbody", ParBodyRule) }
 func TestHandlerBodyRule(t *testing.T) { runRuleTest(t, "handlerbody", HandlerBodyRule) }
 func TestStagePureRule(t *testing.T)   { runRuleTest(t, "stagepure", StagePureRule) }
+func TestHotAllocRule(t *testing.T)    { runRuleTest(t, "hotalloc", HotAllocRule) }
+func TestWaitLeakRule(t *testing.T)    { runRuleTest(t, "waitleak", WaitLeakRule) }
+
+// TestUnusedIgnores checks the //fftxvet:ignore bookkeeping: a comment that
+// suppresses a real finding is consumed silently, a stale one is reported.
+func TestUnusedIgnores(t *testing.T) {
+	ldr := newTestLoader(t)
+	pkg, err := ldr.Load(filepath.Join("testdata", "ignores"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Fatalf("testdata/ignores does not type-check: %v", terr)
+	}
+	prog := NewProgram(ldr, []*Package{pkg})
+	diags, unused := RunRulesWithIgnores(prog, pkg, AllRules())
+	for _, d := range diags {
+		t.Errorf("finding not suppressed: %s", d)
+	}
+	if len(unused) != 1 {
+		t.Fatalf("got %d unused-ignore reports, want 1: %v", len(unused), unused)
+	}
+	if unused[0].Rule != "unused-ignore" || !strings.Contains(unused[0].Message, "stale") {
+		t.Errorf("unexpected unused-ignore report: %s", unused[0])
+	}
+}
 
 // TestModuleClean is the dogfooding gate: every package in the module must
 // pass every rule with zero findings (modulo in-tree suppressions).
@@ -111,6 +138,7 @@ func TestModuleClean(t *testing.T) {
 	if len(dirs) == 0 {
 		t.Fatal("no packages discovered")
 	}
+	var pkgs []*Package
 	for _, dir := range dirs {
 		pkg, err := ldr.Load(dir)
 		if err != nil {
@@ -120,8 +148,19 @@ func TestModuleClean(t *testing.T) {
 		for _, terr := range pkg.TypeErrors {
 			t.Errorf("%s: type error: %v", dir, terr)
 		}
-		for _, d := range RunRules(ldr.Fset, pkg, AllRules()) {
+		pkgs = append(pkgs, pkg)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	prog := NewProgram(ldr, pkgs)
+	for _, pkg := range pkgs {
+		diags, unused := RunRulesWithIgnores(prog, pkg, AllRules())
+		for _, d := range diags {
 			t.Errorf("finding in clean tree: %s", d)
+		}
+		for _, d := range unused {
+			t.Errorf("stale suppression in clean tree: %s", d)
 		}
 	}
 }

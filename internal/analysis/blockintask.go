@@ -66,6 +66,44 @@ func runBlockInTask(p *Pass) []Diagnostic {
 				} else if bc, isBlocking := blockingCalls[t]; isBlocking {
 					waiterArg = bc.waiterArg
 				} else {
+					// Interprocedural: a module helper that blocks somewhere
+					// down its chain. It is a violation only when the task
+					// hands the helper a waiter-carrying handle (mpi.Ctx,
+					// vtime.Proc, ...) captured from outside the task — a
+					// helper blocking on a context it builds from the
+					// worker's own Proc/Lane is the sanctioned pattern.
+					s := p.Prog.SummaryFor(fn)
+					if s == nil || !s.Set.Has(EffBlocks) {
+						return true
+					}
+					carriers := append([]ast.Expr{receiverExpr(call)}, call.Args...)
+					for _, arg := range carriers {
+						if arg == nil {
+							continue
+						}
+						tv, ok := info.Types[arg]
+						if !ok || !isWaiterCarrier(tv.Type) {
+							continue
+						}
+						root := rootIdent(arg)
+						if root == nil {
+							continue
+						}
+						obj := info.Uses[root]
+						if obj == nil {
+							obj = info.Defs[root]
+						}
+						if obj == nil || declaredWithin(obj, lit) {
+							continue
+						}
+						diags = append(diags, Diagnostic{
+							Pos:  p.Fset.Position(call.Pos()),
+							Rule: "blockintask",
+							Message: fmt.Sprintf("call to %s blocks inside a task body (%s) through %q, which is captured from outside the task; build the waiting context from the worker's own Proc/Lane (or use the lane-aware Group.Wait)",
+								s.Key.Display(), callPath(p.Prog, s.Key, EffBlocks), root.Name),
+						})
+						break
+					}
 					return true
 				}
 				var waiter ast.Expr
@@ -104,4 +142,20 @@ func runBlockInTask(p *Pass) []Diagnostic {
 // declaredWithin reports whether obj's declaration lies inside the literal.
 func declaredWithin(obj types.Object, lit *ast.FuncLit) bool {
 	return obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End()
+}
+
+// isWaiterCarrier reports whether t (behind pointers) is one of the handle
+// types through which a helper can block the simulated runtime on behalf of
+// its caller.
+func isWaiterCarrier(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return typeIs(t, "internal/mpi", "Ctx") ||
+		typeIs(t, "internal/vtime", "Proc") ||
+		typeIs(t, "internal/vtime", "WaitQueue") ||
+		typeIs(t, "internal/vtime", "Semaphore") ||
+		typeIs(t, "internal/vtime", "Queue") ||
+		typeIs(t, "internal/vtime", "Barrier") ||
+		typeIs(t, "internal/ompss", "Runtime")
 }

@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"go/ast"
+	"path/filepath"
+	"testing"
+)
+
+// TestCalleeResolution pins calleeFunc/keyOf behaviour on the resolution
+// edge cases the call graph depends on: embedded-field promotion, type
+// aliases, instantiated generics (explicit and inferred), and the two
+// dynamic shapes (method values, method-expression values) that must
+// resolve to nothing rather than to a wrong edge.
+func TestCalleeResolution(t *testing.T) {
+	ldr := newTestLoader(t)
+	pkg, err := ldr.Load(filepath.Join("testdata", "callees"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Fatalf("testdata/callees does not type-check: %v", terr)
+	}
+
+	var body *ast.BlockStmt
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "useAll" {
+				body = fd.Body
+			}
+		}
+	}
+	if body == nil {
+		t.Fatal("useAll not found")
+	}
+
+	// Expected resolution per call expression of useAll, in source order.
+	// Empty key = the call must NOT resolve (dynamic call through a
+	// function-typed variable).
+	want := []FuncKey{
+		{Pkg: pkg.Path, Recv: "Inner", Name: "Ping"}, // o.Ping()
+		{Pkg: pkg.Path, Recv: "Inner", Name: "Ping"}, // a.Ping() via alias
+		{Pkg: pkg.Path, Name: "Generic"},             // Generic[int](1)
+		{Pkg: pkg.Path, Name: "Generic"},             // Generic("s")
+		{},                                           // f() method value
+		{},                                           // g(Inner{}) method-expression value
+		{Pkg: pkg.Path, Recv: "Inner", Name: "Ping"}, // Inner.Ping(Inner{})
+	}
+
+	var got []FuncKey
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeFunc(pkg.Info, call); fn != nil {
+			got = append(got, keyOf(fn))
+		} else {
+			got = append(got, FuncKey{})
+		}
+		return true
+	})
+
+	if len(got) != len(want) {
+		t.Fatalf("found %d call expressions, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("call %d resolved to %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSummaryPath pins the effect-summary fixpoint and path rendering on
+// the parbody testdata's two-level helper chain (helperChainInBody ->
+// distribute -> shuffle -> mpi.Alltoallv).
+func TestSummaryPath(t *testing.T) {
+	ldr := newTestLoader(t)
+	pkg, err := ldr.Load(filepath.Join("testdata", "parbody"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := NewProgram(ldr, []*Package{pkg})
+
+	shuffle := FuncKey{Pkg: pkg.Path, Name: "shuffle"}
+	distribute := FuncKey{Pkg: pkg.Path, Name: "distribute"}
+
+	s := prog.SummaryByKey(distribute)
+	if s == nil {
+		t.Fatal("no summary for distribute")
+	}
+	for _, e := range []Effect{EffCollective, EffBlocks, EffRuntime} {
+		if !s.Set.Has(e) {
+			t.Errorf("distribute summary missing effect %d", e)
+		}
+	}
+	if s.Set.Has(EffCharges) || s.Set.Has(EffSubmits) {
+		t.Errorf("distribute summary has spurious effects: %016b", s.Set)
+	}
+
+	if got := callPath(prog, distribute, EffCollective); got != "parbody.distribute → parbody.shuffle → mpi.Alltoallv" {
+		t.Errorf("callPath(distribute) = %q", got)
+	}
+	if got := callPath(prog, shuffle, EffCollective); got != "parbody.shuffle → mpi.Alltoallv" {
+		t.Errorf("callPath(shuffle) = %q", got)
+	}
+
+	pure := prog.SummaryByKey(FuncKey{Pkg: pkg.Path, Name: "pureHelper"})
+	if pure == nil {
+		t.Fatal("no summary for pureHelper")
+	}
+	if pure.Set != 0 {
+		t.Errorf("pureHelper summary should be empty, got %016b", pure.Set)
+	}
+}
+
+// TestRankTaint pins the interprocedural rank-taint fixpoint on the
+// divergence testdata (myRank -> rankPlusOne, two levels).
+func TestRankTaint(t *testing.T) {
+	ldr := newTestLoader(t)
+	pkg, err := ldr.Load(filepath.Join("testdata", "divergence"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := NewProgram(ldr, []*Package{pkg})
+
+	for _, name := range []string{"myRank", "rankPlusOne"} {
+		s := prog.SummaryByKey(FuncKey{Pkg: pkg.Path, Name: name})
+		if s == nil {
+			t.Fatalf("no summary for %s", name)
+		}
+		if !s.Set.Has(EffRankReturn) {
+			t.Errorf("%s should be rank-tainted", name)
+		}
+	}
+	s := prog.SummaryByKey(FuncKey{Pkg: pkg.Path, Name: "syncAll"})
+	if s == nil {
+		t.Fatal("no summary for syncAll")
+	}
+	if s.Set.Has(EffRankReturn) {
+		t.Error("syncAll returns nothing and must not be rank-tainted")
+	}
+}

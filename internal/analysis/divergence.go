@@ -25,7 +25,7 @@ func runDivergence(p *Pass) []Diagnostic {
 			if !ok || fd.Body == nil {
 				continue
 			}
-			rd := newRankDep(info, fd.Body)
+			rd := newRankDep(p.Prog, info, fd.Body)
 
 			// flag records every collective call under e when dep is true,
 			// and recurses into nested function literals preserving dep.
@@ -55,6 +55,15 @@ func runDivergence(p *Pass) []Diagnostic {
 								Rule: "divergence",
 								Message: fmt.Sprintf("collective %s is only reached under a rank-dependent condition; every rank of the communicator must call it",
 									t.name),
+							})
+						} else if s := p.Prog.SummaryFor(fn); s != nil && s.Set.Has(EffCollective) {
+							// Interprocedural: a helper that posts a
+							// collective somewhere down its chain.
+							diags = append(diags, Diagnostic{
+								Pos:  p.Fset.Position(x.Pos()),
+								Rule: "divergence",
+								Message: fmt.Sprintf("call to %s reaches an MPI collective under a rank-dependent condition (%s); every rank of the communicator must call it",
+									s.Key.Display(), callPath(p.Prog, s.Key, EffCollective)),
 							})
 						}
 					}

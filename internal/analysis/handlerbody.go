@@ -83,6 +83,16 @@ func runHandlerBody(p *Pass) []Diagnostic {
 				}
 				t := targetOf(fn)
 				if !simulatedRuntimePkgs[t.pkg] {
+					// Interprocedural: a module helper that reaches the
+					// simulated runtime anywhere down its call chain.
+					if s := p.Prog.SummaryFor(fn); s != nil && s.Set.Has(EffRuntime) {
+						diags = append(diags, Diagnostic{
+							Pos:  p.Fset.Position(call.Pos()),
+							Rule: "handlerbody",
+							Message: fmt.Sprintf("call to %s reaches the simulated runtime (%s) inside an HTTP handler, which runs on a net/http goroutine outside the virtual-time engine; keep handlers thin (decode, admit, await) and do all simulated-runtime work on the worker pool",
+								s.Key.Display(), callPath(p.Prog, s.Key, EffRuntime)),
+						})
+					}
 					return true
 				}
 				diags = append(diags, Diagnostic{

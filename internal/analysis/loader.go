@@ -69,6 +69,9 @@ func NewLoader(modRoot string) (*Loader, error) {
 // ModRoot returns the loader's module root directory.
 func (l *Loader) ModRoot() string { return l.modRoot }
 
+// ModPath returns the loader's module import path.
+func (l *Loader) ModPath() string { return l.modPath }
+
 // Import implements types.Importer: module-internal packages are
 // type-checked from source, everything else resolves through the compiler's
 // export data.

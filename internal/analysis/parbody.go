@@ -92,6 +92,18 @@ func runParBody(p *Pass) []Diagnostic {
 				} else if computeCharges[t] {
 					what = "charges simulated compute time"
 				} else {
+					// Interprocedural: a module helper whose effect summary
+					// carries one of the banned behaviours.
+					if s := p.Prog.SummaryFor(fn); s != nil {
+						if e, verb, banned := firstBannedEffect(s.Set); banned {
+							diags = append(diags, Diagnostic{
+								Pos:  p.Fset.Position(call.Pos()),
+								Rule: "parbody",
+								Message: fmt.Sprintf("call to %s %s (%s) inside a par.ParallelFor body, which runs on host goroutines outside the virtual-time engine; keep host-parallel bodies pure numeric and do all mpi/vtime/ompss work in the enclosing phase",
+									s.Key.Display(), verb, callPath(p.Prog, s.Key, e)),
+							})
+						}
+					}
 					return true
 				}
 				diags = append(diags, Diagnostic{

@@ -7,9 +7,11 @@ import (
 
 // rankDep computes which expressions of a function depend on the calling
 // rank's identity: direct reads of mpi.Ctx.Rank, calls to mpi.Comm.RankIn,
-// and local variables (transitively) assigned from such expressions. The
-// divergence and tags rules share it.
+// calls to module functions whose summaries carry EffRankReturn, and local
+// variables (transitively) assigned from such expressions. The divergence
+// and tags rules and the rank-taint fixpoint (taint.go) share it.
 type rankDep struct {
+	prog *Program // nil degrades to the intraprocedural facts
 	info *types.Info
 	vars map[types.Object]bool
 }
@@ -17,8 +19,8 @@ type rankDep struct {
 // newRankDep builds the rank-dependence facts for one function body by
 // fixpoint over its assignments (nested function literals included: a
 // captured rank-dependent variable stays rank-dependent).
-func newRankDep(info *types.Info, body ast.Node) *rankDep {
-	rd := &rankDep{info: info, vars: map[types.Object]bool{}}
+func newRankDep(prog *Program, info *types.Info, body ast.Node) *rankDep {
+	rd := &rankDep{prog: prog, info: info, vars: map[types.Object]bool{}}
 	for changed := true; changed; {
 		changed = false
 		ast.Inspect(body, func(n ast.Node) bool {
@@ -101,6 +103,10 @@ func (rd *rankDep) dependent(e ast.Expr) bool {
 			if fn := calleeFunc(rd.info, x); fn != nil {
 				t := targetOf(fn)
 				if t.pkg == "internal/mpi" && t.recv == "Comm" && t.name == "RankIn" {
+					found = true
+					return false
+				}
+				if s := rd.prog.SummaryFor(fn); s != nil && s.Set.Has(EffRankReturn) {
 					found = true
 					return false
 				}

@@ -84,6 +84,16 @@ func runStagePure(p *Pass) []Diagnostic {
 			}
 			t := targetOf(fn)
 			if !simulatedRuntimePkgs[t.pkg] {
+				// Interprocedural: a module helper that reaches the
+				// simulated runtime anywhere down its call chain.
+				if s := p.Prog.SummaryFor(fn); s != nil && s.Set.Has(EffRuntime) {
+					diags = append(diags, Diagnostic{
+						Pos:  p.Fset.Position(call.Pos()),
+						Rule: "stagepure",
+						Message: fmt.Sprintf("call to %s reaches the simulated runtime (%s) %s; stage closures are pure model/numeric code — synchronization, communication and compute accounting belong to the scheduler that walks the graph",
+							s.Key.Display(), callPath(p.Prog, s.Key, EffRuntime), where),
+					})
+				}
 				return true
 			}
 			diags = append(diags, Diagnostic{
@@ -96,6 +106,25 @@ func runStagePure(p *Pass) []Diagnostic {
 		})
 	}
 
+	// checkRef polices a closure wired in as a function reference: same-
+	// package declarations are scanned like inline literals, anything else
+	// is judged by its effect summary at the reference site.
+	decls := packageFuncDecls(info, p.Pkg.Files)
+	checkRef := func(fn *types.Func, pos ast.Node, where string) {
+		if fd := decls[fn]; fd != nil {
+			checkBody(fd.Body, where)
+			return
+		}
+		if s := p.Prog.SummaryFor(fn); s != nil && s.Set.Has(EffRuntime) {
+			diags = append(diags, Diagnostic{
+				Pos:  p.Fset.Position(pos.Pos()),
+				Rule: "stagepure",
+				Message: fmt.Sprintf("closure %s reaches the simulated runtime (%s) %s; stage closures are pure model/numeric code — synchronization, communication and compute accounting belong to the scheduler that walks the graph",
+					s.Key.Display(), callPath(p.Prog, s.Key, EffRuntime), where),
+			})
+		}
+	}
+
 	// The graph package itself is runtime-free wholesale: any mpi/vtime/ompss
 	// call there is a violation, helper functions included.
 	if strings.HasSuffix(p.Pkg.Path, graphPkgSuffix) {
@@ -106,8 +135,7 @@ func runStagePure(p *Pass) []Diagnostic {
 	}
 
 	// Everywhere else, police the closures wired into graph.Stage literals:
-	// inline function literals and references to same-package functions.
-	decls := packageFuncDecls(info, p.Pkg.Files)
+	// inline function literals and function references.
 	for _, f := range p.Pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			lit, ok := n.(*ast.CompositeLit)
@@ -129,15 +157,11 @@ func runStagePure(p *Pass) []Diagnostic {
 					checkBody(v.Body, where)
 				case *ast.Ident:
 					if fn, ok := info.Uses[v].(*types.Func); ok {
-						if fd := decls[fn]; fd != nil {
-							checkBody(fd.Body, where)
-						}
+						checkRef(fn, v, where)
 					}
 				case *ast.SelectorExpr:
 					if fn, ok := info.Uses[v.Sel].(*types.Func); ok {
-						if fd := decls[fn]; fd != nil {
-							checkBody(fd.Body, where)
-						}
+						checkRef(fn, v, where)
 					}
 				}
 			}

@@ -1,0 +1,302 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Per-function effect summaries. Each declared function gets a monotone bit
+// set of behaviours, seeded from what its body does directly (intrinsic
+// runtime calls, allocation sites) and closed under "calls a function that
+// has the effect" by fixpoint over the call graph. The lattice is the
+// powerset of the effects below ordered by inclusion; every transfer
+// function only adds bits, so the fixpoint exists and is reached in at most
+// numEffects × |nodes| rounds (in practice two or three).
+
+// Effect is one tracked behaviour.
+type Effect int
+
+const (
+	// EffCollective: the function (transitively) posts an MPI collective.
+	EffCollective Effect = iota
+	// EffBlocks: blocks the simulated runtime (a blocking mpi/vtime/ompss
+	// entry point, including the blocking collectives).
+	EffBlocks
+	// EffSubmits: submits an ompss task.
+	EffSubmits
+	// EffCharges: charges simulated compute time.
+	EffCharges
+	// EffAllocates: may heap-allocate on the steady-state (non-panic) path.
+	EffAllocates
+	// EffRankReturn: the return value derives from the calling rank's
+	// identity (mpi.Ctx.Rank / mpi.Comm.RankIn), so branching on it makes
+	// the branch rank-dependent. Unlike the other effects this one flows
+	// through return values, not call edges — taint.go computes it.
+	EffRankReturn
+	// EffRuntime: touches internal/mpi, internal/vtime or internal/ompss in
+	// any way (a superset of the collective/block/submit/charge effects;
+	// also set by non-table runtime entry points like constructors).
+	EffRuntime
+
+	numEffects
+)
+
+// EffectSet is a bit set of Effects.
+type EffectSet uint16
+
+// Has reports whether e is in the set.
+func (s EffectSet) Has(e Effect) bool { return s&(1<<uint(e)) != 0 }
+
+// with returns the set with e added.
+func (s EffectSet) with(e Effect) EffectSet { return s | 1<<uint(e) }
+
+// origin records, for one effect of one function, the first site that
+// introduces it: either a terminal (an intrinsic runtime call or an
+// allocation site, callee zero) or a call to a module function that already
+// has the effect (callee set). Chasing callee links rebuilds the helper
+// chain a diagnostic prints.
+type origin struct {
+	pos    token.Pos
+	desc   string  // e.g. "mpi.Alltoallv", "make([]complex128)", "fmt.Sprintf"
+	callee FuncKey // non-zero when the effect arrives through a module call
+}
+
+// Summary is the effect set of one declared function.
+type Summary struct {
+	Key     FuncKey
+	Set     EffectSet
+	origins [numEffects]origin
+}
+
+// add records e with its origin, first site wins.
+func (s *Summary) add(e Effect, o origin) bool {
+	if s.Set.Has(e) {
+		return false
+	}
+	s.Set = s.Set.with(e)
+	s.origins[e] = o
+	return true
+}
+
+// EffectPath returns the helper chain by which the function keyed k
+// exhibits effect e, excluding k itself: callee display names down to the
+// terminal site (e.g. ["shuffle", "mpi.Alltoallv"] for distribute →
+// shuffle → mpi.Alltoallv).
+func (p *Program) EffectPath(k FuncKey, e Effect) []string {
+	var path []string
+	seen := map[FuncKey]bool{}
+	for !k.IsZero() && !seen[k] {
+		seen[k] = true
+		s := p.sums[k]
+		if s == nil || !s.Set.Has(e) {
+			break
+		}
+		o := s.origins[e]
+		path = append(path, o.desc)
+		k = o.callee
+	}
+	return path
+}
+
+// callPath renders the full chain "fn → helper → mpi.X" for a diagnostic
+// about a call to the function keyed k.
+func callPath(prog *Program, k FuncKey, e Effect) string {
+	parts := append([]string{k.Display()}, prog.EffectPath(k, e)...)
+	return strings.Join(parts, " → ")
+}
+
+// firstBannedEffect returns the highest-priority host-context-banned effect
+// of set with its verb phrase — the order matches the parbody rule's direct
+// checks so interprocedural findings read the same.
+func firstBannedEffect(set EffectSet) (Effect, string, bool) {
+	switch {
+	case set.Has(EffCollective):
+		return EffCollective, "posts an MPI collective", true
+	case set.Has(EffBlocks):
+		return EffBlocks, "blocks the simulated runtime", true
+	case set.Has(EffSubmits):
+		return EffSubmits, "submits an ompss task", true
+	case set.Has(EffCharges):
+		return EffCharges, "charges simulated compute time", true
+	}
+	return 0, "", false
+}
+
+// nonAllocStd are the standard-library packages whose calls are trusted not
+// to allocate on the steady-state path. Everything else outside the module
+// is assumed to allocate: the analysis cannot see export-data bodies, and
+// for a hot-path rule a false positive ("don't call fmt here") is a better
+// failure mode than a silent miss. sync is on the list for the scratch-pool
+// pattern (a pool hit is allocation-free; the pool's New misses are the
+// cold path).
+var nonAllocStd = map[string]bool{
+	"math":        true,
+	"math/bits":   true,
+	"math/cmplx":  true,
+	"sync":        true,
+	"sync/atomic": true,
+	"runtime":     true,
+}
+
+// intrinsicEffects returns the modeled effect set of a call into the
+// simulated-runtime packages. ok is false for calls outside those packages.
+func intrinsicEffects(t callTarget) (set EffectSet, desc string, ok bool) {
+	if !simulatedRuntimePkgs[t.pkg] {
+		return 0, "", false
+	}
+	if _, isColl := mpiCollectives[t]; isColl {
+		set = set.with(EffCollective)
+		if !isAsyncCollective(t) {
+			set = set.with(EffBlocks)
+		}
+	}
+	if _, isBlocking := blockingCalls[t]; isBlocking {
+		set = set.with(EffBlocks)
+	}
+	if taskSubmitters[t] {
+		set = set.with(EffSubmits)
+	}
+	if computeCharges[t] {
+		set = set.with(EffCharges)
+	}
+	if t.pkg == "internal/mpi" && t.recv == "Comm" && t.name == "RankIn" {
+		set = set.with(EffRankReturn)
+	}
+	return set.with(EffRuntime), t.display(), true
+}
+
+// computeSummaries seeds every node's direct effects and call edges, then
+// propagates effects over the edges to fixpoint. EffRankReturn does not
+// propagate here: calling a rank-returning helper only matters when the
+// result flows into the caller's own return value, which taint.go tracks.
+func (p *Program) computeSummaries() {
+	for _, k := range p.keys {
+		n := p.nodes[k]
+		sum := &Summary{Key: k}
+		p.sums[k] = sum
+		p.edges[k] = p.scanDirect(n, sum)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, k := range p.keys {
+			sum := p.sums[k]
+			for _, ce := range p.edges[k] {
+				callee := p.sums[ce.to]
+				if callee == nil {
+					continue
+				}
+				for e := Effect(0); e < numEffects; e++ {
+					if e == EffRankReturn {
+						continue
+					}
+					if callee.Set.Has(e) && sum.add(e, origin{pos: ce.pos, desc: ce.to.Display(), callee: ce.to}) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// scanDirect walks one declared body, seeding sum with the effects the body
+// exhibits directly and returning the call edges to module functions.
+// Non-invoked function literals are skipped (see invokedLits); allocation
+// inside panic arguments is exempt (failure path). Allocation sites counted:
+// make, new, append, slice/map composite literals, &T{...}, and calls to
+// non-whitelisted standard-library functions. Not counted (documented
+// scope): go statements, channel sends, string concatenation, closure
+// creation — none appear on the module's hot paths.
+func (p *Program) scanDirect(n *funcNode, sum *Summary) []callEdge {
+	info := n.pkg.Info
+	body := n.decl.Body
+	invoked := invokedLits(body)
+	exempt := panicRanges(info, body)
+	var edges []callEdge
+	ast.Inspect(body, func(nd ast.Node) bool {
+		switch x := nd.(type) {
+		case *ast.FuncLit:
+			if !invoked[x] {
+				return false
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND && !inRanges(exempt, x.Pos()) {
+				if cl, ok := unparen(x.X).(*ast.CompositeLit); ok {
+					sum.add(EffAllocates, origin{pos: x.Pos(), desc: "&" + compositeDesc(info, cl) + "{...}"})
+				}
+			}
+		case *ast.CompositeLit:
+			if !inRanges(exempt, x.Pos()) && allocatingLitType(info, x) {
+				sum.add(EffAllocates, origin{pos: x.Pos(), desc: compositeDesc(info, x) + "{...}"})
+			}
+		case *ast.CallExpr:
+			if id, ok := unparen(x.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok {
+					switch b.Name() {
+					case "make", "new", "append":
+						if !inRanges(exempt, x.Pos()) {
+							sum.add(EffAllocates, origin{pos: x.Pos(), desc: builtinAllocDesc(b.Name(), x)})
+						}
+					}
+					return true
+				}
+			}
+			fn := calleeFunc(info, x)
+			if fn == nil {
+				return true
+			}
+			if set, desc, ok := intrinsicEffects(targetOf(fn)); ok {
+				for e := Effect(0); e < numEffects; e++ {
+					if set.Has(e) {
+						sum.add(e, origin{pos: x.Pos(), desc: desc})
+					}
+				}
+				return true
+			}
+			if p.isModuleFunc(fn) {
+				edges = append(edges, callEdge{pos: x.Pos(), to: keyOf(fn)})
+				return true
+			}
+			if pkg := fn.Pkg(); pkg != nil && !nonAllocStd[pkg.Path()] && !inRanges(exempt, x.Pos()) {
+				sum.add(EffAllocates, origin{pos: x.Pos(), desc: targetOf(fn).display() + " (assumed to allocate)"})
+			}
+		}
+		return true
+	})
+	return edges
+}
+
+// allocatingLitType reports whether the composite literal allocates backing
+// store by itself: slice and map literals do, array and struct values do
+// not (struct pointers are caught at the &T{...} site).
+func allocatingLitType(info *types.Info, lit *ast.CompositeLit) bool {
+	tv, ok := info.Types[lit]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch types.Unalias(tv.Type).Underlying().(type) {
+	case *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}
+
+// compositeDesc names a composite literal's type for diagnostics.
+func compositeDesc(info *types.Info, lit *ast.CompositeLit) string {
+	if lit.Type != nil {
+		return types.ExprString(lit.Type)
+	}
+	if tv, ok := info.Types[lit]; ok && tv.Type != nil {
+		return tv.Type.String()
+	}
+	return "composite"
+}
+
+// builtinAllocDesc names a make/new/append site for diagnostics.
+func builtinAllocDesc(name string, call *ast.CallExpr) string {
+	if len(call.Args) > 0 && (name == "make" || name == "new") {
+		return name + "(" + types.ExprString(call.Args[0]) + ")"
+	}
+	return name
+}

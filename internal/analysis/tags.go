@@ -44,7 +44,7 @@ func runTags(p *Pass) []Diagnostic {
 			if !ok || fd.Body == nil {
 				continue
 			}
-			rd := newRankDep(info, fd.Body)
+			rd := newRankDep(p.Prog, info, fd.Body)
 			bodies := taskBodies(info, fd.Body)
 			inTask := func(n ast.Node) bool {
 				for _, b := range bodies {

@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Interprocedural rank taint. A function whose return value derives from
+// the calling rank's identity (mpi.Ctx.Rank, mpi.Comm.RankIn, or a call to
+// another rank-returning function) gets EffRankReturn; the summary-aware
+// rankDep (rankdep.go) then treats calls to such functions as rank reads,
+// so the divergence and tags rules see through helpers like
+//
+//	func myRank(ctx *mpi.Ctx, c *mpi.Comm) int { return c.RankIn(ctx) }
+//
+// Unlike the other effects, EffRankReturn does not propagate along plain
+// call edges — calling a rank-returning helper and discarding the result
+// does not make the caller rank-dependent; only explicit return-value flow
+// does. That needs its own fixpoint: each round rebuilds the per-function
+// taint facts with the summaries of the previous round until no function
+// changes.
+
+// computeRankTaint runs after computeSummaries (it consults the finished
+// effect sets while adding EffRankReturn bits).
+func (p *Program) computeRankTaint() {
+	for changed := true; changed; {
+		changed = false
+		for _, k := range p.keys {
+			sum := p.sums[k]
+			if sum.Set.Has(EffRankReturn) {
+				continue
+			}
+			n := p.nodes[k]
+			if n.decl.Type.Results == nil || len(n.decl.Type.Results.List) == 0 {
+				continue
+			}
+			if o, tainted := p.rankReturn(n); tainted {
+				sum.add(EffRankReturn, o)
+				changed = true
+			}
+		}
+	}
+}
+
+// rankReturn reports whether any return statement of the node's own body
+// returns a rank-dependent value, with the origin of the first one found.
+func (p *Program) rankReturn(n *funcNode) (origin, bool) {
+	info := n.pkg.Info
+	rd := newRankDep(p, info, n.decl.Body)
+	named := namedResults(info, n.decl)
+	var o origin
+	found := false
+	ast.Inspect(n.decl.Body, func(nd ast.Node) bool {
+		if found {
+			return false
+		}
+		// A literal's return statements belong to the literal, not to this
+		// function.
+		if _, ok := nd.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := nd.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		if len(ret.Results) == 0 {
+			for _, obj := range named {
+				if rd.vars[obj] {
+					o = origin{pos: ret.Pos(), desc: "rank-dependent named result"}
+					found = true
+					break
+				}
+			}
+			return true
+		}
+		for _, e := range ret.Results {
+			if rd.dependent(e) {
+				o = p.returnOrigin(info, e, ret.Pos())
+				found = true
+				break
+			}
+		}
+		return true
+	})
+	return o, found
+}
+
+// namedResults collects the objects of a declaration's named results.
+func namedResults(info *types.Info, fd *ast.FuncDecl) []types.Object {
+	var objs []types.Object
+	if fd.Type.Results == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Results.List {
+		for _, name := range field.Names {
+			if obj := info.Defs[name]; obj != nil {
+				objs = append(objs, obj)
+			}
+		}
+	}
+	return objs
+}
+
+// returnOrigin pins the rank source inside a returned expression: a call to
+// a rank-returning module function (chainable), a direct RankIn call, or a
+// Ctx.Rank read.
+func (p *Program) returnOrigin(info *types.Info, e ast.Expr, fallback token.Pos) origin {
+	o := origin{pos: fallback, desc: "mpi.Ctx.Rank read"}
+	done := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if done {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil {
+			return true
+		}
+		t := targetOf(fn)
+		if t.pkg == "internal/mpi" && t.recv == "Comm" && t.name == "RankIn" {
+			o = origin{pos: call.Pos(), desc: "mpi.Comm.RankIn"}
+			done = true
+			return false
+		}
+		if s := p.SummaryFor(fn); s != nil && s.Set.Has(EffRankReturn) {
+			o = origin{pos: call.Pos(), desc: keyOf(fn).Display(), callee: keyOf(fn)}
+			done = true
+			return false
+		}
+		return true
+	})
+	return o
+}

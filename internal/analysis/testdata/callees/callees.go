@@ -1,0 +1,28 @@
+// Package callees exercises the callee-resolution edge cases of
+// calleeFunc/keyOf: embedded-field promotion, type aliases, instantiated
+// generics, method values and method expressions. calls_test.go walks
+// useAll's call expressions in source order and checks what resolves.
+package callees
+
+type Inner struct{}
+
+func (Inner) Ping() int { return 1 }
+
+type Outer struct{ Inner }
+
+// AliasOuter aliases Outer: method calls through it resolve identically.
+type AliasOuter = Outer
+
+func Generic[T any](v T) T { return v }
+
+func useAll(o Outer, a AliasOuter) {
+	_ = o.Ping()            // promoted through the embedded field -> Inner.Ping
+	_ = a.Ping()            // through the alias -> Inner.Ping
+	_ = Generic[int](1)     // explicit instantiation -> origin Generic
+	_ = Generic("s")        // inferred instantiation -> origin Generic
+	f := o.Ping             // method value: the later f() is dynamic
+	_ = f()                 // unresolvable (function-typed variable)
+	g := Inner.Ping         // method expression as a value
+	_ = g(Inner{})          // unresolvable (function-typed variable)
+	_ = Inner.Ping(Inner{}) // direct method expression call -> Inner.Ping
+}

@@ -1,0 +1,53 @@
+package divergence
+
+// Interprocedural cases: rank-tainted helper returns make callers' branch
+// conditions rank-dependent, and helpers that reach collectives are flagged
+// under rank-dependent branches with their call path.
+
+import "repro/internal/mpi"
+
+// myRank returns a rank-derived value: branching on it diverges.
+func myRank(ctx *mpi.Ctx, c *mpi.Comm) int {
+	return c.RankIn(ctx)
+}
+
+func guardedByHelperRank(ctx *mpi.Ctx, c *mpi.Comm) {
+	if myRank(ctx, c) == 0 {
+		c.Barrier(ctx, 11) // want "rank-dependent"
+	}
+}
+
+// rankPlusOne launders the rank through a second helper level.
+func rankPlusOne(ctx *mpi.Ctx, c *mpi.Comm) int {
+	return myRank(ctx, c) + 1
+}
+
+func guardedByTwoLevelRank(ctx *mpi.Ctx, c *mpi.Comm) {
+	if rankPlusOne(ctx, c) > 1 {
+		c.Barrier(ctx, 12) // want "rank-dependent"
+	}
+}
+
+// syncAll posts the collective at the bottom of a helper chain.
+func syncAll(ctx *mpi.Ctx, c *mpi.Comm) {
+	c.Barrier(ctx, 13)
+}
+
+func syncViaHelper(ctx *mpi.Ctx, c *mpi.Comm) {
+	syncAll(ctx, c)
+}
+
+func guardedHelperChain(ctx *mpi.Ctx, c *mpi.Comm) {
+	if ctx.Rank == 0 {
+		syncViaHelper(ctx, c) // want "divergence.syncViaHelper → divergence.syncAll → mpi.Comm.Barrier"
+	}
+}
+
+// helperRankEverywhere is the clean counterpart: the helper-derived rank
+// only guards point-to-point traffic and the collective runs on every rank.
+func helperRankEverywhere(ctx *mpi.Ctx, c *mpi.Comm) {
+	syncViaHelper(ctx, c)
+	if myRank(ctx, c) == 0 {
+		mpi.Send(ctx, c, 1, 14, []float64{1}, 8)
+	}
+}

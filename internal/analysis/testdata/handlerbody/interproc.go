@@ -1,0 +1,40 @@
+package handlerbody
+
+// Interprocedural cases: the handler stays syntactically thin but reaches
+// the simulated runtime through a helper-method chain; the rule reports the
+// helper call with the full path.
+
+import "net/http"
+
+// drainOne blocks on the virtual-time queue at the bottom of the chain.
+func (s *server) drainOne() int {
+	v, _ := s.q.Pop(s.p)
+	return v
+}
+
+// refill is the middle hop: it only forwards to drainOne.
+func (s *server) refill() int {
+	return s.drainOne()
+}
+
+func (s *server) handleRefill(w http.ResponseWriter, r *http.Request) {
+	_ = s.refill() // want "handlerbody.server.refill → handlerbody.server.drainOne → vtime.Queue.Pop"
+	w.WriteHeader(http.StatusOK)
+}
+
+// stats is a pure helper: calling it from a handler is fine.
+func (s *server) stats() int {
+	n := 0
+	if s.ctx != nil {
+		n++
+	}
+	return n
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if s.stats() == 0 {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}

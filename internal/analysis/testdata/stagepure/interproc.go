@@ -1,0 +1,58 @@
+package stagepure
+
+// Interprocedural cases: stage closures that reach the simulated runtime
+// through helper chains; the rule reports the helper call with its path.
+
+import (
+	"repro/internal/fftx/graph"
+	"repro/internal/knl"
+)
+
+// chargePrep charges simulated compute at the bottom of the chain.
+func chargePrep() {
+	theCtx.Compute("prep", knl.ClassMem, 10)
+}
+
+// prepHelper is the middle hop: it only forwards to chargePrep.
+func prepHelper() {
+	chargePrep()
+}
+
+func helperChainInInstr() graph.Stage {
+	return graph.Stage{
+		Name: "prep2", Step: "fft-z-fw", Class: knl.ClassMem,
+		Instr: func(p int) float64 {
+			prepHelper() // want "stagepure.prepHelper → stagepure.chargePrep → mpi.Ctx.Compute"
+			return 1
+		},
+	}
+}
+
+// partByReference wires a helper in by reference whose body reaches the
+// runtime only through another helper: the referenced body is scanned and
+// the inner call reported with its path.
+func impurePart(s *graph.State, p, lo, hi int) {
+	prepHelper() // want "stagepure.prepHelper → stagepure.chargePrep → mpi.Ctx.Compute"
+}
+
+func partByReference() graph.Stage {
+	return graph.Stage{
+		Name: "part-ref", Step: "fft-z-fw", Class: knl.ClassStream,
+		Split: graph.SplitSticks, LoopName: "cft_1z",
+		Count: func(p int) int { return 2 },
+		Part:  impurePart,
+	}
+}
+
+// scaleHelper is pure model arithmetic: helpers without runtime effects
+// stay legal inside stage closures.
+func scaleHelper(p int) float64 {
+	return float64(p) * 1.5
+}
+
+func pureHelperInInstr() graph.Stage {
+	return graph.Stage{
+		Name: "pure2", Step: "fft-xy-fw", Class: knl.ClassVector,
+		Instr: func(p int) float64 { return scaleHelper(p) },
+	}
+}

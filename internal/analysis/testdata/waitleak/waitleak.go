@@ -1,0 +1,65 @@
+// Package waitleak seeds violations of the waitleak rule: sends on a
+// Server's admission queue that are not dominated by the drain and deadline
+// re-checks.
+package waitleak
+
+import "time"
+
+type task struct {
+	deadline time.Time
+	done     chan struct{}
+}
+
+func (t *task) expired(now time.Time) bool {
+	return !t.deadline.IsZero() && now.After(t.deadline)
+}
+
+type Server struct {
+	queue    chan *task
+	draining bool
+}
+
+func (s *Server) Draining() bool { return s.draining }
+
+// admit is the canonical clean shape: re-check draining and the deadline,
+// then a non-blocking send.
+func admit(s *Server, t *task) bool {
+	if s.draining {
+		return false
+	}
+	if t.expired(time.Now()) {
+		return false
+	}
+	select {
+	case s.queue <- t:
+		return true
+	default:
+		return false
+	}
+}
+
+// fieldGuards shows the field-read spellings of both guards.
+func fieldGuards(s *Server, t *task, now time.Time) bool {
+	if s.draining || now.After(t.deadline) {
+		return false
+	}
+	s.queue <- t
+	return true
+}
+
+func enqueueRaw(s *Server, t *task) {
+	s.queue <- t // want "not dominated by a drain guard"
+}
+
+func enqueueHalf(s *Server, t *task) {
+	if s.Draining() {
+		return
+	}
+	s.queue <- t // want "a deadline check"
+}
+
+// otherChannel shows the scoping: sends on channels that are not a Server
+// admission queue are out of scope.
+func otherChannel(t *task) {
+	t.done <- struct{}{}
+}

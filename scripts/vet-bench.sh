@@ -1,0 +1,35 @@
+#!/bin/sh
+# vet-bench: times a full interprocedural fftxvet run over the module and
+# writes BENCH_vet.json, the analyzer's wall-clock baseline. The analyzer
+# runs on every `make check` and on every CI push, so its cost is part of
+# the edit-compile-test loop; the budget assertion catches a fixpoint or
+# loader regression that would make the linter the slowest step of the
+# build. VET_BUDGET_SECONDS sets the ceiling (default 60 — an order of
+# magnitude above the observed cost, so only pathological regressions trip
+# it, not machine noise).
+set -eu
+
+budget="${VET_BUDGET_SECONDS:-60}"
+out="${OUT:-BENCH_vet.json}"
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT INT TERM
+
+go build -o "$workdir/fftxvet" ./cmd/fftxvet
+
+echo "vet-bench: fftxvet -unused-ignores ./... (budget ${budget}s)" >&2
+start="$(date +%s.%N)"
+"$workdir/fftxvet" -unused-ignores ./...
+end="$(date +%s.%N)"
+
+wall="$(awk "BEGIN { printf \"%.3f\", $end - $start }")"
+pass="$(awk "BEGIN { print ($wall <= $budget) ? \"true\" : \"false\" }")"
+
+printf '{\n  "wall_seconds": %s,\n  "budget_seconds": %s,\n  "pass": %s\n}\n' \
+    "$wall" "$budget" "$pass" >"$out"
+
+echo "vet-bench: wrote $out (${wall}s)"
+if [ "$pass" != "true" ]; then
+    echo "vet-bench: FAIL — fftxvet took ${wall}s, budget ${budget}s" >&2
+    exit 1
+fi
