@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test check vet fmt race fuzz-smoke overhead-smoke serve-smoke serve-bench bench-json engines-matrix vet-bench
+.PHONY: all build test check vet fmt race fuzz-smoke overhead-smoke serve-smoke introspect-smoke serve-bench bench-json engines-matrix vet-bench
 
 all: check test
 
@@ -48,15 +48,27 @@ fuzz-smoke:
 # overhead-smoke measures the cost of the always-on telemetry: the
 # enabled/disabled benchmark pair plus the min-of-N smoke test that fails on
 # a pathological regression (design target <5%, see README "Observability").
+# The serving side gets the same treatment: TestTracingOverheadSmoke serves
+# the same request stream with tracing off and fully on and fails if tracing
+# grossly slows the path (the precise <5% budget is measured by
+# scripts/serve-bench.sh into BENCH_serve.json).
 overhead-smoke:
 	$(GO) test ./internal/fftx -run '^$$' -bench RunTelemetry -benchtime 5x
 	$(GO) test ./internal/fftx -run TestTelemetryOverheadSmoke -count=1 -v
+	$(GO) test ./internal/serve -run TestTracingOverheadSmoke -count=1 -v
 
 # serve-smoke is the end-to-end check CI runs: fftxbench's telemetry
 # endpoints, then the fftxd daemon (POST /fft, /healthz, fftxd_* metrics and
 # a clean SIGTERM drain), each on an ephemeral port.
 serve-smoke:
 	./scripts/serve-smoke.sh
+
+# introspect-smoke drives a traced fftxd load and asserts the observability
+# surface end to end: trace-ID echo, /debug/fftx/requests span trees,
+# /debug/fftx/profiles contents, fftxtrace -requests rendering and the
+# profile store's restart durability.
+introspect-smoke:
+	./scripts/introspect-smoke.sh
 
 # serve-bench drives the fftxd load generator (closed loop with and without
 # batching, plus an open-loop pass) and writes BENCH_serve.json, the

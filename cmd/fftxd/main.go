@@ -23,8 +23,16 @@
 //	-engine task-iter      default fftx engine for pipeline requests that do
 //	                       not name one (original|task-steps|task-iter|
 //	                       task-combined|auto); requests override per call
+//	-trace-sample 0.05     fraction of requests traced server-side (requests
+//	                       carrying a trace_id are always traced)
+//	-profiles PATH         persist the per-shape performance profile store
+//	                       to this JSON file across restarts ("" = memory)
+//	-log-level info        structured log level (debug|info|warn|error);
+//	                       debug logs every traced request keyed by trace ID
 //
-// Endpoints: POST /fft (JSON or binary wire format), /healthz, plus the
+// Endpoints: POST /fft (JSON or binary wire format), /healthz, the live
+// introspection surface /debug/fftx/requests (span timelines of traced
+// requests) and /debug/fftx/profiles (the per-shape profile store), plus the
 // standard telemetry surface /metrics, /debug/vars, /debug/pprof/*.
 //
 // Loadgen flags (with -loadgen):
@@ -34,9 +42,13 @@
 //	                   in flight per client)
 //	-duration 2s       run length (or -requests N for a fixed count)
 //	-rate 0            open-loop arrival rate in req/s (0 = closed loop)
-//	-dims 16x16x16     transform shape
+//	-dims 16x16x16     transform shape mix; comma-separate for multiple
+//	                   classes (e.g. 8x8,16x16x16) — the report breaks
+//	                   quantiles down per class
 //	-batch 1           transforms per request
 //	-binary            use the length-prefixed wire format
+//	-trace-sample 0.05 fraction of loadgen requests stamped with client
+//	                   trace IDs (report counts echoes, flags mismatches)
 //	-json              print the report as JSON (BENCH_serve.json input)
 package main
 
@@ -45,8 +57,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
@@ -56,6 +70,7 @@ import (
 	"repro/internal/fftx"
 	"repro/internal/metrics"
 	"repro/internal/par"
+	"repro/internal/profiles"
 	"repro/internal/serve"
 	"repro/internal/serve/loadgen"
 	"repro/internal/telemetry"
@@ -76,6 +91,9 @@ func realMain() int {
 		drainT      = flag.Duration("drain-timeout", 10*time.Second, "graceful-drain budget on shutdown")
 		hostpar     = flag.Bool("hostpar", true, "fan batch rows out over host cores")
 		defEngine   = flag.String("engine", "", "default engine for pipeline requests (original|task-steps|task-iter|task-combined|auto; empty = task-iter)")
+		traceSample = flag.Float64("trace-sample", 0.05, "fraction of requests traced (server) or stamped with trace IDs (loadgen)")
+		profPath    = flag.String("profiles", "", "persist per-shape performance profiles to this JSON file (empty = memory only)")
+		logLevel    = flag.String("log-level", "info", "structured log level: debug|info|warn|error")
 
 		lgMode    = flag.Bool("loadgen", false, "drive load instead of serving")
 		lgTarget  = flag.String("target", "", "loadgen: server base URL (default: self-host in process)")
@@ -102,6 +120,16 @@ func realMain() int {
 			return 2
 		}
 	}
+	logger, err := buildLogger(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fftxd:", err)
+		return 2
+	}
+	store, err := profiles.Open(*profPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fftxd:", err)
+		return 1
+	}
 
 	cfg := serve.Config{
 		Addr:          *addr,
@@ -112,10 +140,13 @@ func realMain() int {
 		MaxElements:   *maxElems,
 		Cache:         &fft.Cache{},
 		DefaultEngine: *defEngine,
+		TraceSample:   *traceSample,
+		Profiles:      store,
+		Logger:        logger,
 	}
 
 	if *lgMode {
-		dims, err := parseDims(*lgDims)
+		shapes, err := parseShapeMix(*lgDims, *lgBatch, *lgBackwrd)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fftxd:", err)
 			return 2
@@ -126,28 +157,46 @@ func realMain() int {
 			Requests:    *lgReqs,
 			Duration:    *lgDur,
 			Rate:        *lgRate,
-			Dims:        dims,
-			Batch:       *lgBatch,
-			Backward:    *lgBackwrd,
+			Shapes:      shapes,
 			Binary:      *lgBinary,
 			Deadline:    *lgDeadl,
+			TraceSample: *traceSample,
 		}
 		return runLoadgen(cfg, opts, *lgJSON, *drainT)
 	}
 	return runServer(cfg, *drainT)
 }
 
+// buildLogger maps -log-level onto a text slog handler writing to stderr.
+func buildLogger(level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug|info|warn|error)", level)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv})), nil
+}
+
 // runServer serves until SIGINT/SIGTERM, then drains gracefully and prints
 // a latency summary from the live metrics.
 func runServer(cfg serve.Config, drainTimeout time.Duration) int {
-	cfg.Mux = telemetry.Mux(metrics.Default(), "/fft", "/healthz")
+	cfg.Mux = telemetry.Mux(metrics.Default(), "/fft", "/healthz",
+		"/debug/fftx/requests", "/debug/fftx/profiles")
 	srv := serve.New(cfg)
 	if err := srv.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, "fftxd:", err)
 		return 1
 	}
-	fmt.Printf("fftxd: serving /fft, /healthz, /metrics, /debug/pprof at %s (workers=%d queue=%d max-batch=%d window=%s)\n",
-		srv.URL(), srv.Workers(), cfg.QueueDepth, cfg.MaxBatch, cfg.BatchWindow)
+	fmt.Printf("fftxd: serving /fft, /healthz, /metrics, /debug/fftx/{requests,profiles}, /debug/pprof at %s (workers=%d queue=%d max-batch=%d window=%s trace-sample=%g)\n",
+		srv.URL(), srv.Workers(), cfg.QueueDepth, cfg.MaxBatch, cfg.BatchWindow, cfg.TraceSample)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -201,6 +250,26 @@ func runLoadgen(cfg serve.Config, opts loadgen.Options, asJSON bool, drainTimeou
 	fmt.Printf("  throughput %.1f req/s, mean batch %.2f rows\n", rep.Throughput, rep.MeanBatchRows)
 	fmt.Printf("  latency mean %.3fms p50 %.3fms p90 %.3fms p99 %.3fms max %.3fms\n",
 		rep.MeanSec*1e3, rep.P50Sec*1e3, rep.P90Sec*1e3, rep.P99Sec*1e3, rep.MaxSec*1e3)
+	if len(rep.PerShape) > 1 {
+		keys := make([]string, 0, len(rep.PerShape))
+		for k := range rep.PerShape {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			sr := rep.PerShape[k]
+			fmt.Printf("  shape %-20s %6d ok, mean %.3fms p50 %.3fms p90 %.3fms p99 %.3fms\n",
+				k+":", sr.OK, sr.MeanSec*1e3, sr.P50Sec*1e3, sr.P90Sec*1e3, sr.P99Sec*1e3)
+		}
+	}
+	if rep.TraceSent > 0 {
+		fmt.Printf("  tracing: %d stamped, %d echoed, %d mismatched\n",
+			rep.TraceSent, rep.TraceEchoed, rep.TraceMismatch)
+		if rep.SlowestTraceID != "" {
+			fmt.Printf("  slowest traced request %.3fms: trace %s (see /debug/fftx/requests)\n",
+				rep.SlowestSec*1e3, rep.SlowestTraceID)
+		}
+	}
 	return 0
 }
 
@@ -219,6 +288,20 @@ func printLatencySummary(w *os.File) {
 		fmt.Fprintf(w, "fftxd: served %d /fft requests, latency ~p50 %.3fms ~p99 %.3fms (bucketed)\n",
 			s.Count, s.Quantile(0.50)*1e3, s.Quantile(0.99)*1e3)
 	}
+}
+
+// parseShapeMix parses a comma-separated -dims mix like "8x8,16x16x16" into
+// loadgen shape classes; batch and backward apply to every class.
+func parseShapeMix(s string, batch int, backward bool) ([]loadgen.Shape, error) {
+	var shapes []loadgen.Shape
+	for _, part := range strings.Split(s, ",") {
+		dims, err := parseDims(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		shapes = append(shapes, loadgen.Shape{Dims: dims, Batch: batch, Backward: backward})
+	}
+	return shapes, nil
 }
 
 // parseDims parses "256", "64x64" or "16x16x16".

@@ -18,12 +18,25 @@
 //	-chrome out.json                          export Chrome trace-event JSON
 //	                                          (open in ui.perfetto.dev or
 //	                                          chrome://tracing)
+//
+// Serving-trace mode:
+//
+//	fftxtrace -requests SRC
+//
+// renders the request span trees captured by a live fftxd. SRC is a
+// /debug/fftx/requests URL (http://host:port/debug/fftx/requests), a file
+// holding a saved dump of that endpoint, a file holding one span tree
+// ({"trace_id":..., "spans":[...]}), or "-" for stdin.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"strings"
 
 	"repro/internal/knl"
 	"repro/internal/pop"
@@ -39,8 +52,20 @@ func main() {
 		paraver = flag.String("paraver", "", "export as Paraver trace (base path; writes .prv/.pcf/.row)")
 		chrome  = flag.String("chrome", "", "export as Chrome trace-event JSON to this file (Perfetto/chrome://tracing)")
 		strict  = flag.Bool("strict", false, "validate trace invariants (lane ranges, overlaps, MPI metadata) and fail on violations")
+		reqSrc  = flag.String("requests", "", "render fftxd request span trees from a /debug/fftx/requests URL, dump file, or - for stdin")
 	)
 	flag.Parse()
+	if *reqSrc != "" {
+		if flag.NArg() != 0 {
+			fmt.Fprintln(os.Stderr, "usage: fftxtrace -requests URL|FILE|-")
+			os.Exit(2)
+		}
+		if err := renderRequests(os.Stdout, *reqSrc); err != nil {
+			fmt.Fprintln(os.Stderr, "fftxtrace:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if flag.NArg() < 1 || flag.NArg() > 2 {
 		fmt.Fprintln(os.Stderr, "usage: fftxtrace [flags] trace.json [other.json]")
 		os.Exit(2)
@@ -120,6 +145,87 @@ func main() {
 		f.AddScalability(f) // single-run view: scalability vs itself
 		fmt.Print(pop.FormatTable([]string{"run"}, []pop.Factors{f}))
 	}
+}
+
+// requestView mirrors the serve package's /debug/fftx/requests entries
+// (declared locally so the inspection tool depends only on the wire JSON,
+// not on the serving internals).
+type requestView struct {
+	Seq        uint64          `json:"seq"`
+	TraceID    string          `json:"trace_id"`
+	Op         string          `json:"op"`
+	Shape      string          `json:"shape"`
+	Status     int             `json:"status"`
+	LatencySec float64         `json:"latency_s"`
+	InFlight   bool            `json:"in_flight"`
+	Spans      *trace.SpanTree `json:"spans"`
+}
+
+type requestDump struct {
+	Inflight []requestView `json:"inflight"`
+	Recent   []requestView `json:"recent"`
+}
+
+// renderRequests loads a /debug/fftx/requests dump (or a bare span tree)
+// from a URL, file or stdin and renders every span tree it holds.
+func renderRequests(w io.Writer, src string) error {
+	raw, err := readSource(src)
+	if err != nil {
+		return err
+	}
+	// A bare span tree ({"trace_id":..., "spans":[...]}) renders directly.
+	var tree trace.SpanTree
+	if err := json.Unmarshal(raw, &tree); err == nil && len(tree.Spans) > 0 {
+		tree.RenderSpanTree(w)
+		return nil
+	}
+	var dump requestDump
+	if err := json.Unmarshal(raw, &dump); err != nil {
+		return fmt.Errorf("%s: not a request dump or span tree: %w", src, err)
+	}
+	views := append(dump.Inflight, dump.Recent...)
+	if len(views) == 0 {
+		fmt.Fprintln(w, "no traced requests (is the server tracing? see -trace-sample)")
+		return nil
+	}
+	for i, rv := range views {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		state := fmt.Sprintf("status %d, %.3fms", rv.Status, rv.LatencySec*1e3)
+		if rv.InFlight {
+			state = "in flight"
+		}
+		fmt.Fprintf(w, "#%d %s %s %s (%s)\n", rv.Seq, rv.TraceID, rv.Op, rv.Shape, state)
+		if rv.Spans != nil {
+			rv.Spans.RenderSpanTree(w)
+		}
+	}
+	return nil
+}
+
+// readSource fetches src as a URL, reads it as a file, or drains stdin
+// when src is "-".
+func readSource(src string) ([]byte, error) {
+	if src == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+		resp, err := http.Get(src)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("GET %s: status %d", src, resp.StatusCode)
+		}
+		return raw, nil
+	}
+	return os.ReadFile(src)
 }
 
 // diff prints a side-by-side comparison of two traces.

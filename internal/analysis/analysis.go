@@ -35,6 +35,10 @@
 //   - waitleak: every send on a serve.Server admission queue must be
 //     dominated by a drain guard and a deadline check, so requests are
 //     rejected with 503 + Retry-After instead of queueing unboundedly.
+//   - spanbalance: every request-span handle minted by a SpanSet/SpanRef
+//     Begin must be balanced by a deferred or all-paths End (or visibly
+//     hand ownership off), so traced requests never publish span trees
+//     with phases that run forever.
 //
 // The contract rules are interprocedural: a call graph over every loaded
 // package (callgraph.go) carries per-function effect summaries computed by
@@ -91,7 +95,7 @@ type Rule struct {
 
 // AllRules returns every registered rule, in stable order.
 func AllRules() []Rule {
-	return []Rule{DivergenceRule, TagsRule, BlockInTaskRule, CopyValueRule, ParBodyRule, HandlerBodyRule, StagePureRule, HotAllocRule, WaitLeakRule}
+	return []Rule{DivergenceRule, TagsRule, BlockInTaskRule, CopyValueRule, ParBodyRule, HandlerBodyRule, StagePureRule, HotAllocRule, WaitLeakRule, SpanBalanceRule}
 }
 
 // RuleByName resolves a rule name; ok is false for unknown names.

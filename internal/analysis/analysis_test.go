@@ -102,6 +102,7 @@ func TestHandlerBodyRule(t *testing.T) { runRuleTest(t, "handlerbody", HandlerBo
 func TestStagePureRule(t *testing.T)   { runRuleTest(t, "stagepure", StagePureRule) }
 func TestHotAllocRule(t *testing.T)    { runRuleTest(t, "hotalloc", HotAllocRule) }
 func TestWaitLeakRule(t *testing.T)    { runRuleTest(t, "waitleak", WaitLeakRule) }
+func TestSpanBalanceRule(t *testing.T) { runRuleTest(t, "spanbalance", SpanBalanceRule) }
 
 // TestUnusedIgnores checks the //fftxvet:ignore bookkeeping: a comment that
 // suppresses a real finding is consumed silently, a stale one is reported.

@@ -1,0 +1,445 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SpanBalanceRule enforces the request-span discipline of internal/serve:
+// every span handle produced by a SpanSet/SpanRef Begin or BeginAt must be
+// visibly closed — by a deferred End (directly, inside a deferred closure,
+// or through a deferred helper that ends its span parameter) or by an End
+// on every path: an End statement in the span's own block, with no return
+// escaping between the Begin and that End. An open span corrupts the
+// /debug/fftx/requests timeline (the tree renders with a running child
+// forever) and skews the profile store's phase accounting, so the leak must
+// be caught before it ships, not debugged out of a span dump.
+//
+// The check is lexical within the enclosing function, like waitleak: a span
+// ended only inside a conditional, or abandoned by an early return, is
+// reported at its Begin. Handles that transfer ownership are exempt —
+// stored into a struct field (the handler → dispatcher → worker handoff of
+// serve's task spans), returned, or passed to a callee that does not end
+// them. Helpers that do end a span parameter are recognized
+// interprocedurally via the call-graph summaries, so `defer finish(span)`
+// counts as a deferred End.
+var SpanBalanceRule = Rule{
+	Name: "spanbalance",
+	Doc:  "span Begins must be balanced by a deferred or all-paths End",
+	Run:  runSpanBalance,
+}
+
+// spanTypeNames are the named types whose Begin/BeginAt mint span handles
+// and whose End/EndAt close them (internal/trace's request-span API; the
+// rule matches by name so its testdata stays dependency-free, like
+// waitleak's Server).
+var spanTypeNames = map[string]bool{"SpanSet": true, "SpanRef": true}
+
+func runSpanBalance(p *Pass) []Diagnostic {
+	enders := spanEnders(p.Prog)
+	var diags []Diagnostic
+	for _, f := range p.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			diags = append(diags, checkSpanBalance(p, fd, enders)...)
+		}
+	}
+	return diags
+}
+
+// spanEnders computes, over the whole program, which functions end a span
+// parameter: param index i is in the set when the body calls End/EndAt on
+// that parameter or passes it to another ender at the matching index. The
+// closure is a fixpoint over the call-graph nodes (the PR 6 summary
+// machinery's graph), so an End buried N helpers deep still credits the
+// caller.
+func spanEnders(prog *Program) map[FuncKey]map[int]bool {
+	enders := map[FuncKey]map[int]bool{}
+	if prog == nil {
+		return enders
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, k := range prog.keys {
+			n := prog.nodes[k]
+			info := n.pkg.Info
+			params := spanParams(info, n.decl)
+			if len(params) == 0 {
+				continue
+			}
+			ast.Inspect(n.decl.Body, func(nd ast.Node) bool {
+				call, ok := nd.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if recv, isEnd := spanMethodRecv(info, call, "End", "EndAt"); isEnd {
+					if id, ok := unparen(recv).(*ast.Ident); ok {
+						if i, tracked := params[info.Uses[id]]; tracked {
+							changed = markEnder(enders, k, i) || changed
+						}
+					}
+					return true
+				}
+				callee := calleeFunc(info, call)
+				if callee == nil {
+					return true
+				}
+				ends := enders[keyOf(callee)]
+				if len(ends) == 0 {
+					return true
+				}
+				for ai, arg := range call.Args {
+					if !ends[ai] {
+						continue
+					}
+					if id, ok := unparen(arg).(*ast.Ident); ok {
+						if i, tracked := params[info.Uses[id]]; tracked {
+							changed = markEnder(enders, k, i) || changed
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return enders
+}
+
+func markEnder(enders map[FuncKey]map[int]bool, k FuncKey, i int) bool {
+	if enders[k] == nil {
+		enders[k] = map[int]bool{}
+	}
+	if enders[k][i] {
+		return false
+	}
+	enders[k][i] = true
+	return true
+}
+
+// spanParams maps a declaration's span-typed parameter objects to their
+// positional index.
+func spanParams(info *types.Info, fd *ast.FuncDecl) map[types.Object]int {
+	params := map[types.Object]int{}
+	i := 0
+	for _, field := range fd.Type.Params.List {
+		names := field.Names
+		if len(names) == 0 {
+			i++
+			continue
+		}
+		for _, name := range names {
+			obj := info.Defs[name]
+			if obj != nil && isSpanType(obj.Type()) {
+				params[obj] = i
+			}
+			i++
+		}
+	}
+	return params
+}
+
+// isSpanType reports whether t is (a pointer to) one of the span handle
+// types.
+func isSpanType(t types.Type) bool {
+	if ptr, ok := types.Unalias(t).Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named := namedOf(t)
+	return named != nil && spanTypeNames[named.Obj().Name()]
+}
+
+// spanMethodRecv matches a call of one of the named methods on a span type
+// and returns the receiver expression.
+func spanMethodRecv(info *types.Info, call *ast.CallExpr, names ...string) (ast.Expr, bool) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	match := false
+	for _, n := range names {
+		if sel.Sel.Name == n {
+			match = true
+		}
+	}
+	if !match {
+		return nil, false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || !isSpanType(tv.Type) {
+		return nil, false
+	}
+	return sel.X, true
+}
+
+// beginSite is one tracked Begin: the handle variable, the position of the
+// minting statement, and the statement list (block) it lives in.
+type beginSite struct {
+	name  string // the span name literal, for the diagnostic
+	obj   types.Object
+	pos   token.Pos
+	block *[]ast.Stmt
+}
+
+func checkSpanBalance(p *Pass, fd *ast.FuncDecl, enders map[FuncKey]map[int]bool) []Diagnostic {
+	info := p.Pkg.Info
+	var diags []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Pos:     p.Fset.Position(pos),
+			Rule:    "spanbalance",
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+
+	// Pass 1 over the statement structure: collect tracked Begin sites
+	// (handle assigned to a local), report discarded handles, and note the
+	// owner-transfer exemptions (field stores, returns, call arguments).
+	var sites []*beginSite
+	walkStmtLists(fd.Body, func(list *[]ast.Stmt) {
+		for _, st := range *list {
+			switch x := st.(type) {
+			case *ast.ExprStmt:
+				if call, ok := x.X.(*ast.CallExpr); ok {
+					if _, isBegin := spanMethodRecv(info, call, "Begin", "BeginAt"); isBegin {
+						report(call.Pos(), "result of %s(%s) is discarded: the span can never be ended",
+							callName(call), spanNameArg(call))
+					}
+				}
+			case *ast.AssignStmt:
+				if len(x.Lhs) != 1 || len(x.Rhs) != 1 {
+					continue
+				}
+				call, ok := unparen(x.Rhs[0]).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				if _, isBegin := spanMethodRecv(info, call, "Begin", "BeginAt"); !isBegin {
+					continue
+				}
+				id, ok := x.Lhs[0].(*ast.Ident)
+				if !ok || id.Name == "_" {
+					// A field or index store transfers ownership (serve's
+					// task handoff); blank discards a handle deliberately.
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				sites = append(sites, &beginSite{
+					name:  spanNameArg(call),
+					obj:   obj,
+					pos:   x.Pos(),
+					block: list,
+				})
+			}
+		}
+	})
+
+	// Pass 2: judge each site against the End evidence in the function.
+	for _, site := range sites {
+		ev := collectEndEvidence(info, fd, site.obj, enders)
+		if ev.transferred {
+			continue
+		}
+		if ev.deferredAt.IsValid() {
+			continue
+		}
+		endPos := lastEndInBlock(site, ev)
+		if !endPos.IsValid() {
+			report(site.pos,
+				"span %s is not ended on every path: no deferred End and no End in the span's own block",
+				site.name)
+			continue
+		}
+		for _, ret := range returnsBetween(fd.Body, site.pos, endPos) {
+			if !ev.endedBefore(site.pos, ret) {
+				report(site.pos,
+					"span %s escapes through the return at line %d before it is ended",
+					site.name, p.Fset.Position(ret).Line)
+				break
+			}
+		}
+	}
+	return diags
+}
+
+// endEvidence is every way the function closes (or gives away) one handle.
+type endEvidence struct {
+	ends        []token.Pos // statement-level End/EndAt or ending-helper calls
+	deferredAt  token.Pos   // first defer that ends the handle
+	transferred bool        // returned or passed to a non-ending callee
+}
+
+// endedBefore reports an End strictly between from and to.
+func (ev *endEvidence) endedBefore(from, to token.Pos) bool {
+	for _, e := range ev.ends {
+		if e > from && e < to {
+			return true
+		}
+	}
+	return false
+}
+
+// collectEndEvidence scans the function for everything that closes obj's
+// span: direct End/EndAt statements, deferred Ends (bare, via closure, or
+// via an ending helper), ending-helper calls, and ownership transfers.
+func collectEndEvidence(info *types.Info, fd *ast.FuncDecl, obj types.Object, enders map[FuncKey]map[int]bool) *endEvidence {
+	ev := &endEvidence{}
+	isObj := func(e ast.Expr) bool {
+		id, ok := unparen(e).(*ast.Ident)
+		return ok && (info.Uses[id] == obj || info.Defs[id] == obj)
+	}
+	// closesObj reports whether the call ends obj: an End/EndAt on it, or a
+	// call passing it at an ending parameter index.
+	closesObj := func(call *ast.CallExpr) bool {
+		if recv, isEnd := spanMethodRecv(info, call, "End", "EndAt"); isEnd && isObj(recv) {
+			return true
+		}
+		callee := calleeFunc(info, call)
+		if callee == nil {
+			return false
+		}
+		ends := enders[keyOf(callee)]
+		for ai, arg := range call.Args {
+			if ends[ai] && isObj(arg) {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(fd.Body, func(nd ast.Node) bool {
+		switch x := nd.(type) {
+		case *ast.DeferStmt:
+			if closesObj(x.Call) {
+				ev.markDeferred(x.Pos())
+				return false
+			}
+			if lit, ok := unparen(x.Call.Fun).(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(inner ast.Node) bool {
+					if call, ok := inner.(*ast.CallExpr); ok && closesObj(call) {
+						ev.markDeferred(x.Pos())
+					}
+					return true
+				})
+				return false
+			}
+		case *ast.ExprStmt:
+			if call, ok := x.X.(*ast.CallExpr); ok && closesObj(call) {
+				ev.ends = append(ev.ends, x.Pos())
+				return false
+			}
+		case *ast.ReturnStmt:
+			for _, res := range x.Results {
+				if isObj(res) {
+					ev.transferred = true
+				}
+			}
+		case *ast.CallExpr:
+			// obj passed to a callee that does not end it: ownership moves
+			// (e.g. reqLog.start(spans, ...)); the callee is now responsible.
+			if closesObj(x) {
+				return true
+			}
+			for _, arg := range x.Args {
+				if isObj(arg) {
+					ev.transferred = true
+				}
+			}
+		case *ast.AssignStmt:
+			// Re-stored into a field or another variable: ownership moves.
+			for i, rhs := range x.Rhs {
+				if isObj(rhs) && i < len(x.Lhs) {
+					ev.transferred = true
+				}
+			}
+		}
+		return true
+	})
+	return ev
+}
+
+func (ev *endEvidence) markDeferred(pos token.Pos) {
+	if !ev.deferredAt.IsValid() || pos < ev.deferredAt {
+		ev.deferredAt = pos
+	}
+}
+
+// lastEndInBlock returns the position of the last End statement that lives
+// in the same statement list as the Begin and after it.
+func lastEndInBlock(site *beginSite, ev *endEvidence) token.Pos {
+	var last token.Pos
+	for _, st := range *site.block {
+		if st.Pos() <= site.pos {
+			continue
+		}
+		for _, e := range ev.ends {
+			if e == st.Pos() && e > last {
+				last = e
+			}
+		}
+	}
+	return last
+}
+
+// returnsBetween lists the return statements positioned strictly between
+// from and to.
+func returnsBetween(body *ast.BlockStmt, from, to token.Pos) []token.Pos {
+	var rets []token.Pos
+	ast.Inspect(body, func(nd ast.Node) bool {
+		if fl, ok := nd.(*ast.FuncLit); ok {
+			// Returns inside nested closures leave the closure, not the
+			// function owning the span.
+			_ = fl
+			return false
+		}
+		if ret, ok := nd.(*ast.ReturnStmt); ok && ret.Pos() > from && ret.Pos() < to {
+			rets = append(rets, ret.Pos())
+		}
+		return true
+	})
+	return rets
+}
+
+// walkStmtLists visits every statement list of the body: blocks, case
+// clauses and comm clauses.
+func walkStmtLists(body *ast.BlockStmt, visit func(*[]ast.Stmt)) {
+	ast.Inspect(body, func(nd ast.Node) bool {
+		switch x := nd.(type) {
+		case *ast.BlockStmt:
+			visit(&x.List)
+		case *ast.CaseClause:
+			visit(&x.Body)
+		case *ast.CommClause:
+			visit(&x.Body)
+		}
+		return true
+	})
+}
+
+// callName renders the method name of a call for diagnostics.
+func callName(call *ast.CallExpr) string {
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return sel.Sel.Name
+	}
+	return "Begin"
+}
+
+// spanNameArg extracts the span-name string literal of a Begin call, or a
+// placeholder when it is not a literal.
+func spanNameArg(call *ast.CallExpr) string {
+	if len(call.Args) > 0 {
+		if lit, ok := unparen(call.Args[0]).(*ast.BasicLit); ok && lit.Kind == token.STRING {
+			return lit.Value
+		}
+	}
+	return "(dynamic)"
+}

@@ -1,0 +1,137 @@
+// Package spanbalance seeds violations of the spanbalance rule: span
+// handles from Begin/BeginAt that are not closed by a deferred or
+// all-paths End. The SpanSet/SpanRef types mirror internal/trace's
+// request-span API by name, which is what the rule matches on.
+package spanbalance
+
+import "time"
+
+type SpanSet struct{ n int }
+
+type SpanRef struct{ set *SpanSet }
+
+func (ss *SpanSet) Begin(name string) SpanRef                  { return SpanRef{set: ss} }
+func (ss *SpanSet) BeginAt(name string, t time.Time) SpanRef   { return SpanRef{set: ss} }
+func (r SpanRef) Begin(name string) SpanRef                    { return SpanRef{set: r.set} }
+func (r SpanRef) BeginAt(name string, start time.Time) SpanRef { return SpanRef{set: r.set} }
+func (r SpanRef) End()                                         {}
+func (r SpanRef) EndAt(end time.Time)                          {}
+func (r SpanRef) SetAttr(k, v string)                          {}
+
+type task struct {
+	root      SpanRef
+	queueSpan SpanRef
+}
+
+// --- clean shapes ---
+
+// sequential is the canonical balanced form: End in the span's own block.
+func sequential(ss *SpanSet) {
+	s := ss.Begin("decode")
+	s.SetAttr("k", "v")
+	s.End()
+}
+
+// deferred covers the whole function, early returns included.
+func deferred(ss *SpanSet, fail bool) {
+	s := ss.Begin("request")
+	defer s.End()
+	if fail {
+		return
+	}
+	s.SetAttr("status", "200")
+}
+
+// deferredClosure ends the span inside a deferred func literal — the
+// handler's root-span shape.
+func deferredClosure(ss *SpanSet) {
+	root := ss.BeginAt("request", time.Now())
+	defer func() {
+		root.SetAttr("status", "200")
+		root.End()
+	}()
+	child := root.Begin("exec")
+	child.End()
+}
+
+// endBeforeEveryReturn ends on both the early-return path and the
+// fall-through path.
+func endBeforeEveryReturn(ss *SpanSet, binary bool) {
+	s := ss.Begin("encode")
+	if binary {
+		s.End()
+		return
+	}
+	s.EndAt(time.Now())
+}
+
+// fieldStore transfers ownership to the task (another goroutine ends it).
+func fieldStore(ss *SpanSet, t *task) {
+	t.queueSpan = ss.Begin("queue")
+}
+
+// returned transfers ownership to the caller.
+func returned(ss *SpanSet) SpanRef {
+	return ss.Begin("handed-off")
+}
+
+func finish(r SpanRef) { r.End() }
+
+// finishVia ends its parameter through a helper chain — the fixpoint must
+// credit it as an ender too.
+func finishVia(r SpanRef) { finish(r) }
+
+// helperEnded passes the handle to an interprocedurally-known ender.
+func helperEnded(ss *SpanSet) {
+	s := ss.Begin("plan")
+	finish(s)
+}
+
+// deferHelperEnded is `defer finish(span)`: a deferred End through the
+// summary machinery.
+func deferHelperEnded(ss *SpanSet, fail bool) {
+	s := ss.Begin("exec")
+	defer finishVia(s)
+	if fail {
+		return
+	}
+}
+
+func consume(r SpanRef) {}
+
+// passedOn hands the span to a callee that does not end it: ownership
+// moves, the callee (or whoever it stores it for) is now responsible.
+func passedOn(ss *SpanSet) {
+	s := ss.Begin("given-away")
+	consume(s)
+}
+
+// --- violations ---
+
+// discarded drops the handle on the floor: nothing can ever end it.
+func discarded(ss *SpanSet) {
+	ss.Begin("dropped") // want "is discarded"
+}
+
+// neverEnded keeps the handle but never closes it.
+func neverEnded(ss *SpanSet) {
+	s := ss.Begin("leak") // want "not ended on every path"
+	s.SetAttr("k", "v")
+}
+
+// conditionalEnd only ends the span on one branch — the other path leaks.
+func conditionalEnd(ss *SpanSet, ok bool) {
+	s := ss.Begin("maybe") // want "not ended on every path"
+	if ok {
+		s.End()
+	}
+}
+
+// earlyReturn escapes between the Begin and the same-block End.
+func earlyReturn(ss *SpanSet, fail bool) {
+	s := ss.Begin("escape") // want "escapes through the return at line"
+	if fail {
+		return
+	}
+	s.End()
+}

@@ -248,6 +248,18 @@ type Result struct {
 	Layout *pw.Layout
 }
 
+// StageSeconds is the engine stage-timing hook for observability layers:
+// the run's virtual seconds broken down by pipeline stage and state
+// (runtime, idle, per-phase -sync/-transfer), derived from the recorded
+// trace. fftxd's per-shape profile store persists exactly this map for
+// cost-mode runs; returns nil when the run recorded no trace.
+func (r *Result) StageSeconds() map[string]float64 {
+	if r == nil || r.Trace == nil {
+		return nil
+	}
+	return r.Trace.PhaseSeconds()
+}
+
 // kernel couples the runtime-free stage graph (problem geometry, numeric
 // bodies, instruction models — package fftx/graph) with this run's
 // configuration: the mode, the deterministic work-variance draws and the

@@ -48,7 +48,18 @@ func writeHistogram(w io.Writer, name string, s Series) error {
 		if !math.IsInf(b.UpperBound, 1) {
 			le = formatValue(b.UpperBound)
 		}
-		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, labelString(s.Labels, "le", le), b.Count); err != nil {
+		// Buckets that captured a trace-linked observation carry it in the
+		// OpenMetrics exemplar syntax: `... # {trace_id="…"} value ts`.
+		// Plain Prometheus scrapers ignore everything after the bucket
+		// value's trailing space-hash; OpenMetrics-aware ones join the
+		// bucket to the sampled request's span tree.
+		ex := ""
+		if b.Exemplar != nil {
+			ex = fmt.Sprintf(" # {trace_id=\"%s\"} %s %.3f",
+				escapeLabel(b.Exemplar.TraceID), formatValue(b.Exemplar.Value),
+				float64(b.Exemplar.UnixNano)/1e9)
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n", name, labelString(s.Labels, "le", le), b.Count, ex); err != nil {
 			return err
 		}
 	}

@@ -143,12 +143,25 @@ func addFloat(bits *atomic.Uint64, v float64) {
 
 // Histogram is a fixed-bucket distribution: cumulative bucket counts in the
 // Prometheus style (each bucket counts observations <= its upper bound,
-// with an implicit +Inf bucket), plus sum and count.
+// with an implicit +Inf bucket), plus sum and count. Each bucket can carry
+// one exemplar — the most recent (value, trace ID) observation that landed
+// in it — linking tail-latency buckets to sampled request traces.
 type Histogram struct {
-	bounds []float64 // ascending upper bounds, excluding +Inf
-	counts []atomic.Uint64
-	sum    atomic.Uint64 // float64 bits
-	count  atomic.Uint64
+	bounds    []float64 // ascending upper bounds, excluding +Inf
+	counts    []atomic.Uint64
+	exemplars []atomic.Pointer[Exemplar]
+	sum       atomic.Uint64 // float64 bits
+	count     atomic.Uint64
+}
+
+// Exemplar links one observation to the trace that produced it.
+type Exemplar struct {
+	// Value is the observed value (e.g. the request latency in seconds).
+	Value float64 `json:"value"`
+	// TraceID identifies the sampled request span tree.
+	TraceID string `json:"trace_id"`
+	// UnixNano is when the observation happened.
+	UnixNano int64 `json:"ts_ns"`
 }
 
 // Observe records one value.
@@ -160,6 +173,23 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[i].Add(1)
 	addFloat(&h.sum, v)
 	h.count.Add(1)
+}
+
+// ObserveExemplar records one value and attaches (value, traceID, now) as
+// the exemplar of the bucket the value lands in — last write wins, which
+// for a tail bucket means "the most recent slow request". An empty traceID
+// degrades to a plain Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID string, unixNano int64) {
+	if !enabled.Load() {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	addFloat(&h.sum, v)
+	h.count.Add(1)
+	if traceID != "" {
+		h.exemplars[i].Store(&Exemplar{Value: v, TraceID: traceID, UnixNano: unixNano})
+	}
 }
 
 // Count returns the number of observations.
@@ -216,8 +246,9 @@ func (f *family) get(values []string) *series {
 		s.gauge = &Gauge{}
 	case KindHistogram:
 		s.hist = &Histogram{
-			bounds: f.buckets,
-			counts: make([]atomic.Uint64, len(f.buckets)+1),
+			bounds:    f.buckets,
+			counts:    make([]atomic.Uint64, len(f.buckets)+1),
+			exemplars: make([]atomic.Pointer[Exemplar], len(f.buckets)+1),
 		}
 	}
 	f.series[key] = s
@@ -347,6 +378,7 @@ func (r *Registry) Reset() {
 			case s.hist != nil:
 				for i := range s.hist.counts {
 					s.hist.counts[i].Store(0)
+					s.hist.exemplars[i].Store(nil)
 				}
 				s.hist.sum.Store(0)
 				s.hist.count.Store(0)
@@ -368,6 +400,9 @@ type Label struct {
 type Bucket struct {
 	UpperBound float64 // +Inf for the last bucket
 	Count      uint64  // observations <= UpperBound
+	// Exemplar is the most recent trace-linked observation that landed in
+	// this bucket (nil when none was recorded).
+	Exemplar *Exemplar
 }
 
 // Series is one series of a snapshot.
@@ -467,7 +502,8 @@ func (r *Registry) Gather() Snapshot {
 					if i < len(s.hist.bounds) {
 						ub = s.hist.bounds[i]
 					}
-					ss.Buckets = append(ss.Buckets, Bucket{UpperBound: ub, Count: cum})
+					ss.Buckets = append(ss.Buckets, Bucket{UpperBound: ub, Count: cum,
+						Exemplar: s.hist.exemplars[i].Load()})
 				}
 			}
 			fs.Series = append(fs.Series, ss)

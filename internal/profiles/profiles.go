@@ -1,0 +1,283 @@
+// Package profiles is the persistent per-shape performance database of the
+// serving layer: for every (shape, engine, mode) combination it accumulates
+// measured request latency and a per-phase time breakdown, survives fftxd
+// restarts via an atomically-swapped JSON file, and is exported live at
+// /debug/fftx/profiles.
+//
+// This is the substrate ROADMAP item 3 (online autotuning) consumes: the
+// cost-model selector can compare its predictions against these measured
+// profiles per shape and re-probe when they drift — the measured-profile
+// approach of Khokhriakov et al. (PAPERS.md). The serving layer records
+// into it from two sides: transform batches contribute wall-clock span
+// breakdowns (queue, coalesce, plan, transform, encode), pipeline runs
+// contribute the engine's simulated per-phase seconds (pack, fft-z, A2A
+// sync/transfer, …), both under the same key space.
+package profiles
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Key identifies one profile: the transform shape (the serve ShapeKey for
+// transforms, a pipe:… descriptor for pipeline runs), the engine that
+// executed (plan1d/plan2d/plan3d for kernel batches, the fftx engine name
+// for pipelines) and the execution mode ("transform" or "cost").
+type Key struct {
+	Shape  string `json:"shape"`
+	Engine string `json:"engine"`
+	Mode   string `json:"mode"`
+}
+
+// String renders the key as "shape|engine|mode" (the map key of the JSON
+// file).
+func (k Key) String() string { return k.Shape + "|" + k.Engine + "|" + k.Mode }
+
+// Stats is the accumulated measurement of one key.
+type Stats struct {
+	// Count is the number of recorded executions.
+	Count int64 `json:"count"`
+	// TotalSec, MinSec and MaxSec summarize the measured latency
+	// (wall-clock for transforms, virtual seconds for pipeline runtimes).
+	TotalSec float64 `json:"total_s"`
+	MinSec   float64 `json:"min_s"`
+	MaxSec   float64 `json:"max_s"`
+	// Phases accumulates the per-phase breakdown in seconds.
+	Phases map[string]float64 `json:"phases,omitempty"`
+	// LastTraceID is the trace ID of the most recent sampled execution —
+	// the join point into /debug/fftx/requests.
+	LastTraceID string `json:"last_trace_id,omitempty"`
+}
+
+// MeanSec returns the mean recorded latency.
+func (s *Stats) MeanSec() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.TotalSec / float64(s.Count)
+}
+
+// Entry is one (key, stats) pair of a snapshot.
+type Entry struct {
+	Key
+	Stats
+	MeanSecond float64 `json:"mean_s"`
+}
+
+// Store is a concurrency-safe profile database. The zero value is not
+// usable; create with Open. A Store with an empty path is memory-only
+// (tests, loadgen self-hosting).
+type Store struct {
+	mu      sync.Mutex
+	path    string
+	m       map[Key]*Stats
+	pending int // records since the last flush
+	// FlushEvery is how many records may accumulate before Record flushes
+	// to disk on its own (default 256; Close always flushes).
+	FlushEvery int
+}
+
+// fileFormat is the on-disk shape: a version tag plus the keyed stats.
+type fileFormat struct {
+	Version  int               `json:"version"`
+	Profiles map[string]*Stats `json:"profiles"`
+}
+
+// Open loads (or initializes) the profile store at path. A missing file is
+// an empty store; a malformed file is an error (the store never silently
+// discards a database). An empty path yields a memory-only store.
+func Open(path string) (*Store, error) {
+	s := &Store{path: path, m: map[Key]*Stats{}, FlushEvery: 256}
+	if path == "" {
+		return s, nil
+	}
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return s, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("profiles: read %s: %w", path, err)
+	}
+	var ff fileFormat
+	if err := json.Unmarshal(b, &ff); err != nil {
+		return nil, fmt.Errorf("profiles: parse %s: %w", path, err)
+	}
+	for ks, st := range ff.Profiles {
+		k, err := parseKey(ks)
+		if err != nil {
+			return nil, fmt.Errorf("profiles: %s: %w", path, err)
+		}
+		s.m[k] = st
+	}
+	return s, nil
+}
+
+func parseKey(ks string) (Key, error) {
+	var k Key
+	first := -1
+	last := -1
+	for i := 0; i < len(ks); i++ {
+		if ks[i] == '|' {
+			if first < 0 {
+				first = i
+			}
+			last = i
+		}
+	}
+	if first < 0 || first == last {
+		return k, fmt.Errorf("malformed profile key %q", ks)
+	}
+	k.Shape, k.Engine, k.Mode = ks[:first], ks[first+1:last], ks[last+1:]
+	return k, nil
+}
+
+// Path returns the backing file path ("" for memory-only stores).
+func (s *Store) Path() string { return s.path }
+
+// Record accumulates one measured execution. Non-finite latencies are
+// dropped. Every FlushEvery records the store flushes itself; flush errors
+// are deliberately swallowed here (recording must never fail a request) —
+// Close surfaces them.
+func (s *Store) Record(k Key, sec float64, phases map[string]float64, traceID string) {
+	if math.IsNaN(sec) || math.IsInf(sec, 0) || sec < 0 {
+		return
+	}
+	s.mu.Lock()
+	st := s.m[k]
+	if st == nil {
+		st = &Stats{MinSec: sec, MaxSec: sec}
+		s.m[k] = st
+	}
+	st.Count++
+	st.TotalSec += sec
+	if sec < st.MinSec {
+		st.MinSec = sec
+	}
+	if sec > st.MaxSec {
+		st.MaxSec = sec
+	}
+	if len(phases) > 0 {
+		if st.Phases == nil {
+			st.Phases = map[string]float64{}
+		}
+		for name, d := range phases {
+			if !math.IsNaN(d) && !math.IsInf(d, 0) {
+				st.Phases[name] += d
+			}
+		}
+	}
+	if traceID != "" {
+		st.LastTraceID = traceID
+	}
+	s.pending++
+	flush := s.path != "" && s.FlushEvery > 0 && s.pending >= s.FlushEvery
+	if flush {
+		s.pending = 0
+	}
+	s.mu.Unlock()
+	if flush {
+		_ = s.Flush()
+	}
+}
+
+// Len returns the number of distinct keys.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+// Get returns a copy of the stats recorded under k (ok=false when absent).
+func (s *Store) Get(k Key) (Stats, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.m[k]
+	if st == nil {
+		return Stats{}, false
+	}
+	return copyStats(st), true
+}
+
+func copyStats(st *Stats) Stats {
+	out := *st
+	if st.Phases != nil {
+		out.Phases = make(map[string]float64, len(st.Phases))
+		for k, v := range st.Phases {
+			out.Phases[k] = v
+		}
+	}
+	return out
+}
+
+// Snapshot returns every entry sorted by key — the /debug/fftx/profiles
+// payload and the autotuner's read surface.
+func (s *Store) Snapshot() []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Entry, 0, len(s.m))
+	for k, st := range s.m {
+		out = append(out, Entry{Key: k, Stats: copyStats(st), MeanSecond: st.MeanSec()})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Shape != out[j].Shape {
+			return out[i].Shape < out[j].Shape
+		}
+		if out[i].Engine != out[j].Engine {
+			return out[i].Engine < out[j].Engine
+		}
+		return out[i].Mode < out[j].Mode
+	})
+	return out
+}
+
+// Flush writes the store to its path atomically: a temp file in the same
+// directory, fsync'd, then renamed over the target — a crashed fftxd never
+// leaves a torn database. Memory-only stores no-op.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	if s.path == "" {
+		s.mu.Unlock()
+		return nil
+	}
+	ff := fileFormat{Version: 1, Profiles: make(map[string]*Stats, len(s.m))}
+	for k, st := range s.m {
+		c := copyStats(st)
+		ff.Profiles[k.String()] = &c
+	}
+	path := s.path
+	s.mu.Unlock()
+
+	b, err := json.MarshalIndent(ff, "", " ")
+	if err != nil {
+		return fmt.Errorf("profiles: marshal: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".profiles-*.json")
+	if err != nil {
+		return fmt.Errorf("profiles: temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		return fmt.Errorf("profiles: write %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("profiles: sync %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("profiles: close %s: %w", tmp.Name(), err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("profiles: swap %s: %w", path, err)
+	}
+	return nil
+}
+
+// Close flushes and returns the flush outcome.
+func (s *Store) Close() error { return s.Flush() }

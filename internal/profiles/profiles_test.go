@@ -1,0 +1,176 @@
+package profiles
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var k1 = Key{Shape: "f2d:8x8", Engine: "plan2d", Mode: "transform"}
+var k2 = Key{Shape: "pipe:ecut20:nb8:r2xt2", Engine: "task-iter", Mode: "cost"}
+
+func TestRecordAccumulates(t *testing.T) {
+	s, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Record(k1, 0.010, map[string]float64{"plan": 0.002, "transform": 0.008}, "aaaaaaaaaaaaaaaa")
+	s.Record(k1, 0.030, map[string]float64{"transform": 0.030}, "bbbbbbbbbbbbbbbb")
+	s.Record(k1, math.NaN(), nil, "")  // dropped
+	s.Record(k1, math.Inf(1), nil, "") // dropped
+	s.Record(k1, -1, nil, "")          // dropped
+
+	st, ok := s.Get(k1)
+	if !ok {
+		t.Fatal("key not recorded")
+	}
+	if st.Count != 2 || st.MinSec != 0.010 || st.MaxSec != 0.030 {
+		t.Errorf("stats %+v", st)
+	}
+	if got := st.MeanSec(); math.Abs(got-0.020) > 1e-12 {
+		t.Errorf("mean %g, want 0.020", got)
+	}
+	if math.Abs(st.Phases["transform"]-0.038) > 1e-12 || math.Abs(st.Phases["plan"]-0.002) > 1e-12 {
+		t.Errorf("phases %v", st.Phases)
+	}
+	if st.LastTraceID != "bbbbbbbbbbbbbbbb" {
+		t.Errorf("last trace %q", st.LastTraceID)
+	}
+	// Get returns a copy: mutating it must not leak back.
+	st.Phases["transform"] = 99
+	again, _ := s.Get(k1)
+	if again.Phases["transform"] != st.Phases["plan"]+0.036 && again.Phases["transform"] == 99 {
+		t.Error("Get leaked internal phase map")
+	}
+}
+
+func TestSnapshotSorted(t *testing.T) {
+	s, _ := Open("")
+	s.Record(k2, 2, nil, "")
+	s.Record(k1, 1, nil, "")
+	snap := s.Snapshot()
+	if len(snap) != 2 || snap[0].Key != k1 || snap[1].Key != k2 {
+		t.Fatalf("snapshot order %v", snap)
+	}
+	if snap[0].MeanSecond != 1 {
+		t.Errorf("entry mean %g", snap[0].MeanSecond)
+	}
+}
+
+func TestPersistenceRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "profiles.json")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Record(k1, 0.5, map[string]float64{"plan": 0.1}, "cafecafecafecafe")
+	s.Record(k2, 3.0, map[string]float64{"fft-z-sync": 0.7}, "")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 2 {
+		t.Fatalf("reloaded %d keys, want 2", re.Len())
+	}
+	st, ok := re.Get(k1)
+	if !ok || st.Count != 1 || st.TotalSec != 0.5 || st.LastTraceID != "cafecafecafecafe" {
+		t.Errorf("reloaded stats %+v ok=%v", st, ok)
+	}
+	if st.Phases["plan"] != 0.1 {
+		t.Errorf("reloaded phases %v", st.Phases)
+	}
+}
+
+func TestOpenMissingAndMalformed(t *testing.T) {
+	s, err := Open(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil || s.Len() != 0 {
+		t.Fatalf("missing file: store %v err %v", s, err)
+	}
+
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(bad); err == nil || !strings.Contains(err.Error(), "parse") {
+		t.Fatalf("malformed file not rejected: %v", err)
+	}
+
+	badKey := filepath.Join(t.TempDir(), "badkey.json")
+	if err := os.WriteFile(badKey,
+		[]byte(`{"version":1,"profiles":{"no-separators":{"count":1}}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(badKey); err == nil || !strings.Contains(err.Error(), "malformed profile key") {
+		t.Fatalf("malformed key not rejected: %v", err)
+	}
+}
+
+// TestSelfFlush checks the FlushEvery self-flush: the file appears without
+// an explicit Flush once enough records accumulate, and no temp files leak.
+func TestSelfFlush(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "profiles.json")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.FlushEvery = 4
+	for i := 0; i < 4; i++ {
+		s.Record(k1, 0.001, nil, "")
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("no self-flushed file after FlushEvery records: %v", err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.Name() != "profiles.json" {
+			t.Errorf("leftover file %q in store directory", e.Name())
+		}
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	s, _ := Open(filepath.Join(t.TempDir(), "p.json"))
+	s.FlushEvery = 8
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s.Record(k1, 0.001, map[string]float64{"transform": 0.001}, "")
+				s.Record(k2, 0.002, nil, "")
+			}
+		}()
+	}
+	wg.Wait()
+	st, _ := s.Get(k1)
+	if st.Count != 800 {
+		t.Errorf("count %d, want 800", st.Count)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyStringRoundTrip(t *testing.T) {
+	for _, k := range []Key{k1, k2, {Shape: "a", Engine: "b|c", Mode: "d"}} {
+		got, err := parseKey(k.String())
+		if err != nil {
+			t.Fatalf("parseKey(%q): %v", k.String(), err)
+		}
+		if got != k {
+			t.Errorf("round trip %q -> %+v, want %+v", k.String(), got, k)
+		}
+	}
+}

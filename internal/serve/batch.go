@@ -3,6 +3,8 @@ package serve
 import (
 	"fmt"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // Admission control and the batching dispatcher.
@@ -30,6 +32,16 @@ type task struct {
 
 	enq      time.Time
 	deadline time.Time // zero = none
+
+	// Tracing handles of a sampled request (all no-ops when untraced). The
+	// HTTP handler owns the root span; queueSpan is handed off to the
+	// dispatcher and coalesceSpan from the dispatcher to the worker as the
+	// task crosses goroutines — each stage Ends the span of the wait it
+	// terminates.
+	spans        *trace.SpanSet
+	root         trace.SpanRef
+	queueSpan    trace.SpanRef
+	coalesceSpan trace.SpanRef
 
 	// done receives exactly one outcome; it is buffered so resolution
 	// never blocks on a departed client.
@@ -164,12 +176,14 @@ func (s *Server) dispatch() {
 					for _, t := range g.tasks {
 						mQueueDepth.Add(-1)
 						mRejects.With("draining").Inc()
+						t.coalesceSpan.End()
 						t.fail(503, s.retryAfter(), "server is draining")
 					}
 				}
 				close(s.batches)
 				return
 			}
+			t.queueSpan.End()
 			if s.Draining() {
 				// Admitted before the drain began but not yet handed to the
 				// worker pool: rejected, like everything still queued.
@@ -184,6 +198,9 @@ func (s *Server) dispatch() {
 				t.fail(503, s.retryAfter(), "deadline expired while queued")
 				continue
 			}
+			// The coalesce span covers batch-window residency plus the wait
+			// for a free worker; runBatch ends it.
+			t.coalesceSpan = t.root.Begin("coalesce")
 			if t.key == "" || !s.batching() {
 				s.batches <- &group{key: t.key, tasks: []*task{t}}
 				continue

@@ -1,11 +1,14 @@
 package serve
 
 import (
+	"fmt"
+	"strconv"
 	"time"
 
 	"repro/internal/fft"
 	"repro/internal/fftx"
 	"repro/internal/par"
+	"repro/internal/profiles"
 )
 
 // Batch execution on the worker pool. A transform batch performs one plan
@@ -49,6 +52,7 @@ func (s *Server) runBatch(g *group) {
 	live := g.tasks[:0]
 	for _, t := range g.tasks {
 		mQueueDepth.Add(-1)
+		t.coalesceSpan.EndAt(now)
 		if t.expired(now) {
 			mRejects.With("deadline").Inc()
 			t.fail(503, s.retryAfter(), "deadline expired while batched")
@@ -76,7 +80,10 @@ func (s *Server) runBatch(g *group) {
 }
 
 // runTransforms executes a same-shape transform batch in place and answers
-// each task with its own slice of the results.
+// each task with its own slice of the results. Traced tasks get an exec span
+// with plan/transform/scale children (shared batch timings: each request's
+// wall time in those phases is the batch's), and every batch records its
+// breakdown into the per-shape profile store.
 func (s *Server) runTransforms(key string, live []*task) {
 	req := live[0].req
 	sign := signOf(req.Sign)
@@ -84,6 +91,7 @@ func (s *Server) runTransforms(key string, live []*task) {
 	start := time.Now()
 
 	plan := s.planFor(req.Dims)
+	planDone := time.Now()
 	rows := 0
 	if len(live) == 1 {
 		// Single-task fast path: the payload is already contiguous, so the
@@ -104,6 +112,7 @@ func (s *Server) runTransforms(key string, live []*task) {
 			}
 		})
 	}
+	transformDone := time.Now()
 	if req.Scale {
 		inv := 1 / float64(n)
 		par.ParallelFor(len(live), 1, func(lo, hi int) {
@@ -112,16 +121,49 @@ func (s *Server) runTransforms(key string, live []*task) {
 			}
 		})
 	}
+	end := time.Now()
 
 	mBatches.With(key).Inc()
 	mBatchRows.With(key).Observe(float64(rows))
-	mExecSeconds.With(key).Observe(time.Since(start).Seconds())
+	mExecSeconds.With(key).Observe(end.Sub(start).Seconds())
 	mPlanBuilds.Set(float64(s.cache.Builds()))
+
+	engine := fmt.Sprintf("plan%dd", len(req.Dims))
+	phases := map[string]float64{
+		"plan":      planDone.Sub(start).Seconds(),
+		"transform": transformDone.Sub(planDone).Seconds(),
+	}
+	if req.Scale {
+		phases["scale"] = end.Sub(transformDone).Seconds()
+	}
+	batchTraceID := ""
+	for _, t := range live {
+		if id := t.spans.TraceID(); id != "" && batchTraceID == "" {
+			batchTraceID = id
+		}
+		exec := t.root.BeginAt("exec", start)
+		exec.SetAttr("rows", strconv.Itoa(rows))
+		exec.SetAttr("engine", engine)
+		planSpan := exec.BeginAt("plan", start)
+		planSpan.EndAt(planDone)
+		transformSpan := exec.BeginAt("transform", planDone)
+		transformSpan.EndAt(transformDone)
+		if req.Scale {
+			scaleSpan := exec.BeginAt("scale", transformDone)
+			scaleSpan.EndAt(end)
+		}
+		exec.EndAt(end)
+	}
+	s.profiles.Record(
+		profiles.Key{Shape: key, Engine: engine, Mode: "transform"},
+		end.Sub(start).Seconds(), phases, batchTraceID)
+	mProfileKeys.Set(float64(s.profiles.Len()))
 
 	for _, t := range live {
 		t.resolve(taskOutcome{resp: &Response{
 			Data:      floatData(t.data),
 			BatchSize: rows,
+			TraceID:   t.spans.TraceID(),
 		}})
 	}
 }
@@ -155,6 +197,8 @@ func (s *Server) runPipeline(t *task) {
 		return
 	}
 	start := time.Now()
+	execSpan := t.root.BeginAt("exec", start)
+	defer execSpan.End()
 	res, err := fftx.Run(fftx.Config{
 		Ecut:   p.Ecut,
 		Alat:   p.Alat,
@@ -172,9 +216,27 @@ func (s *Server) runPipeline(t *task) {
 	mBatches.With("pipeline").Inc()
 	mExecSeconds.With("pipeline").Observe(time.Since(start).Seconds())
 	mPipelineRuns.With(res.Engine.String()).Inc()
+	execSpan.SetAttr("engine", res.Engine.String())
+
+	// Pipeline profiles record the simulated runtime and the engine's
+	// per-stage virtual-second breakdown — the measured side the cost-model
+	// selector (ROADMAP item 3) compares its predictions against.
+	phases := res.StageSeconds()
+	s.profiles.Record(
+		profiles.Key{Shape: pipelineShape(p), Engine: res.Engine.String(), Mode: "cost"},
+		res.Runtime, phases, t.spans.TraceID())
+	mProfileKeys.Set(float64(s.profiles.Len()))
+
 	t.resolve(taskOutcome{resp: &Response{
 		Runtime:   res.Runtime,
 		Engine:    res.Engine.String(),
 		BatchSize: 1,
+		TraceID:   t.spans.TraceID(),
 	}})
+}
+
+// pipelineShape is the profile-store shape descriptor of a pipeline request:
+// the workload parameters that determine its cost.
+func pipelineShape(p *PipelineRequest) string {
+	return fmt.Sprintf("pipe:ecut%g:nb%d:r%dxt%d", p.Ecut, p.NB, p.Ranks, p.NTG)
 }

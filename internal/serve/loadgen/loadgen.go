@@ -23,10 +23,19 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/serve"
+	"repro/internal/trace"
 )
+
+// Shape is one transform payload class of a load mix.
+type Shape struct {
+	Dims     []int
+	Batch    int
+	Backward bool
+}
 
 // Options configures one load run.
 type Options struct {
@@ -44,8 +53,13 @@ type Options struct {
 	Duration time.Duration
 	// Rate > 0 switches to open loop at that many requests per second.
 	Rate float64
-	// Dims, Batch and Backward shape the transform request payload
-	// (defaults: 16×16×16, batch 1, forward).
+	// Shapes is the payload mix; requests cycle through it round-robin so
+	// every class receives an equal share and the report can break latency
+	// quantiles down per shape. Empty falls back to the single shape of
+	// Dims/Batch/Backward.
+	Shapes []Shape
+	// Dims, Batch and Backward shape the transform request payload when
+	// Shapes is empty (defaults: 16×16×16, batch 1, forward).
 	Dims     []int
 	Batch    int
 	Backward bool
@@ -53,6 +67,11 @@ type Options struct {
 	Binary bool
 	// Deadline, when > 0, stamps every request with a queueing deadline.
 	Deadline time.Duration
+	// TraceSample stamps this fraction of requests with a client trace ID
+	// (deterministic 1-in-N stride). The report counts how many IDs the
+	// server echoed back and records the slowest traced request's ID — the
+	// handle to look its span tree up at /debug/fftx/requests.
+	TraceSample float64
 	// Client overrides the HTTP client (tests).
 	Client *http.Client
 }
@@ -69,6 +88,14 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Batch <= 0 {
 		o.Batch = 1
+	}
+	if len(o.Shapes) == 0 {
+		o.Shapes = []Shape{{Dims: o.Dims, Batch: o.Batch, Backward: o.Backward}}
+	}
+	for i := range o.Shapes {
+		if o.Shapes[i].Batch <= 0 {
+			o.Shapes[i].Batch = 1
+		}
 	}
 	if o.Client == nil {
 		o.Client = &http.Client{Timeout: 30 * time.Second}
@@ -96,6 +123,32 @@ type Report struct {
 	// MeanBatchRows is the average batch size the server reports having
 	// coalesced successful requests into (1 = no batching happened).
 	MeanBatchRows float64 `json:"mean_batch_rows"`
+	// PerShape breaks the quantiles down by payload class — mixed-shape
+	// runs otherwise hide slow shapes inside aggregate tails.
+	PerShape map[string]*ShapeReport `json:"per_shape,omitempty"`
+	// Trace correlation: IDs sent, IDs the server echoed back, and
+	// mismatches (an echo differing from what was sent on a 200).
+	TraceSent     int `json:"trace_sent,omitempty"`
+	TraceEchoed   int `json:"trace_echoed,omitempty"`
+	TraceMismatch int `json:"trace_mismatch,omitempty"`
+	// SlowestTraceID identifies the slowest successful traced request —
+	// feed it to /debug/fftx/requests (or fftxtrace -requests) to see
+	// where that tail latency went.
+	SlowestTraceID string  `json:"slowest_trace_id,omitempty"`
+	SlowestSec     float64 `json:"slowest_s,omitempty"`
+}
+
+// ShapeReport is the per-payload-class slice of a report.
+type ShapeReport struct {
+	Sent          int     `json:"sent"`
+	OK            int     `json:"ok"`
+	Errors        int     `json:"errors"`
+	MeanSec       float64 `json:"mean_s"`
+	P50Sec        float64 `json:"p50_s"`
+	P90Sec        float64 `json:"p90_s"`
+	P99Sec        float64 `json:"p99_s"`
+	MaxSec        float64 `json:"max_s"`
+	MeanBatchRows float64 `json:"mean_batch_rows"`
 }
 
 // sample is one request's result.
@@ -103,6 +156,9 @@ type sample struct {
 	latency   time.Duration
 	status    int
 	batchRows int
+	shape     string
+	sentTrace string
+	gotTrace  string
 	err       error
 }
 
@@ -113,7 +169,7 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 	if opts.Target == "" {
 		return nil, fmt.Errorf("loadgen: no target URL")
 	}
-	payload, contentType, err := buildPayload(opts)
+	rq, err := newRequester(opts)
 	if err != nil {
 		return nil, err
 	}
@@ -140,9 +196,9 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 
 	begin := time.Now()
 	if opts.Rate > 0 {
-		runOpen(ctx, schedCtx, opts, payload, contentType, samples)
+		runOpen(ctx, schedCtx, opts, rq, samples)
 	} else {
-		runClosed(ctx, schedCtx, opts, payload, contentType, samples)
+		runClosed(ctx, schedCtx, opts, rq, samples)
 	}
 	close(samples)
 	<-collectDone
@@ -152,7 +208,7 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 }
 
 // runClosed keeps Concurrency requests in flight until the budget runs out.
-func runClosed(ctx, schedCtx context.Context, opts Options, payload []byte, ct string, out chan<- sample) {
+func runClosed(ctx, schedCtx context.Context, opts Options, rq *requester, out chan<- sample) {
 	var issued int
 	var mu sync.Mutex
 	takeTicket := func() bool {
@@ -173,7 +229,7 @@ func runClosed(ctx, schedCtx context.Context, opts Options, payload []byte, ct s
 		go func() {
 			defer wg.Done()
 			for takeTicket() {
-				out <- doRequest(ctx, opts, payload, ct)
+				out <- rq.do(ctx)
 			}
 		}()
 	}
@@ -182,7 +238,7 @@ func runClosed(ctx, schedCtx context.Context, opts Options, payload []byte, ct s
 
 // runOpen fires requests on a fixed schedule; arrivals finding every client
 // slot busy are recorded as local drops.
-func runOpen(ctx, schedCtx context.Context, opts Options, payload []byte, ct string, out chan<- sample) {
+func runOpen(ctx, schedCtx context.Context, opts Options, rq *requester, out chan<- sample) {
 	interval := time.Duration(float64(time.Second) / opts.Rate)
 	if interval <= 0 {
 		interval = time.Microsecond
@@ -209,7 +265,7 @@ func runOpen(ctx, schedCtx context.Context, opts Options, payload []byte, ct str
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				out <- doRequest(ctx, opts, payload, ct)
+				out <- rq.do(ctx)
 				<-slots
 			}()
 		default:
@@ -219,23 +275,92 @@ func runOpen(ctx, schedCtx context.Context, opts Options, payload []byte, ct str
 	wg.Wait()
 }
 
+// tracePlaceholder is the trace ID every pre-rendered traced payload
+// carries; per-request IDs are patched over it in a copy. All-'a' is a valid
+// wire ID that cannot occur inside JSON number text, so its first occurrence
+// in the rendered body is always the trace field.
+const tracePlaceholder = "aaaaaaaaaaaaaaaa"
+
+// payload is one pre-rendered request body of the load mix.
+type payload struct {
+	key      string // shape label of the per-shape report
+	body     []byte // untraced form
+	traced   []byte // form with tracePlaceholder at traceOff
+	traceOff int
+}
+
+// requester cycles requests round-robin through the payload mix and stamps
+// a deterministic 1-in-N stride of them with fresh trace IDs.
+type requester struct {
+	opts        Options
+	payloads    []payload
+	seq         atomic.Uint64
+	traceStride uint64 // 0 = no client tracing
+}
+
+func newRequester(opts Options) (*requester, error) {
+	rq := &requester{opts: opts}
+	for _, sh := range opts.Shapes {
+		p, err := buildPayload(opts, sh)
+		if err != nil {
+			return nil, err
+		}
+		rq.payloads = append(rq.payloads, p)
+	}
+	if opts.TraceSample > 0 {
+		rq.traceStride = 1
+		if opts.TraceSample < 1 {
+			rq.traceStride = uint64(1/opts.TraceSample + 0.5)
+		}
+	}
+	return rq, nil
+}
+
+// do issues the next request of the schedule.
+func (rq *requester) do(ctx context.Context) sample {
+	n := rq.seq.Add(1) - 1
+	p := rq.payloads[int(n%uint64(len(rq.payloads)))]
+	traceID := ""
+	if rq.traceStride > 0 && n%rq.traceStride == 0 {
+		traceID = trace.NewTraceID()
+	}
+	return doRequest(ctx, rq.opts, p, traceID)
+}
+
 // doRequest posts one payload and classifies the reply.
-func doRequest(ctx context.Context, opts Options, payload []byte, ct string) sample {
+func doRequest(ctx context.Context, opts Options, p payload, traceID string) sample {
+	body := p.body
+	if traceID != "" {
+		b := append([]byte(nil), p.traced...)
+		copy(b[p.traceOff:], traceID)
+		body = b
+	}
+	ct := "application/json"
+	if opts.Binary {
+		ct = "application/octet-stream"
+	}
 	start := time.Now()
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, opts.Target+"/fft", bytes.NewReader(payload))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, opts.Target+"/fft", bytes.NewReader(body))
 	if err != nil {
-		return sample{err: err}
+		return sample{err: err, shape: p.key}
 	}
 	req.Header.Set("Content-Type", ct)
 	resp, err := opts.Client.Do(req)
 	if err != nil {
-		return sample{err: err, latency: time.Since(start)}
+		return sample{err: err, latency: time.Since(start), shape: p.key, sentTrace: traceID}
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	sm := sample{latency: time.Since(start), status: resp.StatusCode, err: err}
+	respBody, err := io.ReadAll(resp.Body)
+	sm := sample{
+		latency:   time.Since(start),
+		status:    resp.StatusCode,
+		shape:     p.key,
+		sentTrace: traceID,
+		gotTrace:  resp.Header.Get("Fftx-Trace-Id"),
+		err:       err,
+	}
 	if err == nil && resp.StatusCode == http.StatusOK {
-		sm.batchRows, sm.err = batchRowsOf(opts, body)
+		sm.batchRows, sm.err = batchRowsOf(opts, respBody)
 	}
 	return sm
 }
@@ -256,47 +381,86 @@ func batchRowsOf(opts Options, body []byte) (int, error) {
 	return r.BatchSize, nil
 }
 
-// buildPayload renders the request body once; every request reuses it.
-func buildPayload(opts Options) ([]byte, string, error) {
+// buildPayload renders one shape's request body once — untraced and with the
+// trace placeholder — so the request loop never marshals.
+func buildPayload(opts Options, sh Shape) (payload, error) {
 	n := 1
-	for _, d := range opts.Dims {
+	for _, d := range sh.Dims {
 		if d <= 0 {
-			return nil, "", fmt.Errorf("loadgen: invalid dim %d", d)
+			return payload{}, fmt.Errorf("loadgen: invalid dim %d", d)
 		}
 		n *= d
 	}
 	rng := rand.New(rand.NewSource(42))
-	data := make([]float64, 2*opts.Batch*n)
+	data := make([]float64, 2*sh.Batch*n)
 	for i := range data {
 		data[i] = rng.NormFloat64()
 	}
 	req := &serve.Request{
 		Op:    serve.OpTransform,
-		Dims:  opts.Dims,
-		Batch: opts.Batch,
+		Dims:  sh.Dims,
+		Batch: sh.Batch,
 		Data:  data,
 	}
-	if opts.Backward {
+	if sh.Backward {
 		req.Sign = 1
 	}
 	if opts.Deadline > 0 {
 		req.DeadlineMillis = int64(opts.Deadline / time.Millisecond)
 	}
-	if opts.Binary {
-		b, err := serve.EncodeRequest(req)
-		return b, "application/octet-stream", err
+	render := func() ([]byte, error) {
+		if opts.Binary {
+			return serve.EncodeRequest(req)
+		}
+		return json.Marshal(req)
 	}
-	b, err := json.Marshal(req)
-	return b, "application/json", err
+	p := payload{key: shapeKey(sh)}
+	var err error
+	if p.body, err = render(); err != nil {
+		return payload{}, err
+	}
+	req.TraceID = tracePlaceholder
+	if p.traced, err = render(); err != nil {
+		return payload{}, err
+	}
+	p.traceOff = bytes.Index(p.traced, []byte(tracePlaceholder))
+	if p.traceOff < 0 {
+		return payload{}, fmt.Errorf("loadgen: trace placeholder missing from rendered payload")
+	}
+	return p, nil
 }
 
-// aggregate folds the samples into a report.
+// shapeAcc accumulates one payload class.
+type shapeAcc struct {
+	sent, ok, errors int
+	lat              []time.Duration
+	sumLat           time.Duration
+	sumRows          int
+}
+
+func (a *shapeAcc) report() *ShapeReport {
+	sr := &ShapeReport{Sent: a.sent, OK: a.ok, Errors: a.errors}
+	if len(a.lat) == 0 {
+		return sr
+	}
+	sort.Slice(a.lat, func(i, j int) bool { return a.lat[i] < a.lat[j] })
+	sr.MeanSec = (a.sumLat / time.Duration(len(a.lat))).Seconds()
+	sr.P50Sec = quantile(a.lat, 0.50).Seconds()
+	sr.P90Sec = quantile(a.lat, 0.90).Seconds()
+	sr.P99Sec = quantile(a.lat, 0.99).Seconds()
+	sr.MaxSec = a.lat[len(a.lat)-1].Seconds()
+	sr.MeanBatchRows = float64(a.sumRows) / float64(a.ok)
+	return sr
+}
+
+// aggregate folds the samples into a report: aggregate quantiles across the
+// whole run plus a per-shape breakdown, and the trace-correlation counters.
 func aggregate(opts Options, samples []sample, elapsed time.Duration) *Report {
 	rep := &Report{
 		Mode:        "closed",
 		Target:      opts.Target,
 		Concurrency: opts.Concurrency,
-		Shape:       shapeString(opts),
+		Shape:       shapeMixString(opts),
 		StatusCount: map[string]int{},
 		ElapsedSec:  elapsed.Seconds(),
 	}
@@ -306,16 +470,43 @@ func aggregate(opts Options, samples []sample, elapsed time.Duration) *Report {
 	var lat []time.Duration
 	var sumLat time.Duration
 	var sumRows int
+	perShape := map[string]*shapeAcc{}
+	var slowest time.Duration
 	for _, sm := range samples {
 		rep.Sent++
+		acc := perShape[sm.shape]
+		if acc == nil {
+			acc = &shapeAcc{}
+			perShape[sm.shape] = acc
+		}
+		acc.sent++
+		if sm.sentTrace != "" {
+			rep.TraceSent++
+			if sm.gotTrace != "" && sm.gotTrace != sm.sentTrace && sm.status == http.StatusOK {
+				rep.TraceMismatch++
+			}
+		}
+		if sm.gotTrace != "" {
+			rep.TraceEchoed++
+		}
 		switch {
 		case sm.err == nil && sm.status == http.StatusOK:
 			rep.OK++
 			lat = append(lat, sm.latency)
 			sumLat += sm.latency
 			sumRows += sm.batchRows
+			acc.ok++
+			acc.lat = append(acc.lat, sm.latency)
+			acc.sumLat += sm.latency
+			acc.sumRows += sm.batchRows
+			if sm.sentTrace != "" && sm.latency > slowest {
+				slowest = sm.latency
+				rep.SlowestTraceID = sm.sentTrace
+				rep.SlowestSec = sm.latency.Seconds()
+			}
 		default:
 			rep.Errors++
+			acc.errors++
 		}
 		if sm.status != 0 {
 			rep.StatusCount[fmt.Sprint(sm.status)]++
@@ -325,6 +516,15 @@ func aggregate(opts Options, samples []sample, elapsed time.Duration) *Report {
 	}
 	if elapsed > 0 {
 		rep.Throughput = float64(rep.OK) / elapsed.Seconds()
+	}
+	if len(perShape) > 1 || opts.TraceSample > 0 {
+		rep.PerShape = map[string]*ShapeReport{}
+		for key, acc := range perShape {
+			if key == "" {
+				continue
+			}
+			rep.PerShape[key] = acc.report()
+		}
 	}
 	if len(lat) == 0 {
 		return rep
@@ -351,16 +551,32 @@ func quantile(sorted []time.Duration, q float64) time.Duration {
 	return sorted[i]
 }
 
-func shapeString(opts Options) string {
+// shapeKey labels one payload class, e.g. "16x16x16" or "8x8(batch 4)b".
+func shapeKey(sh Shape) string {
 	s := ""
-	for i, d := range opts.Dims {
+	for i, d := range sh.Dims {
 		if i > 0 {
 			s += "x"
 		}
 		s += fmt.Sprint(d)
 	}
-	if opts.Batch > 1 {
-		s += fmt.Sprintf("(batch %d)", opts.Batch)
+	if sh.Batch > 1 {
+		s += fmt.Sprintf("(batch %d)", sh.Batch)
+	}
+	if sh.Backward {
+		s += "b"
+	}
+	return s
+}
+
+// shapeMixString labels the whole mix (comma-joined shape keys).
+func shapeMixString(opts Options) string {
+	s := ""
+	for i, sh := range opts.Shapes {
+		if i > 0 {
+			s += ","
+		}
+		s += shapeKey(sh)
 	}
 	return s
 }

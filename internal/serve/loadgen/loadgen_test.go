@@ -57,6 +57,60 @@ func TestClosedLoopZeroErrors(t *testing.T) {
 	}
 }
 
+// TestShapeMixPerShapeReport drives a two-shape mix with client tracing and
+// checks the per-shape quantile breakdown and trace correlation: both shape
+// classes get an equal share and their own quantiles, and every trace ID the
+// client stamps comes back from the server.
+func TestShapeMixPerShapeReport(t *testing.T) {
+	s := startServer(t, serve.Config{Workers: 2})
+	rep, err := Run(context.Background(), Options{
+		Target:      s.URL(),
+		Concurrency: 4,
+		Requests:    40,
+		Shapes: []Shape{
+			{Dims: []int{8, 8}},
+			{Dims: []int{4, 4, 4}, Batch: 2},
+		},
+		TraceSample: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d/%d requests errored: %v", rep.Errors, rep.Sent, rep.StatusCount)
+	}
+	if rep.Shape != "8x8,4x4x4(batch 2)" {
+		t.Errorf("shape mix label %q", rep.Shape)
+	}
+	if len(rep.PerShape) != 2 {
+		t.Fatalf("per-shape report has %d classes: %v", len(rep.PerShape), rep.PerShape)
+	}
+	for _, key := range []string{"8x8", "4x4x4(batch 2)"} {
+		sr := rep.PerShape[key]
+		if sr == nil {
+			t.Fatalf("no per-shape report for %q", key)
+		}
+		if sr.Sent != rep.Sent/2 {
+			t.Errorf("shape %q got %d of %d requests, want an equal share", key, sr.Sent, rep.Sent)
+		}
+		if sr.OK != sr.Sent || sr.P99Sec < sr.P50Sec || sr.MaxSec < sr.P99Sec {
+			t.Errorf("implausible per-shape stats for %q: %+v", key, sr)
+		}
+	}
+	wantTraced := rep.Sent / 2 // stride 2 over an even request count
+	if rep.TraceSent != wantTraced {
+		t.Errorf("traced %d of %d requests, want %d", rep.TraceSent, rep.Sent, wantTraced)
+	}
+	// Client-stamped IDs force server-side tracing, so every one echoes.
+	if rep.TraceEchoed < rep.TraceSent || rep.TraceMismatch != 0 {
+		t.Errorf("trace correlation lost IDs: sent %d echoed %d mismatch %d",
+			rep.TraceSent, rep.TraceEchoed, rep.TraceMismatch)
+	}
+	if rep.SlowestTraceID == "" || rep.SlowestSec <= 0 {
+		t.Errorf("no slowest traced request recorded: %+v", rep)
+	}
+}
+
 // TestClosedLoopRequestCount pins the fixed-request mode and the binary
 // wire path.
 func TestClosedLoopRequestCount(t *testing.T) {

@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/fft"
 	"repro/internal/fftx"
+	"repro/internal/trace"
 )
 
 // Op selects what a request asks the server to do.
@@ -94,6 +95,13 @@ type Request struct {
 	// server rejects it with 503 + Retry-After instead of holding it (0 =
 	// no deadline).
 	DeadlineMillis int64 `json:"deadline_ms,omitempty"`
+
+	// TraceID, when set, must be a 16-hex-character request trace ID. A
+	// request carrying one is always traced (client-requested tracing); the
+	// server echoes it in the response and keys the span tree under it at
+	// /debug/fftx/requests. Requests without one may still be sampled, in
+	// which case the response reports the server-assigned ID.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // PipelineRequest mirrors the fftx.Config surface exposed to the network.
@@ -127,6 +135,12 @@ type Response struct {
 	Runtime float64 `json:"runtime,omitempty"`
 	// Engine echoes the engine that ran (OpPipeline).
 	Engine string `json:"engine,omitempty"`
+	// TraceID echoes the request's trace ID when the request was traced
+	// (client-supplied or server-sampled); loadgen joins client-observed
+	// latency to the server-side span tree through it. Traced replies also
+	// carry it in the Fftx-Trace-Id response header, which is how
+	// binary-transform clients read it.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // errorBody is the JSON error payload of non-2xx replies.
@@ -179,6 +193,9 @@ func (r *Request) ShapeKey() string {
 func (r *Request) Validate(maxElements int) error {
 	if maxElements <= 0 {
 		maxElements = DefaultMaxElements
+	}
+	if r.TraceID != "" && !trace.ValidTraceID(r.TraceID) {
+		return fmt.Errorf("malformed trace_id %q (want %d lowercase hex characters)", r.TraceID, trace.TraceIDLen)
 	}
 	switch r.Op {
 	case "":

@@ -5,13 +5,17 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/fft"
+	"repro/internal/profiles"
+	"repro/internal/trace"
 )
 
 // Config tunes one Server. The zero value serves on an ephemeral localhost
@@ -45,6 +49,24 @@ type Config struct {
 	// auto (the cost-model selector). Empty means task-iter, the paper's
 	// best-performing version.
 	DefaultEngine string
+	// TraceSample is the fraction of requests the server traces on its own
+	// initiative (0 = none, 1 = all; sampling is a deterministic 1-in-N
+	// stride, not a coin flip). Requests that arrive carrying a trace_id are
+	// always traced regardless of the rate. Traced requests build a span
+	// tree visible at /debug/fftx/requests, feed the per-shape profile
+	// store, link histogram exemplars and emit a structured log line.
+	TraceSample float64
+	// Profiles is the per-shape performance profile store requests record
+	// into (default: a fresh memory-only store). fftxd passes a disk-backed
+	// store so measured profiles survive restarts.
+	Profiles *profiles.Store
+	// Logger receives structured request logs keyed by trace ID (default:
+	// discard). Traced requests log one line at Debug (Warn on errors);
+	// server lifecycle logs at Info.
+	Logger *slog.Logger
+	// RequestLogSize bounds the recent-request ring of /debug/fftx/requests
+	// (default 64).
+	RequestLogSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -72,6 +94,16 @@ func (c Config) withDefaults() Config {
 	if c.Mux == nil {
 		c.Mux = http.NewServeMux()
 	}
+	if c.Profiles == nil {
+		// Open with an empty path never fails: memory-only store.
+		c.Profiles, _ = profiles.Open("")
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if c.RequestLogSize <= 0 {
+		c.RequestLogSize = 64
+	}
 	return c
 }
 
@@ -97,6 +129,15 @@ type Server struct {
 	shutdownOnce sync.Once
 	shutdownErr  error
 
+	// Observability: the in-flight/recent request log behind
+	// /debug/fftx/requests, the per-shape profile store behind
+	// /debug/fftx/profiles, the structured logger and the deterministic
+	// sampling counter.
+	reqLog   *requestLog
+	profiles *profiles.Store
+	logger   *slog.Logger
+	traceSeq atomic.Uint64
+
 	// testExecDelay stretches every batch execution (tests only).
 	testExecDelay time.Duration
 }
@@ -111,9 +152,14 @@ func New(cfg Config) *Server {
 		batches:        make(chan *group, cfg.Workers),
 		flushCh:        make(chan string, 1),
 		dispatcherDone: make(chan struct{}),
+		reqLog:         newRequestLog(cfg.RequestLogSize),
+		profiles:       cfg.Profiles,
+		logger:         cfg.Logger,
 	}
 	cfg.Mux.HandleFunc("/fft", s.handleFFT)
 	cfg.Mux.HandleFunc("/healthz", s.handleHealthz)
+	cfg.Mux.HandleFunc("/debug/fftx/requests", s.handleDebugRequests)
+	cfg.Mux.HandleFunc("/debug/fftx/profiles", s.handleDebugProfiles)
 	return s
 }
 
@@ -133,6 +179,9 @@ func (s *Server) Start() error {
 		go s.worker()
 	}
 	go func() { _ = s.httpS.Serve(ln) }()
+	s.logger.Info("fftxd serving",
+		"addr", s.Addr(), "workers", s.cfg.Workers, "queue_depth", s.cfg.QueueDepth,
+		"trace_sample", s.cfg.TraceSample, "profiles", s.profiles.Path())
 	return nil
 }
 
@@ -172,6 +221,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			return
 		}
 		s.shutdownErr = s.httpS.Shutdown(ctx)
+		if err := s.profiles.Flush(); err != nil {
+			s.logger.Warn("profile flush failed on shutdown", "err", err)
+			if s.shutdownErr == nil {
+				s.shutdownErr = err
+			}
+		}
+		s.logger.Info("drain complete", "uptime_s", time.Since(s.start).Seconds())
 	})
 	return s.shutdownErr
 }
@@ -189,15 +245,41 @@ func (s *Server) maxBody() int64 {
 	return int64(s.cfg.MaxElements)*16 + 1<<16
 }
 
+// shouldTrace decides whether this request records a span tree: always when
+// the client sent a trace ID, otherwise a deterministic 1-in-N stride of
+// Config.TraceSample.
+func (s *Server) shouldTrace(clientID string) bool {
+	if clientID != "" {
+		return true
+	}
+	rate := s.cfg.TraceSample
+	if rate <= 0 {
+		return false
+	}
+	if rate >= 1 {
+		return true
+	}
+	stride := uint64(1/rate + 0.5)
+	if stride < 1 {
+		stride = 1
+	}
+	return (s.traceSeq.Add(1)-1)%stride == 0
+}
+
 // handleFFT is the transform/pipeline endpoint. The response format follows
 // the request format: application/octet-stream for the binary wire format,
-// JSON otherwise.
+// JSON otherwise. Traced requests (client trace ID or server sampling) record
+// a span tree covering decode → admit → queue → coalesce → exec → encode;
+// the root span brackets the same work the fftxd_request_seconds observation
+// measures, and its trace ID becomes that observation's exemplar.
 func (s *Server) handleFFT(w http.ResponseWriter, r *http.Request) {
 	startAt := time.Now()
 	code := 0
+	var spans *trace.SpanSet
 	defer func() {
 		mReqTotal.With("fft", fmt.Sprint(code)).Inc()
-		mReqSeconds.With("fft").Observe(time.Since(startAt).Seconds())
+		mReqSeconds.With("fft").ObserveExemplar(
+			time.Since(startAt).Seconds(), spans.TraceID(), time.Now().UnixNano())
 	}()
 	if r.Method != http.MethodPost {
 		code = http.StatusMethodNotAllowed
@@ -223,8 +305,47 @@ func (s *Server) handleFFT(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	if s.shouldTrace(req.TraceID) {
+		spans = trace.NewSpanSet(req.TraceID)
+		// Every traced reply — success or error, JSON or binary — carries
+		// the ID in this header; the JSON body and binary frames echo it
+		// too on success.
+		w.Header().Set("Fftx-Trace-Id", spans.TraceID())
+		source := "sampled"
+		if req.TraceID != "" {
+			source = "client"
+		}
+		mTraced.With(source).Inc()
+	}
+	root := spans.BeginAt("request", startAt)
+	root.SetAttr("op", req.Op)
+	shape := ""
+	if req.Op == OpTransform {
+		shape = req.ShapeKey()
+		root.SetAttr("shape", shape)
+	}
+	decodeSpan := root.BeginAt("decode", startAt)
+	decodeSpan.End()
+	rec := s.reqLog.start(spans, req.Op, shape, startAt)
+	defer func() {
+		root.SetAttr("status", fmt.Sprint(code))
+		root.End()
+		lat := time.Since(startAt)
+		s.reqLog.finish(rec, code, lat)
+		s.logRequest(spans, req.Op, shape, code, lat)
+	}()
+
 	t := newTask(req)
-	if serr := s.admit(t); serr != nil {
+	t.spans = spans
+	t.root = root
+	// The queue span opens before admit so the dispatcher can never pull the
+	// task ahead of the handle existing; on rejection it closes here.
+	admitSpan := root.Begin("admit")
+	t.queueSpan = root.Begin("queue")
+	serr := s.admit(t)
+	admitSpan.End()
+	if serr != nil {
+		t.queueSpan.End()
 		code = serr.code
 		writeError(w, binary, serr.code, serr.retryAfter, "%s", serr.msg)
 		return
@@ -237,12 +358,15 @@ func (s *Server) handleFFT(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		code = http.StatusOK
+		encodeSpan := root.Begin("encode")
 		if binary {
 			w.Header().Set("Content-Type", "application/octet-stream")
 			_, _ = w.Write(EncodeResponse(out.resp))
+			encodeSpan.End()
 			return
 		}
 		writeJSON(w, http.StatusOK, out.resp)
+		encodeSpan.End()
 	case <-r.Context().Done():
 		// The client went away; the batch still executes, the outcome
 		// lands in the buffered channel and is garbage collected.

@@ -1,0 +1,309 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/profiles"
+	"repro/internal/trace"
+)
+
+// getJSON fetches a debug endpoint into out.
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d, body %q", url, resp.StatusCode, raw)
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		t.Fatalf("GET %s: unparseable body %q: %v", url, raw, err)
+	}
+}
+
+// TestServeTracingEndToEnd drives a traced server through both codecs and
+// checks the acceptance contract: every sampled request yields a structurally
+// valid span tree whose root duration agrees with the reported request
+// latency, trace IDs round-trip through the JSON and binary wire formats,
+// the profile store fills and survives a server restart, and the request
+// histogram carries trace-linked exemplars.
+func TestServeTracingEndToEnd(t *testing.T) {
+	profPath := filepath.Join(t.TempDir(), "profiles.json")
+	store, err := profiles.Open(profPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := startServer(t, Config{TraceSample: 1, Profiles: store})
+
+	// JSON transforms with client-supplied trace IDs.
+	clientIDs := map[string]bool{}
+	for i := 0; i < 8; i++ {
+		req := &Request{
+			Dims:    []int{8, 8},
+			Batch:   1,
+			Data:    randomData(int64(i), 64),
+			TraceID: trace.NewTraceID(),
+		}
+		code, resp, hdr := postJSON(t, s.URL(), req)
+		if code != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, code)
+		}
+		if resp.TraceID != req.TraceID {
+			t.Fatalf("JSON trace ID not echoed: sent %q, got %q", req.TraceID, resp.TraceID)
+		}
+		if hdr.Get("Fftx-Trace-Id") != req.TraceID {
+			t.Fatalf("Fftx-Trace-Id header %q, want %q", hdr.Get("Fftx-Trace-Id"), req.TraceID)
+		}
+		clientIDs[req.TraceID] = true
+	}
+
+	// A server-sampled JSON request (no client ID; TraceSample=1 traces it).
+	code, resp, hdr := postJSON(t, s.URL(), &Request{Dims: []int{16}, Batch: 1, Data: randomData(99, 16)})
+	if code != http.StatusOK {
+		t.Fatalf("sampled request: status %d", code)
+	}
+	if !trace.ValidTraceID(resp.TraceID) || hdr.Get("Fftx-Trace-Id") != resp.TraceID {
+		t.Fatalf("sampled request got no server-assigned trace ID: body %q header %q",
+			resp.TraceID, hdr.Get("Fftx-Trace-Id"))
+	}
+
+	// Binary transform: the ID travels inside the FXD1/FXR1 frames.
+	binReq := &Request{Dims: []int{4, 4}, Batch: 2, TraceID: trace.NewTraceID(), Data: randomData(7, 32)}
+	frame, err := EncodeRequest(binReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpResp, err := http.Post(s.URL()+"/fft", "application/octet-stream", bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(httpResp.Body)
+	httpResp.Body.Close()
+	if err != nil || httpResp.StatusCode != http.StatusOK {
+		t.Fatalf("binary request: status %d err %v", httpResp.StatusCode, err)
+	}
+	binResp, err := DecodeResponse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if binResp.TraceID != binReq.TraceID {
+		t.Fatalf("FXR1 trace ID %q, want %q", binResp.TraceID, binReq.TraceID)
+	}
+	if httpResp.Header.Get("Fftx-Trace-Id") != binReq.TraceID {
+		t.Fatalf("binary response header trace ID %q", httpResp.Header.Get("Fftx-Trace-Id"))
+	}
+	clientIDs[binReq.TraceID] = true
+
+	// Binary pipeline: FXP1 in, FXQ1 out.
+	pipeReq := &Request{
+		Op:       OpPipeline,
+		TraceID:  trace.NewTraceID(),
+		Pipeline: &PipelineRequest{Ecut: 20, Alat: 10, NB: 8, Ranks: 2, NTG: 2},
+	}
+	frame, err = EncodeRequest(pipeReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpResp, err = http.Post(s.URL()+"/fft", "application/octet-stream", bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err = io.ReadAll(httpResp.Body)
+	httpResp.Body.Close()
+	if err != nil || httpResp.StatusCode != http.StatusOK {
+		t.Fatalf("binary pipeline request: status %d err %v", httpResp.StatusCode, err)
+	}
+	pipeResp, err := DecodeResponse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pipeResp.TraceID != pipeReq.TraceID {
+		t.Fatalf("FXQ1 trace ID %q, want %q", pipeResp.TraceID, pipeReq.TraceID)
+	}
+	clientIDs[pipeReq.TraceID] = true
+
+	// Every traced request must appear at /debug/fftx/requests with a
+	// structurally valid span tree whose root duration matches the reported
+	// latency within tolerance.
+	var dump RequestDump
+	getJSON(t, s.URL()+"/debug/fftx/requests", &dump)
+	if len(dump.Recent) == 0 {
+		t.Fatal("no recent traced requests")
+	}
+	seen := map[string]bool{}
+	for _, rv := range dump.Recent {
+		seen[rv.TraceID] = true
+		if rv.Spans == nil {
+			t.Fatalf("request %d has no span tree", rv.Seq)
+		}
+		for _, err := range rv.Spans.ValidateSpans() {
+			t.Errorf("trace %s: %v", rv.TraceID, err)
+		}
+		root := rv.Spans.Root()
+		if root.Name != "request" {
+			t.Errorf("trace %s: root span %q, want \"request\"", rv.TraceID, root.Name)
+		}
+		diff := rv.LatencySec - root.DurationSec()
+		if diff < -1e-3 || diff > 0.1 {
+			t.Errorf("trace %s: root span %.6fs vs reported latency %.6fs",
+				rv.TraceID, root.DurationSec(), rv.LatencySec)
+		}
+		if rv.Status == http.StatusOK {
+			for _, name := range []string{"decode", "queue", "coalesce", "exec", "encode"} {
+				if _, ok := rv.Spans.Find(name); !ok {
+					t.Errorf("trace %s: no %q span", rv.TraceID, name)
+				}
+			}
+		}
+	}
+	for id := range clientIDs {
+		if !seen[id] {
+			t.Errorf("client trace %s missing from /debug/fftx/requests", id)
+		}
+	}
+
+	// The profile store accumulated both transform and pipeline profiles.
+	var pd struct {
+		Path     string           `json:"path"`
+		Count    int              `json:"count"`
+		Profiles []profiles.Entry `json:"profiles"`
+	}
+	getJSON(t, s.URL()+"/debug/fftx/profiles", &pd)
+	if pd.Path != profPath || pd.Count == 0 {
+		t.Fatalf("profile dump: path %q count %d", pd.Path, pd.Count)
+	}
+	modes := map[string]bool{}
+	for _, e := range pd.Profiles {
+		modes[e.Mode] = true
+		if e.Count <= 0 || e.MeanSecond < 0 {
+			t.Errorf("profile %s: count %d mean %g", e.Key, e.Count, e.MeanSecond)
+		}
+	}
+	if !modes["transform"] || !modes["cost"] {
+		t.Errorf("profile modes %v, want both transform and cost", modes)
+	}
+
+	// The request histogram carries a trace-linked exemplar.
+	var buf bytes.Buffer
+	if err := metrics.Default().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `# {trace_id="`) {
+		t.Error("no exemplar on fftxd_request_seconds buckets")
+	}
+
+	// Restart survival: shut down (flushes), reopen the same path.
+	ctx, cancel := contextWithTimeout(5 * time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	store2, err := profiles.Open(profPath)
+	if err != nil {
+		t.Fatalf("profile store did not survive restart: %v", err)
+	}
+	if store2.Len() != store.Len() {
+		t.Fatalf("reloaded store has %d keys, want %d", store2.Len(), store.Len())
+	}
+	s2 := startServer(t, Config{TraceSample: 1, Profiles: store2})
+	var pd2 struct {
+		Count int `json:"count"`
+	}
+	getJSON(t, s2.URL()+"/debug/fftx/profiles", &pd2)
+	if pd2.Count != store.Len() {
+		t.Fatalf("restarted server serves %d profile keys, want %d", pd2.Count, store.Len())
+	}
+}
+
+// TestServeTraceValidation pins the JSON-side trace_id contract: malformed
+// IDs are rejected with 400, and a duplicated trace_id field follows
+// encoding/json semantics (last value wins) rather than erroring.
+func TestServeTraceValidation(t *testing.T) {
+	s := startServer(t, Config{})
+
+	code, _, _ := postJSON(t, s.URL(), &Request{
+		Dims: []int{4}, Batch: 1, Data: randomData(1, 4), TraceID: "not-a-trace-id!!",
+	})
+	if code != http.StatusBadRequest {
+		t.Fatalf("malformed trace_id: status %d, want 400", code)
+	}
+
+	last := trace.NewTraceID()
+	body := []byte(`{"dims":[4],"batch":1,"trace_id":"aaaaaaaaaaaaaaaa",` +
+		`"data":[1,0,2,0,3,0,4,0],"trace_id":"` + last + `"}`)
+	resp, err := http.Post(s.URL()+"/fft", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("duplicate trace_id fields: status %d, body %q", resp.StatusCode, raw)
+	}
+	var out Response
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.TraceID != last {
+		t.Fatalf("duplicate trace_id echoed %q, want the last value %q", out.TraceID, last)
+	}
+}
+
+// TestTracingOverheadSmoke is the deadman bound behind `make overhead-smoke`:
+// full tracing must not grossly slow the serving path. The precise <5%
+// budget is measured by scripts/serve-bench.sh into BENCH_serve.json; here
+// the bound is generous (2× + scheduling slack) so CI machines under load
+// do not flake.
+func TestTracingOverheadSmoke(t *testing.T) {
+	req := &Request{Dims: []int{16, 16}, Batch: 1, Data: randomData(5, 256)}
+	frame, err := EncodeRequest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 200
+	measure := func(sample float64) time.Duration {
+		s := startServer(t, Config{TraceSample: sample})
+		// Warm the plan cache out of the measurement.
+		for i := 0; i < 5; i++ {
+			doPost(t, s.URL(), frame)
+		}
+		start := time.Now()
+		for i := 0; i < rounds; i++ {
+			doPost(t, s.URL(), frame)
+		}
+		return time.Since(start)
+	}
+	off := measure(0)
+	on := measure(1)
+	t.Logf("tracing off %v, on %v (%.1f%%)", off, on, 100*float64(on-off)/float64(off))
+	if on > 2*off+100*time.Millisecond {
+		t.Fatalf("tracing overhead out of bounds: off %v, on %v", off, on)
+	}
+}
+
+func doPost(t *testing.T, url string, frame []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/fft", "application/octet-stream", bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}

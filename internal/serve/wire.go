@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+
+	"repro/internal/trace"
 )
 
 // Length-prefixed binary wire format — the low-overhead alternative to
@@ -16,24 +18,28 @@ import (
 //	0       4     magic "FXD1"
 //	4       1     sign: 0 forward, 1 backward
 //	5       1     rank: 1, 2 or 3
-//	6       1     flags: bit0 = scale by 1/N
+//	6       1     flags: bit0 = scale by 1/N, bit1 = trace ID present
 //	7       1     reserved, must be 0
 //	8       4     u32 batch count (≥ 1)
 //	12      4     u32 deadline in milliseconds (0 = none)
 //	16      4·r   u32 dims, outermost first
+//	…       16    ASCII trace ID (lowercase hex), only when flags bit1 set
 //	…             batch × product(dims) × 16 bytes payload
 //
 // Transform response layout:
 //
 //	0       4     magic "FXR1"
-//	4       4     u32 batch size the request was coalesced into
+//	4       4     u32 batch size the request was coalesced into; bit31 is
+//	              the trace-echo flag (masked off the size)
 //	8       …     payload, same shape as the request
+//	…       16    ASCII trace ID, only when bit31 of the size field is set
 //
 // Pipeline request layout (the binary form of OpPipeline):
 //
 //	0       4     magic "FXP1"
 //	4       1     engine name length L (0 = the server's default engine)
-//	5       3     reserved, must be 0
+//	5       1     flags: bit0 = trace ID present
+//	6       2     reserved, must be 0
 //	8       8     f64 ecut
 //	16      8     f64 alat
 //	24      4     u32 nb
@@ -42,6 +48,7 @@ import (
 //	36      4     u32 seed
 //	40      4     u32 deadline in milliseconds (0 = none)
 //	44      L     engine name (original|task-steps|task-iter|task-combined|auto)
+//	44+L    16    ASCII trace ID, only when flags bit0 set
 //
 // Pipeline response layout:
 //
@@ -49,6 +56,8 @@ import (
 //	4       8     f64 simulated runtime in virtual seconds
 //	12      1     engine name length L
 //	13      L     the engine that actually ran (auto resolved)
+//	13+L    16    ASCII trace ID, only when the frame is exactly 16 bytes
+//	              longer than the name requires (length-discriminated)
 //
 // Decoders validate every length before allocating and return errors —
 // never panic — on malformed input (FuzzRequestDecode holds them to that).
@@ -68,6 +77,12 @@ const (
 	wirePipeRespHeader = 13
 	maxEngineNameLen   = 32
 	flagScale          = 1 << 0
+	flagTraceID        = 1 << 1 // FXD1: a 16-byte trace ID follows the dims
+	pipeFlagTraceID    = 1 << 0 // FXP1 byte 5: a trace ID follows the engine name
+	// flagRespTrace marks bit31 of the FXR1 batch-size field: a 16-byte
+	// trace ID trails the payload. Batch sizes are bounded far below 2^31
+	// (DefaultMaxElements), so the bit is never a real size.
+	flagRespTrace = uint32(1) << 31
 )
 
 // EncodeRequest renders a validated request in the binary wire format:
@@ -96,6 +111,12 @@ func EncodeRequest(r *Request) ([]byte, error) {
 	if r.Scale {
 		flags |= flagScale
 	}
+	if r.TraceID != "" {
+		if !trace.ValidTraceID(r.TraceID) {
+			return nil, fmt.Errorf("malformed trace_id %q", r.TraceID)
+		}
+		flags |= flagTraceID
+	}
 	out = append(out, sign, byte(len(r.Dims)), flags, 0)
 	out = binary.LittleEndian.AppendUint32(out, uint32(batch))
 	out = binary.LittleEndian.AppendUint32(out, uint32(r.DeadlineMillis))
@@ -104,6 +125,9 @@ func EncodeRequest(r *Request) ([]byte, error) {
 			return nil, fmt.Errorf("invalid dim %d", d)
 		}
 		out = binary.LittleEndian.AppendUint32(out, uint32(d))
+	}
+	if flags&flagTraceID != 0 {
+		out = append(out, r.TraceID...)
 	}
 	for _, v := range r.Data {
 		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(v))
@@ -120,9 +144,16 @@ func encodePipelineRequest(r *Request) ([]byte, error) {
 	if len(p.Engine) > maxEngineNameLen {
 		return nil, fmt.Errorf("engine name %q too long", p.Engine)
 	}
-	out := make([]byte, 0, wirePipeReqHeader+len(p.Engine))
+	pipeFlags := byte(0)
+	if r.TraceID != "" {
+		if !trace.ValidTraceID(r.TraceID) {
+			return nil, fmt.Errorf("malformed trace_id %q", r.TraceID)
+		}
+		pipeFlags |= pipeFlagTraceID
+	}
+	out := make([]byte, 0, wirePipeReqHeader+len(p.Engine)+trace.TraceIDLen)
 	out = append(out, magicPipeRequest[:]...)
-	out = append(out, byte(len(p.Engine)), 0, 0, 0)
+	out = append(out, byte(len(p.Engine)), pipeFlags, 0, 0)
 	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(p.Ecut))
 	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(p.Alat))
 	for _, v := range []int{p.NB, p.Ranks, p.NTG, p.Seed} {
@@ -133,6 +164,9 @@ func encodePipelineRequest(r *Request) ([]byte, error) {
 	}
 	out = binary.LittleEndian.AppendUint32(out, uint32(r.DeadlineMillis))
 	out = append(out, p.Engine...)
+	if pipeFlags&pipeFlagTraceID != 0 {
+		out = append(out, r.TraceID...)
+	}
 	return out, nil
 }
 
@@ -142,11 +176,19 @@ func decodePipelineRequest(data []byte, maxElements int) (*Request, error) {
 		return nil, fmt.Errorf("pipeline request truncated: %d bytes, header is %d", len(data), wirePipeReqHeader)
 	}
 	nameLen := int(data[4])
-	if data[5] != 0 || data[6] != 0 || data[7] != 0 {
+	pipeFlags := data[5]
+	if pipeFlags&^byte(pipeFlagTraceID) != 0 {
+		return nil, fmt.Errorf("unknown pipeline flags %#x", pipeFlags)
+	}
+	if data[6] != 0 || data[7] != 0 {
 		return nil, fmt.Errorf("reserved pipeline header bytes set")
 	}
-	if len(data) != wirePipeReqHeader+nameLen {
-		return nil, fmt.Errorf("pipeline request carries %d bytes, want %d", len(data), wirePipeReqHeader+nameLen)
+	want := wirePipeReqHeader + nameLen
+	if pipeFlags&pipeFlagTraceID != 0 {
+		want += trace.TraceIDLen
+	}
+	if len(data) != want {
+		return nil, fmt.Errorf("pipeline request carries %d bytes, want %d", len(data), want)
 	}
 	ecut := math.Float64frombits(binary.LittleEndian.Uint64(data[8:16]))
 	alat := math.Float64frombits(binary.LittleEndian.Uint64(data[16:24]))
@@ -162,9 +204,16 @@ func decodePipelineRequest(data []byte, maxElements int) (*Request, error) {
 			Ranks:  int(binary.LittleEndian.Uint32(data[28:32])),
 			NTG:    int(binary.LittleEndian.Uint32(data[32:36])),
 			Seed:   int(binary.LittleEndian.Uint32(data[36:40])),
-			Engine: string(data[wirePipeReqHeader:]),
+			Engine: string(data[wirePipeReqHeader : wirePipeReqHeader+nameLen]),
 		},
 		DeadlineMillis: int64(binary.LittleEndian.Uint32(data[40:44])),
+	}
+	if pipeFlags&pipeFlagTraceID != 0 {
+		id := string(data[wirePipeReqHeader+nameLen:])
+		if !trace.ValidTraceID(id) {
+			return nil, fmt.Errorf("malformed trace ID %q", id)
+		}
+		req.TraceID = id
 	}
 	if err := req.Validate(maxElements); err != nil {
 		return nil, err
@@ -196,7 +245,7 @@ func DecodeRequest(data []byte, maxElements int) (*Request, error) {
 	if rank < 1 || rank > 3 {
 		return nil, fmt.Errorf("bad rank %d", rank)
 	}
-	if flags&^byte(flagScale) != 0 || reserved != 0 {
+	if flags&^byte(flagScale|flagTraceID) != 0 || reserved != 0 {
 		return nil, fmt.Errorf("unknown flags %#x / reserved %#x", flags, reserved)
 	}
 	batch := binary.LittleEndian.Uint32(data[8:12])
@@ -233,7 +282,19 @@ func DecodeRequest(data []byte, maxElements int) (*Request, error) {
 	if int(batch) > maxElements/n {
 		return nil, fmt.Errorf("batch of %d×%d elements exceeds the %d-element limit", batch, n, maxElements)
 	}
-	payload := data[wireReqHeader+4*int(rank):]
+	rest := data[wireReqHeader+4*int(rank):]
+	if flags&flagTraceID != 0 {
+		if len(rest) < trace.TraceIDLen {
+			return nil, fmt.Errorf("request truncated inside trace ID")
+		}
+		id := string(rest[:trace.TraceIDLen])
+		if !trace.ValidTraceID(id) {
+			return nil, fmt.Errorf("malformed trace ID %q", id)
+		}
+		req.TraceID = id
+		rest = rest[trace.TraceIDLen:]
+	}
+	payload := rest
 	want := int(batch) * n * 16
 	if len(payload) != want {
 		return nil, fmt.Errorf("payload carries %d bytes, want %d", len(payload), want)
@@ -256,19 +317,30 @@ func DecodeRequest(data []byte, maxElements int) (*Request, error) {
 // replies (recognizable by their engine label) as an "FXQ1" frame,
 // transforms as "FXR1".
 func EncodeResponse(resp *Response) []byte {
+	echo := resp.TraceID != "" && trace.ValidTraceID(resp.TraceID)
 	if resp.Engine != "" {
-		out := make([]byte, 0, wirePipeRespHeader+len(resp.Engine))
+		out := make([]byte, 0, wirePipeRespHeader+len(resp.Engine)+trace.TraceIDLen)
 		out = append(out, magicPipeResponse[:]...)
 		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(resp.Runtime))
 		out = append(out, byte(len(resp.Engine)))
 		out = append(out, resp.Engine...)
+		if echo {
+			out = append(out, resp.TraceID...)
+		}
 		return out
 	}
-	out := make([]byte, 0, wireRespHeader+8*len(resp.Data))
+	out := make([]byte, 0, wireRespHeader+8*len(resp.Data)+trace.TraceIDLen)
 	out = append(out, magicResponse[:]...)
-	out = binary.LittleEndian.AppendUint32(out, uint32(resp.BatchSize))
+	size := uint32(resp.BatchSize)
+	if echo {
+		size |= flagRespTrace
+	}
+	out = binary.LittleEndian.AppendUint32(out, size)
 	for _, v := range resp.Data {
 		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(v))
+	}
+	if echo {
+		out = append(out, resp.TraceID...)
 	}
 	return out
 }
@@ -281,13 +353,22 @@ func DecodeResponse(data []byte) (*Response, error) {
 			return nil, fmt.Errorf("pipeline response truncated: %d bytes", len(data))
 		}
 		nameLen := int(data[12])
-		if len(data) != wirePipeRespHeader+nameLen {
+		traceID := ""
+		switch len(data) {
+		case wirePipeRespHeader + nameLen:
+		case wirePipeRespHeader + nameLen + trace.TraceIDLen:
+			traceID = string(data[wirePipeRespHeader+nameLen:])
+			if !trace.ValidTraceID(traceID) {
+				return nil, fmt.Errorf("malformed trace ID %q", traceID)
+			}
+		default:
 			return nil, fmt.Errorf("pipeline response carries %d bytes, want %d", len(data), wirePipeRespHeader+nameLen)
 		}
 		return &Response{
 			Runtime:   math.Float64frombits(binary.LittleEndian.Uint64(data[4:12])),
-			Engine:    string(data[wirePipeRespHeader:]),
+			Engine:    string(data[wirePipeRespHeader : wirePipeRespHeader+nameLen]),
 			BatchSize: 1,
+			TraceID:   traceID,
 		}, nil
 	}
 	if len(data) < wireRespHeader {
@@ -296,15 +377,29 @@ func DecodeResponse(data []byte) (*Response, error) {
 	if [4]byte(data[:4]) != magicResponse {
 		return nil, fmt.Errorf("bad magic %q", data[:4])
 	}
-	if (len(data)-wireRespHeader)%16 != 0 {
-		return nil, fmt.Errorf("payload of %d bytes is not whole complex values", len(data)-wireRespHeader)
+	size := binary.LittleEndian.Uint32(data[4:8])
+	body := data[wireRespHeader:]
+	traceID := ""
+	if size&flagRespTrace != 0 {
+		if len(body) < trace.TraceIDLen {
+			return nil, fmt.Errorf("response truncated inside trace ID")
+		}
+		traceID = string(body[len(body)-trace.TraceIDLen:])
+		if !trace.ValidTraceID(traceID) {
+			return nil, fmt.Errorf("malformed trace ID %q", traceID)
+		}
+		body = body[:len(body)-trace.TraceIDLen]
+	}
+	if len(body)%16 != 0 {
+		return nil, fmt.Errorf("payload of %d bytes is not whole complex values", len(body))
 	}
 	resp := &Response{
-		BatchSize: int(binary.LittleEndian.Uint32(data[4:8])),
-		Data:      make([]float64, (len(data)-wireRespHeader)/8),
+		BatchSize: int(size &^ flagRespTrace),
+		TraceID:   traceID,
+		Data:      make([]float64, len(body)/8),
 	}
 	for i := range resp.Data {
-		resp.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[wireRespHeader+8*i:]))
+		resp.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[8*i:]))
 	}
 	return resp, nil
 }

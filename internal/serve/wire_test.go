@@ -116,6 +116,76 @@ func TestWirePipelineRoundTrip(t *testing.T) {
 	}
 }
 
+// TestWireTraceIDRoundTrip drives the trace-ID extension through all four
+// frame types: FXD1 (flags bit1 + ID between dims and payload), FXR1 (bit31
+// of the batch field + trailing ID), FXP1 (flags byte bit0 + ID after the
+// engine name) and FXQ1 (length-discriminated trailing ID).
+func TestWireTraceIDRoundTrip(t *testing.T) {
+	const id = "00deadbeef15dead"
+
+	req := &Request{Dims: []int{4, 2}, Batch: 1, TraceID: id, Data: make([]float64, 2*8)}
+	b, err := EncodeRequest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRequest(b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TraceID != id {
+		t.Errorf("FXD1 trace ID %q, want %q", got.TraceID, id)
+	}
+	if len(got.Data) != len(req.Data) {
+		t.Errorf("FXD1 payload lost %d floats around the trace ID", len(req.Data)-len(got.Data))
+	}
+
+	pipe := &Request{
+		Op:       OpPipeline,
+		TraceID:  id,
+		Pipeline: &PipelineRequest{Ecut: 20, Alat: 10, NB: 4, Ranks: 2, NTG: 2, Engine: "auto"},
+	}
+	b, err = EncodeRequest(pipe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = DecodeRequest(b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TraceID != id || got.Pipeline.Engine != "auto" {
+		t.Errorf("FXP1 round trip lost fields: trace %q engine %q", got.TraceID, got.Pipeline.Engine)
+	}
+
+	resp := &Response{Data: []float64{1, 2}, BatchSize: 5, TraceID: id}
+	rt, err := DecodeResponse(EncodeResponse(resp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.TraceID != id || rt.BatchSize != 5 || len(rt.Data) != 2 {
+		t.Errorf("FXR1 round trip lost fields: %+v", rt)
+	}
+
+	presp := &Response{Runtime: 0.5, Engine: "task-iter", BatchSize: 1, TraceID: id}
+	rt, err = DecodeResponse(EncodeResponse(presp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.TraceID != id || rt.Engine != "task-iter" {
+		t.Errorf("FXQ1 round trip lost fields: %+v", rt)
+	}
+
+	// Malformed IDs are rejected at encode time, not silently truncated.
+	if _, err := EncodeRequest(&Request{Dims: []int{2}, Batch: 1, TraceID: "nope", Data: make([]float64, 4)}); err == nil {
+		t.Error("EncodeRequest accepted a malformed trace ID")
+	}
+	// A malformed trailing ID in a response frame is an error, not data.
+	bad := EncodeResponse(resp)
+	copy(bad[len(bad)-16:], "ZZZZZZZZZZZZZZZZ")
+	if _, err := DecodeResponse(bad); err == nil {
+		t.Error("DecodeResponse accepted a malformed trace ID")
+	}
+}
+
 func TestDecodePipelineRequestErrors(t *testing.T) {
 	valid := &Request{
 		Op:       OpPipeline,
@@ -135,8 +205,14 @@ func TestDecodePipelineRequestErrors(t *testing.T) {
 		want string
 	}{
 		{"short header", base[:wirePipeReqHeader-1], "truncated"},
-		{"reserved set", mutate(func(b []byte) []byte { b[5] = 1; return b }), "reserved"},
+		{"unknown flags", mutate(func(b []byte) []byte { b[5] = 0x80; return b }), "unknown pipeline flags"},
+		{"reserved set", mutate(func(b []byte) []byte { b[6] = 1; return b }), "reserved"},
 		{"name length mismatch", mutate(func(b []byte) []byte { b[4] = 3; return b }), "carries"},
+		{"trace flag without trace", mutate(func(b []byte) []byte { b[5] |= pipeFlagTraceID; return b }), "carries"},
+		{"trace flag bad trace", mutate(func(b []byte) []byte {
+			b[5] |= pipeFlagTraceID
+			return append(b, "XYZ-not-hex-----"...)
+		}), "malformed trace ID"},
 		{"NaN ecut", mutate(func(b []byte) []byte {
 			binary.LittleEndian.PutUint64(b[8:], math.Float64bits(math.NaN()))
 			return b
@@ -192,6 +268,11 @@ func TestDecodeRequestErrors(t *testing.T) {
 		{"rank 4", mutate(func(b []byte) []byte { b[5] = 4; return b }), "bad rank"},
 		{"unknown flags", mutate(func(b []byte) []byte { b[6] = 0x80; return b }), "unknown flags"},
 		{"reserved set", mutate(func(b []byte) []byte { b[7] = 1; return b }), "reserved"},
+		{"trace flag without trace", mutate(func(b []byte) []byte { b[6] |= flagTraceID; return b }), "trace ID"},
+		{"trace flag truncated trace", mutate(func(b []byte) []byte {
+			b[6] |= flagTraceID
+			return b[:wireReqHeader+4*3+8] // flag set, only half a trace ID present
+		}), "truncated inside trace ID"},
 		{"zero batch", mutate(func(b []byte) []byte {
 			binary.LittleEndian.PutUint32(b[8:], 0)
 			return b
@@ -255,6 +336,20 @@ func FuzzRequestDecode(f *testing.F) {
 	if seed, err := EncodeRequest(pipe); err == nil {
 		f.Add(seed)
 		f.Add(seed[:wirePipeReqHeader])
+	}
+	// Traced frames: whole, truncated mid-trace-ID, and with a duplicated
+	// trace-ID field appended (the decoder must reject the length surplus).
+	valid.TraceID = "0123456789abcdef"
+	pipe.TraceID = "fedcba9876543210"
+	if seed, err := EncodeRequest(valid); err == nil {
+		f.Add(seed)
+		f.Add(seed[:wireReqHeader+4*3+8])
+		f.Add(append(append([]byte(nil), seed...), "0123456789abcdef"...))
+	}
+	if seed, err := EncodeRequest(pipe); err == nil {
+		f.Add(seed)
+		f.Add(seed[:len(seed)-8])
+		f.Add(append(append([]byte(nil), seed...), "fedcba9876543210"...))
 	}
 	f.Add([]byte{})
 	f.Add([]byte("FXD1"))

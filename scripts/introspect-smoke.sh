@@ -1,0 +1,111 @@
+#!/bin/sh
+# introspect-smoke: end-to-end check of the fftxd observability surface.
+#
+# Starts fftxd with every request traced and a persisted profile store,
+# drives a short mixed load (JSON transforms with client trace IDs plus a
+# pipeline run), then asserts:
+#
+#   - traced replies echo the trace ID in the Fftx-Trace-Id header
+#   - /debug/fftx/requests is well-formed, non-empty JSON whose recent
+#     entries carry span trees with the expected pipeline phases
+#   - /debug/fftx/profiles is well-formed, non-empty JSON holding both
+#     transform and cost profiles
+#   - fftxtrace -requests renders the span trees from the live endpoint
+#   - the profile store file survives the drain (restart durability)
+#
+# Exits non-zero on any missing or malformed output.
+set -eu
+
+workdir="$(mktemp -d)"
+dlog="$workdir/fftxd.log"
+profdb="$workdir/profiles.json"
+pid=""
+trap 'kill "$pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT INT TERM
+
+go build -o "$workdir/fftxd" ./cmd/fftxd
+go build -o "$workdir/fftxtrace" ./cmd/fftxtrace
+
+"$workdir/fftxd" -addr 127.0.0.1:0 -trace-sample 1 -profiles "$profdb" \
+    -log-level debug >"$dlog" 2>&1 &
+pid=$!
+
+url=""
+for _ in $(seq 1 50); do
+    url="$(sed -n 's/^fftxd: serving .* at \(http:[^ ]*\).*$/\1/p' "$dlog")"
+    [ -n "$url" ] && break
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "introspect-smoke: fftxd exited early:" >&2
+        cat "$dlog" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+[ -n "$url" ] || { echo "introspect-smoke: no fftxd URL" >&2; cat "$dlog" >&2; exit 1; }
+echo "introspect-smoke: fftxd at $url"
+
+# Traced transforms with client-supplied IDs; the echo header must match.
+# 8x8 complex input = 128 floats, deterministic payload like serve-smoke's.
+data="$(awk 'BEGIN{for (i = 0; i < 128; i++) printf "%s%.3f", (i ? "," : ""), i % 5 - 2}')"
+for id in 00c0ffee00c0ffee 00deadbeef00beef; do
+    hdr="$(curl -fsS -D - -o /dev/null -X POST -H 'Content-Type: application/json' \
+        --data-binary "{\"dims\":[8,8],\"trace_id\":\"$id\",\"data\":[$data]}" \
+        "$url/fft" | tr -d '\r' | sed -n 's/^Fftx-Trace-Id: //p')"
+    if [ "$hdr" != "$id" ]; then
+        echo "introspect-smoke: trace ID $id not echoed (got '$hdr')" >&2
+        exit 1
+    fi
+done
+echo "introspect-smoke: trace IDs echoed in Fftx-Trace-Id"
+
+# A pipeline run fills the cost-mode side of the profile store.
+curl -fsS -X POST -H 'Content-Type: application/json' \
+    --data-binary '{"op":"pipeline","pipeline":{"ecut":20,"alat":10,"nb":8,"ranks":2,"ntg":2}}' \
+    "$url/fft" >/dev/null
+
+reqdump="$workdir/requests.json"
+curl -fsS "$url/debug/fftx/requests" >"$reqdump"
+python3 - "$reqdump" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+recent = d["recent"]
+assert recent, "no recent traced requests"
+spans = [s["name"] for rv in recent if rv["spans"] for s in rv["spans"]["spans"]]
+for want in ("request", "decode", "queue", "exec", "encode"):
+    assert want in spans, f"no {want!r} span in /debug/fftx/requests"
+assert all(len(rv["trace_id"]) == 16 for rv in recent), "malformed trace IDs"
+print(f"introspect-smoke: /debug/fftx/requests ok ({len(recent)} traced requests)")
+EOF
+
+profdump="$workdir/profiles-dump.json"
+curl -fsS "$url/debug/fftx/profiles" >"$profdump"
+python3 - "$profdump" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["count"] > 0, "empty profile store"
+modes = {p["mode"] for p in d["profiles"]}
+assert "transform" in modes and "cost" in modes, f"profile modes {modes}"
+assert all(p["count"] > 0 and p["mean_s"] >= 0 for p in d["profiles"])
+print(f"introspect-smoke: /debug/fftx/profiles ok ({d['count']} keys, modes {sorted(modes)})")
+EOF
+
+render="$workdir/render.txt"
+"$workdir/fftxtrace" -requests "$url/debug/fftx/requests" >"$render"
+grep -q 'request' "$render"
+grep -q 'exec' "$render"
+echo "introspect-smoke: fftxtrace -requests renders span trees"
+
+kill -TERM "$pid"
+wait "$pid" || { echo "introspect-smoke: fftxd did not drain" >&2; cat "$dlog" >&2; exit 1; }
+pid=""
+
+# The drain flushed the store; the file must be a loadable database.
+python3 - "$profdb" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["version"] == 1 and d["profiles"], "profile store not persisted"
+print(f"introspect-smoke: profile store persisted ({len(d['profiles'])} keys)")
+EOF
+
+grep -q 'trace_id' "$dlog" || { echo "introspect-smoke: no structured request logs" >&2; exit 1; }
+echo "introspect-smoke: structured logs carry trace IDs"
+echo "introspect-smoke: PASS"

@@ -11,6 +11,12 @@
 #                    coalescing, to quantify the batching win
 #   open_loop        fixed arrival rate — latency under constant load
 #
+# plus the tracing-overhead pair: the closed-batched load once with tracing
+# fully off (-trace-sample 0) and once with every request traced
+# (-trace-sample 1), recorded under "tracing" with the measured throughput
+# overhead percentage against the <5% design budget (README
+# "Observability").
+#
 # DURATION and RATE tune run length and open-loop arrival rate;
 # DURATION=200ms gives a fast harness smoke-run for CI.
 set -eu
@@ -37,6 +43,22 @@ echo "serve-bench: open loop at $rate req/s" >&2
 "$workdir/fftxd" -loadgen -json -duration "$duration" -dims "$dims" \
     -concurrency 8 -rate "$rate" >"$workdir/open_loop.json"
 
+echo "serve-bench: tracing off (closed loop)" >&2
+"$workdir/fftxd" -loadgen -json -duration "$duration" -dims "$dims" \
+    -concurrency 8 -trace-sample 0 >"$workdir/tracing_off.json"
+
+echo "serve-bench: tracing on (every request traced)" >&2
+"$workdir/fftxd" -loadgen -json -duration "$duration" -dims "$dims" \
+    -concurrency 8 -trace-sample 1 >"$workdir/tracing_on.json"
+
+rps_field() {
+    sed -n 's/.*"req_per_s": \([0-9.e+-]*\).*/\1/p' "$1" | head -n 1
+}
+rps_off="$(rps_field "$workdir/tracing_off.json")"
+rps_on="$(rps_field "$workdir/tracing_on.json")"
+overhead="$(awk -v off="$rps_off" -v on="$rps_on" \
+    'BEGIN { if (off > 0) printf "%.2f", 100 * (off - on) / off; else print 0 }')"
+
 {
     printf '{\n"closed_batched":\n'
     cat "$workdir/closed_batched.json"
@@ -44,6 +66,11 @@ echo "serve-bench: open loop at $rate req/s" >&2
     cat "$workdir/closed_unbatched.json"
     printf ',\n"open_loop":\n'
     cat "$workdir/open_loop.json"
+    printf ',\n"tracing": {\n"off":\n'
+    cat "$workdir/tracing_off.json"
+    printf ',\n"on":\n'
+    cat "$workdir/tracing_on.json"
+    printf ',\n"overhead_pct": %s,\n"budget_pct": 5\n}\n' "$overhead"
     printf '}\n'
 } >"$out"
 
@@ -51,11 +78,14 @@ echo "serve-bench: open loop at $rate req/s" >&2
 grep -q '"closed_batched"' "$out"
 grep -q '"closed_unbatched"' "$out"
 grep -q '"open_loop"' "$out"
+grep -q '"tracing"' "$out"
+grep -q '"overhead_pct"' "$out"
 grep -q '"req_per_s"' "$out"
 
 echo "serve-bench: wrote $out"
-for section in closed_batched closed_unbatched open_loop; do
-    reqs="$(sed -n 's/.*"req_per_s": \([0-9.]*\).*/\1/p' "$workdir/$section.json")"
-    p99="$(sed -n 's/.*"p99_s": \([0-9.e+-]*\).*/\1/p' "$workdir/$section.json")"
+for section in closed_batched closed_unbatched open_loop tracing_off tracing_on; do
+    reqs="$(rps_field "$workdir/$section.json")"
+    p99="$(sed -n 's/.*"p99_s": \([0-9.e+-]*\).*/\1/p' "$workdir/$section.json" | head -n 1)"
     echo "serve-bench: $section: $reqs req/s, p99 ${p99}s"
 done
+echo "serve-bench: tracing overhead ${overhead}% (budget 5%)"
