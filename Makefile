@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test check vet fmt race fuzz-smoke overhead-smoke serve-smoke introspect-smoke serve-bench bench-json engines-matrix vet-bench
+.PHONY: all build test check vet fmt race fuzz-smoke overhead-smoke serve-smoke introspect-smoke serve-bench bench-json check-bench engines-matrix vet-bench
 
 all: check test
 
@@ -83,6 +83,13 @@ serve-bench:
 # records the per-engine runtime matrix as BENCH_engines.json.
 bench-json:
 	./scripts/bench-json.sh
+
+# check-bench gates the committed BENCH_fft.json, not a fresh run: it fails
+# if a headline ratio was committed below its floor (plan2d_60x60 >= 1.0,
+# hostpar_real >= 1.15). Run it before bench-json in CI so the check sees
+# the checked-in file, not a noisy regeneration.
+check-bench:
+	./scripts/check-bench.sh
 
 # vet-bench times a full interprocedural fftxvet run over the module and
 # writes BENCH_vet.json; it fails if the run exceeds VET_BUDGET_SECONDS

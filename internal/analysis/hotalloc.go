@@ -15,8 +15,13 @@ import (
 // they run; this rule pins it statically for every path, including helpers
 // an AllocsPerRun test never reaches.
 //
-// Hot roots are (a) Transform* methods on Plan* types — any package's, so
-// the contract follows the type shape, not a hard-coded list — and (b) the
+// Hot roots are (a) Transform*/transform* methods on Plan* types — any
+// package's, so the contract follows the type shape, not a hard-coded
+// list; the lowercase form catches the internal layout kernels
+// (transformRowsSoA, transformColsSoA, ...) that the batch drivers fan
+// out to — (b) package-level Pack*/Unpack* functions whose signature
+// mentions an SoA-named type (the planar layout boundary shims, called
+// once per batch on the serving path), and (c) the
 // graph.Stage model closures Instr, Bytes, Count and Part, which engines
 // call once per stage execution or per task-loop partition. Stage Body
 // closures are deliberately NOT roots: a Body builds the band's State
@@ -29,7 +34,7 @@ import (
 // is assumed to allocate.
 var HotAllocRule = Rule{
 	Name: "hotalloc",
-	Doc:  "transform hot paths (Plan.Transform*, graph.Stage model closures) must not allocate",
+	Doc:  "transform hot paths (Plan.Transform*/transform*, SoA Pack*/Unpack* shims, graph.Stage model closures) must not allocate",
 	Run:  runHotAlloc,
 }
 
@@ -114,10 +119,11 @@ func runHotAlloc(p *Pass) []Diagnostic {
 
 	decls := packageFuncDecls(info, p.Pkg.Files)
 	for _, f := range p.Pkg.Files {
-		// (a) Transform* methods on Plan* receivers.
+		// (a) Transform*/transform* methods on Plan* receivers and
+		// (b) SoA Pack*/Unpack* boundary shims.
 		for _, d := range f.Decls {
 			fd, ok := d.(*ast.FuncDecl)
-			if !ok || fd.Body == nil || fd.Recv == nil || !strings.HasPrefix(fd.Name.Name, "Transform") {
+			if !ok || fd.Body == nil {
 				continue
 			}
 			fn, ok := info.Defs[fd.Name].(*types.Func)
@@ -125,7 +131,20 @@ func runHotAlloc(p *Pass) []Diagnostic {
 				continue
 			}
 			sig, ok := fn.Type().(*types.Signature)
-			if !ok || sig.Recv() == nil {
+			if !ok {
+				continue
+			}
+			if fd.Recv == nil {
+				if (strings.HasPrefix(fd.Name.Name, "Pack") || strings.HasPrefix(fd.Name.Name, "Unpack")) &&
+					sigMentionsSoA(sig) {
+					scanRoot(fd.Body, fd.Name.Name)
+				}
+				continue
+			}
+			if !strings.HasPrefix(fd.Name.Name, "Transform") && !strings.HasPrefix(fd.Name.Name, "transform") {
+				continue
+			}
+			if sig.Recv() == nil {
 				continue
 			}
 			named := namedOf(sig.Recv().Type())
@@ -135,7 +154,7 @@ func runHotAlloc(p *Pass) []Diagnostic {
 			scanRoot(fd.Body, fmt.Sprintf("%s.%s", named.Obj().Name(), fd.Name.Name))
 		}
 
-		// (b) graph.Stage model closures.
+		// (c) graph.Stage model closures.
 		ast.Inspect(f, func(n ast.Node) bool {
 			lit, ok := n.(*ast.CompositeLit)
 			if !ok || !isStageLit(info, lit) {
@@ -189,4 +208,20 @@ func checkStageRef(p *Pass, decls map[*types.Func]*ast.FuncDecl, scanRoot func(a
 				s.Key.Display(), callPath(p.Prog, s.Key, EffAllocates), where),
 		})
 	}
+}
+
+// sigMentionsSoA reports whether any parameter or result of sig names a
+// type whose name contains "SoA" — the shape that marks a function as a
+// planar-layout boundary shim (fft.PackSoA, fft.UnpackSoA, and whatever
+// future layouts follow the convention).
+func sigMentionsSoA(sig *types.Signature) bool {
+	mention := func(t *types.Tuple) bool {
+		for i := 0; i < t.Len(); i++ {
+			if named := namedOf(t.At(i).Type()); named != nil && strings.Contains(named.Obj().Name(), "SoA") {
+				return true
+			}
+		}
+		return false
+	}
+	return mention(sig.Params()) || mention(sig.Results())
 }

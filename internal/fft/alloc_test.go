@@ -3,6 +3,8 @@ package fft
 import (
 	"math/rand"
 	"testing"
+
+	"repro/internal/par"
 )
 
 func allocVec(n int) []complex128 {
@@ -78,4 +80,69 @@ func TestPlan3DZeroAllocs(t *testing.T) {
 	assertZeroAllocs(t, "Plan3D.Transform", func() {
 		p.Transform(box, Backward)
 	})
+}
+
+func TestTransformSoAZeroAllocs(t *testing.T) {
+	for _, n := range []int{97, 120, 128, 486} { // Bluestein, radix-8, planar mixed, generic
+		p := NewPlanRadix(n, RadixAuto)
+		v := NewSoA(n)
+		PackSoA(v, allocVec(n))
+		assertZeroAllocs(t, "TransformSoA", func() {
+			p.TransformSoA(v, Forward)
+			p.TransformSoA(v, Backward)
+		})
+	}
+}
+
+func TestTransformRowsSoAZeroAllocs(t *testing.T) {
+	for _, n := range []int{60, 120, 128, 486} {
+		p := NewPlanRadix(n, RadixAuto)
+		rows := soaChunkRows + 5 // full chunk plus a partial tail
+		data := allocVec(n * rows)
+		assertZeroAllocs(t, "transformRowsSoA", func() {
+			p.transformRowsSoA(data, rows, Forward)
+		})
+	}
+}
+
+func TestTransformBatchSoAZeroAllocs(t *testing.T) {
+	defer par.SetEnabled(true)
+	par.SetEnabled(false) // pin the chunk kernel; the fan-out closure of
+	// par.ParallelFor allocates once per call by design
+	n, rows := 120, soaChunkRows+5
+	p := NewPlanRadix(n, RadixAuto)
+	v := NewSoA(n * rows)
+	PackSoA(v, allocVec(n*rows))
+	assertZeroAllocs(t, "TransformBatchSoA", func() {
+		p.TransformBatchSoA(v, rows, Forward)
+	})
+}
+
+func TestTransformColsSoAZeroAllocs(t *testing.T) {
+	nx, ny := 60, 45
+	p := NewPlanRadix(nx, RadixAuto)
+	plane := allocVec(nx * ny)
+	assertZeroAllocs(t, "transformColsSoA", func() {
+		for iy0 := 0; iy0 < ny; iy0 += soaChunkRows {
+			nb := ny - iy0
+			if nb > soaChunkRows {
+				nb = soaChunkRows
+			}
+			p.transformColsSoA(plane, ny, iy0, nb, Forward)
+		}
+	})
+}
+
+func TestVariantPlansZeroAllocs(t *testing.T) {
+	for _, tc := range []struct {
+		n int
+		r Radix
+	}{{128, Radix8}, {128, RadixSplit}, {120, Radix8}} {
+		p := NewPlanRadix(tc.n, tc.r)
+		x := allocVec(tc.n)
+		assertZeroAllocs(t, "Transform("+tc.r.String()+")", func() {
+			p.Transform(x, Forward)
+			p.Transform(x, Backward)
+		})
+	}
 }

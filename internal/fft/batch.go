@@ -7,15 +7,33 @@ import (
 )
 
 // Host-parallel batch drivers. These are the serving-path counterparts of
-// TransformMany: the rows of a batch are independent transforms, so they fan
-// out over host cores via par.ParallelFor. Plans are safe for concurrent
-// use (per-call scratch comes from a pool), which makes these the
-// thread-safe batch execution path the fftxd server leans on: one plan
+// TransformMany: the rows of a batch are independent transforms, so they
+// fan out over host cores via par.ParallelFor. Plans are safe for
+// concurrent use (per-call scratch comes from a pool), which makes these
+// the thread-safe batch execution path the fftxd server leans on: one plan
 // lookup and one fan-out amortized over the whole batch.
 //
-// grainBatchRows is 1 because every row is a full transform — already far
-// more work than the fan-out overhead.
-const grainBatchRows = 1
+// The batch path is also where the data-layout optimization lives: when
+// host parallelism is enabled, plans whose layout policy picked LayoutSoA
+// run each worker's rows through the stage-batched planar chunk kernel
+// (transformRowsSoA) — pack once per chunk, every combine stage across the
+// whole chunk, pooled per-worker scratch — instead of per-row Transform
+// calls. With par.SetEnabled(false) every driver reduces to the plain
+// serial reference loop (TransformMany / per-item Transform), mirroring
+// par.ParallelFor's own contract: the disabled path is the reference
+// implementation. The two paths are bit-identical — the SoA butterflies
+// mirror the AoS arithmetic exactly — so flipping -hostpar changes wall
+// clock only, never results.
+
+// grainBatchSticks is the fan-out grain of 1-D row batches: one chunk of
+// the planar kernel per worker chunk, so stage batching amortizes over a
+// full soaChunkRows pack.
+const grainBatchSticks = soaChunkRows
+
+// grainBatchBoxes is the fan-out grain of 2-D/3-D batches: every item is
+// a full plane or box transform — already far more work than the fan-out
+// overhead.
+const grainBatchBoxes = 1
 
 // TransformBatch applies the plan in place to count contiguous rows of
 // length N starting at data[0], fanning the rows out over host cores.
@@ -24,21 +42,56 @@ func (p *Plan) TransformBatch(data []complex128, count int, sign Sign) {
 	if len(data) < count*p.n {
 		panic("fft: TransformBatch: slice too short")
 	}
-	par.ParallelFor(count, grainBatchRows, func(lo, hi int) {
-		for b := lo; b < hi; b++ {
-			p.Transform(data[b*p.n:(b+1)*p.n], sign)
-		}
+	if !par.Enabled() {
+		p.TransformMany(data, count, sign)
+		return
+	}
+	if p.layout == LayoutSoA {
+		par.ParallelFor(count, grainBatchSticks, func(lo, hi int) {
+			p.transformRowsSoA(data[lo*p.n:hi*p.n], hi-lo, sign)
+		})
+		return
+	}
+	par.ParallelFor(count, grainBatchSticks, func(lo, hi int) {
+		p.TransformMany(data[lo*p.n:hi*p.n], hi-lo, sign)
+	})
+}
+
+// TransformBatchSoA applies the plan in place to count contiguous planar
+// rows of length N inside v, fanning the rows out over host cores through
+// the stage-batched planar chunk kernel. Results are bit-identical to
+// packing each row and calling Transform (Bluestein and split-radix plans
+// do exactly that internally).
+func (p *Plan) TransformBatchSoA(v SoA, count int, sign Sign) {
+	if len(v.Re) < count*p.n || len(v.Im) < count*p.n {
+		panic("fft: TransformBatchSoA: planar slices too short")
+	}
+	if !par.Enabled() {
+		p.transformRowsPlanar(v, count, sign)
+		return
+	}
+	par.ParallelFor(count, grainBatchSticks, func(lo, hi int) {
+		p.transformRowsPlanar(v.Slice(lo*p.n, hi*p.n), hi-lo, sign)
 	})
 }
 
 // TransformBatch applies the plane transform in place to count contiguous
-// row-major planes, one host-parallel row per plane.
+// row-major planes. With host parallelism enabled the planes fan out over
+// cores and each worker runs the layout-optimized plane kernel (batched
+// planar row pass, blocked planar column pass); disabled, it is the plain
+// per-plane reference loop.
 func (p *Plan2D) TransformBatch(data []complex128, count int, sign Sign) {
 	sz := p.nx * p.ny
 	if len(data) < count*sz {
 		panic("fft: Plan2D.TransformBatch: slice too short")
 	}
-	par.ParallelFor(count, grainBatchRows, func(lo, hi int) {
+	if !par.Enabled() {
+		for b := 0; b < count; b++ {
+			p.Transform(data[b*sz:(b+1)*sz], sign)
+		}
+		return
+	}
+	par.ParallelFor(count, grainBatchBoxes, func(lo, hi int) {
 		for b := lo; b < hi; b++ {
 			p.Transform(data[b*sz:(b+1)*sz], sign)
 		}
@@ -46,13 +99,19 @@ func (p *Plan2D) TransformBatch(data []complex128, count int, sign Sign) {
 }
 
 // TransformBatch applies the 3-D transform in place to count contiguous
-// z-fastest boxes, one host-parallel row per box.
+// z-fastest boxes, one host-parallel item per box.
 func (p *Plan3D) TransformBatch(data []complex128, count int, sign Sign) {
 	sz := p.nx * p.ny * p.nz
 	if len(data) < count*sz {
 		panic("fft: Plan3D.TransformBatch: slice too short")
 	}
-	par.ParallelFor(count, grainBatchRows, func(lo, hi int) {
+	if !par.Enabled() {
+		for b := 0; b < count; b++ {
+			p.Transform(data[b*sz:(b+1)*sz], sign)
+		}
+		return
+	}
+	par.ParallelFor(count, grainBatchBoxes, func(lo, hi int) {
 		for b := lo; b < hi; b++ {
 			p.Transform(data[b*sz:(b+1)*sz], sign)
 		}

@@ -49,8 +49,18 @@ type stage struct {
 	tw [2][]complex128
 	// wr is the dense r-point DFT matrix exp(∓2πi·(j·q mod r)/r) at
 	// wr[j·r+q], used by the generic small-prime butterfly (nil for the
-	// specialized radices 2 and 4).
+	// specialized radices 2, 4 and 8).
 	wr [2][]complex128
+	// twr/twi are the planar (SoA) copies of tw for the split re/im code
+	// path. Specialized radices (2, 4, 8) store them q-major — r-1
+	// sequential streams of m values at twr[(q-1)·m + k1] — because their
+	// unrolled butterflies read one stream per input; the generic stage
+	// keeps the AoS k-major layout twr[(r-1)·k1 + q-1] because its inner
+	// loop runs over q. The values are identical to tw either way, so the
+	// SoA path is bit-identical to the AoS path.
+	twr, twi [2][]float64
+	// wrr/wri are the planar copies of wr (generic radices only).
+	wrr, wri [2][]float64
 }
 
 // Plan is a reusable transform of one length. A Plan is safe for concurrent
@@ -61,24 +71,50 @@ type Plan struct {
 	perm    []int   // perm[i] = digit-reversed source index of work cell i
 	stages  []stage // bottom-up combine passes (smallest sub-length first)
 	blu     *bluestein
+	sr      *splitRadix
+	radix   Radix  // the radix policy the plan was built with
+	layout  Layout // the batch-path layout the policy picked for this shape
 	flops   float64
 	scratch sync.Pool
+	soa     sync.Pool // *soaBuf of n planar cells (SoA per-row scratch)
+	soaRows sync.Pool // *soaBuf of soaChunkRows·n cells (batched chunk scratch)
 }
 
-// NewPlan creates a plan for transforms of length n.
-func NewPlan(n int) *Plan {
+// NewPlan creates a plan for transforms of length n with the legacy
+// mixed-radix (radix-4 preference) factorization — the bit-identical
+// baseline every other variant is validated against.
+func NewPlan(n int) *Plan { return NewPlanRadix(n, RadixMixed) }
+
+// NewPlanRadix creates a plan for transforms of length n built with the
+// given radix policy. RadixAuto resolves per shape (see PickRadix);
+// policies a shape cannot satisfy (RadixSplit on a non-power-of-two,
+// Radix8 on an odd length) degrade to the mixed-radix factorization, so
+// every policy yields a working plan for every length.
+func NewPlanRadix(n int, r Radix) *Plan {
 	if n <= 0 {
 		panic(fmt.Sprintf("fft: invalid length %d", n))
 	}
-	p := &Plan{n: n}
+	if r == RadixAuto {
+		r = PickRadix(n)
+	}
+	p := &Plan{n: n, radix: r, layout: PickLayout(n)}
 	p.scratch.New = func() any {
 		s := make([]complex128, n)
 		return &s
 	}
-	fs, ok := smallFactors(n)
+	p.soa.New = func() any { return newSoaBuf(n) }
+	p.soaRows.New = func() any { return newSoaBuf(soaLd(soaChunkRows) * n) }
+	if r == RadixSplit && isPow2(n) && n >= 4 {
+		p.layout = LayoutAoS // split-radix runs AoS; SoA packs through it
+		p.sr = newSplitRadix(n)
+		p.flops = p.sr.flops()
+		return p
+	}
+	fs, ok := factorize(n, r)
 	if !ok {
 		p.blu = newBluestein(n)
 		p.flops = p.blu.flops()
+		p.layout = LayoutAoS // Bluestein runs AoS; SoA packs through it
 		return p
 	}
 	p.factors = fs
@@ -87,6 +123,13 @@ func NewPlan(n int) *Plan {
 	p.buildStages()
 	return p
 }
+
+// Radix returns the radix policy the plan was built with (resolved, never
+// RadixAuto).
+func (p *Plan) Radix() Radix { return p.radix }
+
+// Layout returns the data layout the batch drivers use for this plan.
+func (p *Plan) Layout() Layout { return p.layout }
 
 // N returns the transform length.
 func (p *Plan) N() int { return p.n }
@@ -142,7 +185,8 @@ func (p *Plan) buildStages() {
 				}
 			}
 			st.tw[si] = tw
-			if r != 2 && r != 4 {
+			specialized := r == 2 || r == 4 || r == 8
+			if !specialized {
 				wr := make([]complex128, r*r)
 				for j := 0; j < r; j++ {
 					for q := 0; q < r; q++ {
@@ -151,7 +195,28 @@ func (p *Plan) buildStages() {
 					}
 				}
 				st.wr[si] = wr
+				wrr := make([]float64, r*r)
+				wri := make([]float64, r*r)
+				for i, v := range wr {
+					wrr[i], wri[i] = real(v), imag(v)
+				}
+				st.wrr[si], st.wri[si] = wrr, wri
 			}
+			// Planar twiddle copies for the SoA path: q-major streams for
+			// the specialized radices, AoS layout for the generic stage.
+			twrP := make([]float64, (r-1)*m)
+			twiP := make([]float64, (r-1)*m)
+			for k1 := 0; k1 < m; k1++ {
+				for q := 1; q < r; q++ {
+					v := tw[(r-1)*k1+q-1]
+					i := (r-1)*k1 + q - 1
+					if specialized {
+						i = (q-1)*m + k1
+					}
+					twrP[i], twiP[i] = real(v), imag(v)
+				}
+			}
+			st.twr[si], st.twi[si] = twrP, twiP
 		}
 		p.stages = append(p.stages, st)
 		m = L
@@ -159,27 +224,9 @@ func (p *Plan) buildStages() {
 }
 
 // smallFactors factorizes n into radices drawn from {4,2,3,5,7,11,13},
-// preferring radix 4. It reports false when a larger prime remains.
-func smallFactors(n int) ([]int, bool) {
-	var fs []int
-	for n%4 == 0 {
-		fs = append(fs, 4)
-		n /= 4
-	}
-	for _, r := range []int{2, 3, 5, 7, 11, 13} {
-		for n%r == 0 {
-			fs = append(fs, r)
-			n /= r
-		}
-	}
-	if n != 1 {
-		return nil, false
-	}
-	if len(fs) == 0 {
-		fs = []int{1}
-	}
-	return fs, true
-}
+// preferring radix 4 — the legacy mixed-radix factorization (the recursive
+// test baseline shares it).
+func smallFactors(n int) ([]int, bool) { return factorize(n, RadixMixed) }
 
 // ctFlops estimates the flop count of a mixed-radix transform: each stage of
 // radix r applies n/r generic r-point DFTs (r(r-1) complex mul-adds ~ 8r(r-1)
@@ -201,6 +248,10 @@ func ctFlops(n int, factors []int) float64 {
 			per = 16
 		case 5:
 			per = 34
+		case 8:
+			// Three radix-2 layers (24 complex adds = 48 flops) plus the
+			// two non-trivial ±(√2/2)(1∓i) rotations (12 flops).
+			per = 60
 		default:
 			per = float64(8 * r * (r - 1))
 		}
@@ -221,6 +272,10 @@ func (p *Plan) Transform(x []complex128, sign Sign) {
 	}
 	if p.blu != nil {
 		p.blu.transform(x, sign)
+		return
+	}
+	if p.sr != nil {
+		p.sr.transform(x, sign)
 		return
 	}
 	sp := p.scratch.Get().(*[]complex128)
@@ -247,6 +302,8 @@ func (p *Plan) combine(w []complex128, sign Sign) {
 			stageRadix2(w, st.m, st.tw[si])
 		case 4:
 			stageRadix4(w, st.m, st.tw[si], sign)
+		case 8:
+			stageRadix8(w, st.m, st.tw[si], sign)
 		default:
 			stageGeneric(w, st.r, st.m, st.tw[si], st.wr[si])
 		}

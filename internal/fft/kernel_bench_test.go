@@ -80,3 +80,42 @@ func BenchmarkPlan3D_20x18x24(b *testing.B) {
 		p.Transform(box, Backward)
 	}
 }
+
+// Layout matrix: the batched stick transform (32 rows, one planar chunk)
+// with the AoS reference loop vs the planar (SoA) chunk kernel, per radix
+// family. The Batch_AoS_*/Batch_SoA_* name pairs become the layouts
+// section of BENCH_fft.json; the PickLayout/PickRadix policy constants
+// were measured off this matrix (64 is the pure-pow2 shape AoS keeps, 128
+// the pow2 shape the planar mixed path wins, 120 the 8·odd shape radix-8
+// wins, 486 the generic-stage shape with the largest planar gain).
+func benchmarkBatchLayout(b *testing.B, n int, r Radix, soa bool) {
+	p := NewPlanRadix(n, r)
+	rows := soaChunkRows
+	data := randVec(rand.New(rand.NewSource(11)), n*rows)
+	b.SetBytes(int64(16 * n * rows))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if soa {
+			p.transformRowsSoA(data, rows, Forward)
+		} else {
+			p.TransformMany(data, rows, Forward)
+		}
+	}
+}
+
+func BenchmarkBatch_AoS_Mixed_60(b *testing.B)   { benchmarkBatchLayout(b, 60, RadixMixed, false) }
+func BenchmarkBatch_SoA_Mixed_60(b *testing.B)   { benchmarkBatchLayout(b, 60, RadixMixed, true) }
+func BenchmarkBatch_AoS_Mixed_128(b *testing.B)  { benchmarkBatchLayout(b, 128, RadixMixed, false) }
+func BenchmarkBatch_SoA_Mixed_128(b *testing.B)  { benchmarkBatchLayout(b, 128, RadixMixed, true) }
+func BenchmarkBatch_AoS_Mixed_486(b *testing.B)  { benchmarkBatchLayout(b, 486, RadixMixed, false) }
+func BenchmarkBatch_SoA_Mixed_486(b *testing.B)  { benchmarkBatchLayout(b, 486, RadixMixed, true) }
+func BenchmarkBatch_AoS_Radix8_64(b *testing.B)  { benchmarkBatchLayout(b, 64, Radix8, false) }
+func BenchmarkBatch_SoA_Radix8_64(b *testing.B)  { benchmarkBatchLayout(b, 64, Radix8, true) }
+func BenchmarkBatch_AoS_Radix8_120(b *testing.B) { benchmarkBatchLayout(b, 120, Radix8, false) }
+func BenchmarkBatch_SoA_Radix8_120(b *testing.B) { benchmarkBatchLayout(b, 120, Radix8, true) }
+
+// BenchmarkBatch_AoS_Split_128 records the split-radix variant next to
+// the families above — the flop-count argument for split radix does not
+// survive contact with the batched iterative kernels, which is why
+// RadixSplit is never auto-picked.
+func BenchmarkBatch_AoS_Split_128(b *testing.B) { benchmarkBatchLayout(b, 128, RadixSplit, false) }

@@ -3,6 +3,8 @@ package fft
 import (
 	"fmt"
 	"sync"
+
+	"repro/internal/par"
 )
 
 // colBlock is the number of columns gathered per cache block of the 2-D
@@ -13,19 +15,27 @@ const colBlock = 32
 
 // Plan2D transforms nx × ny planes stored row-major (index ix*ny + iy),
 // the cft_2xy equivalent: a 1-D transform along y for every row followed by
-// a 1-D transform along x for every column. The column pass is batched and
-// cache-blocked: columns are transposed colBlock at a time into a pooled
-// contiguous buffer, transformed with TransformMany and transposed back,
-// instead of gather/scatter per column.
+// a 1-D transform along x for every column. Both passes follow the per-axis
+// layout policy: when it picks the planar path (and host parallelism is on,
+// matching the batch drivers' contract that the disabled path is the plain
+// AoS reference), rows run through the stage-batched planar chunk kernel
+// and columns through the strided planar pack (transformColsSoA), which
+// absorbs the column transpose into the pack/unpack — contiguous row
+// segments both directions, no intermediate buffer. Otherwise columns are
+// transposed colBlock at a time into a pooled contiguous buffer,
+// transformed with TransformMany and transposed back. All variants are
+// bit-identical.
 type Plan2D struct {
 	nx, ny int
 	px, py *Plan
 	colBuf sync.Pool // *[]complex128 of nx*colBlock
 }
 
-// NewPlan2D creates a plane transform for nx × ny grids.
+// NewPlan2D creates a plane transform for nx × ny grids. The per-axis
+// plans resolve the RadixAuto policy, so each axis gets the measured-best
+// butterfly family for its length.
 func NewPlan2D(nx, ny int) *Plan2D {
-	p := &Plan2D{nx: nx, ny: ny, px: NewPlan(nx), py: NewPlan(ny)}
+	p := &Plan2D{nx: nx, ny: ny, px: NewPlanRadix(nx, RadixAuto), py: NewPlanRadix(ny, RadixAuto)}
 	p.colBuf.New = func() any {
 		s := make([]complex128, nx*colBlock)
 		return &s
@@ -49,11 +59,28 @@ func (p *Plan2D) Transform(plane []complex128, sign Sign) {
 	if len(plane) != p.nx*p.ny {
 		panic(fmt.Sprintf("fft: Plan2D.Transform on %d elements, want %d", len(plane), p.nx*p.ny))
 	}
+	fast := par.Enabled()
 	// Rows (contiguous along y).
-	p.py.TransformMany(plane, p.nx, sign)
-	// Columns, blocked: each pass transposes up to colBlock columns into
-	// the contiguous buffer (rows are read sequentially), transforms them
-	// as a batch and transposes back.
+	if fast && p.py.soaBatch() {
+		p.py.transformRowsSoA(plane, p.nx, sign)
+	} else {
+		p.py.TransformMany(plane, p.nx, sign)
+	}
+	// Columns: the planar path packs straight from the plane (strided),
+	// so the transpose is free.
+	if fast && p.px.soaBatch() {
+		for iy0 := 0; iy0 < p.ny; iy0 += colBlock {
+			nb := p.ny - iy0
+			if nb > colBlock {
+				nb = colBlock
+			}
+			p.px.transformColsSoA(plane, p.ny, iy0, nb, sign)
+		}
+		return
+	}
+	// AoS fallback, blocked: each pass transposes up to colBlock columns
+	// into the contiguous buffer (rows are read sequentially), transforms
+	// them as a batch and transposes back.
 	sp := p.colBuf.Get().(*[]complex128)
 	buf := *sp
 	for iy0 := 0; iy0 < p.ny; iy0 += colBlock {
@@ -97,7 +124,7 @@ type Plan3D struct {
 
 // NewPlan3D creates a 3-D transform for nx × ny × nz boxes.
 func NewPlan3D(nx, ny, nz int) *Plan3D {
-	p := &Plan3D{nx: nx, ny: ny, nz: nz, pz: NewPlan(nz), pxy: NewPlan2D(nx, ny)}
+	p := &Plan3D{nx: nx, ny: ny, nz: nz, pz: NewPlanRadix(nz, RadixAuto), pxy: NewPlan2D(nx, ny)}
 	p.planes.New = func() any {
 		s := make([]complex128, nx*ny*zBlock)
 		return &s
@@ -115,8 +142,13 @@ func (p *Plan3D) Transform(box []complex128, sign Sign) {
 	if len(box) != p.nx*p.ny*p.nz {
 		panic(fmt.Sprintf("fft: Plan3D.Transform on %d elements, want %d", len(box), p.nx*p.ny*p.nz))
 	}
-	// Z sticks are contiguous.
-	p.pz.TransformMany(box, p.nx*p.ny, sign)
+	// Z sticks are contiguous; the planar chunk kernel batches them when
+	// the layout policy picked it (bit-identical to TransformMany).
+	if par.Enabled() && p.pz.soaBatch() {
+		p.pz.transformRowsSoA(box, p.nx*p.ny, sign)
+	} else {
+		p.pz.TransformMany(box, p.nx*p.ny, sign)
+	}
 	// XY planes have stride nz between xy neighbors: gather zBlock planes
 	// at a time from the pooled buffer (blocked transpose), transform, and
 	// scatter back.

@@ -1,0 +1,313 @@
+package fft
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/par"
+)
+
+// The planar (SoA) code path promises bit-identical results to the AoS
+// path: its butterflies mirror the complex128 arithmetic operation for
+// operation, and float64 loads and stores are exact, so staging through
+// the planar scratch cannot change a single bit. Every equivalence check
+// in this file therefore compares with ==, not a tolerance — except the
+// split-radix variant, which reassociates the butterfly arithmetic and is
+// documented to match only to rounding error.
+
+// soaTestLengths covers the kernel families: trivial, pure radix-2/4,
+// radix-8 eligible, mixed with odd primes, generic-heavy, and Bluestein.
+var soaTestLengths = []int{1, 2, 4, 8, 45, 60, 64, 97, 120, 128, 486}
+
+func TestSoAPackUnpackRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	x := randVec(rng, 100)
+	v := NewSoA(100)
+	PackSoA(v, x)
+	if v.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", v.Len())
+	}
+	got := make([]complex128, 100)
+	UnpackSoA(got, v)
+	for i := range got {
+		if got[i] != x[i] {
+			t.Fatalf("round trip changed element %d: %v != %v", i, got[i], x[i])
+		}
+	}
+	s := v.Slice(10, 20)
+	if s.Len() != 10 || s.Re[0] != v.Re[10] || s.Im[9] != v.Im[19] {
+		t.Fatal("Slice does not alias the parent planes")
+	}
+}
+
+func TestSoAPackPanicsOnShort(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"PackSoA":   func() { PackSoA(NewSoA(3), make([]complex128, 4)) },
+		"UnpackSoA": func() { UnpackSoA(make([]complex128, 4), NewSoA(3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on short planes did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestTransformSoAMatchesTransformExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range soaTestLengths {
+		p := NewPlan(n)
+		for _, sign := range []Sign{Forward, Backward} {
+			x := randVec(rng, n)
+			want := append([]complex128(nil), x...)
+			p.Transform(want, sign)
+			v := NewSoA(n)
+			PackSoA(v, x)
+			p.TransformSoA(v, sign)
+			got := make([]complex128, n)
+			UnpackSoA(got, v)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d sign=%d i=%d: SoA %v != AoS %v", n, sign, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestTransformRowsSoAMatchesTransformManyExact drives the batched planar
+// chunk kernel (the TransformBatch fast path) over randomized row counts,
+// including partial tail chunks and counts below one chunk, for every
+// radix variant that promises bit identity.
+func TestTransformRowsSoAMatchesTransformManyExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range soaTestLengths {
+		for _, r := range []Radix{RadixMixed, Radix8, RadixAuto} {
+			p := NewPlanRadix(n, r)
+			rows := 1 + rng.Intn(2*soaChunkRows+5)
+			data := randVec(rng, n*rows)
+			want := append([]complex128(nil), data...)
+			sign := Forward
+			if rng.Intn(2) == 1 {
+				sign = Backward
+			}
+			p.TransformMany(want, rows, sign)
+			p.transformRowsSoA(data, rows, sign)
+			for i := range data {
+				if data[i] != want[i] {
+					t.Fatalf("n=%d radix=%v rows=%d i=%d: %v != %v", n, r, rows, i, data[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestTransformBatchMatchesManyExact(t *testing.T) {
+	defer par.SetEnabled(true)
+	rng := rand.New(rand.NewSource(6))
+	for _, n := range []int{60, 97, 120, 128, 486} {
+		p := NewPlanRadix(n, RadixAuto)
+		rows := 2*soaChunkRows + 3
+		data := randVec(rng, n*rows)
+		want := append([]complex128(nil), data...)
+		p.TransformMany(want, rows, Forward)
+		par.SetEnabled(true)
+		p.TransformBatch(data, rows, Forward)
+		for i := range data {
+			if data[i] != want[i] {
+				t.Fatalf("n=%d i=%d: batch %v != many %v", n, i, data[i], want[i])
+			}
+		}
+		// The disabled path is the serial reference; results must not move.
+		data2 := append([]complex128(nil), want...)
+		p.TransformBatch(data2, rows, Backward)
+		par.SetEnabled(false)
+		want2 := append([]complex128(nil), want...)
+		p.TransformBatch(want2, rows, Backward)
+		par.SetEnabled(true)
+		for i := range data2 {
+			if data2[i] != want2[i] {
+				t.Fatalf("n=%d i=%d: hostpar on/off differ: %v != %v", n, i, data2[i], want2[i])
+			}
+		}
+	}
+}
+
+func TestTransformBatchSoAMatchesPerRowExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{45, 97, 128} {
+		p := NewPlanRadix(n, RadixAuto)
+		rows := soaChunkRows + 7
+		x := randVec(rng, n*rows)
+		v := NewSoA(n * rows)
+		PackSoA(v, x)
+		p.TransformBatchSoA(v, rows, Forward)
+		got := make([]complex128, n*rows)
+		UnpackSoA(got, v)
+		want := append([]complex128(nil), x...)
+		p.TransformMany(want, rows, Forward)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d i=%d: planar batch %v != %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestTransformColsSoAMatchesStridedExact pins the 2-D column pass: the
+// strided planar pack must agree bit for bit with gathering each column
+// and transforming it contiguously.
+func TestTransformColsSoAMatchesStridedExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, dims := range [][2]int{{45, 60}, {60, 45}, {128, 30}, {486, 33}} {
+		nx, ny := dims[0], dims[1]
+		p := NewPlanRadix(nx, RadixAuto)
+		if !p.soaBatch() {
+			t.Fatalf("nx=%d: expected a planar-path plan", nx)
+		}
+		plane := randVec(rng, nx*ny)
+		want := append([]complex128(nil), plane...)
+		for iy := 0; iy < ny; iy++ {
+			p.TransformStrided(want, iy, ny, Forward)
+		}
+		for iy0 := 0; iy0 < ny; iy0 += soaChunkRows {
+			nb := ny - iy0
+			if nb > soaChunkRows {
+				nb = soaChunkRows
+			}
+			p.transformColsSoA(plane, ny, iy0, nb, Forward)
+		}
+		for i := range plane {
+			if plane[i] != want[i] {
+				t.Fatalf("nx=%d ny=%d i=%d: cols %v != strided %v", nx, ny, i, plane[i], want[i])
+			}
+		}
+	}
+}
+
+// TestPlan2D3DHostParPathsExact pins the layout contract of the plane and
+// box transforms: the planar fast path (host parallelism on) and the AoS
+// reference path (off) produce bit-identical results.
+func TestPlan2D3DHostParPathsExact(t *testing.T) {
+	defer par.SetEnabled(true)
+	rng := rand.New(rand.NewSource(9))
+	p2 := NewPlan2D(60, 45)
+	plane := randVec(rng, 60*45)
+	ref2 := append([]complex128(nil), plane...)
+	par.SetEnabled(false)
+	p2.Transform(ref2, Forward)
+	par.SetEnabled(true)
+	p2.Transform(plane, Forward)
+	for i := range plane {
+		if plane[i] != ref2[i] {
+			t.Fatalf("Plan2D planar path diverges at %d: %v != %v", i, plane[i], ref2[i])
+		}
+	}
+	p3 := NewPlan3D(20, 18, 24)
+	box := randVec(rng, 20*18*24)
+	ref3 := append([]complex128(nil), box...)
+	par.SetEnabled(false)
+	p3.Transform(ref3, Backward)
+	par.SetEnabled(true)
+	p3.Transform(box, Backward)
+	for i := range box {
+		if box[i] != ref3[i] {
+			t.Fatalf("Plan3D planar path diverges at %d: %v != %v", i, box[i], ref3[i])
+		}
+	}
+}
+
+// TestVariantPlansMatchDFT validates every radix family against the naive
+// DFT. Radix-8 and split-radix factorize differently from the mixed
+// baseline, so the check is tolerance-based.
+func TestVariantPlansMatchDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, tc := range []struct {
+		n int
+		r Radix
+	}{
+		{64, Radix8}, {128, Radix8}, {120, Radix8}, {486, Radix8},
+		{4, RadixSplit}, {64, RadixSplit}, {128, RadixSplit},
+		{100, Radix8},    // not divisible by 8: degrades to mixed
+		{60, RadixSplit}, // not a power of two: degrades to mixed
+	} {
+		p := NewPlanRadix(tc.n, tc.r)
+		x := randVec(rng, tc.n)
+		got := append([]complex128(nil), x...)
+		p.Transform(got, Forward)
+		want := DFT(x, Forward)
+		for i := range got {
+			if d := got[i] - want[i]; math.Hypot(real(d), imag(d)) > 1e-8*float64(tc.n) {
+				t.Fatalf("n=%d radix=%v i=%d: %v != DFT %v", tc.n, tc.r, i, got[i], want[i])
+			}
+		}
+		// Within one plan the SoA path stays exact for every variant —
+		// split-radix and Bluestein pack through the AoS scratch.
+		v := NewSoA(tc.n)
+		PackSoA(v, x)
+		p.TransformSoA(v, Forward)
+		g2 := make([]complex128, tc.n)
+		UnpackSoA(g2, v)
+		for i := range g2 {
+			if g2[i] != got[i] {
+				t.Fatalf("n=%d radix=%v i=%d: SoA diverges from AoS on the same plan", tc.n, tc.r, i)
+			}
+		}
+	}
+}
+
+// TestSplitRadixToleranceDocumented pins the documented contract that
+// split-radix output differs from the mixed baseline (reassociated
+// arithmetic) but only at rounding level.
+func TestSplitRadixToleranceDocumented(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	n := 256
+	x := randVec(rng, n)
+	mixed := append([]complex128(nil), x...)
+	NewPlan(n).Transform(mixed, Forward)
+	split := append([]complex128(nil), x...)
+	NewPlanRadix(n, RadixSplit).Transform(split, Forward)
+	var maxd float64
+	for i := range mixed {
+		d := mixed[i] - split[i]
+		if h := math.Hypot(real(d), imag(d)); h > maxd {
+			maxd = h
+		}
+	}
+	if maxd > 1e-10*float64(n) {
+		t.Fatalf("split-radix drifts %g from mixed, beyond rounding tolerance", maxd)
+	}
+}
+
+// TestPickPolicies pins the measured per-shape variant policy (see the
+// rationale comments on PickRadix and PickLayout).
+func TestPickPolicies(t *testing.T) {
+	cases := []struct {
+		n      int
+		radix  Radix
+		layout Layout
+	}{
+		{64, Radix8, LayoutAoS},      // small pow2: AoS radix-8 is L1-resident
+		{128, RadixMixed, LayoutSoA}, // large pow2: planar radix-4 + fused unpack
+		{120, Radix8, LayoutSoA},     // 8·odd: radix-8 removes passes, planar wins
+		{60, RadixMixed, LayoutSoA},  // odd factors: generic stages batch best planar
+		{97, RadixMixed, LayoutAoS},  // Bluestein: chirp convolution runs AoS
+	}
+	for _, tc := range cases {
+		if got := PickRadix(tc.n); got != tc.radix {
+			t.Errorf("PickRadix(%d) = %v, want %v", tc.n, got, tc.radix)
+		}
+		if got := PickLayout(tc.n); got != tc.layout {
+			t.Errorf("PickLayout(%d) = %v, want %v", tc.n, got, tc.layout)
+		}
+		p := DefaultCache.Get(tc.n)
+		if p.Radix() != tc.radix || p.Layout() != tc.layout {
+			t.Errorf("DefaultCache.Get(%d) built (%v, %v), want (%v, %v)",
+				tc.n, p.Radix(), p.Layout(), tc.radix, tc.layout)
+		}
+	}
+}

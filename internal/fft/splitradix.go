@@ -1,0 +1,125 @@
+package fft
+
+import (
+	"math"
+	"math/bits"
+	"math/cmplx"
+	"sync"
+)
+
+// splitRadix is the split-radix kernel for power-of-two lengths: the DFT
+// of length L splits into one L/2 transform over the even samples and two
+// L/4 transforms over the 4j+1 and 4j+3 samples, recombined with one
+// twiddled L-shaped butterfly per output quartet. That reuses the w^k and
+// w^{3k} twiddles across both odd branches, giving the lowest known
+// flop count of the classic power-of-two algorithms (~4·n·log2 n real
+// operations vs ~5·n·log2 n for radix-2).
+//
+// The recombination reassociates the butterfly arithmetic relative to the
+// iterative mixed-radix stages, so split-radix spectra match the
+// mixed-radix plan only to rounding tolerance — which is why RadixSplit is
+// never auto-picked where bit-identical cross-variant results are assumed
+// (see Radix).
+type splitRadix struct {
+	n int
+	// w1[l][s][k] = w^k and w3[l][s][k] = w^{3k} for the level of length
+	// 1<<l, w = exp(∓2πi/2^l), s selecting the direction; k < 2^l/4.
+	w1, w3 [][2][]complex128
+	// scratch pools the out-of-place recursion target.
+	scratch sync.Pool
+}
+
+func newSplitRadix(n int) *splitRadix {
+	s := &splitRadix{n: n}
+	s.scratch.New = func() any {
+		b := make([]complex128, n)
+		return &b
+	}
+	lg := bits.Len(uint(n)) - 1
+	s.w1 = make([][2][]complex128, lg+1)
+	s.w3 = make([][2][]complex128, lg+1)
+	for l := 2; l <= lg; l++ {
+		L := 1 << l
+		q := L / 4
+		for si := 0; si < 2; si++ {
+			sgn := float64(Forward)
+			if si == 1 {
+				sgn = float64(Backward)
+			}
+			w1 := make([]complex128, q)
+			w3 := make([]complex128, q)
+			for k := 0; k < q; k++ {
+				w1[k] = cmplx.Exp(complex(0, sgn*2*math.Pi*float64(k)/float64(L)))
+				w3[k] = cmplx.Exp(complex(0, sgn*2*math.Pi*float64(3*k%L)/float64(L)))
+			}
+			s.w1[l][si] = w1
+			s.w3[l][si] = w3
+		}
+	}
+	return s
+}
+
+func (s *splitRadix) transform(x []complex128, sign Sign) {
+	si := 0
+	if sign == Backward {
+		si = 1
+	}
+	sp := s.scratch.Get().(*[]complex128)
+	dst := *sp
+	s.rec(dst[:s.n], x, s.n, 1, si)
+	copy(x, dst)
+	s.scratch.Put(sp)
+}
+
+// rec computes the length-n DFT of src[0], src[stride], src[2·stride], ...
+// into dst[0:n]. The three recursive sub-transforms land in disjoint
+// thirds of dst (E in [0,n/2), U in [n/2,3n/4), Z in [3n/4,n)) and the
+// L-shaped combine is in place: every iteration k reads its four inputs
+// before overwriting exactly those four cells.
+func (s *splitRadix) rec(dst, src []complex128, n, stride, si int) {
+	if n == 1 {
+		dst[0] = src[0]
+		return
+	}
+	if n == 2 {
+		a, b := src[0], src[stride]
+		dst[0], dst[1] = a+b, a-b
+		return
+	}
+	h, q := n/2, n/4
+	s.rec(dst[:h], src, h, 2*stride, si)
+	s.rec(dst[h:h+q], src[stride:], q, 4*stride, si)
+	s.rec(dst[h+q:n], src[3*stride:], q, 4*stride, si)
+	l := bits.Len(uint(n)) - 1
+	w1 := s.w1[l][si]
+	w3 := s.w3[l][si]
+	if si == 0 {
+		for k := 0; k < q; k++ {
+			e1, e2 := dst[k], dst[k+q]
+			u := dst[h+k] * w1[k]
+			z := dst[h+q+k] * w3[k]
+			t1 := u + z
+			t2 := u - z
+			jt := complex(imag(t2), -real(t2)) // -i·(u-z)
+			dst[k], dst[k+h] = e1+t1, e1-t1
+			dst[k+q], dst[k+3*q] = e2+jt, e2-jt
+		}
+	} else {
+		for k := 0; k < q; k++ {
+			e1, e2 := dst[k], dst[k+q]
+			u := dst[h+k] * w1[k]
+			z := dst[h+q+k] * w3[k]
+			t1 := u + z
+			t2 := u - z
+			jt := complex(-imag(t2), real(t2)) // +i·(u-z)
+			dst[k], dst[k+h] = e1+t1, e1-t1
+			dst[k+q], dst[k+3*q] = e2+jt, e2-jt
+		}
+	}
+}
+
+// flops is the classic split-radix real-operation count 4·n·log2 n − 6n + 8.
+func (s *splitRadix) flops() float64 {
+	n := float64(s.n)
+	return 4*n*math.Log2(n) - 6*n + 8
+}

@@ -95,6 +95,9 @@ type Cache struct {
 func (c *Cache) Builds() int64 { return c.builds.Load() }
 
 // Get returns the cached plan for length n, creating it on first use.
+// Cached plans are built with RadixAuto, so a lookup resolves the
+// per-shape layout+radix policy (PickRadix, PickLayout) exactly once —
+// the serving path never re-derives variants per request.
 func (c *Cache) Get(n int) *Plan {
 	if p, ok := snapGet(&c.plans, n); ok {
 		return p
@@ -104,7 +107,7 @@ func (c *Cache) Get(n int) *Plan {
 	if p, ok := snapGet(&c.plans, n); ok {
 		return p
 	}
-	p := NewPlan(n)
+	p := NewPlanRadix(n, RadixAuto)
 	c.builds.Add(1)
 	snapPut(&c.plans, n, p)
 	return p

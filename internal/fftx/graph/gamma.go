@@ -110,7 +110,7 @@ func (k *Kernel) ExtractCoeffsGamma(p int, buf []complex128) (c1, c2 []complex12
 
 // FFTZGamma transforms all columns (two per stick) along z.
 func (k *Kernel) FFTZGamma(p int, buf []complex128, sign fft.Sign) {
-	transformManyPar(k.PlanZ, buf, k.gammaCols(p), sign)
+	k.PlanZ.TransformBatch(buf, k.gammaCols(p), sign)
 }
 
 // ScatterSplitGamma builds the forward-scatter send chunks over the doubled

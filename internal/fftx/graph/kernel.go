@@ -62,8 +62,8 @@ func NewKernel(sp Spec) *Kernel {
 		Spec:   sp,
 		Sphere: s,
 		Layout: l,
-		PlanZ:  fft.NewPlan(s.Grid.Nz),
-		Plan2D: fft.NewPlan2D(s.Grid.Nx, s.Grid.Ny),
+		PlanZ:  fft.DefaultCache.Get(s.Grid.Nz),
+		Plan2D: fft.DefaultCache.Get2D(s.Grid.Nx, s.Grid.Ny),
 	}
 	if sp.RealData {
 		if sp.UnitPotential {

@@ -17,11 +17,11 @@ import (
 // Bodies must not touch mpi/vtime/ompss state (fftxvet's parbody and
 // stagepure rules).
 
-// Host-parallel grain sizes: sticks are cheap (one length-Nz FFT each), so
-// they batch; planes are expensive (a full 2-D FFT), so they split singly;
-// flat index loops batch by the thousand to amortize dispatch.
+// Host-parallel grain sizes: planes are expensive (a full 2-D FFT), so
+// they split singly; flat index loops batch by the thousand to amortize
+// dispatch. Sticks fan out inside the fft batch drivers (one planar chunk
+// per worker batch — see fft.TransformBatch).
 const (
-	grainSticks = 32
 	grainPlanes = 1
 	grainIndex  = 4096
 )
@@ -40,25 +40,19 @@ func (k *Kernel) PrepSticks(p int, coeffs []complex128) []complex128 {
 	return buf
 }
 
-// transformManyPar runs a batched 1-D transform over count contiguous rows,
-// split over host cores in grainSticks batches.
-func transformManyPar(plan *fft.Plan, buf []complex128, count int, sign fft.Sign) {
-	n := plan.N()
-	par.ParallelFor(count, grainSticks, func(lo, hi int) {
-		plan.TransformMany(buf[lo*n:hi*n], hi-lo, sign)
-	})
-}
-
-// FFTZ transforms every local stick along z in place.
+// FFTZ transforms every local stick along z in place through the plan's
+// batch driver, which fans the sticks out over host cores and runs each
+// worker's rows through the layout the policy picked for Nz (the planar
+// chunk kernel on SoA shapes) — bit-identical to TransformMany.
 func (k *Kernel) FFTZ(p int, buf []complex128, sign fft.Sign) {
-	transformManyPar(k.PlanZ, buf, k.Layout.NSticksOf(p), sign)
+	k.PlanZ.TransformBatch(buf, k.Layout.NSticksOf(p), sign)
 }
 
 // FFTZPart transforms the stick range [lo,hi) of position p's stick
 // buffer — the body of the nested task loop over cft_1z calls.
 func (k *Kernel) FFTZPart(buf []complex128, sign fft.Sign, lo, hi int) {
 	nz := k.Sphere.Grid.Nz
-	transformManyPar(k.PlanZ, buf[lo*nz:hi*nz], hi-lo, sign)
+	k.PlanZ.TransformBatch(buf[lo*nz:hi*nz], hi-lo, sign)
 }
 
 // splitCols builds the sticks→planes Alltoallv send chunks over nCols

@@ -1,0 +1,46 @@
+#!/bin/sh
+# check-bench.sh — assert the committed perf baseline holds the line.
+#
+# Reads the checked-in BENCH_fft.json (not a fresh run: CI machines are too
+# noisy to regenerate ratios, so the gate pins what was measured and
+# committed) and fails if a headline ratio has been committed below its
+# floor:
+#
+#   kernel_speedups.plan2d_60x60 >= 1.0   the blocked/planar 2-D column
+#                                         pass must not lose to the
+#                                         per-column strided form again
+#                                         (the PR-5 regression)
+#   kernel_speedups.hostpar_real >= 1.15  the host-par real-mode pipeline
+#                                         must beat the serial reference
+#                                         even on one core (the planar
+#                                         batch kernels), not just ride
+#                                         core count
+#
+# Regenerating BENCH_fft.json with ratios below these floors and
+# committing it is the failure this script exists to catch.
+set -eu
+
+cd "$(dirname "$0")/.."
+FILE="${1:-BENCH_fft.json}"
+
+[ -f "$FILE" ] || { echo "check-bench: $FILE missing" >&2; exit 1; }
+
+check() {
+	key="$1"; floor="$2"
+	val="$(awk -F'[:,]' -v k="\"$key\"" '$0 ~ k {gsub(/[ \t]/, "", $2); print $2}' "$FILE")"
+	case "$val" in
+	''|null)
+		echo "check-bench: $key missing from $FILE" >&2
+		exit 1
+		;;
+	esac
+	ok="$(awk -v v="$val" -v f="$floor" 'BEGIN { print (v + 0 >= f + 0) ? 1 : 0 }')"
+	if [ "$ok" != 1 ]; then
+		echo "check-bench: $key = $val, floor $floor" >&2
+		exit 1
+	fi
+	echo "check-bench: $key = $val (floor $floor) ok"
+}
+
+check plan2d_60x60 1.0
+check hostpar_real 1.15
