@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test check vet fmt race fuzz-smoke overhead-smoke serve-smoke introspect-smoke serve-bench bench-json check-bench engines-matrix vet-bench
+.PHONY: all build test check vet fmt race fuzz-smoke overhead-smoke serve-smoke introspect-smoke cluster-smoke serve-bench cluster-bench bench-json check-bench engines-matrix vet-bench
 
 all: check test
 
@@ -69,6 +69,20 @@ serve-smoke:
 # profile store's restart durability.
 introspect-smoke:
 	./scripts/introspect-smoke.sh
+
+# cluster-smoke stands up a router + two workers (one static peer, one
+# dynamic -join), drives mixed JSON/binary load through the router, runs the
+# kill-one-worker drill (zero failed requests) and checks the
+# /debug/fftx/cluster topology and fftxd_cluster_* metrics surfaces.
+cluster-smoke:
+	./scripts/cluster-smoke.sh
+
+# cluster-bench measures router + N-worker scaling against a fixed injected
+# per-worker service time and merges the result into BENCH_serve.json as the
+# "cluster" section (target: router+2 workers >= 1.6x one fftxd).
+# DURATION=300ms gives a fast harness smoke-run.
+cluster-bench:
+	./scripts/cluster-bench.sh
 
 # serve-bench drives the fftxd load generator (closed loop with and without
 # batching, plus an open-loop pass) and writes BENCH_serve.json, the

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	fftxd [flags]            serve until SIGINT/SIGTERM, then drain
+//	fftxd -router [flags]    route requests across a cluster of workers
 //	fftxd -loadgen [flags]   drive load against -target (or a self-hosted
 //	                         in-process server) and print a report
 //
@@ -29,11 +30,28 @@
 //	                       to this JSON file across restarts ("" = memory)
 //	-log-level info        structured log level (debug|info|warn|error);
 //	                       debug logs every traced request keyed by trace ID
+//	-join URL              register with a cluster router on start and
+//	                       announce the drain to it on shutdown
+//	-exec-delay 0          add a fixed service time per executed batch
+//	                       (cluster benchmarking on small hosts)
 //
 // Endpoints: POST /fft (JSON or binary wire format), /healthz, the live
 // introspection surface /debug/fftx/requests (span timelines of traced
 // requests) and /debug/fftx/profiles (the per-shape profile store), plus the
 // standard telemetry surface /metrics, /debug/vars, /debug/pprof/*.
+//
+// Router flags (with -router; see README "Cluster serving"):
+//
+//	-addr 127.0.0.1:8470   listen address
+//	-peers a:8472,b:8472   static worker list; workers may also self-register
+//	                       with -join (either way the health prober decides
+//	                       routability)
+//	-max-attempts 3        replica attempts per request before 503
+//
+// A router serves the same POST /fft wire formats and routes each request
+// by transform shape onto the worker ring, failing over on worker loss.
+// Topology lives at /debug/fftx/cluster, health at /healthz, metrics in the
+// fftxd_cluster_* families.
 //
 // Loadgen flags (with -loadgen):
 //
@@ -53,11 +71,14 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
+	"net/http"
 	"os"
 	"os/signal"
 	"sort"
@@ -66,6 +87,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/fft"
 	"repro/internal/fftx"
 	"repro/internal/metrics"
@@ -94,6 +116,12 @@ func realMain() int {
 		traceSample = flag.Float64("trace-sample", 0.05, "fraction of requests traced (server) or stamped with trace IDs (loadgen)")
 		profPath    = flag.String("profiles", "", "persist per-shape performance profiles to this JSON file (empty = memory only)")
 		logLevel    = flag.String("log-level", "info", "structured log level: debug|info|warn|error")
+		joinURL     = flag.String("join", "", "cluster router base URL to register with (worker mode)")
+		execDelay   = flag.Duration("exec-delay", 0, "fixed extra service time per executed batch (cluster benchmarking)")
+
+		rtMode     = flag.Bool("router", false, "route requests across a cluster of workers instead of serving")
+		rtPeers    = flag.String("peers", "", "router: comma-separated static worker addresses (host:port)")
+		rtAttempts = flag.Int("max-attempts", 3, "router: replica attempts per request before giving up")
 
 		lgMode    = flag.Bool("loadgen", false, "drive load instead of serving")
 		lgTarget  = flag.String("target", "", "loadgen: server base URL (default: self-host in process)")
@@ -131,6 +159,10 @@ func realMain() int {
 		return 1
 	}
 
+	if *rtMode {
+		return runRouter(*addr, *rtPeers, *rtAttempts, logger)
+	}
+
 	cfg := serve.Config{
 		Addr:          *addr,
 		Workers:       *workers,
@@ -141,6 +173,7 @@ func realMain() int {
 		Cache:         &fft.Cache{},
 		DefaultEngine: *defEngine,
 		TraceSample:   *traceSample,
+		ExecDelay:     *execDelay,
 		Profiles:      store,
 		Logger:        logger,
 	}
@@ -164,7 +197,7 @@ func realMain() int {
 		}
 		return runLoadgen(cfg, opts, *lgJSON, *drainT)
 	}
-	return runServer(cfg, *drainT)
+	return runServer(cfg, *joinURL, *drainT)
 }
 
 // buildLogger maps -log-level onto a text slog handler writing to stderr.
@@ -186,8 +219,10 @@ func buildLogger(level string) (*slog.Logger, error) {
 }
 
 // runServer serves until SIGINT/SIGTERM, then drains gracefully and prints
-// a latency summary from the live metrics.
-func runServer(cfg serve.Config, drainTimeout time.Duration) int {
+// a latency summary from the live metrics. With -join it registers with a
+// cluster router on start and announces its drain before shutting down, so
+// the router ejects it from the ring ahead of any failed request.
+func runServer(cfg serve.Config, joinURL string, drainTimeout time.Duration) int {
 	cfg.Mux = telemetry.Mux(metrics.Default(), "/fft", "/healthz",
 		"/debug/fftx/requests", "/debug/fftx/profiles")
 	srv := serve.New(cfg)
@@ -197,11 +232,23 @@ func runServer(cfg serve.Config, drainTimeout time.Duration) int {
 	}
 	fmt.Printf("fftxd: serving /fft, /healthz, /metrics, /debug/fftx/{requests,profiles}, /debug/pprof at %s (workers=%d queue=%d max-batch=%d window=%s trace-sample=%g)\n",
 		srv.URL(), srv.Workers(), cfg.QueueDepth, cfg.MaxBatch, cfg.BatchWindow, cfg.TraceSample)
+	if joinURL != "" {
+		if err := clusterAnnounce(joinURL, "/cluster/join", srv.Addr()); err != nil {
+			fmt.Fprintln(os.Stderr, "fftxd: join:", err)
+			return 1
+		}
+		fmt.Printf("fftxd: joined cluster router %s as %s\n", joinURL, srv.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	got := <-sig
 	fmt.Printf("fftxd: %v — draining (budget %s)\n", got, drainTimeout)
+	if joinURL != "" {
+		if err := clusterAnnounce(joinURL, "/cluster/leave", srv.Addr()); err != nil {
+			fmt.Fprintln(os.Stderr, "fftxd: leave:", err) // drain regardless
+		}
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
@@ -210,6 +257,65 @@ func runServer(cfg serve.Config, drainTimeout time.Duration) int {
 	}
 	printLatencySummary(os.Stdout)
 	fmt.Println("fftxd: drained cleanly")
+	return 0
+}
+
+// clusterAnnounce posts this worker's address to a router membership
+// endpoint (/cluster/join or /cluster/leave).
+func clusterAnnounce(routerURL, path, addr string) error {
+	body, _ := json.Marshal(map[string]string{"addr": addr})
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Post(strings.TrimSuffix(routerURL, "/")+path,
+		"application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("router replied %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	return nil
+}
+
+// runRouter fronts a cluster of fftxd workers until SIGINT/SIGTERM.
+func runRouter(addr, peers string, maxAttempts int, logger *slog.Logger) int {
+	var peerList []string
+	for _, p := range strings.Split(peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, p)
+		}
+	}
+	rt, err := cluster.NewRouter(cluster.Config{
+		Addr:        addr,
+		Peers:       peerList,
+		MaxAttempts: maxAttempts,
+		Mux: telemetry.Mux(metrics.Default(), "/fft", "/healthz",
+			"/cluster/join", "/cluster/leave", "/debug/fftx/cluster"),
+		Logger: logger,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fftxd:", err)
+		return 2
+	}
+	if err := rt.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "fftxd:", err)
+		return 1
+	}
+	fmt.Printf("fftxd: routing /fft at %s (%d static peers, max-attempts=%d); topology at /debug/fftx/cluster\n",
+		rt.URL(), len(peerList), maxAttempts)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	got := <-sig
+	fmt.Printf("fftxd: %v — stopping router\n", got)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := rt.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "fftxd: router shutdown:", err)
+		return 1
+	}
+	fmt.Println("fftxd: router stopped")
 	return 0
 }
 
@@ -260,6 +366,18 @@ func runLoadgen(cfg serve.Config, opts loadgen.Options, asJSON bool, drainTimeou
 			sr := rep.PerShape[k]
 			fmt.Printf("  shape %-20s %6d ok, mean %.3fms p50 %.3fms p90 %.3fms p99 %.3fms\n",
 				k+":", sr.OK, sr.MeanSec*1e3, sr.P50Sec*1e3, sr.P90Sec*1e3, sr.P99Sec*1e3)
+		}
+	}
+	if len(rep.PerWorker) > 0 {
+		keys := make([]string, 0, len(rep.PerWorker))
+		for k := range rep.PerWorker {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			wr := rep.PerWorker[k]
+			fmt.Printf("  worker %-28s %6d ok, %d errors, mean %.3fms p50 %.3fms p99 %.3fms\n",
+				k+":", wr.OK, wr.Errors, wr.MeanSec*1e3, wr.P50Sec*1e3, wr.P99Sec*1e3)
 		}
 	}
 	if rep.TraceSent > 0 {

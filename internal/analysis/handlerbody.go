@@ -18,6 +18,12 @@ import (
 // decode, admit to the bounded queue, wait on the task outcome; all
 // simulated work runs on the worker pool (internal/serve's exec layer) or
 // behind cost-mode entry points like fftx.Run, which the workers call.
+//
+// The rule also roots at handler-rooted helpers — functions whose first two
+// parameters are (http.ResponseWriter, *http.Request) but that take extra
+// arguments or return values, the shape of the cluster router's proxy and
+// membership helpers. A handler hands them the live exchange, so their
+// bodies run on the same service goroutine as the handler itself.
 var HandlerBodyRule = Rule{
 	Name: "handlerbody",
 	Doc:  "HTTP handler bodies must not touch mpi/vtime/ompss state",
@@ -31,17 +37,22 @@ var simulatedRuntimePkgs = map[string]bool{
 	"internal/ompss": true,
 }
 
-// isHandlerSig reports whether sig is the net/http handler shape
-// func(http.ResponseWriter, *http.Request).
-func isHandlerSig(sig *types.Signature) bool {
-	if sig == nil || sig.Params().Len() != 2 || sig.Results().Len() != 0 {
+// isHandlerRooted reports whether sig leads with the handler parameter
+// pair (http.ResponseWriter, *http.Request). That covers the exact
+// net/http handler shape and the helpers a handler passes its exchange to
+// — proxy relays, membership decoders and the like, which take extra
+// arguments or return values but still run synchronously on the service
+// goroutine. Calls reached from either are on a net/http goroutine, so
+// the rule roots at both.
+func isHandlerRooted(sig *types.Signature) bool {
+	if sig == nil || sig.Params().Len() < 2 {
 		return false
 	}
 	return typeIs(sig.Params().At(0).Type(), "net/http", "ResponseWriter") &&
 		typeIs(sig.Params().At(1).Type(), "net/http", "Request")
 }
 
-// handlerBodies collects the bodies of handler-shaped functions in f: both
+// handlerBodies collects the bodies of handler-rooted functions in f: both
 // declared methods/functions and function literals (as registered with
 // mux.HandleFunc).
 func handlerBodies(info *types.Info, f *ast.File) []*ast.BlockStmt {
@@ -53,12 +64,12 @@ func handlerBodies(info *types.Info, f *ast.File) []*ast.BlockStmt {
 				return true
 			}
 			if obj, ok := info.Defs[fn.Name].(*types.Func); ok {
-				if sig, ok := obj.Type().(*types.Signature); ok && isHandlerSig(sig) {
+				if sig, ok := obj.Type().(*types.Signature); ok && isHandlerRooted(sig) {
 					bodies = append(bodies, fn.Body)
 				}
 			}
 		case *ast.FuncLit:
-			if sig, ok := info.Types[fn].Type.(*types.Signature); ok && isHandlerSig(sig) {
+			if sig, ok := info.Types[fn].Type.(*types.Signature); ok && isHandlerRooted(sig) {
 				bodies = append(bodies, fn.Body)
 			}
 		}

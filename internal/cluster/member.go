@@ -1,0 +1,196 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"net/url"
+	"strings"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// Worker membership: who is in the cluster and whether each member is
+// routable. Members arrive statically (Config.Peers) or dynamically
+// (workers POST /cluster/join and heartbeat it); an active prober drives
+// each member's health state off its /healthz body, and every state
+// transition rebuilds the routing ring from the members currently up.
+
+// State is a member's health state.
+type State string
+
+const (
+	// StateUp: in the ring, receiving traffic.
+	StateUp State = "up"
+	// StateDraining: ejected — the worker announced a graceful drain
+	// (healthz 503/draining or a /cluster/leave), in-flight work finishes
+	// but no new traffic routes to it.
+	StateDraining State = "draining"
+	// StateDown: ejected — probes fail outright (process killed, network
+	// gone). Re-admitted after Config.ReadmitAfter consecutive healthy
+	// probes.
+	StateDown State = "down"
+)
+
+// member is one worker's registration and health record. All fields are
+// guarded by the Router's membership mutex.
+type member struct {
+	addr   string // base URL, e.g. "http://127.0.0.1:8473"
+	state  State
+	since  time.Time // last state transition
+	static bool      // from Config.Peers (vs dynamically joined)
+
+	fails int // consecutive probe failures
+	oks   int // consecutive probe successes
+
+	lastErr    string       // most recent probe failure, for the topology view
+	lastSeen   time.Time    // last join heartbeat (dynamic members)
+	lastHealth serve.Health // most recent decoded /healthz body
+
+	routed uint64 // requests relayed to this worker
+}
+
+// MemberView is one member's slice of the /debug/fftx/cluster payload.
+type MemberView struct {
+	Addr     string   `json:"addr"`
+	State    State    `json:"state"`
+	SinceS   float64  `json:"since_s"` // seconds in the current state
+	Static   bool     `json:"static,omitempty"`
+	Fails    int      `json:"consecutive_fails,omitempty"`
+	LastErr  string   `json:"last_err,omitempty"`
+	Routed   uint64   `json:"routed"`
+	Queue    int      `json:"queue"`
+	QueueCap int      `json:"queue_cap,omitempty"`
+	Workers  int      `json:"workers,omitempty"`
+	Shapes   []string `json:"shapes,omitempty"`
+}
+
+// normalizeAddr canonicalizes a worker address — "host:port" or
+// "http://host:port" — into a base URL, rejecting anything else.
+func normalizeAddr(addr string) (string, error) {
+	addr = strings.TrimSuffix(strings.TrimSpace(addr), "/")
+	if addr == "" {
+		return "", fmt.Errorf("empty worker address")
+	}
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	u, err := url.Parse(addr)
+	if err != nil {
+		return "", fmt.Errorf("bad worker address %q: %w", addr, err)
+	}
+	if u.Scheme != "http" {
+		return "", fmt.Errorf("bad worker address %q: scheme must be http", addr)
+	}
+	if u.Path != "" || u.RawQuery != "" || u.Fragment != "" {
+		return "", fmt.Errorf("bad worker address %q: want a bare host:port", addr)
+	}
+	if _, _, err := net.SplitHostPort(u.Host); err != nil {
+		return "", fmt.Errorf("bad worker address %q: %w", addr, err)
+	}
+	return "http://" + u.Host, nil
+}
+
+// addMember registers a worker (idempotent: re-joining refreshes the
+// heartbeat). New members start ejected one healthy probe short of
+// admission, so the prober — the single authority on routability — admits
+// them on its next pass instead of the router trusting an unverified
+// registration.
+func (rt *Router) addMember(addr string, static bool) *member {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if m, ok := rt.members[addr]; ok {
+		m.lastSeen = time.Now()
+		return m
+	}
+	m := &member{
+		addr:     addr,
+		state:    StateDown,
+		since:    time.Now(),
+		static:   static,
+		oks:      rt.cfg.ReadmitAfter - 1,
+		lastSeen: time.Now(),
+	}
+	rt.members[addr] = m
+	mJoins.With("join").Inc()
+	rt.rebuildLocked()
+	return m
+}
+
+// dropMember marks a worker draining — the graceful leave path.
+func (rt *Router) dropMember(addr string) bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	m, ok := rt.members[addr]
+	if !ok {
+		return false
+	}
+	mJoins.With("leave").Inc()
+	rt.transitionLocked(m, StateDraining)
+	return true
+}
+
+// transitionLocked moves a member to a new state, rebuilding the ring and
+// updating the per-state gauges. Callers hold rt.mu.
+func (rt *Router) transitionLocked(m *member, to State) {
+	if m.state == to {
+		return
+	}
+	rt.logger.Info("cluster member state change",
+		"worker", m.addr, "from", string(m.state), "to", string(to))
+	m.state = to
+	m.since = time.Now()
+	m.fails, m.oks = 0, 0
+	mTransitions.With(string(to)).Inc()
+	rt.rebuildLocked()
+}
+
+// rebuildLocked rebuilds the routing ring from the up members and refreshes
+// the membership gauges. Callers hold rt.mu.
+func (rt *Router) rebuildLocked() {
+	var up []string
+	counts := map[State]int{StateUp: 0, StateDraining: 0, StateDown: 0}
+	for _, m := range rt.members {
+		counts[m.state]++
+		if m.state == StateUp {
+			up = append(up, m.addr)
+		}
+	}
+	rt.ring = NewRing(up, rt.cfg.VNodes)
+	for state, n := range counts {
+		mMembers.With(string(state)).Set(float64(n))
+	}
+}
+
+// candidates returns up members in failover preference order for a route
+// key, capped at the attempt budget. An unroutable key ("" — the body did
+// not parse) still deserves a worker: the full decoder there owns the
+// canonical rejection, so the router spreads such requests round-robin.
+func (rt *Router) candidates(key string) []string {
+	rt.mu.RLock()
+	ring := rt.ring
+	rt.mu.RUnlock()
+	if ring.Size() == 0 {
+		return nil
+	}
+	n := rt.cfg.MaxAttempts
+	if key == "" {
+		members := ring.Members()
+		i := int(rt.fallbackSeq.Add(1)-1) % len(members)
+		out := make([]string, 0, min(n, len(members)))
+		for k := 0; k < len(members) && len(out) < n; k++ {
+			out = append(out, members[(i+k)%len(members)])
+		}
+		return out
+	}
+	return ring.Lookup(key, n)
+}
+
+// countRouted credits a successful relay to a member.
+func (rt *Router) countRouted(addr string) {
+	rt.mu.Lock()
+	if m, ok := rt.members[addr]; ok {
+		m.routed++
+	}
+	rt.mu.Unlock()
+}

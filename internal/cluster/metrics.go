@@ -1,0 +1,30 @@
+package cluster
+
+import (
+	"repro/internal/metrics"
+)
+
+// fftxd_cluster_* metric families, on the default registry so the router's
+// telemetry mux exposes them beside the process-level fftxd_* families.
+var (
+	clusterBuckets = []float64{1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
+
+	mRouteTotal = metrics.Default().CounterVec("fftxd_cluster_requests_total",
+		"routed requests finished at the router, by final HTTP status code", "code")
+	mRouteSeconds = metrics.Default().Histogram("fftxd_cluster_route_seconds",
+		"wall-clock routed-request latency including all failover attempts", clusterBuckets)
+	mRouted = metrics.Default().CounterVec("fftxd_cluster_routed_total",
+		"successful relays, by worker", "worker")
+	mRetries = metrics.Default().CounterVec("fftxd_cluster_retries_total",
+		"failover retries, by reason (unavailable|transport)", "reason")
+	mExhausted = metrics.Default().Counter("fftxd_cluster_exhausted_total",
+		"requests that failed every replica attempt")
+	mMembers = metrics.Default().GaugeVec("fftxd_cluster_members",
+		"cluster members, by health state (up|draining|down)", "state")
+	mTransitions = metrics.Default().CounterVec("fftxd_cluster_transitions_total",
+		"member health-state transitions, by destination state", "to")
+	mProbes = metrics.Default().CounterVec("fftxd_cluster_probes_total",
+		"health probes, by outcome (ok|draining|fail)", "result")
+	mJoins = metrics.Default().CounterVec("fftxd_cluster_membership_total",
+		"membership operations, by kind (join|leave)", "kind")
+)

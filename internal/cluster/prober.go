@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// Active health probing. Every ProbeInterval the router GETs each member's
+// /healthz concurrently and classifies the reply:
+//
+//	ok        200 — the worker is serving
+//	draining  503 with a draining body — graceful shutdown announced
+//	fail      transport error or unexpected status — the worker is gone
+//
+// The classification drives the member state machine (member.go): a
+// draining signal ejects immediately (the whole point of the graceful
+// drain is that the router hears about it before requests start failing),
+// outright failures eject after FailAfter consecutive misses (one lost
+// probe on a busy box should not flap the ring), and an ejected member
+// returns after ReadmitAfter consecutive healthy probes (so a crash-looping
+// worker cannot flap back in on its first good breath).
+//
+// The prober is the single writer of member health state; the proxy only
+// reads it. Request-path failures therefore never mutate the ring — they
+// fail over to the next replica and leave ejection to the prober, keeping
+// routing decisions consistent under concurrency.
+
+// probeResult classifies one /healthz exchange.
+type probeResult struct {
+	class  string // "ok" | "draining" | "fail"
+	health serve.Health
+	err    error
+}
+
+// probeLoop drives the prober until Shutdown.
+func (rt *Router) probeLoop() {
+	defer rt.proberWG.Done()
+	ticker := time.NewTicker(rt.cfg.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		rt.probeAll()
+		select {
+		case <-rt.stopCh:
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+// probeAll probes every member concurrently and applies the results.
+func (rt *Router) probeAll() {
+	rt.mu.RLock()
+	addrs := make([]string, 0, len(rt.members))
+	for addr := range rt.members {
+		addrs = append(addrs, addr)
+	}
+	rt.mu.RUnlock()
+
+	results := make([]probeResult, len(addrs))
+	var wg sync.WaitGroup
+	for i, addr := range addrs {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			results[i] = rt.probeOne(addr)
+		}(i, addr)
+	}
+	wg.Wait()
+	for i, addr := range addrs {
+		rt.applyProbe(addr, results[i])
+	}
+}
+
+// probeOne performs one bounded /healthz exchange.
+func (rt *Router) probeOne(addr string) probeResult {
+	client := &http.Client{Timeout: rt.cfg.ProbeTimeout, Transport: rt.cfg.Client.Transport}
+	resp, err := client.Get(addr + "/healthz")
+	if err != nil {
+		return probeResult{class: "fail", err: err}
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if err != nil {
+		return probeResult{class: "fail", err: err}
+	}
+	var h serve.Health
+	_ = json.Unmarshal(body, &h) // older workers reply a bare status code
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		return probeResult{class: "ok", health: h}
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		return probeResult{class: "draining", health: h}
+	default:
+		return probeResult{class: "fail"}
+	}
+}
+
+// applyProbe folds one probe outcome into the member state machine.
+func (rt *Router) applyProbe(addr string, res probeResult) {
+	mProbes.With(res.class).Inc()
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	m, ok := rt.members[addr]
+	if !ok {
+		return
+	}
+	switch res.class {
+	case "ok":
+		m.fails = 0
+		m.oks++
+		m.lastErr = ""
+		m.lastHealth = res.health
+		if m.state != StateUp && m.oks >= rt.cfg.ReadmitAfter {
+			rt.transitionLocked(m, StateUp)
+		}
+	case "draining":
+		m.fails = 0
+		m.oks = 0
+		m.lastErr = ""
+		m.lastHealth = res.health
+		rt.transitionLocked(m, StateDraining)
+	default:
+		m.oks = 0
+		m.fails++
+		if res.err != nil {
+			m.lastErr = res.err.Error()
+		} else {
+			m.lastErr = "unexpected probe status"
+		}
+		if m.state != StateDown && m.fails >= rt.cfg.FailAfter {
+			rt.transitionLocked(m, StateDown)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// testMembers fabricates n worker addresses.
+func testMembers(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://10.0.0.%d:8472", i+1)
+	}
+	return out
+}
+
+// testKeys fabricates nk shape-like route keys.
+func testKeys(nk int) []string {
+	out := make([]string, nk)
+	for i := range out {
+		out[i] = fmt.Sprintf("f3d:%dx%dx%d", 4+i%61, 4+(i/61)%61, 4+i/3721)
+	}
+	return out
+}
+
+func TestRingOwnerStable(t *testing.T) {
+	r := NewRing(testMembers(5), 0)
+	for _, key := range testKeys(100) {
+		owner := r.Owner(key)
+		if owner == "" {
+			t.Fatalf("no owner for %q", key)
+		}
+		for i := 0; i < 10; i++ {
+			if got := r.Owner(key); got != owner {
+				t.Fatalf("owner of %q flapped: %q then %q", key, owner, got)
+			}
+		}
+	}
+	// A rebuilt ring over the same member set places identically.
+	r2 := NewRing(testMembers(5), 0)
+	for _, key := range testKeys(100) {
+		if r.Owner(key) != r2.Owner(key) {
+			t.Fatalf("owner of %q differs across identical rings", key)
+		}
+	}
+}
+
+func TestRingLookupDistinctPreferenceOrder(t *testing.T) {
+	r := NewRing(testMembers(4), 0)
+	for _, key := range testKeys(50) {
+		got := r.Lookup(key, 3)
+		if len(got) != 3 {
+			t.Fatalf("Lookup(%q, 3) = %d members, want 3", key, len(got))
+		}
+		seen := map[string]bool{}
+		for _, m := range got {
+			if seen[m] {
+				t.Fatalf("Lookup(%q, 3) repeats %q", key, m)
+			}
+			seen[m] = true
+		}
+		if got[0] != r.Owner(key) {
+			t.Fatalf("Lookup(%q)[0] = %q, want owner %q", key, got[0], r.Owner(key))
+		}
+		// Asking for more than the member count returns everyone once.
+		if all := r.Lookup(key, 99); len(all) != 4 {
+			t.Fatalf("Lookup(%q, 99) = %d members, want 4", key, len(all))
+		}
+	}
+	if NewRing(nil, 0).Lookup("f3d:16x16x16", 2) != nil {
+		t.Fatal("empty ring should look up nil")
+	}
+}
+
+// TestRingDistributionUniformity pins the load-spread guarantee of the
+// virtual-node count: across many shape keys, every member's share of keys
+// (and of raw keyspace) stays near 1/N.
+func TestRingDistributionUniformity(t *testing.T) {
+	members := testMembers(8)
+	r := NewRing(members, 0)
+	const nk = 20000
+	counts := map[string]int{}
+	for _, key := range testKeys(nk) {
+		counts[r.Owner(key)]++
+	}
+	want := float64(nk) / float64(len(members))
+	for _, m := range members {
+		frac := float64(counts[m]) / want
+		if frac < 0.7 || frac > 1.35 {
+			t.Errorf("member %s owns %d keys, %.2fx the fair share — spread too uneven", m, counts[m], frac)
+		}
+	}
+	shares := r.Shares()
+	total := 0.0
+	for _, m := range members {
+		s := shares[m]
+		total += s
+		if n := float64(len(members)); s*n < 0.7 || s*n > 1.35 {
+			t.Errorf("member %s keyspace share %.4f, %.2fx fair", m, s, s*n)
+		}
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Errorf("keyspace shares sum to %.6f, want 1", total)
+	}
+}
+
+// TestRingMinimalRemapping pins the consistent-hashing property the whole
+// design leans on: adding or removing one member moves only about 1/N of
+// the keys, and every move involves the changed member.
+func TestRingMinimalRemapping(t *testing.T) {
+	const n, nk = 8, 20000
+	members := testMembers(n)
+	full := NewRing(members, 0)
+	keys := testKeys(nk)
+	before := make(map[string]string, nk)
+	for _, key := range keys {
+		before[key] = full.Owner(key)
+	}
+
+	t.Run("leave", func(t *testing.T) {
+		gone := members[3]
+		smaller := NewRing(append(append([]string{}, members[:3]...), members[4:]...), 0)
+		moved := 0
+		for _, key := range keys {
+			after := smaller.Owner(key)
+			if after != before[key] {
+				moved++
+				if before[key] != gone {
+					t.Fatalf("key %q moved %s→%s though %s left", key, before[key], after, gone)
+				}
+			}
+		}
+		frac := float64(moved) / nk
+		if frac > 2.0/n {
+			t.Errorf("leave moved %.1f%% of keys, want ≈%.1f%%", frac*100, 100.0/n)
+		}
+	})
+
+	t.Run("join", func(t *testing.T) {
+		joined := "http://10.0.0.99:8472"
+		bigger := NewRing(append(append([]string{}, members...), joined), 0)
+		moved := 0
+		for _, key := range keys {
+			after := bigger.Owner(key)
+			if after != before[key] {
+				moved++
+				if after != joined {
+					t.Fatalf("key %q moved %s→%s though only %s joined", key, before[key], after, joined)
+				}
+			}
+		}
+		frac := float64(moved) / nk
+		if frac > 2.0/(n+1) {
+			t.Errorf("join moved %.1f%% of keys, want ≈%.1f%%", frac*100, 100.0/(n+1))
+		}
+	})
+}
+
+func TestRingDedupesMembers(t *testing.T) {
+	r := NewRing([]string{"http://a:1", "http://a:1", "", "http://b:2"}, 4)
+	if r.Size() != 2 {
+		t.Fatalf("Size() = %d, want 2 after dedupe", r.Size())
+	}
+}

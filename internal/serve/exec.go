@@ -65,10 +65,11 @@ func (s *Server) runBatch(g *group) {
 	}
 	mInflight.Add(float64(len(live)))
 	defer mInflight.Add(-float64(len(live)))
-	if s.testExecDelay > 0 {
-		// Test hook: stretches execution so shutdown/overload tests can
-		// observe in-flight vs queued states deterministically.
-		time.Sleep(s.testExecDelay)
+	if s.cfg.ExecDelay > 0 {
+		// Injected service time: shutdown/overload tests use it to observe
+		// in-flight vs queued states deterministically, cluster-bench to
+		// model a fixed per-node batch cost (see Config.ExecDelay).
+		time.Sleep(s.cfg.ExecDelay)
 	}
 	if live[0].req.Op == OpPipeline {
 		for _, t := range live {
@@ -238,5 +239,5 @@ func (s *Server) runPipeline(t *task) {
 // pipelineShape is the profile-store shape descriptor of a pipeline request:
 // the workload parameters that determine its cost.
 func pipelineShape(p *PipelineRequest) string {
-	return fmt.Sprintf("pipe:ecut%g:nb%d:r%dxt%d", p.Ecut, p.NB, p.Ranks, p.NTG)
+	return pipeRouteKey(p.Ecut, p.NB, p.Ranks, p.NTG)
 }

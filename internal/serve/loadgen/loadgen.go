@@ -126,6 +126,11 @@ type Report struct {
 	// PerShape breaks the quantiles down by payload class — mixed-shape
 	// runs otherwise hide slow shapes inside aggregate tails.
 	PerShape map[string]*ShapeReport `json:"per_shape,omitempty"`
+	// PerWorker breaks the quantiles down by the worker that served each
+	// reply (the router's Fftx-Worker header), so a cluster run shows how
+	// the ring spread the shapes and whether one worker is the slow tail.
+	// Absent against a single fftxd, which does not stamp the header.
+	PerWorker map[string]*ShapeReport `json:"per_worker,omitempty"`
 	// Trace correlation: IDs sent, IDs the server echoed back, and
 	// mismatches (an echo differing from what was sent on a 200).
 	TraceSent     int `json:"trace_sent,omitempty"`
@@ -157,6 +162,7 @@ type sample struct {
 	status    int
 	batchRows int
 	shape     string
+	worker    string
 	sentTrace string
 	gotTrace  string
 	err       error
@@ -355,6 +361,7 @@ func doRequest(ctx context.Context, opts Options, p payload, traceID string) sam
 		latency:   time.Since(start),
 		status:    resp.StatusCode,
 		shape:     p.key,
+		worker:    resp.Header.Get("Fftx-Worker"),
 		sentTrace: traceID,
 		gotTrace:  resp.Header.Get("Fftx-Trace-Id"),
 		err:       err,
@@ -471,6 +478,7 @@ func aggregate(opts Options, samples []sample, elapsed time.Duration) *Report {
 	var sumLat time.Duration
 	var sumRows int
 	perShape := map[string]*shapeAcc{}
+	perWorker := map[string]*shapeAcc{}
 	var slowest time.Duration
 	for _, sm := range samples {
 		rep.Sent++
@@ -480,6 +488,15 @@ func aggregate(opts Options, samples []sample, elapsed time.Duration) *Report {
 			perShape[sm.shape] = acc
 		}
 		acc.sent++
+		var wacc *shapeAcc
+		if sm.worker != "" {
+			wacc = perWorker[sm.worker]
+			if wacc == nil {
+				wacc = &shapeAcc{}
+				perWorker[sm.worker] = wacc
+			}
+			wacc.sent++
+		}
 		if sm.sentTrace != "" {
 			rep.TraceSent++
 			if sm.gotTrace != "" && sm.gotTrace != sm.sentTrace && sm.status == http.StatusOK {
@@ -499,6 +516,12 @@ func aggregate(opts Options, samples []sample, elapsed time.Duration) *Report {
 			acc.lat = append(acc.lat, sm.latency)
 			acc.sumLat += sm.latency
 			acc.sumRows += sm.batchRows
+			if wacc != nil {
+				wacc.ok++
+				wacc.lat = append(wacc.lat, sm.latency)
+				wacc.sumLat += sm.latency
+				wacc.sumRows += sm.batchRows
+			}
 			if sm.sentTrace != "" && sm.latency > slowest {
 				slowest = sm.latency
 				rep.SlowestTraceID = sm.sentTrace
@@ -507,6 +530,9 @@ func aggregate(opts Options, samples []sample, elapsed time.Duration) *Report {
 		default:
 			rep.Errors++
 			acc.errors++
+			if wacc != nil {
+				wacc.errors++
+			}
 		}
 		if sm.status != 0 {
 			rep.StatusCount[fmt.Sprint(sm.status)]++
@@ -524,6 +550,12 @@ func aggregate(opts Options, samples []sample, elapsed time.Duration) *Report {
 				continue
 			}
 			rep.PerShape[key] = acc.report()
+		}
+	}
+	if len(perWorker) > 0 {
+		rep.PerWorker = map[string]*ShapeReport{}
+		for addr, acc := range perWorker {
+			rep.PerWorker[addr] = acc.report()
 		}
 	}
 	if len(lat) == 0 {

@@ -9,6 +9,7 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -67,6 +68,13 @@ type Config struct {
 	// RequestLogSize bounds the recent-request ring of /debug/fftx/requests
 	// (default 64).
 	RequestLogSize int
+	// ExecDelay stretches every batch execution by this duration (default
+	// 0). Shutdown and overload tests use it to observe in-flight vs queued
+	// states deterministically, and scripts/cluster-bench.sh uses it to
+	// inject a calibrated per-node service time so router/worker scaling is
+	// measured against a fixed per-worker capacity instead of against
+	// however many host cores the bench machine happens to have.
+	ExecDelay time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -138,8 +146,12 @@ type Server struct {
 	logger   *slog.Logger
 	traceSeq atomic.Uint64
 
-	// testExecDelay stretches every batch execution (tests only).
-	testExecDelay time.Duration
+	// shapeMu guards shapesServed, the bounded set of distinct transform
+	// shape keys this server has seen — the "shapes" field of the /healthz
+	// body, which tells the cluster router (and humans) what this worker's
+	// plan cache is warm for.
+	shapeMu      sync.Mutex
+	shapesServed map[string]struct{}
 }
 
 // New builds a Server from cfg. Call Start to bind and serve.
@@ -155,6 +167,7 @@ func New(cfg Config) *Server {
 		reqLog:         newRequestLog(cfg.RequestLogSize),
 		profiles:       cfg.Profiles,
 		logger:         cfg.Logger,
+		shapesServed:   map[string]struct{}{},
 	}
 	cfg.Mux.HandleFunc("/fft", s.handleFFT)
 	cfg.Mux.HandleFunc("/healthz", s.handleHealthz)
@@ -323,6 +336,7 @@ func (s *Server) handleFFT(w http.ResponseWriter, r *http.Request) {
 	if req.Op == OpTransform {
 		shape = req.ShapeKey()
 		root.SetAttr("shape", shape)
+		s.recordShape(shape)
 	}
 	decodeSpan := root.BeginAt("decode", startAt)
 	decodeSpan.End()
@@ -374,22 +388,68 @@ func (s *Server) handleFFT(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleHealthz reports liveness: 200 while serving, 503 while draining —
-// the signal load balancers use to stop routing before the listener goes
-// away.
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+// maxHealthShapes bounds the shapes-served set so a shape-scanning client
+// cannot grow the /healthz body (or the server's memory) without bound.
+const maxHealthShapes = 256
+
+// recordShape adds a transform shape key to the bounded shapes-served set.
+func (s *Server) recordShape(shape string) {
+	s.shapeMu.Lock()
+	if len(s.shapesServed) < maxHealthShapes {
+		s.shapesServed[shape] = struct{}{}
+	}
+	s.shapeMu.Unlock()
+}
+
+// Health is the /healthz JSON body: one self-describing signal for load
+// balancers, the cluster health prober and humans alike. The status-code
+// contract predates the body and still holds — 200 while serving, 503 while
+// draining — so clients that only look at the status line keep working.
+type Health struct {
+	// Status is "ok" or "draining" (matching the HTTP status code).
+	Status string `json:"status"`
+	// Workers is the batch-executing goroutine count.
+	Workers int `json:"workers"`
+	// Queue and QueueCap are the admission queue's current depth and bound.
+	Queue    int `json:"queue"`
+	QueueCap int `json:"queue_cap"`
+	// Shapes lists the distinct transform shape keys this server has seen
+	// (sorted, bounded) — what its plan cache is warm for.
+	Shapes  []string `json:"shapes,omitempty"`
+	UptimeS float64  `json:"uptime_s"`
+}
+
+// health snapshots the server's live state.
+func (s *Server) health() (Health, int) {
 	code := http.StatusOK
-	state := "ok"
+	h := Health{
+		Status:   "ok",
+		Workers:  s.cfg.Workers,
+		Queue:    len(s.queue),
+		QueueCap: s.cfg.QueueDepth,
+		UptimeS:  time.Since(s.start).Seconds(),
+	}
 	if s.Draining() {
 		code = http.StatusServiceUnavailable
-		state = "draining"
+		h.Status = "draining"
 	}
-	writeJSON(w, code, map[string]any{
-		"status":   state,
-		"workers":  s.cfg.Workers,
-		"queue":    len(s.queue),
-		"uptime_s": time.Since(s.start).Seconds(),
-	})
+	s.shapeMu.Lock()
+	for shape := range s.shapesServed {
+		h.Shapes = append(h.Shapes, shape)
+	}
+	s.shapeMu.Unlock()
+	sort.Strings(h.Shapes)
+	return h, code
+}
+
+// handleHealthz reports liveness: 200 while serving, 503 while draining —
+// the signal load balancers and the cluster prober use to stop routing
+// before the listener goes away — with a JSON body describing the state
+// (queue depth, workers, shapes served) so machines and humans read the
+// same signal.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h, code := s.health()
+	writeJSON(w, code, h)
 	mReqTotal.With("healthz", fmt.Sprint(code)).Inc()
 }
 

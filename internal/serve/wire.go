@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"fmt"
 	"math"
 
@@ -84,6 +85,104 @@ const (
 	// (DefaultMaxElements), so the bit is never a real size.
 	flagRespTrace = uint32(1) << 31
 )
+
+// PeekRoute extracts the routing key and trace ID of an encoded request
+// without decoding (or validating) its payload — the router's half of the
+// codec. Transforms peek as their batching ShapeKey ("f3d:16x16x16"), so a
+// shape lands on the worker whose plan cache and per-shape profiles are
+// already hot for it; pipeline simulations peek as their workload descriptor
+// (pipelineShape), so identical cost-model probes share a worker the same
+// way. Malformed bodies return an error: the router forwards those to an
+// arbitrary worker, whose full decoder owns the canonical rejection.
+func PeekRoute(body []byte, binary bool) (key, traceID string, err error) {
+	if binary {
+		return peekBinaryRoute(body)
+	}
+	var peek struct {
+		Op       string `json:"op"`
+		Dims     []int  `json:"dims"`
+		Sign     int    `json:"sign"`
+		Scale    bool   `json:"scale"`
+		TraceID  string `json:"trace_id"`
+		Pipeline *struct {
+			Ecut  float64 `json:"ecut"`
+			NB    int     `json:"nb"`
+			Ranks int     `json:"ranks"`
+			NTG   int     `json:"ntg"`
+		} `json:"pipeline"`
+	}
+	if err := json.Unmarshal(body, &peek); err != nil {
+		return "", "", fmt.Errorf("unroutable JSON request: %w", err)
+	}
+	if peek.Pipeline != nil && (peek.Op == "" || peek.Op == OpPipeline) {
+		p := peek.Pipeline
+		return pipeRouteKey(p.Ecut, p.NB, p.Ranks, p.NTG), peek.TraceID, nil
+	}
+	if len(peek.Dims) < 1 || len(peek.Dims) > 3 {
+		return "", "", fmt.Errorf("unroutable request: dims %v", peek.Dims)
+	}
+	r := Request{Sign: peek.Sign, Scale: peek.Scale, Dims: peek.Dims}
+	if r.Sign <= 0 {
+		r.Sign = -1
+	}
+	return r.ShapeKey(), peek.TraceID, nil
+}
+
+// pipeRouteKey is the routing/profile descriptor of a pipeline workload —
+// the parameters that determine its cost, and therefore which worker's
+// cost-model cache and profile store should own it.
+func pipeRouteKey(ecut float64, nb, ranks, ntg int) string {
+	return fmt.Sprintf("pipe:ecut%g:nb%d:r%dxt%d", ecut, nb, ranks, ntg)
+}
+
+// peekBinaryRoute reads just the FXD1/FXP1 header fields that determine
+// routing, leaving the payload untouched and unvalidated.
+func peekBinaryRoute(body []byte) (key, traceID string, err error) {
+	if len(body) >= wirePipeReqHeader && [4]byte(body[:4]) == magicPipeRequest {
+		nameLen := int(body[4])
+		if nameLen > maxEngineNameLen || len(body) < wirePipeReqHeader+nameLen {
+			return "", "", fmt.Errorf("unroutable pipeline request")
+		}
+		ecut := math.Float64frombits(binary.LittleEndian.Uint64(body[8:16]))
+		nb := binary.LittleEndian.Uint32(body[24:28])
+		ranks := binary.LittleEndian.Uint32(body[28:32])
+		ntg := binary.LittleEndian.Uint32(body[32:36])
+		if body[5]&pipeFlagTraceID != 0 {
+			rest := body[wirePipeReqHeader+nameLen:]
+			if len(rest) < trace.TraceIDLen {
+				return "", "", fmt.Errorf("unroutable pipeline request: truncated trace ID")
+			}
+			traceID = string(rest[:trace.TraceIDLen])
+		}
+		return pipeRouteKey(ecut, int(nb), int(ranks), int(ntg)), traceID, nil
+	}
+	if len(body) < wireReqHeader || [4]byte(body[:4]) != magicRequest {
+		return "", "", fmt.Errorf("unroutable binary request")
+	}
+	sign, rank, flags := body[4], body[5], body[6]
+	if rank < 1 || rank > 3 || len(body) < wireReqHeader+4*int(rank) {
+		return "", "", fmt.Errorf("unroutable binary request: bad rank %d", rank)
+	}
+	r := Request{Sign: -1, Scale: flags&flagScale != 0, Dims: make([]int, rank)}
+	if sign == 1 {
+		r.Sign = 1
+	}
+	for i := range r.Dims {
+		d := binary.LittleEndian.Uint32(body[wireReqHeader+4*i:])
+		if d == 0 {
+			return "", "", fmt.Errorf("unroutable binary request: zero dim")
+		}
+		r.Dims[i] = int(d)
+	}
+	if flags&flagTraceID != 0 {
+		rest := body[wireReqHeader+4*int(rank):]
+		if len(rest) < trace.TraceIDLen {
+			return "", "", fmt.Errorf("unroutable binary request: truncated trace ID")
+		}
+		traceID = string(rest[:trace.TraceIDLen])
+	}
+	return r.ShapeKey(), traceID, nil
+}
 
 // EncodeRequest renders a validated request in the binary wire format:
 // transforms as an "FXD1" frame, pipeline simulations as an "FXP1" frame.

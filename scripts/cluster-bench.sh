@@ -1,0 +1,152 @@
+#!/bin/sh
+# cluster-bench: measures router + N-worker scaling and records it as the
+# "cluster" section of BENCH_serve.json (merged into the existing file).
+#
+# Scaling is measured against a fixed per-worker capacity, not against
+# however many cores the bench machine happens to have: every worker runs
+# with -workers 1 -max-batch 1 -exec-delay D, so one worker's ceiling is
+# ~1/D requests per second by construction and adding a worker adds that
+# much capacity. (A shared-host measurement without this would show nothing
+# on a small box — two workers time-slicing one core bench no faster than
+# one.) Three passes, same mixed-shape closed loop each time:
+#
+#   single           loadgen straight at one worker — the per-node baseline
+#   router_1worker   the same load through a router fronting that worker —
+#                    the router's relay overhead in isolation
+#   router_2workers  through a router fronting two workers — the scaling
+#                    claim; the report's per_worker section shows how the
+#                    ring split the shapes
+#
+# The shape mix is wide (12 classes) so the consistent-hash ring gives both
+# workers a meaningful shard, and concurrency is high enough that a worker
+# with the smaller shard still never idles.
+#
+# DURATION and EXEC_DELAY tune run length and the injected service time;
+# DURATION=300ms gives a fast harness smoke-run for CI. OUT names the
+# merged report (default BENCH_serve.json).
+set -eu
+
+duration="${DURATION:-2s}"
+exec_delay="${EXEC_DELAY:-2ms}"
+dims="${DIMS:-4x4,8x8,4x4x4,16,8x4,32,2x4x4,16x4,4x16,64,8x2,2x2x2}"
+conc="${CONCURRENCY:-32}"
+out="${OUT:-BENCH_serve.json}"
+
+workdir="$(mktemp -d)"
+pids=""
+trap 'for p in $pids; do kill "$p" 2>/dev/null || true; done; rm -rf "$workdir"' EXIT INT TERM
+
+go build -o "$workdir/fftxd" ./cmd/fftxd
+
+worker_flags="-trace-sample 0 -workers 1 -max-batch 1 -exec-delay $exec_delay"
+
+start_worker() {
+    # shellcheck disable=SC2086  # worker_flags is intentionally word-split
+    "$workdir/fftxd" -addr 127.0.0.1:0 $worker_flags >"$workdir/$1.log" 2>&1 &
+    pids="$pids $!"
+    eval "$1pid=$!"
+    _url=""
+    for _ in $(seq 1 50); do
+        _url="$(sed -n 's/^fftxd: serving .* at \(http:[^ ]*\).*$/\1/p' "$workdir/$1.log")"
+        [ -n "$_url" ] && break
+        sleep 0.1
+    done
+    [ -n "$_url" ] || { echo "cluster-bench: $1 never came up" >&2; cat "$workdir/$1.log" >&2; exit 1; }
+    eval "$1url=\$_url"
+}
+
+start_router() {
+    "$workdir/fftxd" -router -addr 127.0.0.1:0 -peers "$2" >"$workdir/$1.log" 2>&1 &
+    pids="$pids $!"
+    eval "$1pid=$!"
+    _url=""
+    for _ in $(seq 1 50); do
+        _url="$(sed -n 's/^fftxd: routing .* at \(http:[^ ]*\).*$/\1/p' "$workdir/$1.log")"
+        [ -n "$_url" ] && break
+        sleep 0.1
+    done
+    [ -n "$_url" ] || { echo "cluster-bench: $1 never came up" >&2; cat "$workdir/$1.log" >&2; exit 1; }
+    eval "$1url=\$_url"
+}
+
+wait_up() { # wait_up ROUTER_URL N
+    for _ in $(seq 1 50); do
+        [ "$(curl -fsS "$1/healthz" | sed -n 's/.*"up":\([0-9]*\).*/\1/p')" = "$2" ] && return 0
+        sleep 0.1
+    done
+    echo "cluster-bench: router $1 never saw $2 up workers" >&2
+    exit 1
+}
+
+run_load() { # run_load TARGET OUTFILE
+    "$workdir/fftxd" -loadgen -json -target "$1" -duration "$duration" \
+        -concurrency "$conc" -dims "$dims" -trace-sample 0 >"$2"
+}
+
+echo "cluster-bench: per-worker capacity = 1 executor x $exec_delay service time; $conc clients, $duration" >&2
+
+echo "cluster-bench: pass 1/3 — single worker, direct" >&2
+start_worker w0
+run_load "$w0url" "$workdir/single.json"
+kill "$w0pid"; wait "$w0pid" 2>/dev/null || true
+
+echo "cluster-bench: pass 2/3 — router fronting 1 worker" >&2
+start_worker w1
+start_router r1 "${w1url#http://}"
+wait_up "$r1url" 1
+run_load "$r1url" "$workdir/router_1worker.json"
+kill "$r1pid" "$w1pid"; wait "$r1pid" "$w1pid" 2>/dev/null || true
+
+echo "cluster-bench: pass 3/3 — router fronting 2 workers" >&2
+start_worker w2
+start_worker w3
+start_router r2 "${w2url#http://},${w3url#http://}"
+wait_up "$r2url" 2
+run_load "$r2url" "$workdir/router_2workers.json"
+kill "$r2pid" "$w2pid" "$w3pid"; wait "$r2pid" "$w2pid" "$w3pid" 2>/dev/null || true
+pids=""
+
+python3 - "$out" "$workdir" "$exec_delay" "$conc" <<'EOF'
+import json, sys
+
+out, workdir, exec_delay, conc = sys.argv[1:5]
+load = lambda name: json.load(open(f"{workdir}/{name}.json"))
+single = load("single")
+r1 = load("router_1worker")
+r2 = load("router_2workers")
+
+for name, rep in [("single", single), ("router_1worker", r1), ("router_2workers", r2)]:
+    if rep["errors"]:
+        sys.exit(f"cluster-bench: {name} pass had {rep['errors']} errors")
+
+try:
+    with open(out) as f:
+        doc = json.load(f)
+except (FileNotFoundError, json.JSONDecodeError):
+    doc = {}
+
+ratio = lambda a, b: round(a / b, 3) if b else 0.0
+doc["cluster"] = {
+    "exec_delay": exec_delay,
+    "workers_per_node": 1,
+    "concurrency": int(conc),
+    "single": single,
+    "router_1worker": r1,
+    "router_2workers": r2,
+    "router_overhead_pct": round(100 * (1 - ratio(r1["req_per_s"], single["req_per_s"])), 2),
+    "speedup_2workers": ratio(r2["req_per_s"], single["req_per_s"]),
+    "target_speedup": 1.6,
+}
+with open(out, "w") as f:
+    json.dump(doc, f, indent=1)
+    f.write("\n")
+
+print(f"cluster-bench: single {single['req_per_s']:.1f} req/s, "
+      f"router+1 {r1['req_per_s']:.1f} req/s, router+2 {r2['req_per_s']:.1f} req/s")
+print(f"cluster-bench: speedup x{doc['cluster']['speedup_2workers']} (target ≥1.6), "
+      f"router overhead {doc['cluster']['router_overhead_pct']}%")
+for addr, w in sorted(r2.get("per_worker", {}).items()):
+    print(f"cluster-bench:   {addr}: {w['ok']} ok, p99 {w['p99_s']*1e3:.2f} ms")
+EOF
+
+echo "cluster-bench: wrote cluster section of $out"

@@ -1,0 +1,153 @@
+#!/bin/sh
+# cluster-smoke: end-to-end check of the fftxd cluster tier (README
+# "Cluster serving").
+#
+# Builds fftxd, then stands up a router fronting two workers — one listed
+# statically with -peers, one self-registering with -join, so both
+# discovery paths are exercised. Checks, in order:
+#
+#   1. membership: the router reports both workers up;
+#   2. JSON and binary traffic: mixed-shape loadgen runs through the router
+#      in both wire formats with zero errors, and the report attributes
+#      replies per worker (Fftx-Worker);
+#   3. topology: /debug/fftx/cluster lists both members with ring shares,
+#      and /metrics carries the fftxd_cluster_* families;
+#   4. the kill drill: SIGTERM one worker mid-load — the drain announces a
+#      leave, the ring ejects it, every request still answers 200;
+#   5. clean shutdown of the survivors.
+#
+# Exits non-zero on any failed check.
+set -eu
+
+workdir="$(mktemp -d)"
+pids=""
+trap 'for p in $pids; do kill "$p" 2>/dev/null || true; done; rm -rf "$workdir"' EXIT INT TERM
+
+dims="4x4,8x8,4x4x4,16,8x4,32,2x4x4,16x4,4x16,64,8x2,2x2x2"
+
+go build -o "$workdir/fftxd" ./cmd/fftxd
+
+# wait_url LOGFILE PATTERN — polls a daemon log for its advertised URL.
+wait_url() {
+    _url=""
+    for _ in $(seq 1 50); do
+        _url="$(sed -n "$2" "$1")"
+        [ -n "$_url" ] && break
+        sleep 0.1
+    done
+    if [ -z "$_url" ]; then
+        echo "cluster-smoke: no URL in $1:" >&2
+        cat "$1" >&2
+        exit 1
+    fi
+    echo "$_url"
+}
+
+# Worker 1: static peer. Worker 2 joins dynamically once the router is up.
+"$workdir/fftxd" -addr 127.0.0.1:0 -trace-sample 0 >"$workdir/w1.log" 2>&1 &
+pids="$pids $!"
+w1pid=$!
+w1url="$(wait_url "$workdir/w1.log" 's/^fftxd: serving .* at \(http:[^ ]*\).*$/\1/p')"
+
+"$workdir/fftxd" -router -addr 127.0.0.1:0 -peers "${w1url#http://}" >"$workdir/rt.log" 2>&1 &
+pids="$pids $!"
+rtpid=$!
+rturl="$(wait_url "$workdir/rt.log" 's/^fftxd: routing .* at \(http:[^ ]*\).*$/\1/p')"
+
+"$workdir/fftxd" -addr 127.0.0.1:0 -trace-sample 0 -join "$rturl" >"$workdir/w2.log" 2>&1 &
+pids="$pids $!"
+w2pid=$!
+w2url="$(wait_url "$workdir/w2.log" 's/^fftxd: serving .* at \(http:[^ ]*\).*$/\1/p')"
+
+# ---- 1. membership: both discovery paths converge to two up members ------
+up=""
+for _ in $(seq 1 50); do
+    up="$(curl -fsS "$rturl/healthz" | sed -n 's/.*"up":\([0-9]*\).*/\1/p')"
+    [ "$up" = 2 ] && break
+    sleep 0.1
+done
+if [ "$up" != 2 ]; then
+    echo "cluster-smoke: router never saw 2 up workers (got '$up'):" >&2
+    curl -fsS "$rturl/debug/fftx/cluster" >&2 || true
+    exit 1
+fi
+echo "cluster-smoke: membership ok (static peer + dynamic join, 2 up)"
+
+# errors_of REPORT — the "errors" count of a loadgen -json report.
+errors_of() {
+    sed -n 's/.*"errors": \([0-9]*\).*/\1/p' "$1" | head -n 1
+}
+
+# ---- 2. mixed-shape traffic through the router, both wire formats --------
+"$workdir/fftxd" -loadgen -json -target "$rturl" -requests 60 -concurrency 6 \
+    -dims "$dims" >"$workdir/json-leg.json"
+if [ "$(errors_of "$workdir/json-leg.json")" != 0 ]; then
+    echo "cluster-smoke: JSON leg had errors:" >&2
+    cat "$workdir/json-leg.json" >&2
+    exit 1
+fi
+grep -q '"per_worker"' "$workdir/json-leg.json"
+grep -q "\"$w1url\"" "$workdir/json-leg.json"
+grep -q "\"$w2url\"" "$workdir/json-leg.json"
+echo "cluster-smoke: JSON leg ok (60 requests, replies from both workers)"
+
+"$workdir/fftxd" -loadgen -json -binary -target "$rturl" -requests 60 -concurrency 6 \
+    -dims "$dims" >"$workdir/binary-leg.json"
+if [ "$(errors_of "$workdir/binary-leg.json")" != 0 ]; then
+    echo "cluster-smoke: binary leg had errors:" >&2
+    cat "$workdir/binary-leg.json" >&2
+    exit 1
+fi
+echo "cluster-smoke: binary leg ok"
+
+# ---- 3. topology and metrics surfaces ------------------------------------
+topo="$workdir/topology.json"
+curl -fsS "$rturl/debug/fftx/cluster" >"$topo"
+[ "$(grep -o '"state":"up"' "$topo" | wc -l)" = 2 ]
+grep -q '"shares"' "$topo"
+grep -q '"vnodes"' "$topo"
+echo "cluster-smoke: /debug/fftx/cluster ok"
+
+cmetrics="$workdir/cluster-metrics.txt"
+curl -fsS "$rturl/metrics" >"$cmetrics"
+grep -q '^# TYPE fftxd_cluster_requests_total counter$' "$cmetrics"
+grep -q '^fftxd_cluster_members{state="up"} 2$' "$cmetrics"
+grep -q '^fftxd_cluster_routed_total' "$cmetrics"
+echo "cluster-smoke: fftxd_cluster_* metrics ok ($(grep -c '^fftxd_cluster_' "$cmetrics") sample lines)"
+
+# ---- 4. the kill drill: lose a worker mid-load, lose no requests ---------
+"$workdir/fftxd" -loadgen -json -target "$rturl" -duration 2s -concurrency 6 \
+    -dims "$dims" >"$workdir/drill.json" &
+lgpid=$!
+sleep 0.6
+kill -TERM "$w2pid"
+if ! wait "$lgpid"; then
+    echo "cluster-smoke: loadgen failed during the kill drill" >&2
+    exit 1
+fi
+if [ "$(errors_of "$workdir/drill.json")" != 0 ]; then
+    echo "cluster-smoke: requests failed during the kill drill:" >&2
+    cat "$workdir/drill.json" >&2
+    exit 1
+fi
+wait "$w2pid" || true
+grep -q 'drained cleanly' "$workdir/w2.log"
+up="$(curl -fsS "$rturl/healthz" | sed -n 's/.*"up":\([0-9]*\).*/\1/p')"
+if [ "$up" != 1 ]; then
+    echo "cluster-smoke: router still reports $up up workers after the drill" >&2
+    curl -fsS "$rturl/debug/fftx/cluster" >&2 || true
+    exit 1
+fi
+curl -fsS "$rturl/metrics" | grep -q '^fftxd_cluster_membership_total{kind="leave"} 1$'
+echo "cluster-smoke: kill drill ok (worker drained, ring ejected it, zero failed requests)"
+
+# ---- 5. clean shutdown ---------------------------------------------------
+kill -TERM "$rtpid"
+wait "$rtpid" || true
+grep -q 'router stopped' "$workdir/rt.log"
+kill -TERM "$w1pid"
+wait "$w1pid" || true
+grep -q 'drained cleanly' "$workdir/w1.log"
+pids=""
+echo "cluster-smoke: clean shutdown ok"
+echo "cluster-smoke: PASS"
