@@ -98,10 +98,12 @@ serve-bench:
 bench-json:
 	./scripts/bench-json.sh
 
-# check-bench gates the committed BENCH_fft.json, not a fresh run: it fails
-# if a headline ratio was committed below its floor (plan2d_60x60 >= 1.0,
-# hostpar_real >= 1.15). Run it before bench-json in CI so the check sees
-# the checked-in file, not a noisy regeneration.
+# check-bench gates the committed BENCH_fft.json and BENCH_engines.json,
+# not a fresh run: it fails if a headline ratio was committed below its
+# floor (plan2d_60x60 >= 1.0, hostpar_real >= 1.15) or if the dataflow
+# engine no longer beats task-combined on any committed shape. Run it
+# before bench-json in CI so the check sees the checked-in files, not a
+# noisy regeneration.
 check-bench:
 	./scripts/check-bench.sh
 
@@ -115,8 +117,11 @@ vet-bench:
 
 # engines-matrix is the cross-engine smoke gate: the short-mode equivalence
 # matrix (all engines x modes x {complex,gamma} through the shared stage
-# graph) plus the auto-selector contract, then the quick-suite runtime
-# matrix for eyeballing.
+# graph) plus the auto-selector contract and the dataflow engine's
+# barrier-free properties, then the quick-suite runtime matrix for
+# eyeballing. It runs under the race detector: the dataflow engine and the
+# work-stealing pool are the code most exposed to scheduling races, so the
+# matrix doubles as their concurrency gate.
 engines-matrix:
-	$(GO) test ./internal/fftx -short -count=1 -run 'TestEngineMatrix|TestAutoSelectsFastestEngine|TestAutoRunResolvesAndMatches'
+	$(GO) test -race ./internal/fftx -short -count=1 -run 'TestEngineMatrix|TestAutoSelectsFastestEngine|TestAutoRunResolvesAndMatches|TestDataflow'
 	$(GO) run ./cmd/fftxbench -quick engines

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	fftxapp -ecutwfc 80 -alat 20 -nbnd 128 -ntg 8 -nranks 8 \
-//	        -engine original|task-steps|task-iter|task-combined|auto \
+//	        -engine original|task-steps|task-iter|task-combined|dataflow|auto \
 //	        [-gamma] [-niter 5] [-real] [-hostpar=false]
 //
 // -engine auto asks the cost-model selector to probe the applicable engines
@@ -45,7 +45,7 @@ func realMain() int {
 		nbnd    = flag.Int("nbnd", 128, "number of bands")
 		ntg     = flag.Int("ntg", 8, "task groups / threads per rank")
 		nranks  = flag.Int("nranks", 8, "ranks per task group (positions)")
-		engine  = flag.String("engine", "original", "original|task-steps|task-iter|task-combined|auto")
+		engine  = flag.String("engine", "original", "original|task-steps|task-iter|task-combined|dataflow|auto")
 		gamma   = flag.Bool("gamma", false, "gamma-point mode (half sphere, 2 bands per FFT)")
 		niter   = flag.Int("niter", 5, "repetitions of the FFT phase")
 		real    = flag.Bool("real", false, "transform real data (keep the grid small)")

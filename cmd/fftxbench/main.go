@@ -22,6 +22,9 @@
 //	-hostpar=false                     disable host-core parallelism in the
 //	                                   real-numerics loops (wall clock only;
 //	                                   simulated results are bit-identical)
+//	-steal                             run the host-parallel loops under the
+//	                                   work-stealing pool instead of fixed
+//	                                   chunks (results are bit-identical)
 //
 // Observability (see README "Observability"):
 //
@@ -64,6 +67,7 @@ func realMain() int {
 		csvPath = flag.String("csv", "", "also write fig2/fig6 runtime data as CSV to this file")
 		strict  = flag.Bool("strict", false, "enable runtime invariant checks (collective shapes, tag discipline, task-graph cycles)")
 		hostpar = flag.Bool("hostpar", true, "fan the real-numerics loops out over host cores (simulated results are identical either way)")
+		steal   = flag.Bool("steal", false, "use the work-stealing pool for the host-parallel loops (simulated results are identical either way)")
 		serve   = flag.String("serve", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :8080)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -109,6 +113,7 @@ func realMain() int {
 	}
 
 	par.SetEnabled(*hostpar)
+	par.SetStealing(*steal)
 
 	suite := core.PaperSuite()
 	if *quick {
@@ -216,15 +221,15 @@ func realMain() int {
 				if err != nil {
 					return err
 				}
-				fmt.Fprintln(f, "ranks,ntg,engine,runtime_s,selected")
+				fmt.Fprintln(f, "ranks,ntg,engine,runtime_s,taskwait_s,selected")
 				for _, row := range r.Rows {
 					for i, e := range r.Engines {
 						sel := 0
 						if e == row.Selected {
 							sel = 1
 						}
-						fmt.Fprintf(f, "%d,%d,%s,%.6f,%d\n",
-							row.Ranks, suite.NTG, e.String(), row.Runtime[i], sel)
+						fmt.Fprintf(f, "%d,%d,%s,%.6f,%.6f,%d\n",
+							row.Ranks, suite.NTG, e.String(), row.Runtime[i], row.Taskwait[i], sel)
 					}
 				}
 				if err := f.Close(); err != nil {

@@ -23,7 +23,7 @@
 //	-hostpar               host-parallel kernels (default true)
 //	-engine task-iter      default fftx engine for pipeline requests that do
 //	                       not name one (original|task-steps|task-iter|
-//	                       task-combined|auto); requests override per call
+//	                       task-combined|dataflow|auto); requests override per call
 //	-trace-sample 0.05     fraction of requests traced server-side (requests
 //	                       carrying a trace_id are always traced)
 //	-profiles PATH         persist the per-shape performance profile store
@@ -112,7 +112,7 @@ func realMain() int {
 		maxElems    = flag.Int("max-elems", serve.DefaultMaxElements, "per-request element budget")
 		drainT      = flag.Duration("drain-timeout", 10*time.Second, "graceful-drain budget on shutdown")
 		hostpar     = flag.Bool("hostpar", true, "fan batch rows out over host cores")
-		defEngine   = flag.String("engine", "", "default engine for pipeline requests (original|task-steps|task-iter|task-combined|auto; empty = task-iter)")
+		defEngine   = flag.String("engine", "", "default engine for pipeline requests (original|task-steps|task-iter|task-combined|dataflow|auto; empty = task-iter)")
 		traceSample = flag.Float64("trace-sample", 0.05, "fraction of requests traced (server) or stamped with trace IDs (loadgen)")
 		profPath    = flag.String("profiles", "", "persist per-shape performance profiles to this JSON file (empty = memory only)")
 		logLevel    = flag.String("log-level", "info", "structured log level: debug|info|warn|error")

@@ -31,7 +31,9 @@ var computeCharges = map[callTarget]bool{
 }
 
 // parallelForBodies collects the function literals passed to
-// par.ParallelFor anywhere under root.
+// par.ParallelFor — and to the work-stealing Pool.ParallelFor, whose bodies
+// run on the same bare host goroutines (stolen chunks execute on whichever
+// pool worker claims them) — anywhere under root.
 func parallelForBodies(info *types.Info, root ast.Node) []*ast.FuncLit {
 	var lits []*ast.FuncLit
 	ast.Inspect(root, func(n ast.Node) bool {
@@ -44,7 +46,7 @@ func parallelForBodies(info *types.Info, root ast.Node) []*ast.FuncLit {
 			return true
 		}
 		t := targetOf(fn)
-		if t.pkg != "internal/par" || t.recv != "" || t.name != "ParallelFor" {
+		if t.pkg != "internal/par" || t.name != "ParallelFor" || (t.recv != "" && t.recv != "Pool") {
 			return true
 		}
 		if lit, ok := call.Args[len(call.Args)-1].(*ast.FuncLit); ok {

@@ -1,0 +1,62 @@
+package blockintask
+
+// Dataflow-era cases: SubmitAfter task bodies obey the same captured-context
+// discipline as every other submitter, Future.Wait never belongs in a task
+// body, and continuation closures (Future.Then, Runtime.OnComplete) run
+// inline in the runtime's completion path — they must never block, post
+// collectives or charge compute time, wherever their state comes from.
+
+import (
+	"repro/internal/knl"
+	"repro/internal/mpi"
+	"repro/internal/ompss"
+	"repro/internal/vtime"
+)
+
+func capturedCtxInSubmitAfter(p *vtime.Proc, rt *ompss.Runtime, ctx *mpi.Ctx, c *mpi.Comm, f *ompss.Future) {
+	rt.SubmitAfter(p, "band", []*ompss.Future{f}, 0, func(w *ompss.Worker) {
+		c.Barrier(ctx, 1) // want "captured from outside"
+	})
+}
+
+func futureWaitInTask(p *vtime.Proc, rt *ompss.Runtime, f *ompss.Future) {
+	rt.Submit(p, "band", nil, 0, func(w *ompss.Worker) {
+		f.Wait(w.Proc) // want "Future.Wait inside a task body"
+	})
+}
+
+func blockingThen(p *vtime.Proc, f *ompss.Future, q *vtime.Queue[int]) {
+	f.Then(p, func(hp *vtime.Proc) {
+		_, _ = q.Pop(hp) // want "inside a continuation closure"
+	})
+}
+
+func collectiveOnComplete(rt *ompss.Runtime, t *ompss.Task, ctx *mpi.Ctx, c *mpi.Comm) {
+	rt.OnComplete(t, func(hp *vtime.Proc) {
+		c.Barrier(ctx, 1) // want "inside a continuation closure"
+	})
+}
+
+func chargeOnComplete(rt *ompss.Runtime, t *ompss.Task, ctx *mpi.Ctx) {
+	rt.OnComplete(t, func(hp *vtime.Proc) {
+		ctx.Compute("fft-z", knl.ClassStream, 10) // want "charges simulated compute time"
+	})
+}
+
+// The interprocedural case reuses the settle → waitOn chain of interproc.go:
+// a continuation blocking through helpers is flagged with the full path,
+// regardless of where the context was captured.
+func blockingThroughHelperInThen(p *vtime.Proc, f *ompss.Future, ctx *mpi.Ctx, c *mpi.Comm) {
+	f.Then(p, func(hp *vtime.Proc) {
+		_ = settle(ctx, c) // want "blockintask.settle → blockintask.waitOn → mpi.Recv"
+	})
+}
+
+// releasingContinuation is the sanctioned shape: completing futures and
+// submitting follow-up work is exactly what continuations are for.
+func releasingContinuation(rt *ompss.Runtime, t *ompss.Task, next *ompss.Future) {
+	rt.OnComplete(t, func(hp *vtime.Proc) {
+		next.Complete(hp)
+		rt.SubmitAfter(hp, "follow", nil, 0, func(w *ompss.Worker) {})
+	})
+}

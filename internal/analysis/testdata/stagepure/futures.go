@@ -1,0 +1,42 @@
+package stagepure
+
+// Dataflow-era cases: the futures API is runtime state like any other ompss
+// entry point — a stage closure that resolves or waits on a future would
+// fire the release once per scheduler policy instead of once per the
+// graph's contract.
+
+import (
+	"repro/internal/fftx/graph"
+	"repro/internal/knl"
+	"repro/internal/ompss"
+	"repro/internal/vtime"
+)
+
+// futureRelease resolves a dataflow future at the bottom of the chain.
+func futureRelease(p *vtime.Proc, f *ompss.Future) {
+	f.Complete(p)
+}
+
+// releaseHelper is the middle hop: it only forwards to futureRelease.
+func releaseHelper(p *vtime.Proc, f *ompss.Future) {
+	futureRelease(p, f)
+}
+
+func futureChainInBody(p *vtime.Proc, f *ompss.Future) graph.Stage {
+	return graph.Stage{
+		Name: "release", Step: "fft-z-fw", Class: knl.ClassMem,
+		Body: func(s *graph.State, pp int) {
+			releaseHelper(p, f) // want "stagepure.releaseHelper → stagepure.futureRelease → ompss.Future.Complete"
+		},
+	}
+}
+
+func futureWaitInInstr(p *vtime.Proc, f *ompss.Future) graph.Stage {
+	return graph.Stage{
+		Name: "wait", Step: "fft-z-fw", Class: knl.ClassMem,
+		Instr: func(pp int) float64 {
+			f.Wait(p) // want "Wait calls internal/ompss in a graph.Stage Instr closure"
+			return 1
+		},
+	}
+}

@@ -25,6 +25,10 @@ type EnginesRow struct {
 	// Runtime holds one entry per EnginesResult.Engines; NaN marks an
 	// engine the configuration cannot run (lane budget, shape limits).
 	Runtime []float64
+	// Taskwait holds the per-engine taskwait barrier stall (summed over
+	// ranks), parallel to Runtime — zero for barrier-free engines
+	// (original, dataflow), NaN where Runtime is NaN.
+	Taskwait []float64
 	// Selected is the engine EngineAuto resolves to at this point.
 	Selected fftx.Engine
 }
@@ -49,10 +53,15 @@ func (s Suite) Engines() (*EnginesResult, error) {
 		Engines: []fftx.Engine{
 			fftx.EngineOriginal, fftx.EngineTaskSteps,
 			fftx.EngineTaskIter, fftx.EngineTaskCombined,
+			fftx.EngineDataflow,
 		},
 	}
 	for _, r := range s.RankList {
-		row := EnginesRow{Ranks: r, Runtime: make([]float64, len(out.Engines))}
+		row := EnginesRow{
+			Ranks:    r,
+			Runtime:  make([]float64, len(out.Engines)),
+			Taskwait: make([]float64, len(out.Engines)),
+		}
 		for i, e := range out.Engines {
 			cfg := s.config(e, r)
 			cfg.Mode = fftx.ModeCost
@@ -61,9 +70,11 @@ func (s Suite) Engines() (*EnginesResult, error) {
 				// Not every engine fits every point (task-steps doubles the
 				// lane count); an inapplicable cell is part of the matrix.
 				row.Runtime[i] = math.NaN()
+				row.Taskwait[i] = math.NaN()
 				continue
 			}
 			row.Runtime[i] = res.Runtime
+			row.Taskwait[i] = res.TaskwaitSec
 		}
 		sel, err := fftx.SelectEngine(s.config(fftx.EngineAuto, r))
 		if err != nil {

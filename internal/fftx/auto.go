@@ -47,6 +47,7 @@ var autoCandidates = []Engine{
 	EngineTaskSteps,
 	EngineTaskIter,
 	EngineTaskCombined,
+	EngineDataflow,
 }
 
 // SelectEngine resolves EngineAuto for the given configuration: it runs
@@ -140,7 +141,8 @@ func probeEngines(cfg Config) (Engine, error) {
 }
 
 // ParseEngine maps an engine name (the String form: "original",
-// "task-steps", "task-iter", "task-combined", "auto") to the Engine value.
+// "task-steps", "task-iter", "task-combined", "dataflow", "auto") to the
+// Engine value.
 func ParseEngine(name string) (Engine, error) {
 	for e := EngineOriginal; e <= EngineAuto; e++ {
 		if e.String() == name {

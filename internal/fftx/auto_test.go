@@ -37,7 +37,7 @@ func TestAutoSelectsFastestEngine(t *testing.T) {
 		// selector's probes do and take the argmin in declaration order.
 		best, bestT := EngineOriginal, math.Inf(1)
 		found := false
-		for _, e := range []Engine{EngineOriginal, EngineTaskSteps, EngineTaskIter, EngineTaskCombined} {
+		for _, e := range []Engine{EngineOriginal, EngineTaskSteps, EngineTaskIter, EngineTaskCombined, EngineDataflow} {
 			pc := cfg.withDefaults()
 			pc.Engine = e
 			if err := pc.validate(); err != nil {
@@ -123,8 +123,15 @@ func TestAutoRespectsGammaRestriction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Engine != EngineOriginal && res.Engine != EngineTaskIter {
+	if res.Engine != EngineOriginal && res.Engine != EngineTaskIter && res.Engine != EngineDataflow {
 		t.Errorf("gamma auto run resolved to unsupported engine %v", res.Engine)
+	}
+	// The selection must also execute: a direct run of the resolved engine
+	// under gamma validates and completes.
+	direct := cfg
+	direct.Engine = res.Engine
+	if _, err := Run(direct); err != nil {
+		t.Errorf("gamma run of selected engine %v: %v", res.Engine, err)
 	}
 }
 

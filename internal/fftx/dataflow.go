@@ -1,0 +1,114 @@
+package fftx
+
+import (
+	"fmt"
+
+	"repro/internal/fftx/graph"
+	"repro/internal/ompss"
+	"repro/internal/vtime"
+)
+
+// runDataflow schedules the stage graph as pure dataflow: the graph's
+// dependency plan (graph.Plan — segment and scatter nodes with explicit
+// edges) is instantiated once per band as a chain of futures, and every
+// compute segment is a task released by successor counting the moment the
+// future of its incoming scatter resolves. The scatters themselves are
+// posted asynchronously from the completing segment's worker and complete
+// their future from the communication handler — a worker never blocks in
+// MPI, and unlike the combined engine there is no final taskwait barrier
+// either: the last segment of each band completes one slot of a per-rank
+// join future, and the rank's main process parks on that join alone. This
+// is the futures-with-continuations schedule of the HPX FFT case studies
+// (PAPERS.md), mapped onto the OmpSs-style runtime.
+//
+// Two policies distinguish the schedule from the combined engine's:
+//
+//   - Critical-path-first priorities. Tasks carry their plan node's depth
+//     as priority, so among ready tasks the runtime always advances the
+//     band furthest along its pipeline (backward-Z over XY over
+//     forward-Z), draining in-flight bands before opening new ones.
+//
+//   - Bounded lookahead. Band b's first segment carries a dataflow edge on
+//     band b-T's completion future (T = the rank's workers), capping the
+//     in-flight bands per rank at the worker count. The combined engine's
+//     workers greedily open a new band's forward segment whenever a
+//     scatter is in flight, which keeps every lane of the node computing
+//     the same phase class at once — exactly the concurrency the paper's
+//     KNL contention model punishes (Figure 3's IPC collapse). The window
+//     trades that contention for short idle gaps, the same exchange that
+//     makes the per-iteration engine fast, but without its lanes ever
+//     blocking inside MPI: on narrow-rank shapes the dataflow engine beats
+//     the combined engine outright (see BENCH_engines.json).
+func runDataflow(cfg Config) (*Result, error) {
+	R, T := cfg.Ranks, cfg.NTG
+	h := newHarness(cfg, R, T)
+	k := h.k
+	ft := h.newFlat()
+	plan := k.pipe.Plan()
+	segNodes := plan.Segments()
+	jobs := h.jobs()
+
+	worldComm := h.w.CommWorld()
+	for p := 0; p < R; p++ {
+		p := p
+		rt := h.newRankRuntime(p*T, T)
+		h.eng.Spawn(fmt.Sprintf("rank%d.main", p), func(mp *vtime.Proc) {
+			// One join slot per band: completed by the final segment's task
+			// continuation, after the task has left the pending count, so
+			// Wait returning implies the runtime is drained and Shutdown is
+			// immediately legal.
+			done := rt.NewJoin("bands", jobs)
+			// The lookahead window: band b starts only after band b-T has
+			// fully completed, expressed as an ordinary dataflow edge.
+			window := T
+			bandDone := make([]*ompss.Future, jobs)
+			for b := range bandDone {
+				bandDone[b] = rt.NewFuture(fmt.Sprintf("band%d", b))
+			}
+			for b := 0; b < jobs; b++ {
+				b := b
+				s := &graph.State{Job: b}
+				var prev *ompss.Future
+				for _, sn := range segNodes {
+					sn := sn
+					var after []*ompss.Future
+					if prev != nil {
+						after = append(after, prev)
+					}
+					if len(sn.Preds) == 0 && b >= window {
+						after = append(after, bandDone[b-window])
+					}
+					scat := plan.ScatterAfter(sn)
+					var next *ompss.Future
+					if scat != nil {
+						next = rt.NewFuture(fmt.Sprintf("scat%d.b%d", scat.Index, b))
+					}
+					first := len(sn.Preds) == 0
+					t := rt.SubmitAfter(mp, fmt.Sprintf("seg%d.b%d", sn.Depth, b), after, sn.Depth, func(wk *ompss.Worker) {
+						if first {
+							ft.pack(wk, p, b, s)
+						}
+						for _, st := range sn.Stages {
+							k.runStage(wk, st, s, p)
+						}
+						if scat != nil {
+							k.runScatterAsync(h.ctx(wk, p), worldComm, b, scat.Scatter, s, p, next.Complete)
+						} else {
+							ft.unpack(wk, p, b, s)
+						}
+					})
+					if scat == nil {
+						rt.OnComplete(t, func(hp *vtime.Proc) {
+							bandDone[b].Complete(hp)
+							done.Complete(hp)
+						})
+					}
+					prev = next
+				}
+			}
+			done.Wait(mp)
+			rt.Shutdown(mp)
+		})
+	}
+	return h.finish(ft.collect)
+}

@@ -20,6 +20,11 @@ func TestExtendedEnginesMatchReference(t *testing.T) {
 		testConfig(EngineTaskCombined, 2, 2, 8),
 		testConfig(EngineTaskCombined, 3, 2, 8),
 		testConfig(EngineTaskCombined, 2, 4, 8),
+		testConfig(EngineDataflow, 1, 1, 8),
+		testConfig(EngineDataflow, 1, 4, 8),
+		testConfig(EngineDataflow, 2, 2, 8),
+		testConfig(EngineDataflow, 3, 2, 8),
+		testConfig(EngineDataflow, 2, 4, 8),
 	}
 	for _, ranks := range []int{1, 2, 3} {
 		cfg := testConfig(EngineTaskSteps, ranks, 2, 8)
@@ -135,7 +140,7 @@ func TestCombinedNotSlowerThanTaskIter(t *testing.T) {
 // FFT, multiply by one, backward FFT with 1/N. Every engine must return the
 // input bands to rounding error — the strongest end-to-end invariant.
 func TestUnitPotentialIsIdentity(t *testing.T) {
-	for _, engine := range []Engine{EngineOriginal, EngineTaskSteps, EngineTaskIter, EngineTaskCombined} {
+	for _, engine := range []Engine{EngineOriginal, EngineTaskSteps, EngineTaskIter, EngineTaskCombined, EngineDataflow} {
 		cfg := testConfig(engine, 2, 2, 4)
 		cfg.UnitPotential = true
 		res, err := Run(cfg)
@@ -151,7 +156,7 @@ func TestUnitPotentialIsIdentity(t *testing.T) {
 
 // The identity invariant in gamma mode.
 func TestUnitPotentialIsIdentityGamma(t *testing.T) {
-	for _, engine := range []Engine{EngineOriginal, EngineTaskIter} {
+	for _, engine := range []Engine{EngineOriginal, EngineTaskIter, EngineDataflow} {
 		cfg := testConfig(engine, 2, 2, 4)
 		cfg.Gamma = true
 		cfg.UnitPotential = true
@@ -209,7 +214,7 @@ func TestOperatorLinearityViaReference(t *testing.T) {
 // (the cluster changes timing only) and be deterministic.
 func TestMultiNodeMatchesReference(t *testing.T) {
 	ref := Reference(Config{Ecut: testEcut, Alat: testAlat, NB: 8})
-	for _, engine := range []Engine{EngineOriginal, EngineTaskIter, EngineTaskCombined} {
+	for _, engine := range []Engine{EngineOriginal, EngineTaskIter, EngineTaskCombined, EngineDataflow} {
 		cfg := testConfig(engine, 2, 2, 8)
 		cfg.NodesCount = 2
 		res, err := Run(cfg)

@@ -56,6 +56,12 @@ const (
 	// tasks with asynchronous, communication-thread-driven scatters, so
 	// communication overlaps computation AND phases de-synchronize.
 	EngineTaskCombined
+	// EngineDataflow walks the stage graph as dataflow futures with
+	// continuations (see dataflow.go): per-band segment tasks released by
+	// successor counting the moment their scatter future resolves,
+	// critical-path-first priorities, and no taskwait barrier anywhere —
+	// the rank's main process parks on a single join future.
+	EngineDataflow
 	// EngineAuto probes the applicable engines in ModeCost and runs the
 	// fastest for the configured workload shape (see auto.go).
 	EngineAuto
@@ -72,6 +78,8 @@ func (e Engine) String() string {
 		return "task-iter"
 	case EngineTaskCombined:
 		return "task-combined"
+	case EngineDataflow:
+		return "dataflow"
 	case EngineAuto:
 		return "auto"
 	}
@@ -217,7 +225,7 @@ func (c Config) validate() error {
 		if c.NB%2 != 0 || (c.NB/2)%c.NTG != 0 {
 			return fmt.Errorf("fftx: gamma mode needs NB even and NB/2 divisible by NTG (NB=%d NTG=%d)", c.NB, c.NTG)
 		}
-		if c.Engine != EngineOriginal && c.Engine != EngineTaskIter {
+		if c.Engine != EngineOriginal && c.Engine != EngineTaskIter && c.Engine != EngineDataflow {
 			return fmt.Errorf("fftx: gamma mode not supported by engine %v", c.Engine)
 		}
 	}
@@ -240,6 +248,11 @@ type Result struct {
 	// Engine is the engine that actually executed the run — the selected
 	// one when Config asked for EngineAuto.
 	Engine Engine
+	// TaskwaitSec is the virtual time the run's task runtimes spent blocked
+	// at Taskwait barriers, summed over ranks — the barrier-stall account
+	// the dataflow engine exists to eliminate (it is 0 there by
+	// construction; engines without a task runtime also report 0).
+	TaskwaitSec float64
 	// Bands holds the transformed band coefficients (full sphere ordering)
 	// in ModeReal; nil in ModeCost.
 	Bands [][]complex128

@@ -53,14 +53,14 @@ func goldenConfigs() []struct {
 			cfg  Config
 		}{name, cfg})
 	}
-	for _, e := range []Engine{EngineOriginal, EngineTaskSteps, EngineTaskIter, EngineTaskCombined} {
+	for _, e := range []Engine{EngineOriginal, EngineTaskSteps, EngineTaskIter, EngineTaskCombined, EngineDataflow} {
 		for _, m := range []Mode{ModeReal, ModeCost} {
 			for _, rt := range [][2]int{{2, 2}, {3, 2}} {
 				add(fmt.Sprintf("%v-%dx%d-%v", e, rt[0], rt[1], modeName(m)), mk(e, rt[0], rt[1], 8, m))
 			}
 		}
 	}
-	for _, e := range []Engine{EngineOriginal, EngineTaskIter} {
+	for _, e := range []Engine{EngineOriginal, EngineTaskIter, EngineDataflow} {
 		for _, m := range []Mode{ModeReal, ModeCost} {
 			cfg := mk(e, 2, 2, 8, m)
 			cfg.Gamma = true
@@ -80,6 +80,9 @@ func goldenConfigs() []struct {
 	multi := mk(EngineTaskCombined, 2, 2, 8, ModeCost)
 	multi.NodesCount = 2
 	add("task-combined-2x2-cost-2nodes", multi)
+	dfMulti := mk(EngineDataflow, 2, 2, 8, ModeCost)
+	dfMulti.NodesCount = 2
+	add("dataflow-2x2-cost-2nodes", dfMulti)
 	seeded := mk(EngineTaskIter, 2, 2, 8, ModeCost)
 	seeded.Seed = 3
 	add("task-iter-2x2-cost-seed3", seeded)

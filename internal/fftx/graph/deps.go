@@ -1,0 +1,123 @@
+package graph
+
+// Explicit dependency edges over the pipeline. The stage list is stored in
+// execution order, which is enough for schedulers that walk it sequentially
+// (original, task-iter) or that rediscover structure through Steps() and
+// Segments(). The dataflow engine needs more: it fires a node the moment
+// its inputs resolve, so the edges implicit in the ordering are derived
+// here once and handed to the scheduler as data — per stage (StageDeps) and
+// per scatter-free segment (Plan), both band-granular: every job owns a
+// private copy of the chain, and jobs share no edges, so the whole
+// NB-job schedule is a forest of independent chains the runtime can
+// interleave freely.
+
+// StageDeps returns, for every stage index, the indices of the stages it
+// depends on. The per-band pipeline is a linear data chain (each stage
+// reads the State buffers its predecessor wrote), so stage i depends on
+// stage i-1 and nothing else; returning the edges explicitly — rather than
+// leaving them implicit in slice order — is what lets a scheduler count
+// unresolved inputs per node instead of walking in order.
+func (g *Graph) StageDeps() [][]int {
+	deps := make([][]int, len(g.Stages))
+	for i := range g.Stages {
+		if i > 0 {
+			deps[i] = []int{i - 1}
+		}
+	}
+	return deps
+}
+
+// NodeKind separates the two node flavors of a dataflow plan.
+type NodeKind int
+
+const (
+	// NodeSegment is a run of compute stages between scatter edges; it
+	// executes as one task.
+	NodeSegment NodeKind = iota
+	// NodeScatter is a communication edge. Dataflow schedulers post it
+	// asynchronously from the completing segment's task and treat its
+	// completion as the firing condition of the next segment.
+	NodeScatter
+)
+
+// Node is one schedulable unit of a job's dataflow plan.
+type Node struct {
+	// Index is the node's position in Plan.Nodes.
+	Index int
+	// Kind separates compute segments from scatter edges.
+	Kind NodeKind
+	// Stages are the compute stages of a segment node (nil for scatters).
+	Stages []*Stage
+	// Scatter is the collective stage of a scatter node (nil for segments).
+	Scatter *Stage
+	// Preds and Succs are the node's dependency edges, as Plan.Nodes
+	// indices. The pipeline is a chain, so each holds at most one entry —
+	// kept as slices so schedulers are written against the general DAG
+	// shape and a future multi-input pipeline needs no scheduler change.
+	Preds, Succs []int
+	// Depth is the node's distance from the plan's entry in segment steps:
+	// segment k has depth k, the scatter after it depth k as well. Priority
+	// schedulers use it to run the deepest ready node first, finishing
+	// in-flight jobs before opening new ones (critical-path-first).
+	Depth int
+}
+
+// Plan is the dependency-explicit form of one job's pipeline walk: the
+// Segments() decomposition with its edges and depths materialized.
+type Plan struct {
+	// Nodes alternates segments and scatters in chain order:
+	// seg0 → scat0 → seg1 → scat1 → ... → segN.
+	Nodes []Node
+	// MaxDepth is the largest Depth over the nodes (the last segment's).
+	MaxDepth int
+}
+
+// Plan derives the dataflow plan from the graph: the compute segments and
+// scatter edges of Segments(), chained by explicit Preds/Succs edges with
+// per-node depths. Every job runs a private instance of this plan; the
+// scheduler instantiates one firing state (future/counter) per (job, node).
+func (g *Graph) Plan() *Plan {
+	segs, scatters := g.Segments()
+	p := &Plan{}
+	add := func(n Node) int {
+		n.Index = len(p.Nodes)
+		if n.Index > 0 {
+			n.Preds = []int{n.Index - 1}
+			p.Nodes[n.Index-1].Succs = []int{n.Index}
+		}
+		p.Nodes = append(p.Nodes, n)
+		return n.Index
+	}
+	for i, seg := range segs {
+		add(Node{Kind: NodeSegment, Stages: seg, Depth: i})
+		if i < len(scatters) {
+			add(Node{Kind: NodeScatter, Scatter: scatters[i], Depth: i})
+		}
+		if i > p.MaxDepth {
+			p.MaxDepth = i
+		}
+	}
+	return p
+}
+
+// Segments returns the plan's segment nodes in chain order.
+func (p *Plan) Segments() []*Node {
+	var out []*Node
+	for i := range p.Nodes {
+		if p.Nodes[i].Kind == NodeSegment {
+			out = append(out, &p.Nodes[i])
+		}
+	}
+	return out
+}
+
+// ScatterAfter returns the scatter node fired by segment node n (its sole
+// successor), or nil when n is the final segment.
+func (p *Plan) ScatterAfter(n *Node) *Node {
+	for _, s := range n.Succs {
+		if p.Nodes[s].Kind == NodeScatter {
+			return &p.Nodes[s]
+		}
+	}
+	return nil
+}

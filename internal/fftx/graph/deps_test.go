@@ -1,0 +1,125 @@
+package graph
+
+import "testing"
+
+func testPipeline(t *testing.T, gamma bool) *Graph {
+	t.Helper()
+	k := NewKernel(Spec{Ecut: 6, Alat: 6, Ranks: 2, Gamma: gamma, InstrPerFlop: 1, InstrPerByte: 1})
+	return k.Pipeline(gamma)
+}
+
+// StageDeps is the stage-granular edge list: a linear chain matching the
+// execution order, with the entry stage unconstrained.
+func TestStageDepsLinearChain(t *testing.T) {
+	g := testPipeline(t, false)
+	deps := g.StageDeps()
+	if len(deps) != len(g.Stages) {
+		t.Fatalf("deps for %d stages, want %d", len(deps), len(g.Stages))
+	}
+	if len(deps[0]) != 0 {
+		t.Errorf("entry stage has predecessors %v", deps[0])
+	}
+	for i := 1; i < len(deps); i++ {
+		if len(deps[i]) != 1 || deps[i][0] != i-1 {
+			t.Errorf("stage %d deps %v, want [%d]", i, deps[i], i-1)
+		}
+	}
+}
+
+// Plan materializes the Segments() decomposition as an explicit DAG: the
+// node chain alternates segments and scatters, edges are consistent in both
+// directions, depths count segment steps, and the stage partition matches
+// Segments() exactly.
+func TestPlanMatchesSegments(t *testing.T) {
+	for _, gamma := range []bool{false, true} {
+		g := testPipeline(t, gamma)
+		segs, scatters := g.Segments()
+		p := g.Plan()
+
+		if want := len(segs) + len(scatters); len(p.Nodes) != want {
+			t.Fatalf("gamma=%v: %d nodes, want %d", gamma, len(p.Nodes), want)
+		}
+		if p.MaxDepth != len(segs)-1 {
+			t.Errorf("gamma=%v: MaxDepth %d, want %d", gamma, p.MaxDepth, len(segs)-1)
+		}
+
+		nseg, nscat := 0, 0
+		for i := range p.Nodes {
+			n := &p.Nodes[i]
+			if n.Index != i {
+				t.Errorf("node %d records Index %d", i, n.Index)
+			}
+			// Chain edges: node i depends on node i-1, consistent both ways.
+			if i == 0 {
+				if len(n.Preds) != 0 {
+					t.Errorf("entry node has preds %v", n.Preds)
+				}
+			} else if len(n.Preds) != 1 || n.Preds[0] != i-1 {
+				t.Errorf("node %d preds %v, want [%d]", i, n.Preds, i-1)
+			}
+			if i == len(p.Nodes)-1 {
+				if len(n.Succs) != 0 {
+					t.Errorf("sink node has succs %v", n.Succs)
+				}
+			} else if len(n.Succs) != 1 || n.Succs[0] != i+1 {
+				t.Errorf("node %d succs %v, want [%d]", i, n.Succs, i+1)
+			}
+			switch n.Kind {
+			case NodeSegment:
+				if n.Scatter != nil {
+					t.Errorf("segment node %d carries a scatter stage", i)
+				}
+				if n.Depth != nseg {
+					t.Errorf("segment node %d depth %d, want %d", i, n.Depth, nseg)
+				}
+				if len(n.Stages) != len(segs[nseg]) {
+					t.Errorf("segment node %d has %d stages, want %d", i, len(n.Stages), len(segs[nseg]))
+				} else {
+					for j, st := range n.Stages {
+						if st != segs[nseg][j] {
+							t.Errorf("segment node %d stage %d differs from Segments()", i, j)
+						}
+					}
+				}
+				nseg++
+			case NodeScatter:
+				if n.Stages != nil {
+					t.Errorf("scatter node %d carries compute stages", i)
+				}
+				if n.Scatter != scatters[nscat] {
+					t.Errorf("scatter node %d stage differs from Segments()", i)
+				}
+				if n.Scatter.Kind != Scatter {
+					t.Errorf("scatter node %d wraps a %v stage", i, n.Scatter.Kind)
+				}
+				nscat++
+			}
+		}
+		if nseg != len(segs) || nscat != len(scatters) {
+			t.Errorf("gamma=%v: plan has %d segments/%d scatters, want %d/%d",
+				gamma, nseg, nscat, len(segs), len(scatters))
+		}
+	}
+}
+
+// The navigation helpers used by the dataflow scheduler: Segments() in node
+// form and the scatter fired by each segment.
+func TestPlanNavigation(t *testing.T) {
+	g := testPipeline(t, false)
+	p := g.Plan()
+	segs := p.Segments()
+	gsegs, scatters := g.Segments()
+	if len(segs) != len(gsegs) {
+		t.Fatalf("%d plan segments, want %d", len(segs), len(gsegs))
+	}
+	for i, sn := range segs {
+		sc := p.ScatterAfter(sn)
+		if i < len(scatters) {
+			if sc == nil || sc.Scatter != scatters[i] {
+				t.Errorf("segment %d: ScatterAfter wrong", i)
+			}
+		} else if sc != nil {
+			t.Errorf("final segment reports a following scatter")
+		}
+	}
+}

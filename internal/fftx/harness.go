@@ -22,6 +22,9 @@ type harness struct {
 	tr   *trace.Trace
 	sink trace.Sink
 	w    *mpi.World
+	// rts are the task runtimes built through newRankRuntime, tracked so
+	// finish can sum their barrier-stall accounts into Result.TaskwaitSec.
+	rts []*ompss.Runtime
 }
 
 // newHarness builds the run scaffolding for ranks MPI ranks of
@@ -67,6 +70,7 @@ func (h *harness) newRankRuntime(firstLane, workers int) *ompss.Runtime {
 	}
 	rt := ompss.New(h.eng, h.sink, workerLanes)
 	rt.Strict = h.cfg.Strict
+	h.rts = append(h.rts, rt)
 	return rt
 }
 
@@ -107,6 +111,9 @@ func (h *harness) finish(collect func() [][]complex128) (*Result, error) {
 		Engine:  h.cfg.Engine,
 		Sphere:  h.k.Sphere,
 		Layout:  h.k.Layout,
+	}
+	for _, rt := range h.rts {
+		res.TaskwaitSec += rt.TaskwaitSec
 	}
 	if h.cfg.Mode == ModeReal {
 		res.Bands = collect()

@@ -21,10 +21,10 @@ func TestEngineMatrix(t *testing.T) {
 		ntg    int
 	}
 	var cells []cell
-	for _, engine := range []Engine{EngineOriginal, EngineTaskSteps, EngineTaskIter, EngineTaskCombined} {
+	for _, engine := range []Engine{EngineOriginal, EngineTaskSteps, EngineTaskIter, EngineTaskCombined, EngineDataflow} {
 		for _, mode := range []Mode{ModeReal, ModeCost} {
 			for _, gamma := range []bool{false, true} {
-				if gamma && engine != EngineOriginal && engine != EngineTaskIter {
+				if gamma && engine != EngineOriginal && engine != EngineTaskIter && engine != EngineDataflow {
 					continue // validate() rejects gamma on the other engines
 				}
 				cells = append(cells, cell{engine, mode, gamma, 2, 2})

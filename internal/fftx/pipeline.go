@@ -133,6 +133,8 @@ func runEngine(cfg Config) (*Result, error) {
 		return runTaskIter(cfg)
 	case EngineTaskCombined:
 		return runTaskCombined(cfg)
+	case EngineDataflow:
+		return runDataflow(cfg)
 	}
 	return nil, errUnknownEngine(cfg.Engine)
 }

@@ -1,0 +1,149 @@
+package ompss
+
+import (
+	"fmt"
+
+	"repro/internal/vtime"
+)
+
+// Dataflow futures: the dependency-release primitive of the dataflow
+// engine. A Future is a single-assignment completion event inside the
+// simulated runtime — the channel of a channel-based future, with the
+// receive side expressed as continuations instead of a blocked process.
+// Tasks submitted with SubmitAfter count unresolved input futures directly
+// (successor counting), so a task fires the moment its last input
+// resolves; nothing ever funnels through a group-wide Taskwait barrier.
+//
+// Continuations registered with Then (and task continuations registered
+// with OnComplete) run inline on whichever simulated process completes the
+// future, inside the runtime's bookkeeping path: they must release work —
+// complete other futures, count arrivals — and never block, post
+// collectives or charge compute time (fftxvet's blockintask rule polices
+// this surface).
+
+// Future is an externally completed dataflow event. The zero value is not
+// usable; create futures with Runtime.NewFuture or Runtime.NewJoin.
+type Future struct {
+	rt      *Runtime
+	label   string
+	pending int // completions still required; 0 = resolved
+	conts   []func(p *vtime.Proc)
+	wq      vtime.WaitQueue
+}
+
+// NewFuture returns a future resolved by a single Complete call.
+func (rt *Runtime) NewFuture(label string) *Future {
+	return rt.NewJoin(label, 1)
+}
+
+// NewJoin returns a join future: it resolves after n Complete calls (the
+// all-of combinator — one future standing for n upstream events). n <= 0
+// returns an already-resolved future.
+func (rt *Runtime) NewJoin(label string, n int) *Future {
+	if n < 0 {
+		n = 0
+	}
+	f := &Future{rt: rt, label: label, pending: n}
+	f.wq.Describe = func() string {
+		return fmt.Sprintf("ompss: future %q wait (%d completions outstanding)", f.label, f.pending)
+	}
+	return f
+}
+
+// Done reports whether the future has resolved.
+func (f *Future) Done() bool { return f.pending == 0 }
+
+// Complete records one arrival. The call that brings the outstanding count
+// to zero resolves the future: continuations run immediately on p (in
+// registration order) and blocked waiters wake. Completing an already
+// resolved future panics — a double completion means the dataflow graph
+// was mis-built, and silently absorbing it would hide a lost-release bug.
+func (f *Future) Complete(p *vtime.Proc) {
+	if f.pending == 0 {
+		panic(fmt.Sprintf("ompss: future %q completed more often than expected", f.label))
+	}
+	f.pending--
+	if f.pending > 0 {
+		return
+	}
+	conts := f.conts
+	f.conts = nil
+	for _, fn := range conts {
+		fn(p)
+	}
+	f.wq.WakeAll(p)
+}
+
+// Then registers a continuation. If the future is already resolved the
+// continuation runs immediately on p; otherwise it runs when the resolving
+// Complete arrives, on the completing process. Continuations must not
+// block (see the package comment above).
+func (f *Future) Then(p *vtime.Proc, fn func(p *vtime.Proc)) {
+	if f.pending == 0 {
+		fn(p)
+		return
+	}
+	f.conts = append(f.conts, fn)
+}
+
+// Wait blocks the calling process until the future resolves. It is the
+// sink-side primitive — a main process parks on the final join while the
+// workers run the dataflow — not a task-side one: a task body waiting on a
+// future occupies a worker that the release chain may need (use SubmitAfter
+// to express the dependency instead).
+func (f *Future) Wait(p *vtime.Proc) {
+	for f.pending > 0 {
+		f.wq.Wait(p)
+	}
+}
+
+// SubmitAfter submits a task released by successor counting over the given
+// futures: the task's unresolved-input count is decremented as each future
+// resolves and the task enqueues the moment the count reaches zero — the
+// dependency-aware release of the dataflow engine, with no region keys and
+// no Taskwait anywhere. Already-resolved futures (and a nil or empty list)
+// contribute nothing, so the task may enqueue immediately.
+func (rt *Runtime) SubmitAfter(p *vtime.Proc, label string, after []*Future, priority int, fn func(w *Worker)) *Task {
+	if rt.closed {
+		panic("ompss: submit after shutdown")
+	}
+	t := &Task{id: rt.nextID, label: label, fn: fn, priority: priority}
+	rt.nextID++
+	rt.pending++
+	mTasksCreated.Inc()
+	mTasksInFlight.Add(1)
+	rt.tasks = append(rt.tasks, t)
+	for _, f := range after {
+		if f == nil || f.Done() {
+			continue
+		}
+		if f.rt != rt {
+			panic(fmt.Sprintf("ompss: future %q belongs to a different runtime", f.label))
+		}
+		t.npred++
+		f.conts = append(f.conts, func(hp *vtime.Proc) {
+			t.npred--
+			if t.npred == 0 {
+				rt.enqueue(hp, t)
+			}
+		})
+	}
+	if t.npred == 0 {
+		rt.enqueue(p, t)
+	}
+	return t
+}
+
+// OnComplete registers a continuation on a task: it runs when the task
+// completes, after its successors are released and the task has left the
+// pending count. Continuations must not block. Combined with SubmitAfter
+// this closes the loop between tasks and futures: a task resolves a
+// future, the future releases tasks. Register before yielding to the
+// runtime — once the task has completed the continuation would be lost,
+// so OnComplete on a finished task panics.
+func (rt *Runtime) OnComplete(t *Task, fn func(p *vtime.Proc)) {
+	if t.done {
+		panic(fmt.Sprintf("ompss: OnComplete on completed task %q", t.label))
+	}
+	t.conts = append(t.conts, fn)
+}

@@ -1,0 +1,222 @@
+package ompss
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/knl"
+	"repro/internal/vtime"
+)
+
+// runDataflow drives a main process over a future-based schedule: body
+// submits work and returns the future main should park on; no Taskwait —
+// the schedule must drain itself through continuations.
+func runDataflow(t *testing.T, nWorkers int, body func(p *vtime.Proc, rt *Runtime) *Future) {
+	t.Helper()
+	node := knl.NewNode(knl.DefaultParams(), nWorkers)
+	eng := vtime.NewEngine(node)
+	lanes := make([]int, nWorkers)
+	for i := range lanes {
+		lanes[i] = i
+	}
+	rt := New(eng, nil, lanes)
+	rt.Overhead = 0
+	eng.Spawn("main", func(p *vtime.Proc) {
+		f := body(p, rt)
+		f.Wait(p)
+		rt.Shutdown(p)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rt.TaskwaitSec != 0 {
+		t.Errorf("dataflow schedule accumulated TaskwaitSec %v, want 0", rt.TaskwaitSec)
+	}
+}
+
+func TestFutureThenAndWait(t *testing.T) {
+	var order []string
+	runDataflow(t, 2, func(p *vtime.Proc, rt *Runtime) *Future {
+		done := rt.NewFuture("done")
+		f := rt.NewFuture("f")
+		f.Then(p, func(hp *vtime.Proc) { order = append(order, "then1") })
+		f.Then(p, func(hp *vtime.Proc) { order = append(order, "then2") })
+		rt.Submit(p, "producer", nil, 0, func(w *Worker) {
+			w.Proc.Sleep(1)
+			order = append(order, "produce")
+			f.Complete(w.Proc)
+		})
+		// A Then on an already resolved future runs immediately.
+		resolved := rt.NewJoin("zero", 0)
+		if !resolved.Done() {
+			t.Error("NewJoin(0) not resolved")
+		}
+		resolved.Then(p, func(hp *vtime.Proc) { order = append(order, "immediate") })
+		f.Then(p, func(hp *vtime.Proc) { done.Complete(hp) })
+		return done
+	})
+	want := []string{"immediate", "produce", "then1", "then2"}
+	if len(order) != len(want) {
+		t.Fatalf("order %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestJoinCountsCompletions(t *testing.T) {
+	const n = 5
+	fired := 0
+	runDataflow(t, 2, func(p *vtime.Proc, rt *Runtime) *Future {
+		join := rt.NewJoin("join", n)
+		join.Then(p, func(hp *vtime.Proc) { fired++ })
+		for i := 0; i < n; i++ {
+			rt.Submit(p, "part", nil, 0, func(w *Worker) {
+				w.Proc.Sleep(1)
+				if join.Done() {
+					t.Error("join resolved before all completions")
+				}
+				join.Complete(w.Proc)
+			})
+		}
+		return join
+	})
+	if fired != 1 {
+		t.Fatalf("join continuation fired %d times, want 1", fired)
+	}
+}
+
+// SubmitAfter releases a task only once every input future resolves, and
+// releases it immediately when all inputs are already resolved (or absent).
+func TestSubmitAfterSuccessorCounting(t *testing.T) {
+	var order []string
+	runDataflow(t, 1, func(p *vtime.Proc, rt *Runtime) *Future {
+		a := rt.NewFuture("a")
+		b := rt.NewFuture("b")
+		done := rt.NewFuture("done")
+		consumer := rt.SubmitAfter(p, "consumer", []*Future{a, b}, 0, func(w *Worker) {
+			if !a.Done() || !b.Done() {
+				t.Error("consumer ran before its inputs resolved")
+			}
+			order = append(order, "consumer")
+		})
+		rt.OnComplete(consumer, func(hp *vtime.Proc) { done.Complete(hp) })
+		rt.SubmitAfter(p, "free", nil, 10, func(w *Worker) {
+			order = append(order, "free")
+			a.Complete(w.Proc)
+		})
+		rt.SubmitAfter(p, "also-free", []*Future{rt.NewJoin("noop", 0), nil}, 5, func(w *Worker) {
+			order = append(order, "also-free")
+			b.Complete(w.Proc)
+		})
+		return done
+	})
+	want := []string{"free", "also-free", "consumer"}
+	if strings.Join(order, ",") != strings.Join(want, ",") {
+		t.Fatalf("order %v, want %v", order, want)
+	}
+}
+
+// A diamond a -> {b, c} -> d expressed purely with futures: no Taskwait, the
+// last arrival at the join releases the sink.
+func TestSubmitAfterDiamond(t *testing.T) {
+	var order []string
+	runDataflow(t, 2, func(p *vtime.Proc, rt *Runtime) *Future {
+		fa := rt.NewFuture("fa")
+		mid := rt.NewJoin("mid", 2)
+		done := rt.NewFuture("done")
+		step := func(name string, dur float64, after []*Future, out *Future) {
+			t := rt.SubmitAfter(p, name, after, 0, func(w *Worker) {
+				w.Proc.Sleep(dur)
+				order = append(order, name)
+			})
+			rt.OnComplete(t, func(hp *vtime.Proc) { out.Complete(hp) })
+		}
+		step("a", 1, nil, fa)
+		step("b", 1, []*Future{fa}, mid)
+		step("c", 2, []*Future{fa}, mid)
+		step("d", 1, []*Future{mid}, done)
+		return done
+	})
+	if len(order) != 4 || order[0] != "a" || order[3] != "d" {
+		t.Fatalf("order %v, want a first and d last", order)
+	}
+}
+
+// OnComplete continuations observe the runtime after the task has left the
+// pending count — the property that lets a continuation-resolved join lead
+// straight into Shutdown without a Taskwait.
+func TestOnCompleteRunsAfterPendingDecrement(t *testing.T) {
+	runDataflow(t, 1, func(p *vtime.Proc, rt *Runtime) *Future {
+		done := rt.NewFuture("done")
+		task := rt.SubmitAfter(p, "only", nil, 0, func(w *Worker) { w.Proc.Sleep(1) })
+		rt.OnComplete(task, func(hp *vtime.Proc) {
+			if rt.pending != 0 {
+				t.Errorf("continuation sees pending=%d, want 0", rt.pending)
+			}
+			done.Complete(hp)
+		})
+		return done
+	})
+}
+
+func TestFutureDoubleCompletePanics(t *testing.T) {
+	node := knl.NewNode(knl.DefaultParams(), 1)
+	eng := vtime.NewEngine(node)
+	rt := New(eng, nil, []int{0})
+	rt.Overhead = 0
+	eng.Spawn("main", func(p *vtime.Proc) {
+		f := rt.NewFuture("once")
+		f.Complete(p)
+		defer rt.Shutdown(p)
+		defer func() {
+			if r := recover(); r == nil {
+				t.Error("second Complete did not panic")
+			}
+		}()
+		f.Complete(p)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnCompleteAfterDonePanics(t *testing.T) {
+	runDataflow(t, 1, func(p *vtime.Proc, rt *Runtime) *Future {
+		done := rt.NewFuture("done")
+		task := rt.SubmitAfter(p, "t", nil, 0, func(w *Worker) {})
+		rt.OnComplete(task, func(hp *vtime.Proc) { done.Complete(hp) })
+		done.Wait(p)
+		func() {
+			defer func() {
+				if r := recover(); r == nil {
+					t.Error("OnComplete on a completed task did not panic")
+				}
+			}()
+			rt.OnComplete(task, func(hp *vtime.Proc) {})
+		}()
+		return done
+	})
+}
+
+// Taskwait charges its stall to the runtime's TaskwaitSec account; the
+// future path (exercised by every other test here) leaves it at zero.
+func TestTaskwaitSecAccounting(t *testing.T) {
+	node := knl.NewNode(knl.DefaultParams(), 1)
+	eng := vtime.NewEngine(node)
+	rt := New(eng, nil, []int{0})
+	rt.Overhead = 0
+	eng.Spawn("main", func(p *vtime.Proc) {
+		rt.Submit(p, "slow", nil, 0, func(w *Worker) { w.Proc.Sleep(3) })
+		rt.Taskwait(p)
+		rt.Shutdown(p)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rt.TaskwaitSec != 3 {
+		t.Fatalf("TaskwaitSec = %v, want 3", rt.TaskwaitSec)
+	}
+}

@@ -97,6 +97,7 @@ type Task struct {
 	priority int
 	npred    int
 	succs    []*Task
+	conts    []func(p *vtime.Proc) // run at completion, after successor release
 	done     bool
 	group    *Group // non-nil for group members
 }
@@ -124,6 +125,12 @@ type Runtime struct {
 	// Overhead is the runtime cost charged per task execution (dependency
 	// upkeep and scheduling in Nanos++), recorded as trace.KindRuntime.
 	Overhead float64
+
+	// TaskwaitSec accumulates the virtual time this runtime's processes
+	// spent blocked in Taskwait — the per-runtime barrier-stall account
+	// (the package metric mTaskwaitSec aggregates across runtimes). The
+	// dataflow engine never calls Taskwait, so this stays zero there.
+	TaskwaitSec float64
 
 	// Strict enables runtime invariant checks: Taskwait verifies the
 	// dependency graph is acyclic before blocking. The public Submit API
@@ -315,6 +322,15 @@ func (rt *Runtime) complete(p *vtime.Proc, t *Task) {
 	if rt.pending == 0 {
 		rt.waitWQ.WakeAll(p)
 	}
+	// Task continuations run last, after this task has left the pending
+	// count: a continuation that resolves the schedule's final join must
+	// observe pending == 0, so a waiter released by the join can proceed
+	// straight to Shutdown.
+	conts := t.conts
+	t.conts = nil
+	for _, fn := range conts {
+		fn(p)
+	}
 }
 
 // compactTasks drops completed tasks from the live-task list (amortized
@@ -428,7 +444,9 @@ func (rt *Runtime) Taskwait(p *vtime.Proc) {
 		for rt.pending > 0 {
 			rt.waitWQ.Wait(p)
 		}
-		mTaskwaitSec.Add(p.Now() - start)
+		stall := p.Now() - start
+		mTaskwaitSec.Add(stall)
+		rt.TaskwaitSec += stall
 	}
 }
 

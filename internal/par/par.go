@@ -58,6 +58,7 @@ func SetWorkers(n int) {
 		n = runtime.GOMAXPROCS(0)
 	}
 	workers.Store(int32(n))
+	rebuildSharedPool()
 }
 
 // Workers returns the current per-call concurrency target.
@@ -109,6 +110,14 @@ func ParallelFor(n, grain int, fn func(lo, hi int)) {
 	if !Enabled() || w <= 1 || n <= grain {
 		fn(0, n)
 		return
+	}
+	if Stealing() {
+		if sp := sharedPool.Load(); sp != nil && sp.width == w {
+			sp.ParallelFor(n, grain, fn)
+			return
+		}
+		// No pool at this width (mid-reconfiguration): the fixed-chunk
+		// path below produces bit-identical results, so fall through.
 	}
 	// Fixed chunking: big enough to respect grain, small enough to give
 	// each executor a few chunks for load balance. Boundaries depend only

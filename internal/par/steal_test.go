@@ -1,0 +1,155 @@
+package par
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The stealing executor must produce exactly the serial result for a
+// conforming body (writes confined to [lo,hi)), across chunking shapes.
+func TestPoolMatchesSerial(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	for _, tc := range []struct{ n, grain int }{
+		{1, 1}, {7, 1}, {64, 1}, {64, 16}, {1000, 3}, {1000, 999},
+	} {
+		got := make([]int, tc.n)
+		p.ParallelFor(tc.n, tc.grain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				got[i] = i * i
+			}
+		})
+		for i := range got {
+			if got[i] != i*i {
+				t.Fatalf("n=%d grain=%d: got[%d]=%d, want %d", tc.n, tc.grain, i, got[i], i*i)
+			}
+		}
+	}
+}
+
+// SetStealing routes the package-level ParallelFor through the shared pool
+// with unchanged results.
+func TestSetStealingRoutesParallelFor(t *testing.T) {
+	SetStealing(true)
+	defer SetStealing(false)
+	if !Stealing() {
+		t.Fatal("Stealing() false after SetStealing(true)")
+	}
+	const n = 512
+	got := make([]float64, n)
+	ParallelFor(n, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			got[i] = float64(i) * 0.5
+		}
+	})
+	for i := range got {
+		if got[i] != float64(i)*0.5 {
+			t.Fatalf("got[%d]=%v, want %v", i, got[i], float64(i)*0.5)
+		}
+	}
+}
+
+// Repeated invocations reuse the same pool; workers lingering from one
+// invocation may claim the next one's chunks, which must stay correct.
+func TestPoolBackToBackInvocations(t *testing.T) {
+	p := NewPool(8)
+	defer p.Close()
+	const n = 256
+	buf := make([]int, n)
+	for round := 0; round < 50; round++ {
+		round := round
+		p.ParallelFor(n, 1, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				buf[i] = round + i
+			}
+		})
+		for i := range buf {
+			if buf[i] != round+i {
+				t.Fatalf("round %d: buf[%d]=%d, want %d", round, i, buf[i], round+i)
+			}
+		}
+	}
+}
+
+// Close must join every worker goroutine: after Close returns, the
+// goroutine count is back at its pre-NewPool baseline (no leaked workers).
+func TestPoolCloseLeaksNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	p := NewPool(16)
+	p.ParallelFor(1024, 1, func(lo, hi int) {})
+	if g := runtime.NumGoroutine(); g < before+16 {
+		t.Fatalf("pool running: %d goroutines, want >= %d", g, before+16)
+	}
+	p.Close()
+	// Close waits for worker exit, but the runtime may take a moment to
+	// retire the descheduled goroutines from the count.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("after Close: %d goroutines, want <= %d", runtime.NumGoroutine(), before)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Panic propagation from a stolen chunk. The blocking structure forces the
+// steal: with 2 workers and chunks {0,2} on worker 0's deque (round-robin),
+// worker 0 pops chunk 2 first (LIFO) and blocks until chunk 0 runs — so
+// chunk 0 can only execute as worker 1's steal (FIFO off worker 0's deque).
+// Its panic must reach the caller, and the release must still happen so no
+// worker deadlocks.
+func TestPoolPanicFromStolenChunk(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	release := make(chan struct{})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic from stolen chunk did not propagate")
+		}
+		s, ok := r.(string)
+		if !ok || !strings.Contains(s, "par: panic in ParallelFor body: stolen boom") {
+			t.Fatalf("unexpected panic payload: %v", r)
+		}
+	}()
+	// n=3, grain=1 with width 2 gives chunk size 1, so lo names the chunk.
+	p.ParallelFor(3, 1, func(lo, hi int) {
+		switch lo {
+		case 0:
+			close(release)
+			panic("stolen boom")
+		case 2:
+			<-release
+		}
+	})
+}
+
+// After a panicked invocation the pool stays usable.
+func TestPoolUsableAfterPanic(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	func() {
+		defer func() { recover() }()
+		p.ParallelFor(64, 1, func(lo, hi int) {
+			if lo == 0 {
+				panic("first")
+			}
+		})
+	}()
+	got := make([]int, 64)
+	p.ParallelFor(64, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			got[i] = i
+		}
+	})
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("got[%d]=%d after panic round", i, got[i])
+		}
+	}
+}

@@ -114,7 +114,7 @@ type PipelineRequest struct {
 	Ranks int     `json:"ranks"`
 	NTG   int     `json:"ntg"`
 	// Engine selects the scheduling per request:
-	// original|task-steps|task-iter|task-combined|auto. Empty means the
+	// original|task-steps|task-iter|task-combined|dataflow|auto. Empty means the
 	// server's configured default (task-iter out of the box); "auto" asks
 	// the cost-model selector to pick, and the response's Engine field
 	// reports what actually ran.

@@ -46,7 +46,7 @@ type Config struct {
 	// the FFT API and /metrics + /debug/pprof.
 	Mux *http.ServeMux
 	// DefaultEngine is the fftx engine pipeline requests run on when they
-	// do not name one: original, task-steps, task-iter, task-combined or
+	// do not name one: original, task-steps, task-iter, task-combined, dataflow or
 	// auto (the cost-model selector). Empty means task-iter, the paper's
 	// best-performing version.
 	DefaultEngine string

@@ -200,6 +200,7 @@ func TestServePipeline(t *testing.T) {
 func TestServePipelineEngineSelection(t *testing.T) {
 	concrete := map[string]bool{
 		"original": true, "task-steps": true, "task-iter": true, "task-combined": true,
+		"dataflow": true,
 	}
 	pipe := func(engine string) *Request {
 		return &Request{

@@ -48,7 +48,7 @@ import (
 //	32      4     u32 ntg
 //	36      4     u32 seed
 //	40      4     u32 deadline in milliseconds (0 = none)
-//	44      L     engine name (original|task-steps|task-iter|task-combined|auto)
+//	44      L     engine name (original|task-steps|task-iter|task-combined|dataflow|auto)
 //	44+L    16    ASCII trace ID, only when flags bit0 set
 //
 // Pipeline response layout:

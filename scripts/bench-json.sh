@@ -12,10 +12,12 @@
 #                   radix family (the Batch_AoS_*/Batch_SoA_* pairs) — the
 #                   measurements behind the PickLayout/PickRadix policy
 #
-# BENCH_engines.json records the quick-suite cost-mode runtime of every fftx
-# engine at every rank point plus the EngineAuto pick — the record that the
-# stage-graph refactor kept the engines' simulated runtimes neutral and that
-# "auto" tracks the per-row minimum.
+# BENCH_engines.json records the quick-suite cost-mode runtime and taskwait
+# barrier stall of every fftx engine at every rank point plus the EngineAuto
+# pick — the record that the stage-graph refactor kept the engines'
+# simulated runtimes neutral, that "auto" tracks the per-row minimum, and
+# that the barrier-free dataflow engine beats task-combined on the
+# taskwait-heavy narrow-rank shapes (check-bench.sh pins that floor).
 #
 # Noise handling: the host is too noisy (frequency bimodality, sibling
 # load) for a single timing per benchmark to yield stable ratios, so each
@@ -107,12 +109,14 @@ echo "bench-json: running the engine matrix (quick suite)" >&2
 go run ./cmd/fftxbench -quick -csv "$CSV" engines >/dev/null
 
 awk -v goversion="$GOVERSION" -v date="$DATE" -F, '
-NR == 1 { next }                       # header: ranks,ntg,engine,runtime_s,selected
+NR == 1 { next }                       # header: ranks,ntg,engine,runtime_s,taskwait_s,selected
 {
 	runtime = $4
 	if (runtime == "NaN") runtime = "null"   # inapplicable engine/shape cell
-	rows[n++] = sprintf("    {\"ranks\": %s, \"ntg\": %s, \"engine\": \"%s\", \"runtime_s\": %s, \"selected\": %s}", \
-		$1, $2, $3, runtime, ($5 == 1 ? "true" : "false"))
+	taskwait = $5
+	if (taskwait == "NaN") taskwait = "null"
+	rows[n++] = sprintf("    {\"ranks\": %s, \"ntg\": %s, \"engine\": \"%s\", \"runtime_s\": %s, \"taskwait_s\": %s, \"selected\": %s}", \
+		$1, $2, $3, runtime, taskwait, ($6 == 1 ? "true" : "false"))
 }
 END {
 	printf "{\n"
